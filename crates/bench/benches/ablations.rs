@@ -1,0 +1,96 @@
+//! Ablation benchmarks for the design choices called out in `DESIGN.md`:
+//!
+//! * revision order of the all-approximated test (FIFO vs. largest error
+//!   vs. largest utilization);
+//! * level growth of the dynamic-error test (doubling vs. +1);
+//! * feasibility bound driving the processor demand test.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use edf_analysis::tests::{
+    AllApproximatedTest, BoundSelection, DynamicErrorTest, LevelGrowth, ProcessorDemandTest,
+    RevisionOrder,
+};
+use edf_analysis::FeasibilityTest;
+use edf_bench::utilization_fixture;
+
+fn bench_revision_order(c: &mut Criterion) {
+    let sets = utilization_fixture(97, 6);
+    let mut group = c.benchmark_group("ablation_revision_order");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+    for (name, order) in [
+        ("fifo", RevisionOrder::Fifo),
+        ("largest_error", RevisionOrder::LargestError),
+        ("largest_utilization", RevisionOrder::LargestUtilization),
+    ] {
+        let test = AllApproximatedTest::with_revision_order(order);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &sets, |b, sets| {
+            b.iter(|| {
+                sets.iter()
+                    .map(|ts| test.analyze(ts).iterations)
+                    .sum::<u64>()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_level_growth(c: &mut Criterion) {
+    let sets = utilization_fixture(97, 6);
+    let mut group = c.benchmark_group("ablation_level_growth");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+    for (name, growth) in [
+        ("double", LevelGrowth::Double),
+        ("increment", LevelGrowth::Increment),
+    ] {
+        let test = DynamicErrorTest::new().with_growth(growth);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &sets, |b, sets| {
+            b.iter(|| {
+                sets.iter()
+                    .map(|ts| test.analyze(ts).iterations)
+                    .sum::<u64>()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_bound_selection(c: &mut Criterion) {
+    let sets = utilization_fixture(95, 6);
+    let mut group = c.benchmark_group("ablation_bound_selection");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+    for (name, bound) in [
+        ("tightest", BoundSelection::Tightest),
+        ("baruah", BoundSelection::Baruah),
+        ("george", BoundSelection::George),
+        ("busy_period", BoundSelection::BusyPeriod),
+    ] {
+        let test = ProcessorDemandTest::with_bound(bound);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &sets, |b, sets| {
+            b.iter(|| {
+                sets.iter()
+                    .map(|ts| test.analyze(ts).iterations)
+                    .sum::<u64>()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_revision_order,
+    bench_level_growth,
+    bench_bound_selection
+);
+criterion_main!(benches);

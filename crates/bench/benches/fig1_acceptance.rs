@@ -1,0 +1,48 @@
+//! Benchmark counterpart of Figure 1: wall-clock time of the sufficient
+//! tests (Devi, SuperPos(x)) and the exact processor demand test on
+//! high-utilization task sets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use edf_analysis::tests::{DeviTest, ProcessorDemandTest, SuperpositionTest};
+use edf_analysis::FeasibilityTest;
+use edf_bench::acceptance_fixture;
+
+fn bench_acceptance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_acceptance");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    for percent in [85u32, 95] {
+        let sets = acceptance_fixture(percent, 8);
+        let tests: Vec<(String, Box<dyn FeasibilityTest>)> = vec![
+            ("devi".to_owned(), Box::new(DeviTest::new())),
+            ("superpos3".to_owned(), Box::new(SuperpositionTest::new(3))),
+            ("superpos10".to_owned(), Box::new(SuperpositionTest::new(10))),
+            (
+                "processor_demand".to_owned(),
+                Box::new(ProcessorDemandTest::new()),
+            ),
+        ];
+        for (name, test) in &tests {
+            group.bench_with_input(
+                BenchmarkId::new(name.clone(), percent),
+                &sets,
+                |b, sets| {
+                    b.iter(|| {
+                        sets.iter()
+                            .filter(|ts| test.analyze(ts).verdict.is_feasible())
+                            .count()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_acceptance);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Benchmark counterpart of Figure 8: wall-clock time of the dynamic-error,
+//! all-approximated and processor demand tests over the target utilization.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use edf_analysis::tests::{AllApproximatedTest, DynamicErrorTest, ProcessorDemandTest};
+use edf_analysis::FeasibilityTest;
+use edf_bench::utilization_fixture;
+
+fn bench_utilization_effort(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_utilization_effort");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    for percent in [90u32, 95, 99] {
+        let sets = utilization_fixture(percent, 6);
+        let tests: Vec<(String, Box<dyn FeasibilityTest>)> = vec![
+            ("dynamic".to_owned(), Box::new(DynamicErrorTest::new())),
+            (
+                "all_approximated".to_owned(),
+                Box::new(AllApproximatedTest::new()),
+            ),
+            (
+                "processor_demand".to_owned(),
+                Box::new(ProcessorDemandTest::new()),
+            ),
+        ];
+        for (name, test) in &tests {
+            group.bench_with_input(
+                BenchmarkId::new(name.clone(), percent),
+                &sets,
+                |b, sets| {
+                    b.iter(|| {
+                        sets.iter()
+                            .map(|ts| test.analyze(ts).iterations)
+                            .sum::<u64>()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_utilization_effort);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Benchmark counterpart of Figure 9: wall-clock time of the exact tests as
+//! the period spread `Tmax/Tmin` grows — the regime in which the processor
+//! demand test degenerates while the new tests stay flat.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use edf_analysis::tests::{AllApproximatedTest, DynamicErrorTest, ProcessorDemandTest};
+use edf_analysis::FeasibilityTest;
+use edf_bench::ratio_fixture;
+
+fn bench_period_ratio(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_period_ratio");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    for ratio in [100u64, 10_000, 100_000] {
+        let sets = ratio_fixture(ratio, 4);
+        let tests: Vec<(String, Box<dyn FeasibilityTest>)> = vec![
+            ("dynamic".to_owned(), Box::new(DynamicErrorTest::new())),
+            (
+                "all_approximated".to_owned(),
+                Box::new(AllApproximatedTest::new()),
+            ),
+            (
+                "processor_demand".to_owned(),
+                Box::new(ProcessorDemandTest::new()),
+            ),
+        ];
+        for (name, test) in &tests {
+            group.bench_with_input(BenchmarkId::new(name.clone(), ratio), &sets, |b, sets| {
+                b.iter(|| {
+                    sets.iter()
+                        .map(|ts| test.analyze(ts).iterations)
+                        .sum::<u64>()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_period_ratio);
+criterion_main!(benches);

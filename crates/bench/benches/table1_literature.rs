@@ -1,0 +1,46 @@
+//! Benchmark counterpart of Table 1: wall-clock time of every test on the
+//! literature task sets (Burns, Ma & Shin, GAP, Gresser 1, Gresser 2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use edf_analysis::tests::{
+    AllApproximatedTest, DeviTest, DynamicErrorTest, ProcessorDemandTest,
+};
+use edf_analysis::FeasibilityTest;
+use edf_model::literature;
+
+fn bench_literature(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_literature");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+
+    let tests: Vec<(String, Box<dyn FeasibilityTest>)> = vec![
+        ("devi".to_owned(), Box::new(DeviTest::new())),
+        ("dynamic".to_owned(), Box::new(DynamicErrorTest::new())),
+        (
+            "all_approximated".to_owned(),
+            Box::new(AllApproximatedTest::new()),
+        ),
+        (
+            "processor_demand".to_owned(),
+            Box::new(ProcessorDemandTest::new()),
+        ),
+    ];
+
+    for (set_name, task_set) in literature::all() {
+        for (test_name, test) in &tests {
+            group.bench_with_input(
+                BenchmarkId::new(test_name.clone(), set_name),
+                &task_set,
+                |b, ts| b.iter(|| test.analyze(ts).iterations),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_literature);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! # `edf-bench` — shared fixtures for the Criterion benchmarks
+//!
+//! The benchmark targets of this crate (one per figure/table of the paper's
+//! evaluation, plus ablations) need identical, reproducible workloads so
+//! that the measured wall-clock differences reflect the algorithms rather
+//! than the inputs.  This small library provides those fixtures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use edf_gen::{PeriodDistribution, TaskSetConfig};
+use edf_model::TaskSet;
+
+/// Task sets with the Figure 8 character: 5–50 tasks, the given target
+/// utilization (percent), periods uniform in `[1_000, 1_000_000]`, average
+/// gap 30 %.
+#[must_use]
+pub fn utilization_fixture(percent: u32, count: usize) -> Vec<TaskSet> {
+    TaskSetConfig::new()
+        .task_count(5..=50)
+        .fixed_utilization(f64::from(percent) / 100.0)
+        .average_gap(0.3)
+        .seed(8_000 + u64::from(percent))
+        .generate_many(count)
+}
+
+/// Task sets with the Figure 9 character: the requested `Tmax/Tmin` ratio,
+/// utilization 90–99 %, average gap 30 %.
+#[must_use]
+pub fn ratio_fixture(ratio: u64, count: usize) -> Vec<TaskSet> {
+    TaskSetConfig::new()
+        .task_count(5..=50)
+        .utilization(0.90..=0.99)
+        .average_gap(0.3)
+        .periods(PeriodDistribution::RatioControlled { min: 100, ratio })
+        .seed(9_000 + ratio)
+        .generate_many(count)
+}
+
+/// Task sets with the Figure 1 character: moderate utilization sweep inputs
+/// used by the acceptance-rate benchmark.
+#[must_use]
+pub fn acceptance_fixture(percent: u32, count: usize) -> Vec<TaskSet> {
+    TaskSetConfig::new()
+        .task_count(5..=30)
+        .fixed_utilization(f64::from(percent) / 100.0)
+        .average_gap(0.3)
+        .seed(1_000 + u64::from(percent))
+        .generate_many(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_reproducible_and_sized() {
+        assert_eq!(utilization_fixture(95, 4), utilization_fixture(95, 4));
+        assert_eq!(utilization_fixture(95, 4).len(), 4);
+        assert_eq!(ratio_fixture(1_000, 3).len(), 3);
+        assert_eq!(acceptance_fixture(85, 2).len(), 2);
+    }
+
+    #[test]
+    fn ratio_fixture_respects_the_ratio() {
+        for ts in ratio_fixture(10_000, 3) {
+            assert!(ts.period_ratio().unwrap() <= 10_000.0);
+        }
+    }
+}

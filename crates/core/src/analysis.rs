@@ -1,0 +1,275 @@
+//! Common result and reporting types shared by all feasibility tests.
+//!
+//! Every test in this crate implements [`FeasibilityTest`] and returns an
+//! [`Analysis`]: the verdict, the number of examined test intervals (the
+//! paper's §5 effort metric), and — when the test found a violation — a
+//! [`DemandOverload`] witness identifying the interval whose demand exceeds
+//! the capacity.
+
+use core::fmt;
+
+use edf_model::{TaskSet, Time};
+
+/// Outcome of a feasibility test.
+///
+/// Sufficient tests (Liu & Layland, density, Devi, `SuperPos(x)`) can only
+/// ever answer [`Verdict::Feasible`] or [`Verdict::Unknown`]; the exact
+/// tests (processor demand, QPA, dynamic-error, all-approximated) answer
+/// [`Verdict::Feasible`] or [`Verdict::Infeasible`] for every valid input.
+///
+/// # Examples
+///
+/// ```
+/// use edf_analysis::Verdict;
+///
+/// assert!(Verdict::Feasible.is_feasible());
+/// assert!(!Verdict::Unknown.is_decisive());
+/// assert!(Verdict::Infeasible.is_decisive());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Verdict {
+    /// Every deadline is guaranteed to be met under preemptive EDF.
+    Feasible,
+    /// Some synchronous arrival pattern misses a deadline under any
+    /// scheduler (EDF is optimal on a uniprocessor).
+    Infeasible,
+    /// The (sufficient) test could not establish feasibility; the set may
+    /// or may not be schedulable.
+    Unknown,
+}
+
+impl Verdict {
+    /// `true` if the verdict is [`Verdict::Feasible`].
+    #[must_use]
+    pub fn is_feasible(self) -> bool {
+        matches!(self, Verdict::Feasible)
+    }
+
+    /// `true` if the verdict is [`Verdict::Infeasible`].
+    #[must_use]
+    pub fn is_infeasible(self) -> bool {
+        matches!(self, Verdict::Infeasible)
+    }
+
+    /// `true` if the test reached a definitive answer (feasible or
+    /// infeasible).
+    #[must_use]
+    pub fn is_decisive(self) -> bool {
+        !matches!(self, Verdict::Unknown)
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let text = match self {
+            Verdict::Feasible => "feasible",
+            Verdict::Infeasible => "infeasible",
+            Verdict::Unknown => "unknown",
+        };
+        f.write_str(text)
+    }
+}
+
+/// Witness of a capacity violation: an interval whose cumulated demand
+/// exceeds its length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DemandOverload {
+    /// Interval length at which the violation was established.
+    pub interval: Time,
+    /// Exact demand `dbf(interval, Γ)` at that interval.
+    pub demand: Time,
+}
+
+impl fmt::Display for DemandOverload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "demand {} exceeds capacity in interval of length {}",
+            self.demand, self.interval
+        )
+    }
+}
+
+/// Full result of running a feasibility test on a task set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Analysis {
+    /// The verdict.
+    pub verdict: Verdict,
+    /// Number of demand/capacity comparisons performed — the paper's
+    /// "iterations" metric (§5).
+    pub iterations: u64,
+    /// Largest interval examined by the test, if any interval was examined.
+    pub max_examined_interval: Option<Time>,
+    /// Violation witness, present when the verdict is
+    /// [`Verdict::Infeasible`] and the test identifies a concrete interval
+    /// (sufficient tests may leave it empty even for `Unknown`).
+    pub overload: Option<DemandOverload>,
+}
+
+impl Analysis {
+    /// A zero-effort analysis with the given verdict (used for trivial
+    /// early exits such as an empty task set or `U > 1`).
+    #[must_use]
+    pub fn trivial(verdict: Verdict) -> Self {
+        Analysis {
+            verdict,
+            iterations: 0,
+            max_examined_interval: None,
+            overload: None,
+        }
+    }
+
+    /// Convenience accessor mirroring [`Verdict::is_feasible`].
+    #[must_use]
+    pub fn is_feasible(&self) -> bool {
+        self.verdict.is_feasible()
+    }
+}
+
+impl fmt::Display for Analysis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} after {} iteration(s)", self.verdict, self.iterations)?;
+        if let Some(overload) = &self.overload {
+            write!(f, " ({overload})")?;
+        }
+        Ok(())
+    }
+}
+
+/// Interface implemented by every feasibility test in this crate.
+///
+/// The trait is object-safe so heterogeneous collections of tests can be
+/// iterated by the experiment harness:
+///
+/// ```
+/// use edf_analysis::tests::{DeviTest, ProcessorDemandTest};
+/// use edf_analysis::FeasibilityTest;
+/// use edf_model::{Task, TaskSet, Time};
+///
+/// # fn main() -> Result<(), edf_model::TaskError> {
+/// let ts = TaskSet::from_tasks(vec![Task::new(Time::new(1), Time::new(4), Time::new(8))?]);
+/// let suite: Vec<Box<dyn FeasibilityTest>> = vec![
+///     Box::new(DeviTest::new()),
+///     Box::new(ProcessorDemandTest::new()),
+/// ];
+/// for test in &suite {
+///     assert!(test.analyze(&ts).is_feasible());
+/// }
+/// # Ok(())
+/// # }
+/// ```
+pub trait FeasibilityTest {
+    /// Short human-readable name of the test (used in reports and benches).
+    fn name(&self) -> &str;
+
+    /// `true` if the test is exact (necessary and sufficient); `false` for
+    /// purely sufficient tests.
+    fn is_exact(&self) -> bool;
+
+    /// Runs the test on `task_set`.
+    fn analyze(&self, task_set: &TaskSet) -> Analysis;
+}
+
+/// Mutable counter for the effort metric, shared by the test
+/// implementations.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct IterationCounter {
+    count: u64,
+    max_interval: Option<Time>,
+}
+
+impl IterationCounter {
+    pub(crate) fn new() -> Self {
+        IterationCounter::default()
+    }
+
+    /// Records one demand/capacity comparison at `interval`.
+    pub(crate) fn record(&mut self, interval: Time) {
+        self.count += 1;
+        self.max_interval = Some(match self.max_interval {
+            Some(current) => current.max(interval),
+            None => interval,
+        });
+    }
+
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub(crate) fn finish(
+        self,
+        verdict: Verdict,
+        overload: Option<DemandOverload>,
+    ) -> Analysis {
+        Analysis {
+            verdict,
+            iterations: self.count,
+            max_examined_interval: self.max_interval,
+            overload,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdict_predicates() {
+        assert!(Verdict::Feasible.is_feasible());
+        assert!(!Verdict::Feasible.is_infeasible());
+        assert!(Verdict::Infeasible.is_infeasible());
+        assert!(Verdict::Feasible.is_decisive());
+        assert!(Verdict::Infeasible.is_decisive());
+        assert!(!Verdict::Unknown.is_decisive());
+        assert_eq!(Verdict::Feasible.to_string(), "feasible");
+        assert_eq!(Verdict::Infeasible.to_string(), "infeasible");
+        assert_eq!(Verdict::Unknown.to_string(), "unknown");
+    }
+
+    #[test]
+    fn analysis_display_and_trivial() {
+        let a = Analysis::trivial(Verdict::Feasible);
+        assert!(a.is_feasible());
+        assert_eq!(a.iterations, 0);
+        assert!(a.to_string().contains("feasible"));
+
+        let b = Analysis {
+            verdict: Verdict::Infeasible,
+            iterations: 3,
+            max_examined_interval: Some(Time::new(17)),
+            overload: Some(DemandOverload {
+                interval: Time::new(17),
+                demand: Time::new(20),
+            }),
+        };
+        let text = b.to_string();
+        assert!(text.contains("infeasible"));
+        assert!(text.contains("17"));
+        assert!(text.contains("20"));
+    }
+
+    #[test]
+    fn iteration_counter_tracks_count_and_max() {
+        let mut c = IterationCounter::new();
+        assert_eq!(c.count(), 0);
+        c.record(Time::new(5));
+        c.record(Time::new(3));
+        c.record(Time::new(9));
+        assert_eq!(c.count(), 3);
+        let analysis = c.finish(Verdict::Feasible, None);
+        assert_eq!(analysis.iterations, 3);
+        assert_eq!(analysis.max_examined_interval, Some(Time::new(9)));
+        assert_eq!(analysis.overload, None);
+    }
+
+    #[test]
+    fn overload_display() {
+        let o = DemandOverload {
+            interval: Time::new(10),
+            demand: Time::new(12),
+        };
+        assert!(o.to_string().contains("12"));
+    }
+}

@@ -1,0 +1,333 @@
+//! Demand-based feasibility analysis for event-stream activated systems —
+//! the "advanced task model" extension the paper points to in §2 and §3.6.
+//!
+//! A [`MixedSystem`] combines ordinary sporadic tasks with
+//! [`EventStreamTask`]s (Gresser streams: bursty stimuli described by a set
+//! of `(cycle, offset)` tuples).  Its demand bound function is simply the
+//! sum of the per-component demand bound functions, and the processor
+//! demand criterion carries over unchanged: the system is feasible under
+//! preemptive EDF if and only if the total demand never exceeds the
+//! interval length.
+//!
+//! The analysis enumerates the (finitely many, per horizon) interval
+//! lengths at which the total demand increases and compares demand and
+//! capacity there, limited by a George-style feasibility bound derived the
+//! same way as in §4.3: `dbf(I) ≤ I·U + G` with a constant `G`, so any
+//! violation lies below `G / (1 − U)`.
+
+use edf_model::{EventStreamTask, TaskSet, Time};
+
+use crate::analysis::{Analysis, DemandOverload, IterationCounter, Verdict};
+use crate::demand::{dbf_set, DeadlineIter};
+
+/// A system mixing sporadic tasks and event-stream activated tasks.
+///
+/// # Examples
+///
+/// ```
+/// use edf_analysis::event_stream_analysis::MixedSystem;
+/// use edf_analysis::Verdict;
+/// use edf_model::{EventStream, EventStreamTask, Task, TaskSet, Time};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let sporadic = TaskSet::from_tasks(vec![
+///     Task::new(Time::new(2), Time::new(8), Time::new(10))?,
+/// ]);
+/// let burst = EventStreamTask::new(
+///     EventStream::bursty(3, Time::new(5), Time::new(100)),
+///     Time::new(4),
+///     Time::new(20),
+/// )?;
+/// let system = MixedSystem::new(sporadic, vec![burst]);
+/// assert!(system.utilization() < 1.0);
+/// assert_eq!(system.analyze().verdict, Verdict::Feasible);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixedSystem {
+    sporadic: TaskSet,
+    stream_tasks: Vec<EventStreamTask>,
+}
+
+impl MixedSystem {
+    /// Creates a mixed system from its sporadic and event-stream parts.
+    #[must_use]
+    pub fn new(sporadic: TaskSet, stream_tasks: Vec<EventStreamTask>) -> Self {
+        MixedSystem {
+            sporadic,
+            stream_tasks,
+        }
+    }
+
+    /// The sporadic part.
+    #[must_use]
+    pub fn sporadic(&self) -> &TaskSet {
+        &self.sporadic
+    }
+
+    /// The event-stream part.
+    #[must_use]
+    pub fn stream_tasks(&self) -> &[EventStreamTask] {
+        &self.stream_tasks
+    }
+
+    /// Long-run processor utilization of the whole system.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        self.sporadic.utilization()
+            + self
+                .stream_tasks
+                .iter()
+                .map(EventStreamTask::utilization)
+                .sum::<f64>()
+    }
+
+    /// Total demand bound function of the system.
+    #[must_use]
+    pub fn demand(&self, interval: Time) -> Time {
+        let streams = self
+            .stream_tasks
+            .iter()
+            .fold(Time::ZERO, |acc, t| acc.saturating_add(t.dbf(interval)));
+        dbf_set(&self.sporadic, interval).saturating_add(streams)
+    }
+
+    /// A valid feasibility bound: any interval violating the processor
+    /// demand criterion lies strictly below it.  `None` if the utilization
+    /// is too close to (or above) 1 for the bound to be finite.
+    ///
+    /// Derivation (mirroring §4.3): each sporadic task satisfies
+    /// `dbf(I, τ) ≤ I·C/T + C·(1 − D/T)` and each event-stream tuple
+    /// `(z, a)` of a task with per-event cost `C` satisfies
+    /// `C·η ≤ I·C/z + C`, so `dbf(I) ≤ I·U + G` with the constant `G`
+    /// computed below, and `dbf(I) > I` forces `I < G/(1 − U)`.
+    #[must_use]
+    pub fn feasibility_bound(&self) -> Option<Time> {
+        let utilization = self.utilization();
+        if utilization >= 1.0 - 1e-9 {
+            return None;
+        }
+        let mut constant = 0.0f64;
+        for task in &self.sporadic {
+            let slack = 1.0 - task.deadline().min(task.period()).as_f64() / task.period().as_f64();
+            constant += task.wcet().as_f64() * slack;
+        }
+        for stream_task in &self.stream_tasks {
+            let tuples = stream_task.stream().tuples().len() as f64;
+            constant += stream_task.wcet().as_f64() * tuples;
+        }
+        // Round up generously; the +1 absorbs the rounding of the division.
+        let bound = (constant / (1.0 - utilization)).ceil() + 1.0;
+        if bound > u64::MAX as f64 {
+            return None;
+        }
+        Some(Time::new(bound as u64))
+    }
+
+    /// All interval lengths `≤ horizon` at which the total demand can
+    /// increase (absolute deadlines of sporadic jobs and of stream events),
+    /// sorted and de-duplicated.
+    #[must_use]
+    pub fn change_points(&self, horizon: Time) -> Vec<Time> {
+        let mut points: Vec<Time> = DeadlineIter::new(&self.sporadic, horizon)
+            .map(|e| e.deadline)
+            .collect();
+        for stream_task in &self.stream_tasks {
+            let deadline = stream_task.deadline();
+            if horizon < deadline {
+                continue;
+            }
+            for occurrence in stream_task.stream().change_points(horizon - deadline) {
+                points.push(occurrence + deadline);
+            }
+        }
+        points.sort_unstable();
+        points.dedup();
+        points
+    }
+
+    /// Runs the exact processor-demand analysis of the mixed system.
+    ///
+    /// Returns [`Verdict::Unknown`] when no finite feasibility bound exists
+    /// (utilization at or above 1 cannot be handled by the bound used
+    /// here — split the system or use the pure sporadic analysis in that
+    /// case).
+    #[must_use]
+    pub fn analyze(&self) -> Analysis {
+        if self.sporadic.is_empty() && self.stream_tasks.is_empty() {
+            return Analysis::trivial(Verdict::Feasible);
+        }
+        if self.utilization() > 1.0 + 1e-9 {
+            return Analysis::trivial(Verdict::Infeasible);
+        }
+        let Some(horizon) = self.feasibility_bound() else {
+            return Analysis::trivial(Verdict::Unknown);
+        };
+        self.analyze_up_to(horizon, true)
+    }
+
+    /// Runs the processor-demand analysis up to an explicit horizon.
+    ///
+    /// `horizon_is_exact` states whether the horizon is a valid feasibility
+    /// bound (only then can the analysis answer [`Verdict::Feasible`]).
+    #[must_use]
+    pub fn analyze_up_to(&self, horizon: Time, horizon_is_exact: bool) -> Analysis {
+        let mut counter = IterationCounter::new();
+        for interval in self.change_points(horizon) {
+            counter.record(interval);
+            let demand = self.demand(interval);
+            if demand > interval {
+                return counter.finish(
+                    Verdict::Infeasible,
+                    Some(DemandOverload { interval, demand }),
+                );
+            }
+        }
+        let verdict = if horizon_is_exact {
+            Verdict::Feasible
+        } else {
+            Verdict::Unknown
+        };
+        counter.finish(verdict, None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::ProcessorDemandTest;
+    use crate::FeasibilityTest;
+    use edf_model::{EventStream, Task};
+
+    fn t(c: u64, d: u64, p: u64) -> Task {
+        Task::from_ticks(c, d, p).expect("valid task")
+    }
+
+    fn burst(count: u64, inner: u64, outer: u64, c: u64, d: u64) -> EventStreamTask {
+        EventStreamTask::new(
+            EventStream::bursty(count, Time::new(inner), Time::new(outer)),
+            Time::new(c),
+            Time::new(d),
+        )
+        .expect("valid event stream task")
+    }
+
+    #[test]
+    fn purely_sporadic_system_matches_the_sporadic_test() {
+        let sets = vec![
+            TaskSet::from_tasks(vec![t(1, 2, 10), t(2, 3, 10), t(5, 9, 10)]),
+            TaskSet::from_tasks(vec![t(3, 4, 10), t(4, 6, 10), t(2, 5, 12)]),
+            TaskSet::from_tasks(vec![t(2, 7, 10), t(3, 15, 25), t(5, 40, 50)]),
+        ];
+        for ts in sets {
+            let system = MixedSystem::new(ts.clone(), vec![]);
+            let expected = ProcessorDemandTest::new().analyze(&ts).verdict;
+            assert_eq!(system.analyze().verdict, expected, "on {ts}");
+        }
+    }
+
+    #[test]
+    fn periodic_stream_equals_equivalent_sporadic_task() {
+        // A periodic stream task is exactly a sporadic task; both views of
+        // the same system must agree.
+        let background = TaskSet::from_tasks(vec![t(2, 6, 10), t(3, 12, 20)]);
+        let stream = EventStreamTask::new(
+            EventStream::periodic(Time::new(25)),
+            Time::new(8),
+            Time::new(18),
+        )
+        .unwrap();
+        let as_sporadic = {
+            let mut ts = background.clone();
+            ts.push(stream.to_sporadic().unwrap());
+            ts
+        };
+        let mixed = MixedSystem::new(background, vec![stream]);
+        assert_eq!(
+            mixed.analyze().verdict,
+            ProcessorDemandTest::new().analyze(&as_sporadic).verdict
+        );
+        for i in (0..200).step_by(7) {
+            assert_eq!(
+                mixed.demand(Time::new(i)),
+                crate::demand::dbf_set(&as_sporadic, Time::new(i)),
+                "demand mismatch at {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn bursty_load_detected_as_infeasible_when_too_dense() {
+        // Background of 60 % plus a burst needing 3*10 time units within 25
+        // of its occurrence, every 100: around the burst the demand exceeds
+        // the capacity.
+        let background = TaskSet::from_tasks(vec![t(6, 10, 10)]);
+        let heavy_burst = burst(3, 1, 100, 10, 25);
+        let system = MixedSystem::new(background, vec![heavy_burst]);
+        let analysis = system.analyze();
+        assert_eq!(analysis.verdict, Verdict::Infeasible);
+        let witness = analysis.overload.expect("witness");
+        assert_eq!(system.demand(witness.interval), witness.demand);
+        assert!(witness.demand > witness.interval);
+    }
+
+    #[test]
+    fn sparse_burst_is_feasible() {
+        let background = TaskSet::from_tasks(vec![t(2, 8, 10), t(5, 35, 40)]);
+        let sparse_burst = burst(4, 5, 200, 3, 30);
+        let system = MixedSystem::new(background, vec![sparse_burst]);
+        assert!(system.utilization() < 1.0);
+        assert_eq!(system.analyze().verdict, Verdict::Feasible);
+    }
+
+    #[test]
+    fn overload_and_empty_paths() {
+        let empty = MixedSystem::new(TaskSet::new(), vec![]);
+        assert_eq!(empty.analyze().verdict, Verdict::Feasible);
+        let overloaded = MixedSystem::new(
+            TaskSet::from_tasks(vec![t(9, 10, 10)]),
+            vec![burst(2, 1, 10, 2, 10)],
+        );
+        assert!(overloaded.utilization() > 1.0);
+        assert_eq!(overloaded.analyze().verdict, Verdict::Infeasible);
+        // Utilization exactly ~1: no finite bound, inconclusive.
+        let saturated = MixedSystem::new(TaskSet::from_tasks(vec![t(10, 10, 10)]), vec![]);
+        assert_eq!(saturated.analyze().verdict, Verdict::Unknown);
+    }
+
+    #[test]
+    fn change_points_cover_stream_deadlines() {
+        let system = MixedSystem::new(
+            TaskSet::from_tasks(vec![t(1, 5, 20)]),
+            vec![burst(2, 3, 50, 2, 10)],
+        );
+        let points = system.change_points(Time::new(70));
+        // Sporadic deadlines 5, 25, 45, 65; stream events at 0, 3, 50, 53
+        // with deadline offset 10 -> 10, 13, 60, 63.
+        for expected in [5u64, 25, 45, 65, 10, 13, 60, 63] {
+            assert!(points.contains(&Time::new(expected)), "missing {expected}");
+        }
+        // Sorted and unique.
+        for w in points.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn accessors_and_bound() {
+        let system = MixedSystem::new(
+            TaskSet::from_tasks(vec![t(2, 8, 10)]),
+            vec![burst(2, 2, 40, 3, 12)],
+        );
+        assert_eq!(system.sporadic().len(), 1);
+        assert_eq!(system.stream_tasks().len(), 1);
+        let bound = system.feasibility_bound().expect("finite bound");
+        assert!(bound > Time::ZERO);
+        // The bound really is safe: no violation may exist at or beyond it
+        // for this feasible system (spot-check a window beyond the bound).
+        for i in bound.as_u64()..bound.as_u64() + 50 {
+            assert!(system.demand(Time::new(i)) <= Time::new(i));
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! # `edf-analysis` — fast exact EDF feasibility tests
+//!
+//! A Rust implementation of the feasibility analysis framework of
+//!
+//! > K. Albers, F. Slomka. *Efficient Feasibility Analysis for Real-Time
+//! > Systems with EDF Scheduling.* DATE 2005.
+//!
+//! The crate answers the question "does a sporadic task set meet all of its
+//! deadlines on a uniprocessor under preemptive EDF?" and offers the whole
+//! spectrum of tests the paper discusses, all behind the common
+//! [`FeasibilityTest`] trait:
+//!
+//! * classic sufficient tests — [`tests::LiuLaylandTest`],
+//!   [`tests::DensityTest`], [`tests::DeviTest`];
+//! * the exact but slow baseline — [`tests::ProcessorDemandTest`]
+//!   (plus [`tests::QpaTest`] as a newer exact baseline);
+//! * the adjustable sufficient superposition test —
+//!   [`tests::SuperpositionTest`];
+//! * the paper's two **new exact tests** — [`tests::DynamicErrorTest`] and
+//!   [`tests::AllApproximatedTest`] — which accept exactly the same task
+//!   sets as the processor demand test while examining orders of magnitude
+//!   fewer test intervals on hard (high-utilization, wide period spread)
+//!   inputs.
+//!
+//! Supporting modules expose the building blocks: the demand bound function
+//! ([`demand`]), the superposition approximation ([`superposition`]), the
+//! feasibility bounds of §4.3 ([`bounds`]) and exact rational helpers
+//! ([`arith`]).  On top of the exact tests, [`sensitivity`] answers
+//! breakdown-utilization and WCET-slack questions, [`event_stream_analysis`]
+//! extends the analysis to Gresser event streams (the "advanced task model"
+//! of §2), and [`exhaustive`] provides a naive reference oracle for
+//! validation.
+//!
+//! # Quick start
+//!
+//! ```
+//! use edf_analysis::tests::{AllApproximatedTest, DeviTest, ProcessorDemandTest};
+//! use edf_analysis::{FeasibilityTest, Verdict};
+//! use edf_model::{Task, TaskSet, Time};
+//!
+//! # fn main() -> Result<(), edf_model::TaskError> {
+//! // A feasible set that the sufficient test by Devi cannot accept.
+//! let ts = TaskSet::from_tasks(vec![
+//!     Task::new(Time::new(1), Time::new(2), Time::new(10))?,
+//!     Task::new(Time::new(2), Time::new(3), Time::new(10))?,
+//!     Task::new(Time::new(5), Time::new(9), Time::new(10))?,
+//! ]);
+//!
+//! assert_eq!(DeviTest::new().analyze(&ts).verdict, Verdict::Unknown);
+//!
+//! let exact = AllApproximatedTest::new().analyze(&ts);
+//! assert_eq!(exact.verdict, Verdict::Feasible);
+//!
+//! // Same verdict as the exact processor demand baseline.  On large,
+//! // highly utilized task sets the new test examines orders of magnitude
+//! // fewer intervals (see the `edf-experiments` crate).
+//! let baseline = ProcessorDemandTest::new().analyze(&ts);
+//! assert_eq!(baseline.verdict, Verdict::Feasible);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod analysis;
+pub mod arith;
+pub mod bounds;
+pub mod demand;
+pub mod event_stream_analysis;
+pub mod exhaustive;
+pub mod sensitivity;
+pub mod superposition;
+pub mod tests;
+
+pub use analysis::{Analysis, DemandOverload, FeasibilityTest, Verdict};
+
+/// A ready-made collection of every test in the crate, boxed behind the
+/// [`FeasibilityTest`] trait — convenient for experiment harnesses that
+/// want to run "everything" on a task set.
+///
+/// The superposition tests are instantiated at the levels used in Figure 1
+/// of the paper (2 through 10).
+#[must_use]
+pub fn all_tests() -> Vec<Box<dyn FeasibilityTest>> {
+    let mut suite: Vec<Box<dyn FeasibilityTest>> = vec![
+        Box::new(tests::LiuLaylandTest::new()),
+        Box::new(tests::DensityTest::new()),
+        Box::new(tests::DeviTest::new()),
+        Box::new(tests::ProcessorDemandTest::new()),
+        Box::new(tests::QpaTest::new()),
+        Box::new(tests::DynamicErrorTest::new()),
+        Box::new(tests::AllApproximatedTest::new()),
+    ];
+    for level in 2..=10 {
+        suite.push(Box::new(tests::SuperpositionTest::new(level)));
+    }
+    suite
+}
+
+#[cfg(test)]
+mod crate_tests {
+    use super::*;
+    use edf_model::{Task, TaskSet, Time};
+
+    #[test]
+    fn all_tests_runs_every_test() {
+        let ts = TaskSet::from_tasks(vec![
+            Task::from_ticks(1, 8, 8).unwrap(),
+            Task::from_ticks(2, 16, 16).unwrap(),
+        ]);
+        let suite = all_tests();
+        assert_eq!(suite.len(), 7 + 9);
+        for test in &suite {
+            let analysis = test.analyze(&ts);
+            assert!(
+                analysis.verdict.is_feasible(),
+                "{} should accept the easy set",
+                test.name()
+            );
+        }
+    }
+
+    #[test]
+    fn exact_tests_are_flagged() {
+        let suite = all_tests();
+        let exact: Vec<String> = suite
+            .iter()
+            .filter(|t| t.is_exact())
+            .map(|t| t.name().to_owned())
+            .collect();
+        assert!(exact.iter().any(|n| n == "processor-demand"));
+        assert!(exact.iter().any(|n| n == "qpa"));
+        assert!(exact.iter().any(|n| n == "dynamic-error"));
+        assert!(exact.iter().any(|n| n == "all-approximated"));
+        assert!(!exact.iter().any(|n| n == "devi"));
+    }
+
+    #[test]
+    fn send_sync_bounds() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Analysis>();
+        assert_send_sync::<Verdict>();
+        assert_send_sync::<tests::AllApproximatedTest>();
+        assert_send_sync::<tests::DynamicErrorTest>();
+        assert_send_sync::<Time>();
+    }
+}

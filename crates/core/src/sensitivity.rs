@@ -1,0 +1,266 @@
+//! Sensitivity analysis on top of the exact feasibility tests.
+//!
+//! Once an exact test is cheap (the point of the paper), it becomes
+//! practical to answer design-space questions by running it inside a search
+//! loop.  This module provides the two most common ones:
+//!
+//! * [`breakdown_scaling`] — the largest uniform scaling factor that can be
+//!   applied to every worst-case execution time while the task set stays
+//!   feasible (the classic "breakdown utilization" experiment);
+//! * [`wcet_slack`] — how much a *single* task's worst-case execution time
+//!   can grow before the set becomes infeasible (per-task robustness
+//!   budget).
+//!
+//! Both searches are exact: they binary-search over integer scalings and
+//! re-run an exact feasibility test at every probe.
+
+use edf_model::{Task, TaskSet, Time};
+
+use crate::analysis::FeasibilityTest;
+use crate::tests::AllApproximatedTest;
+
+/// Precision denominator used for scaling factors: factors are expressed in
+/// 1/1000 steps (per-mille).
+const SCALE_DENOMINATOR: u64 = 1_000;
+
+/// Result of the breakdown-scaling search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakdownScaling {
+    /// Largest feasible scaling factor (e.g. `1.25` means every WCET can
+    /// grow by 25 %), in steps of 1/1000.
+    pub factor: f64,
+    /// Utilization of the task set at that scaling.
+    pub utilization_at_breakdown: f64,
+    /// Number of feasibility-test invocations spent by the search.
+    pub probes: u32,
+}
+
+fn scaled_set(task_set: &TaskSet, numer: u64) -> TaskSet {
+    task_set
+        .iter()
+        .map(|task| task.with_scaled_wcet(numer, SCALE_DENOMINATOR))
+        .collect()
+}
+
+/// Finds the largest per-mille scaling of every WCET under which `test`
+/// still accepts the task set, searching factors in `[0, 16]` with 1/1000
+/// resolution.
+///
+/// Returns `None` if the set is infeasible as given (factor 1.0), or if the
+/// supplied test cannot even accept the unscaled set.
+///
+/// # Examples
+///
+/// ```
+/// use edf_analysis::sensitivity::breakdown_scaling;
+/// use edf_analysis::tests::AllApproximatedTest;
+/// use edf_model::{Task, TaskSet, Time};
+///
+/// # fn main() -> Result<(), edf_model::TaskError> {
+/// let ts = TaskSet::from_tasks(vec![
+///     Task::new(Time::new(1), Time::new(4), Time::new(10))?,
+///     Task::new(Time::new(2), Time::new(8), Time::new(10))?,
+/// ]);
+/// let breakdown = breakdown_scaling(&ts, &AllApproximatedTest::new()).expect("feasible set");
+/// assert!(breakdown.factor >= 1.0);
+/// assert!(breakdown.utilization_at_breakdown <= 1.0 + 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn breakdown_scaling(
+    task_set: &TaskSet,
+    test: &dyn FeasibilityTest,
+) -> Option<BreakdownScaling> {
+    if task_set.is_empty() {
+        return None;
+    }
+    let mut probes = 0u32;
+    let mut accepts = |numer: u64| {
+        probes += 1;
+        test.analyze(&scaled_set(task_set, numer)).verdict.is_feasible()
+    };
+    if !accepts(SCALE_DENOMINATOR) {
+        return None;
+    }
+    // Find an upper bound by doubling, capped at 16x.
+    let cap = SCALE_DENOMINATOR * 16;
+    let mut lo = SCALE_DENOMINATOR;
+    let mut hi = SCALE_DENOMINATOR * 2;
+    while hi < cap && accepts(hi) {
+        lo = hi;
+        hi *= 2;
+    }
+    let mut hi = hi.min(cap);
+    // Binary search the last accepted numerator in (lo, hi].
+    while lo + 1 < hi {
+        let mid = lo + (hi - lo) / 2;
+        if accepts(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let breakdown_set = scaled_set(task_set, lo);
+    Some(BreakdownScaling {
+        factor: lo as f64 / SCALE_DENOMINATOR as f64,
+        utilization_at_breakdown: breakdown_set.utilization(),
+        probes,
+    })
+}
+
+/// Convenience wrapper: [`breakdown_scaling`] with the all-approximated
+/// exact test.
+#[must_use]
+pub fn breakdown_scaling_exact(task_set: &TaskSet) -> Option<BreakdownScaling> {
+    breakdown_scaling(task_set, &AllApproximatedTest::new())
+}
+
+/// The largest additional execution time (in whole ticks) that can be added
+/// to the WCET of the task at `task_index` while the set remains accepted
+/// by `test`.
+///
+/// Returns `None` if the index is out of range or the unmodified set is not
+/// accepted.  The result is clamped so that the inflated WCET never exceeds
+/// the task's period.
+///
+/// # Examples
+///
+/// ```
+/// use edf_analysis::sensitivity::wcet_slack;
+/// use edf_analysis::tests::ProcessorDemandTest;
+/// use edf_model::{Task, TaskSet, Time};
+///
+/// # fn main() -> Result<(), edf_model::TaskError> {
+/// let ts = TaskSet::from_tasks(vec![
+///     Task::new(Time::new(2), Time::new(10), Time::new(10))?,
+///     Task::new(Time::new(2), Time::new(20), Time::new(20))?,
+/// ]);
+/// // Task 0 can grow by 7 ticks (to C=9): U becomes 1.0.
+/// assert_eq!(wcet_slack(&ts, 0, &ProcessorDemandTest::new()), Some(Time::new(7)));
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn wcet_slack(
+    task_set: &TaskSet,
+    task_index: usize,
+    test: &dyn FeasibilityTest,
+) -> Option<Time> {
+    let target = task_set.get(task_index)?;
+    let headroom = target.period() - target.wcet();
+    let with_extra = |extra: Time| -> TaskSet {
+        task_set
+            .iter()
+            .enumerate()
+            .map(|(i, task)| {
+                if i == task_index {
+                    inflate(task, extra)
+                } else {
+                    task.clone()
+                }
+            })
+            .collect()
+    };
+    if !test.analyze(task_set).verdict.is_feasible() {
+        return None;
+    }
+    if headroom.is_zero() {
+        return Some(Time::ZERO);
+    }
+    // Binary search the largest feasible extra in [0, headroom].
+    let (mut lo, mut hi) = (0u64, headroom.as_u64());
+    while lo < hi {
+        let mid = lo + (hi - lo).div_ceil(2);
+        if test.analyze(&with_extra(Time::new(mid))).verdict.is_feasible() {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    Some(Time::new(lo))
+}
+
+fn inflate(task: &Task, extra: Time) -> Task {
+    let wcet = (task.wcet() + extra).min(task.period());
+    Task::new(wcet, task.deadline(), task.period())
+        .expect("inflated WCET stays within the period")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::ProcessorDemandTest;
+
+    fn t(c: u64, d: u64, p: u64) -> Task {
+        Task::from_ticks(c, d, p).expect("valid task")
+    }
+
+    #[test]
+    fn breakdown_of_implicit_deadline_set_reaches_full_utilization() {
+        // U = 0.5: the breakdown factor should be ~2.0 (U -> 1.0).
+        let ts = TaskSet::from_tasks(vec![t(1, 4, 4), t(1, 4, 4)]);
+        let breakdown = breakdown_scaling_exact(&ts).expect("feasible");
+        assert!((breakdown.factor - 2.0).abs() < 0.01, "factor {}", breakdown.factor);
+        assert!(breakdown.utilization_at_breakdown > 0.99);
+        assert!(breakdown.probes > 0);
+    }
+
+    #[test]
+    fn breakdown_of_constrained_set_stops_before_full_utilization() {
+        let ts = TaskSet::from_tasks(vec![t(1, 2, 10), t(2, 3, 10), t(5, 9, 10)]);
+        let breakdown = breakdown_scaling_exact(&ts).expect("feasible");
+        // Already tight: dbf(3) = 3 means scaling beyond ~1.0 is impossible.
+        assert!(breakdown.factor >= 1.0);
+        assert!(breakdown.factor < 1.2);
+    }
+
+    #[test]
+    fn infeasible_sets_have_no_breakdown() {
+        let ts = TaskSet::from_tasks(vec![t(5, 3, 10)]);
+        assert_eq!(breakdown_scaling_exact(&ts), None);
+        assert_eq!(breakdown_scaling(&TaskSet::new(), &AllApproximatedTest::new()), None);
+    }
+
+    #[test]
+    fn breakdown_agrees_between_exact_tests() {
+        let ts = TaskSet::from_tasks(vec![t(2, 7, 10), t(3, 15, 25), t(5, 40, 50)]);
+        let a = breakdown_scaling(&ts, &AllApproximatedTest::new()).unwrap();
+        let b = breakdown_scaling(&ts, &ProcessorDemandTest::new()).unwrap();
+        assert!((a.factor - b.factor).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wcet_slack_matches_hand_computation() {
+        let ts = TaskSet::from_tasks(vec![t(2, 10, 10), t(2, 20, 20)]);
+        // U = 0.2 + 0.1; task 0 can grow to C = 9 (U = 1.0).
+        assert_eq!(wcet_slack(&ts, 0, &ProcessorDemandTest::new()), Some(Time::new(7)));
+        // Task 1 can grow to C = 16 (U = 0.2 + 0.8).
+        assert_eq!(wcet_slack(&ts, 1, &ProcessorDemandTest::new()), Some(Time::new(14)));
+    }
+
+    #[test]
+    fn wcet_slack_edge_cases() {
+        let ts = TaskSet::from_tasks(vec![t(2, 10, 10), t(2, 20, 20)]);
+        assert_eq!(wcet_slack(&ts, 5, &ProcessorDemandTest::new()), None);
+        let infeasible = TaskSet::from_tasks(vec![t(5, 3, 10)]);
+        assert_eq!(wcet_slack(&infeasible, 0, &ProcessorDemandTest::new()), None);
+        // A task already at C == T has zero slack.
+        let saturated = TaskSet::from_tasks(vec![t(10, 10, 10)]);
+        assert_eq!(
+            wcet_slack(&saturated, 0, &ProcessorDemandTest::new()),
+            Some(Time::ZERO)
+        );
+    }
+
+    #[test]
+    fn wcet_slack_respects_constrained_deadlines() {
+        let ts = TaskSet::from_tasks(vec![t(1, 2, 10), t(2, 3, 10)]);
+        // dbf(3) = C1 + C2 must stay <= 3, so task 1 has no room at all
+        // even though utilization is far below 1.
+        assert_eq!(wcet_slack(&ts, 1, &ProcessorDemandTest::new()), Some(Time::ZERO));
+        // Task 0 likewise: growing it to 2 would give dbf(2) = 2 <= 2 (ok)
+        // but dbf(3) = 4 > 3, so its slack is also 0.
+        assert_eq!(wcet_slack(&ts, 0, &ProcessorDemandTest::new()), Some(Time::ZERO));
+    }
+}

@@ -1,0 +1,343 @@
+//! The superposition approximation of the demand bound function
+//! (Def. 4–5 of the paper) and the helper quantities of §4.
+//!
+//! The approximation examines only the first `x` jobs of each task exactly
+//! (up to the *maximum test interval* `Im(τ)`, the absolute deadline of the
+//! `x`-th job) and replaces the remaining staircase by a line of slope
+//! `C/T` starting at `(Im, dbf(Im))`:
+//!
+//! ```text
+//! dbf'(I, τ) = dbf(I, τ)                            for I ≤ Im(τ)
+//!            = dbf(Im, τ) + C·(I − Im)/T            for I > Im(τ)
+//! ```
+//!
+//! Because this crate works on integer time, the linear part is evaluated
+//! with **ceiling division**, i.e. as `dbf(Im, τ) + ⌈C·(I − Im)/T⌉`.  This
+//! keeps `dbf'` an over-approximation of `dbf` (the property every proof in
+//! the paper relies on) while staying in exact integer arithmetic; see
+//! `DESIGN.md` §2.1 for the full argument.
+
+use edf_model::{Task, Time};
+
+use crate::arith::ceil_div_u128;
+use crate::demand::dbf_task;
+
+/// The maximum test interval `Im(τ)` of a task at approximation level
+/// `level ≥ 1`: the absolute deadline of its `level`-th job,
+/// `(level − 1)·T + D`.
+///
+/// Saturates instead of overflowing (a saturated border simply means the
+/// task is never approximated within any realistic horizon).
+///
+/// # Panics
+///
+/// Panics if `level` is zero — level 0 would approximate a task before its
+/// first deadline, which the superposition construction does not define.
+///
+/// # Examples
+///
+/// ```
+/// use edf_analysis::superposition::max_test_interval;
+/// use edf_model::{Task, Time};
+///
+/// # fn main() -> Result<(), edf_model::TaskError> {
+/// let tau = Task::new(Time::new(1), Time::new(4), Time::new(10))?;
+/// assert_eq!(max_test_interval(&tau, 1), Time::new(4));
+/// assert_eq!(max_test_interval(&tau, 3), Time::new(24));
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn max_test_interval(task: &Task, level: u64) -> Time {
+    assert!(level >= 1, "approximation level must be at least 1");
+    task.period()
+        .saturating_mul(level - 1)
+        .saturating_add(task.deadline())
+}
+
+/// The approximated contribution of a task that has been approximated from
+/// interval `im` onwards, where `dbf_at_im = dbf(im, τ)`:
+/// `dbf(im, τ) + ⌈C·(I − im)/T⌉` for `interval ≥ im`.
+///
+/// # Panics
+///
+/// Panics (debug assertions) if `interval < im`; the approximation is only
+/// defined beyond its starting interval.
+#[must_use]
+pub fn approx_contribution(task: &Task, im: Time, dbf_at_im: Time, interval: Time) -> Time {
+    debug_assert!(interval >= im, "approximation queried before its start");
+    let delta = interval.saturating_sub(im);
+    if delta.is_zero() {
+        return dbf_at_im;
+    }
+    let linear = ceil_div_u128(
+        task.wcet().as_u128() * delta.as_u128(),
+        task.period().as_u128(),
+    );
+    dbf_at_im.saturating_add(Time::new(linear.min(u128::from(u64::MAX)) as u64))
+}
+
+/// The approximated task demand bound function `dbf'(I, τ)` at a given
+/// approximation level (Def. 4).
+#[must_use]
+pub fn dbf_approx_task(task: &Task, level: u64, interval: Time) -> Time {
+    let im = max_test_interval(task, level);
+    if interval <= im {
+        return dbf_task(task, interval);
+    }
+    approx_contribution(task, im, dbf_task(task, im), interval)
+}
+
+/// The approximated demand bound function of a whole task set (Def. 5):
+/// the superposition `Σ dbf'(I, τ)`.
+#[must_use]
+pub fn dbf_approx_set<'a>(
+    tasks: impl IntoIterator<Item = &'a Task>,
+    level: u64,
+    interval: Time,
+) -> Time {
+    tasks
+        .into_iter()
+        .fold(Time::ZERO, |acc, t| acc.saturating_add(dbf_approx_task(t, level, interval)))
+}
+
+/// One approximated task inside a demand comparison: the task itself and
+/// the interval `Im` from which its demand is approximated linearly.
+#[derive(Debug, Clone, Copy)]
+pub struct ApproxTerm<'a> {
+    /// The approximated task.
+    pub task: &'a Task,
+    /// Start of the approximation (`dbf` is exact up to and including `Im`).
+    pub im: Time,
+    /// Exact demand `dbf(Im, τ)` of the task at `Im`.
+    pub dbf_at_im: Time,
+}
+
+/// Exactly decides whether the approximated demand
+/// `exact_demand + Σⱼ [dbf(Imⱼ, τⱼ) + Cⱼ·(I − Imⱼ)/Tⱼ]` stays within the
+/// capacity `interval`, evaluating the real-valued linear terms with exact
+/// rational arithmetic (no ceiling pessimism).
+///
+/// This is the comparison performed at every test interval of the
+/// superposition, dynamic-error and all-approximated tests.  Returns
+/// `true` when the demand is certainly within the capacity.  In the
+/// (astronomically rare) case where even the remainder-based rational
+/// comparison overflows, the answer degrades conservatively to `false`,
+/// which at worst triggers one extra refinement — never a wrong verdict.
+#[must_use]
+pub fn approx_demand_within(
+    exact_demand: Time,
+    approx_terms: &[ApproxTerm<'_>],
+    interval: Time,
+) -> bool {
+    let mut base = exact_demand.as_u128();
+    let mut fractions: Vec<(u128, u128)> = Vec::with_capacity(approx_terms.len());
+    for term in approx_terms {
+        debug_assert!(interval >= term.im, "approximation queried before its start");
+        base += term.dbf_at_im.as_u128();
+        let delta = interval.saturating_sub(term.im);
+        if !delta.is_zero() {
+            fractions.push((
+                term.task.wcet().as_u128() * delta.as_u128(),
+                term.task.period().as_u128(),
+            ));
+        }
+    }
+    let capacity = interval.as_u128();
+    if base > capacity {
+        return false;
+    }
+    crate::arith::fracs_le_integer(&fractions, capacity - base)
+}
+
+/// The over-estimation `app(I, τ)` of Lemma 6 in the ceiling-division
+/// variant: the amount by which the approximated contribution (started at
+/// `im`) exceeds the exact demand at `interval`.
+///
+/// Revising an approximation subtracts exactly this amount from the
+/// approximated total demand.
+#[must_use]
+pub fn approximation_error(task: &Task, im: Time, interval: Time) -> Time {
+    let approx = approx_contribution(task, im, dbf_task(task, im), interval);
+    approx.saturating_sub(dbf_task(task, interval))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edf_model::TaskSet;
+
+    fn t(c: u64, d: u64, p: u64) -> Task {
+        Task::from_ticks(c, d, p).expect("valid task")
+    }
+
+    #[test]
+    fn max_test_interval_is_kth_deadline() {
+        let tau = t(2, 7, 10);
+        for level in 1..=10u64 {
+            assert_eq!(
+                max_test_interval(&tau, level),
+                tau.job_deadline(level - 1).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn level_zero_is_rejected() {
+        let tau = t(1, 2, 3);
+        let _ = max_test_interval(&tau, 0);
+    }
+
+    #[test]
+    fn approx_equals_exact_below_border() {
+        let tau = t(3, 5, 12);
+        for level in 1..=4u64 {
+            let im = max_test_interval(&tau, level);
+            for i in 0..=im.as_u64() {
+                assert_eq!(
+                    dbf_approx_task(&tau, level, Time::new(i)),
+                    dbf_task(&tau, Time::new(i)),
+                    "level {level}, I = {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn approx_dominates_exact_everywhere() {
+        let tau = t(3, 5, 12);
+        for level in 1..=5u64 {
+            for i in 0..300u64 {
+                let i = Time::new(i);
+                assert!(
+                    dbf_approx_task(&tau, level, i) >= dbf_task(&tau, i),
+                    "dbf' must over-approximate dbf (level {level}, I = {i})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn approx_overestimate_is_below_one_job() {
+        // The ceiling-division over-estimate stays strictly below C + 1 per
+        // task (C from the real-valued superposition bound, +1 from ceiling).
+        let tau = t(4, 6, 15);
+        for level in 1..=3u64 {
+            for i in 0..400u64 {
+                let i = Time::new(i);
+                let err = dbf_approx_task(&tau, level, i).saturating_sub(dbf_task(&tau, i));
+                assert!(err <= tau.wcet(), "error {err} at level {level}, I = {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn higher_level_is_tighter() {
+        let tau = t(3, 5, 12);
+        for i in 0..400u64 {
+            let i = Time::new(i);
+            for level in 1..=6u64 {
+                assert!(
+                    dbf_approx_task(&tau, level + 1, i) <= dbf_approx_task(&tau, level, i),
+                    "raising the level can only tighten the approximation"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn approx_is_monotone_in_interval() {
+        let tau = t(2, 9, 10);
+        for level in 1..=3u64 {
+            for i in 0..200u64 {
+                assert!(
+                    dbf_approx_task(&tau, level, Time::new(i + 1))
+                        >= dbf_approx_task(&tau, level, Time::new(i))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn set_approx_is_superposition_of_tasks() {
+        let ts = TaskSet::from_tasks(vec![t(1, 3, 6), t(2, 5, 10), t(3, 12, 20)]);
+        for i in (0..150).step_by(7) {
+            let i = Time::new(i);
+            let expected: u64 = ts
+                .iter()
+                .map(|task| dbf_approx_task(task, 2, i).as_u64())
+                .sum();
+            assert_eq!(dbf_approx_set(ts.iter(), 2, i).as_u64(), expected);
+        }
+    }
+
+    #[test]
+    fn approx_contribution_at_start_is_exact() {
+        let tau = t(3, 5, 12);
+        let im = Time::new(17); // deadline of 2nd job
+        assert_eq!(
+            approx_contribution(&tau, im, dbf_task(&tau, im), im),
+            dbf_task(&tau, im)
+        );
+    }
+
+    #[test]
+    fn approximation_error_zero_at_start_and_nonnegative() {
+        let tau = t(3, 5, 12);
+        let im = max_test_interval(&tau, 2);
+        assert_eq!(approximation_error(&tau, im, im), Time::ZERO);
+        for i in im.as_u64()..im.as_u64() + 100 {
+            let err = approximation_error(&tau, im, Time::new(i));
+            assert!(err <= tau.wcet());
+        }
+    }
+
+    #[test]
+    fn approx_demand_within_matches_real_valued_superposition() {
+        // τ = (3, 5, 12) approximated from its first deadline (Im = 5):
+        // real-valued dbf'(I) = 3 + 3·(I − 5)/12.
+        let tau = t(3, 5, 12);
+        let term = ApproxTerm {
+            task: &tau,
+            im: Time::new(5),
+            dbf_at_im: Time::new(3),
+        };
+        for i in 5..200u64 {
+            let real = 3.0 + 3.0 * (i as f64 - 5.0) / 12.0;
+            let within = approx_demand_within(Time::ZERO, &[term], Time::new(i));
+            assert_eq!(within, real <= i as f64, "I = {i}");
+        }
+    }
+
+    #[test]
+    fn approx_demand_within_includes_exact_part() {
+        let tau = t(2, 4, 10);
+        let term = ApproxTerm {
+            task: &tau,
+            im: Time::new(4),
+            dbf_at_im: Time::new(2),
+        };
+        // Demand at I = 12 is exact + dbf(4) + 2*(12-4)/10 = exact + 3.6.
+        assert!(approx_demand_within(Time::new(8), &[term], Time::new(12)));
+        assert!(!approx_demand_within(Time::new(9), &[term], Time::new(12)));
+        // No approximated tasks at all: plain integer comparison.
+        assert!(approx_demand_within(Time::new(12), &[], Time::new(12)));
+        assert!(!approx_demand_within(Time::new(13), &[], Time::new(12)));
+    }
+
+    #[test]
+    fn ceiling_variant_matches_real_value_at_multiples() {
+        // When (I - Im) is a multiple of T the ceiling and the real-valued
+        // approximation coincide, and both equal the exact dbf at the next
+        // deadline position.
+        let tau = t(4, 7, 9);
+        let im = max_test_interval(&tau, 1);
+        for k in 1..10u64 {
+            let i = im + tau.period() * k;
+            let approx = approx_contribution(&tau, im, dbf_task(&tau, im), i);
+            assert_eq!(approx, dbf_task(&tau, im) + tau.wcet() * k);
+            assert_eq!(approx, dbf_task(&tau, i));
+        }
+    }
+}

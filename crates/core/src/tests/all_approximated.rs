@@ -1,0 +1,377 @@
+//! The all-approximated test (§4.2, Figure 7 of the paper) — the second of
+//! the two new exact feasibility tests.
+//!
+//! Instead of tying the approximation of a task to a fixed test border (as
+//! the dynamic-error test does), every task is approximated immediately
+//! after its *first* examined interval, and an approximation is withdrawn
+//! only where a comparison actually fails — one task at a time, until the
+//! comparison succeeds or no approximation is left (in which case the
+//! comparison is fully exact and the set is infeasible).  Withdrawing an
+//! approximation replaces the approximated cost by the exact demand
+//! (Lemma 6) and inserts the task's next absolute deadline (Lemma 5) as an
+//! additional test interval; the task is then re-approximated from that
+//! interval when it is reached.
+//!
+//! If no comparison ever fails the test degenerates to exactly one check
+//! per task — the behaviour (and effort) of Devi's test — while infeasible
+//! or borderline sets trigger just enough refinement around the critical
+//! intervals to stay exact.  The test needs no explicit feasibility bound:
+//! the superposition bound of §4.3 is reached implicitly (this
+//! implementation still caps the generated intervals at the tightest known
+//! bound, which is needed for guaranteed termination at `U = 1` and never
+//! changes a verdict).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use edf_model::{TaskSet, Time};
+
+use crate::analysis::{Analysis, DemandOverload, FeasibilityTest, IterationCounter, Verdict};
+use crate::bounds::FeasibilityBounds;
+use crate::demand::{dbf_task, next_deadline_after};
+use crate::superposition::{approx_demand_within, approximation_error, ApproxTerm};
+
+/// Order in which approximations are withdrawn when a comparison fails.
+///
+/// The paper's pseudocode (`ApproxList->getAndRemoveFirstTask`) revises in
+/// FIFO order; the alternatives are provided for the ablation benchmarks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RevisionOrder {
+    /// Withdraw the approximation that was created first (paper default).
+    #[default]
+    Fifo,
+    /// Withdraw the approximation with the largest current over-estimation
+    /// `app(I, τ)` — greedily removes the most pessimism per revision.
+    LargestError,
+    /// Withdraw the approximation of the task with the largest utilization.
+    LargestUtilization,
+}
+
+/// The all-approximated feasibility test.
+///
+/// # Examples
+///
+/// ```
+/// use edf_analysis::tests::AllApproximatedTest;
+/// use edf_analysis::{FeasibilityTest, Verdict};
+/// use edf_model::{Task, TaskSet, Time};
+///
+/// # fn main() -> Result<(), edf_model::TaskError> {
+/// let ts = TaskSet::from_tasks(vec![
+///     Task::new(Time::new(1), Time::new(2), Time::new(10))?,
+///     Task::new(Time::new(2), Time::new(3), Time::new(10))?,
+///     Task::new(Time::new(5), Time::new(9), Time::new(10))?,
+/// ]);
+/// assert_eq!(AllApproximatedTest::new().analyze(&ts).verdict, Verdict::Feasible);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllApproximatedTest {
+    revision_order: RevisionOrder,
+}
+
+impl AllApproximatedTest {
+    /// Creates the test with the paper's FIFO revision order.
+    #[must_use]
+    pub fn new() -> Self {
+        AllApproximatedTest {
+            revision_order: RevisionOrder::Fifo,
+        }
+    }
+
+    /// Creates the test with an explicit revision order.
+    #[must_use]
+    pub fn with_revision_order(revision_order: RevisionOrder) -> Self {
+        AllApproximatedTest { revision_order }
+    }
+
+    /// The configured revision order.
+    #[must_use]
+    pub fn revision_order(&self) -> RevisionOrder {
+        self.revision_order
+    }
+}
+
+/// Per-task bookkeeping.
+#[derive(Debug, Clone, Copy)]
+struct TaskState {
+    /// Exact demand of the examined deadlines of this task.
+    examined_demand: Time,
+    /// `Some((im, seq))` when approximated from `im`, with the sequence
+    /// number of the approximation (for FIFO revision).
+    approximated: Option<(Time, u64)>,
+}
+
+impl FeasibilityTest for AllApproximatedTest {
+    fn name(&self) -> &str {
+        "all-approximated"
+    }
+
+    fn is_exact(&self) -> bool {
+        true
+    }
+
+    fn analyze(&self, task_set: &TaskSet) -> Analysis {
+        if task_set.is_empty() {
+            return Analysis::trivial(Verdict::Feasible);
+        }
+        if task_set.utilization_exceeds_one() {
+            return Analysis::trivial(Verdict::Infeasible);
+        }
+        let Some(horizon) = FeasibilityBounds::compute(task_set).analysis_horizon() else {
+            return Analysis::trivial(Verdict::Unknown);
+        };
+
+        let mut counter = IterationCounter::new();
+        let mut states: Vec<TaskState> = vec![
+            TaskState {
+                examined_demand: Time::ZERO,
+                approximated: None,
+            };
+            task_set.len()
+        ];
+        let mut approx_seq: u64 = 0;
+        let mut pending: BinaryHeap<Reverse<(Time, usize)>> = BinaryHeap::new();
+        for (idx, task) in task_set.iter().enumerate() {
+            if task.deadline() <= horizon {
+                pending.push(Reverse((task.deadline(), idx)));
+            }
+        }
+
+        while let Some(Reverse((interval, idx))) = pending.pop() {
+            states[idx].examined_demand =
+                states[idx].examined_demand.saturating_add(task_set[idx].wcet());
+
+            loop {
+                counter.record(interval);
+                let exact_part: Time = states
+                    .iter()
+                    .filter(|s| s.approximated.is_none())
+                    .fold(Time::ZERO, |acc, s| acc.saturating_add(s.examined_demand));
+                let approx_terms: Vec<ApproxTerm<'_>> = states
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(j, s)| {
+                        s.approximated.map(|(im, _)| ApproxTerm {
+                            task: &task_set[j],
+                            im,
+                            dbf_at_im: s.examined_demand,
+                        })
+                    })
+                    .collect();
+                if approx_demand_within(exact_part, &approx_terms, interval) {
+                    break;
+                }
+                if approx_terms.is_empty() {
+                    return counter.finish(
+                        Verdict::Infeasible,
+                        Some(DemandOverload {
+                            interval,
+                            demand: exact_part,
+                        }),
+                    );
+                }
+                // Withdraw one approximation according to the configured
+                // revision order.
+                let revise = self.pick_revision(task_set, &states, interval);
+                states[revise].approximated = None;
+                states[revise].examined_demand = dbf_task(&task_set[revise], interval);
+                if let Some(next) = next_deadline_after(&task_set[revise], interval) {
+                    if next <= horizon {
+                        pending.push(Reverse((next, revise)));
+                    }
+                }
+            }
+
+            // The examined task is (re-)approximated from this interval on.
+            states[idx].approximated = Some((interval, approx_seq));
+            approx_seq += 1;
+        }
+
+        counter.finish(Verdict::Feasible, None)
+    }
+}
+
+impl AllApproximatedTest {
+    /// Picks the approximated task whose approximation is withdrawn next.
+    fn pick_revision(
+        &self,
+        task_set: &TaskSet,
+        states: &[TaskState],
+        interval: Time,
+    ) -> usize {
+        let approximated = states
+            .iter()
+            .enumerate()
+            .filter_map(|(j, s)| s.approximated.map(|(im, seq)| (j, im, seq)));
+        match self.revision_order {
+            RevisionOrder::Fifo => approximated
+                .min_by_key(|&(_, _, seq)| seq)
+                .map(|(j, _, _)| j)
+                .expect("at least one approximated task"),
+            RevisionOrder::LargestError => approximated
+                .max_by_key(|&(j, im, seq)| {
+                    (approximation_error(&task_set[j], im, interval), u64::MAX - seq)
+                })
+                .map(|(j, _, _)| j)
+                .expect("at least one approximated task"),
+            RevisionOrder::LargestUtilization => approximated
+                .max_by(|&(a, _, sa), &(b, _, sb)| {
+                    task_set[a]
+                        .utilization()
+                        .partial_cmp(&task_set[b].utilization())
+                        .unwrap_or(core::cmp::Ordering::Equal)
+                        .then(sb.cmp(&sa))
+                })
+                .map(|(j, _, _)| j)
+                .expect("at least one approximated task"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::{DeviTest, DynamicErrorTest, ProcessorDemandTest};
+    use edf_model::Task;
+
+    fn t(c: u64, d: u64, p: u64) -> Task {
+        Task::from_ticks(c, d, p).expect("valid task")
+    }
+
+    #[test]
+    fn agrees_with_processor_demand_on_hand_picked_sets() {
+        let sets = vec![
+            TaskSet::from_tasks(vec![t(1, 2, 10), t(2, 3, 10), t(5, 9, 10)]),
+            TaskSet::from_tasks(vec![t(3, 4, 10), t(4, 6, 10), t(2, 5, 12)]),
+            TaskSet::from_tasks(vec![t(2, 2, 6), t(2, 4, 8), t(1, 7, 12)]),
+            TaskSet::from_tasks(vec![t(5, 6, 20), t(7, 11, 25), t(4, 9, 35)]),
+            TaskSet::from_tasks(vec![t(1, 2, 2), t(2, 4, 4)]),
+            TaskSet::from_tasks(vec![t(5, 3, 10)]),
+            TaskSet::from_tasks(vec![t(1, 1, 4), t(1, 2, 4), t(1, 3, 4), t(1, 4, 4)]),
+            TaskSet::from_tasks(vec![t(3, 3, 9), t(3, 5, 9), t(2, 8, 9)]),
+        ];
+        for ts in sets {
+            let all_approx = AllApproximatedTest::new().analyze(&ts);
+            let reference = ProcessorDemandTest::new().analyze(&ts);
+            assert_eq!(all_approx.verdict, reference.verdict, "on {ts}");
+            assert!(all_approx.verdict.is_decisive());
+        }
+    }
+
+    #[test]
+    fn devi_accepted_sets_need_one_check_per_task() {
+        // "If the initial test interval is accepted for each task without
+        // generating new test intervals, the behaviour and the performance
+        // of the test is equal to the test given by Devi." (§4.2)
+        let ts = TaskSet::from_tasks(vec![t(1, 8, 10), t(2, 16, 20), t(5, 35, 40), t(10, 95, 100)]);
+        assert_eq!(DeviTest::new().analyze(&ts).verdict, Verdict::Feasible);
+        let analysis = AllApproximatedTest::new().analyze(&ts);
+        assert_eq!(analysis.verdict, Verdict::Feasible);
+        // At most one comparison per task; the feasibility bound may prune
+        // long-deadline tasks away entirely, so the count can be lower.
+        assert!(analysis.iterations <= ts.len() as u64);
+    }
+
+    #[test]
+    fn needs_fewer_iterations_than_processor_demand_on_wide_period_spread() {
+        let ts = TaskSet::from_tasks(vec![
+            t(1, 5, 5),
+            t(2, 10, 10),
+            t(3, 15, 15),
+            t(30, 200, 200),
+            t(190, 950, 1_000),
+        ]);
+        let all_approx = AllApproximatedTest::new().analyze(&ts);
+        let pda = ProcessorDemandTest::new().analyze(&ts);
+        assert_eq!(all_approx.verdict, pda.verdict);
+        assert!(
+            all_approx.iterations < pda.iterations,
+            "all-approximated ({}) should beat processor demand ({})",
+            all_approx.iterations,
+            pda.iterations
+        );
+    }
+
+    #[test]
+    fn infeasible_sets_report_exact_overload_witness() {
+        let ts = TaskSet::from_tasks(vec![t(3, 4, 10), t(4, 6, 10), t(2, 5, 12)]);
+        let analysis = AllApproximatedTest::new().analyze(&ts);
+        assert_eq!(analysis.verdict, Verdict::Infeasible);
+        let w = analysis.overload.expect("witness");
+        assert_eq!(crate::demand::dbf_set(&ts, w.interval), w.demand);
+        assert!(w.demand > w.interval);
+    }
+
+    #[test]
+    fn revision_orders_agree_on_the_verdict() {
+        let sets = vec![
+            TaskSet::from_tasks(vec![t(1, 2, 10), t(2, 3, 10), t(5, 9, 10)]),
+            TaskSet::from_tasks(vec![t(3, 4, 10), t(4, 6, 10), t(2, 5, 12)]),
+            TaskSet::from_tasks(vec![t(2, 5, 11), t(3, 9, 17), t(4, 16, 23)]),
+            TaskSet::from_tasks(vec![t(1, 3, 12), t(4, 9, 20), t(6, 25, 50), t(10, 60, 120)]),
+        ];
+        for ts in sets {
+            let fifo = AllApproximatedTest::with_revision_order(RevisionOrder::Fifo).analyze(&ts);
+            let error =
+                AllApproximatedTest::with_revision_order(RevisionOrder::LargestError).analyze(&ts);
+            let util = AllApproximatedTest::with_revision_order(RevisionOrder::LargestUtilization)
+                .analyze(&ts);
+            assert_eq!(fifo.verdict, error.verdict);
+            assert_eq!(fifo.verdict, util.verdict);
+        }
+    }
+
+    #[test]
+    fn agrees_with_dynamic_error_test() {
+        let sets = vec![
+            TaskSet::from_tasks(vec![t(1, 2, 10), t(2, 3, 10), t(5, 9, 10)]),
+            TaskSet::from_tasks(vec![t(3, 4, 10), t(4, 6, 10), t(2, 5, 12)]),
+            TaskSet::from_tasks(vec![t(2, 5, 11), t(3, 9, 17), t(4, 16, 23)]),
+            TaskSet::from_tasks(vec![t(1, 5, 5), t(2, 10, 10), t(30, 200, 200)]),
+        ];
+        for ts in sets {
+            assert_eq!(
+                AllApproximatedTest::new().analyze(&ts).verdict,
+                DynamicErrorTest::new().analyze(&ts).verdict,
+                "on {ts}"
+            );
+        }
+    }
+
+    #[test]
+    fn trivial_paths_and_accessors() {
+        assert_eq!(
+            AllApproximatedTest::new().analyze(&TaskSet::new()).verdict,
+            Verdict::Feasible
+        );
+        let over = TaskSet::from_tasks(vec![t(9, 9, 10), t(9, 9, 10)]);
+        assert_eq!(AllApproximatedTest::new().analyze(&over).verdict, Verdict::Infeasible);
+        let test = AllApproximatedTest::new();
+        assert_eq!(test.name(), "all-approximated");
+        assert!(test.is_exact());
+        assert_eq!(test.revision_order(), RevisionOrder::Fifo);
+        assert_eq!(test, AllApproximatedTest::default());
+    }
+
+    #[test]
+    fn full_utilization_sets_terminate() {
+        // U = 1 with implicit deadlines: feasible, and the horizon cap keeps
+        // the interval generation finite.
+        let ts = TaskSet::from_tasks(vec![t(1, 2, 2), t(1, 4, 4), t(1, 4, 4)]);
+        assert_eq!(AllApproximatedTest::new().analyze(&ts).verdict, Verdict::Feasible);
+        // U = 1 with a constrained deadline: infeasible.
+        let bad = TaskSet::from_tasks(vec![t(1, 1, 2), t(2, 3, 4)]);
+        assert_eq!(AllApproximatedTest::new().analyze(&bad).verdict, Verdict::Infeasible);
+    }
+
+    #[test]
+    fn wcet_above_deadline_detected() {
+        let ts = TaskSet::from_tasks(vec![t(5, 3, 10), t(1, 50, 100)]);
+        let analysis = AllApproximatedTest::new().analyze(&ts);
+        assert_eq!(analysis.verdict, Verdict::Infeasible);
+        assert_eq!(analysis.overload.unwrap().interval, Time::new(3));
+    }
+}

@@ -1,0 +1,177 @@
+//! Devi's sufficient feasibility test (Def. 1, §3.2 of the paper).
+//!
+//! With the tasks arranged in order of non-decreasing relative deadlines,
+//! the set is feasible under preemptive EDF if for every `k`
+//!
+//! ```text
+//! Σ_{i=1..k} Cᵢ/Tᵢ  +  (1/Dₖ) · Σ_{i=1..k} ((Tᵢ − min(Tᵢ, Dᵢ))/Tᵢ) · Cᵢ  ≤  1.
+//! ```
+//!
+//! The paper proves (Lemma 2, §3.5) that this test is exactly the level-1
+//! superposition test `SuperPos(1)`; the property tests of this crate check
+//! that equivalence on random task sets.
+
+use edf_model::TaskSet;
+
+use crate::analysis::{Analysis, FeasibilityTest, IterationCounter, Verdict};
+use crate::arith::fracs_le_integer;
+
+/// Devi's sufficient test.
+///
+/// # Examples
+///
+/// ```
+/// use edf_analysis::tests::DeviTest;
+/// use edf_analysis::{FeasibilityTest, Verdict};
+/// use edf_model::{Task, TaskSet, Time};
+///
+/// # fn main() -> Result<(), edf_model::TaskError> {
+/// let ts = TaskSet::from_tasks(vec![
+///     Task::new(Time::new(1), Time::new(4), Time::new(8))?,
+///     Task::new(Time::new(2), Time::new(10), Time::new(12))?,
+/// ]);
+/// let analysis = DeviTest::new().analyze(&ts);
+/// assert_eq!(analysis.verdict, Verdict::Feasible);
+/// assert_eq!(analysis.iterations, 2); // one condition per task
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeviTest;
+
+impl DeviTest {
+    /// Creates the test.
+    #[must_use]
+    pub fn new() -> Self {
+        DeviTest
+    }
+}
+
+impl FeasibilityTest for DeviTest {
+    fn name(&self) -> &str {
+        "devi"
+    }
+
+    fn is_exact(&self) -> bool {
+        false
+    }
+
+    fn analyze(&self, task_set: &TaskSet) -> Analysis {
+        if task_set.is_empty() {
+            return Analysis::trivial(Verdict::Feasible);
+        }
+        if task_set.utilization_exceeds_one() {
+            return Analysis::trivial(Verdict::Infeasible);
+        }
+        let sorted = task_set.sorted_by_deadline();
+        let mut counter = IterationCounter::new();
+        for k in 1..=sorted.len() {
+            let dk = sorted[k - 1].deadline();
+            counter.record(dk);
+            // Check Σ_{i<=k} Ci·(Dk + Ti − min(Ti, Di)) / Ti  <=  Dk exactly.
+            let terms: Vec<(u128, u128)> = sorted
+                .tasks()
+                .iter()
+                .take(k)
+                .map(|task| {
+                    let slack = task.period() - task.deadline().min(task.period());
+                    (
+                        task.wcet().as_u128() * (dk.as_u128() + slack.as_u128()),
+                        task.period().as_u128(),
+                    )
+                })
+                .collect();
+            if !fracs_le_integer(&terms, dk.as_u128()) {
+                return counter.finish(Verdict::Unknown, None);
+            }
+        }
+        counter.finish(Verdict::Feasible, None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edf_model::Task;
+
+    fn t(c: u64, d: u64, p: u64) -> Task {
+        Task::from_ticks(c, d, p).expect("valid task")
+    }
+
+    #[test]
+    fn implicit_deadlines_reduce_to_utilization() {
+        // For D == T the second sum vanishes and Devi accepts iff U <= 1.
+        let ok = TaskSet::from_tasks(vec![t(1, 2, 2), t(1, 4, 4), t(1, 4, 4)]);
+        assert_eq!(DeviTest::new().analyze(&ok).verdict, Verdict::Feasible);
+        let over = TaskSet::from_tasks(vec![t(2, 3, 3), t(2, 4, 4)]);
+        assert_eq!(DeviTest::new().analyze(&over).verdict, Verdict::Infeasible);
+    }
+
+    #[test]
+    fn iterations_equal_task_count_when_accepting() {
+        let ts = TaskSet::from_tasks(vec![t(1, 8, 10), t(1, 15, 20), t(2, 35, 40), t(1, 90, 100)]);
+        let analysis = DeviTest::new().analyze(&ts);
+        assert_eq!(analysis.verdict, Verdict::Feasible);
+        assert_eq!(analysis.iterations, 4);
+    }
+
+    #[test]
+    fn hand_computed_acceptance() {
+        // τ1 = (1, 4, 8), τ2 = (2, 6, 12):
+        // k=1: 1/8 + (1/4)(4/8·1) = 0.125 + 0.125 = 0.25 <= 1
+        // k=2: (1/8 + 2/12) + (1/6)(4/8·1 + 6/12·2) = 0.2917 + 0.25 = 0.5417 <= 1
+        let ts = TaskSet::from_tasks(vec![t(1, 4, 8), t(2, 6, 12)]);
+        let analysis = DeviTest::new().analyze(&ts);
+        assert_eq!(analysis.verdict, Verdict::Feasible);
+        assert_eq!(analysis.iterations, 2);
+    }
+
+    #[test]
+    fn hand_computed_rejection_of_feasible_set() {
+        // A short-deadline task pair that is feasible (dbf(2)=1<=2, dbf(3)=3<=3,...)
+        // but rejected by Devi at k=2:
+        // τ1 = (1, 2, 10), τ2 = (2, 3, 10):
+        // k=2: (0.1 + 0.2) + (1/3)((8/10)·1 + (7/10)·2) = 0.3 + (1/3)(2.2) = 1.033 > 1.
+        let ts = TaskSet::from_tasks(vec![t(1, 2, 10), t(2, 3, 10)]);
+        let analysis = DeviTest::new().analyze(&ts);
+        assert_eq!(analysis.verdict, Verdict::Unknown);
+        assert_eq!(analysis.iterations, 2, "fails at the second condition");
+    }
+
+    #[test]
+    fn stops_at_first_failing_condition() {
+        // Make the very first (smallest deadline) condition fail:
+        // τ1 = (5, 5, 50): k=1: 0.1 + (1/5)(45/50·5) = 0.1 + 0.9 = 1.0 <= 1 (passes!)
+        // Use τ1 = (5, 4, 50): 0.1 + (1/4)(4.5) = 1.225 > 1.
+        let ts = TaskSet::from_tasks(vec![t(5, 4, 50), t(1, 100, 100)]);
+        let analysis = DeviTest::new().analyze(&ts);
+        assert_eq!(analysis.verdict, Verdict::Unknown);
+        assert_eq!(analysis.iterations, 1);
+    }
+
+    #[test]
+    fn boundary_condition_exactly_one_is_accepted() {
+        // τ = (5, 5, 50): condition value is exactly 1 at k=1 and U small.
+        let ts = TaskSet::from_tasks(vec![t(5, 5, 50)]);
+        assert_eq!(DeviTest::new().analyze(&ts).verdict, Verdict::Feasible);
+    }
+
+    #[test]
+    fn unordered_input_is_sorted_internally() {
+        let a = TaskSet::from_tasks(vec![t(2, 20, 40), t(1, 3, 9), t(1, 7, 14)]);
+        let b = a.sorted_by_deadline();
+        assert_eq!(
+            DeviTest::new().analyze(&a).verdict,
+            DeviTest::new().analyze(&b).verdict
+        );
+    }
+
+    #[test]
+    fn empty_and_overload() {
+        assert_eq!(DeviTest::new().analyze(&TaskSet::new()).verdict, Verdict::Feasible);
+        let over = TaskSet::from_tasks(vec![t(9, 9, 10), t(9, 9, 10)]);
+        assert_eq!(DeviTest::new().analyze(&over).verdict, Verdict::Infeasible);
+        assert!(!DeviTest::new().is_exact());
+        assert_eq!(DeviTest::new().name(), "devi");
+    }
+}

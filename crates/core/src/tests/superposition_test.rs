@@ -1,0 +1,248 @@
+//! The superposition test `SuperPos(x)` (Def. 6, §3.4 of the paper).
+//!
+//! `SuperPos(x)` examines the deadlines of the first `x` jobs of every task
+//! exactly and covers all later intervals by the linear approximation of
+//! [`dbf_approx_set`](crate::superposition::dbf_approx_set).  It is a
+//! sufficient test whose pessimism shrinks as `x` grows; `SuperPos(1)` is
+//! exactly Devi's test (Lemma 2) and `SuperPos(∞)` is the processor demand
+//! test.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use edf_model::{TaskSet, Time};
+
+use crate::analysis::{Analysis, DemandOverload, FeasibilityTest, IterationCounter, Verdict};
+use crate::demand::dbf_task;
+use crate::superposition::{approx_demand_within, dbf_approx_set, max_test_interval, ApproxTerm};
+
+/// The superposition test at a fixed approximation level.
+///
+/// # Examples
+///
+/// ```
+/// use edf_analysis::tests::SuperpositionTest;
+/// use edf_analysis::{FeasibilityTest, Verdict};
+/// use edf_model::{Task, TaskSet, Time};
+///
+/// # fn main() -> Result<(), edf_model::TaskError> {
+/// let ts = TaskSet::from_tasks(vec![
+///     Task::new(Time::new(1), Time::new(2), Time::new(10))?,
+///     Task::new(Time::new(2), Time::new(3), Time::new(10))?,
+/// ]);
+/// // Devi (= SuperPos(1)) cannot accept this set, but SuperPos(3) can.
+/// assert_eq!(SuperpositionTest::new(1).analyze(&ts).verdict, Verdict::Unknown);
+/// assert_eq!(SuperpositionTest::new(3).analyze(&ts).verdict, Verdict::Feasible);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuperpositionTest {
+    level: u64,
+    name: String,
+}
+
+impl SuperpositionTest {
+    /// Creates a superposition test with the given level (`x ≥ 1`): the
+    /// number of jobs of each task whose deadlines are examined exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is zero.
+    #[must_use]
+    pub fn new(level: u64) -> Self {
+        assert!(level >= 1, "superposition level must be at least 1");
+        SuperpositionTest {
+            level,
+            name: format!("superpos({level})"),
+        }
+    }
+
+    /// The approximation level `x`.
+    #[must_use]
+    pub fn level(&self) -> u64 {
+        self.level
+    }
+}
+
+impl FeasibilityTest for SuperpositionTest {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn is_exact(&self) -> bool {
+        false
+    }
+
+    fn analyze(&self, task_set: &TaskSet) -> Analysis {
+        if task_set.is_empty() {
+            return Analysis::trivial(Verdict::Feasible);
+        }
+        if task_set.utilization_exceeds_one() {
+            return Analysis::trivial(Verdict::Infeasible);
+        }
+        // Test intervals: deadlines of the first `level` jobs of each task,
+        // merged in ascending order, de-duplicated across tasks.
+        let mut heap: BinaryHeap<Reverse<(Time, usize, u64)>> = BinaryHeap::new();
+        for (idx, task) in task_set.iter().enumerate() {
+            heap.push(Reverse((task.deadline(), idx, 1)));
+        }
+        let mut counter = IterationCounter::new();
+        let mut last_checked: Option<Time> = None;
+        while let Some(Reverse((interval, idx, job))) = heap.pop() {
+            // Schedule the next job of this task if still below its border.
+            if job < self.level {
+                let task = &task_set[idx];
+                if let Some(next) = interval.checked_add(task.period()) {
+                    heap.push(Reverse((next, idx, job + 1)));
+                }
+            }
+            if last_checked == Some(interval) {
+                continue; // dbf' already checked at this interval length
+            }
+            last_checked = Some(interval);
+            counter.record(interval);
+            // Real-valued superposition comparison (Def. 5), evaluated with
+            // exact rational arithmetic.
+            let mut exact_part = Time::ZERO;
+            let mut approx_terms = Vec::new();
+            for task in task_set {
+                let im = max_test_interval(task, self.level);
+                if interval <= im {
+                    exact_part = exact_part.saturating_add(dbf_task(task, interval));
+                } else {
+                    approx_terms.push(ApproxTerm {
+                        task,
+                        im,
+                        dbf_at_im: dbf_task(task, im),
+                    });
+                }
+            }
+            if !approx_demand_within(exact_part, &approx_terms, interval) {
+                // Report the (slightly pessimistic) integer upper bound of
+                // the approximated demand as the witness.
+                let demand = dbf_approx_set(task_set.iter(), self.level, interval);
+                return counter.finish(
+                    Verdict::Unknown,
+                    Some(DemandOverload { interval, demand }),
+                );
+            }
+        }
+        counter.finish(Verdict::Feasible, None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demand::dbf_set;
+    use edf_model::Task;
+
+    fn t(c: u64, d: u64, p: u64) -> Task {
+        Task::from_ticks(c, d, p).expect("valid task")
+    }
+
+    /// Exhaustive reference feasibility check over a brute-force horizon.
+    fn brute_force_feasible(ts: &TaskSet, horizon: u64) -> bool {
+        if ts.utilization_exceeds_one() {
+            return false;
+        }
+        (1..=horizon).all(|i| dbf_set(ts, Time::new(i)) <= Time::new(i))
+    }
+
+    #[test]
+    fn level_one_counts_one_interval_per_distinct_deadline() {
+        let ts = TaskSet::from_tasks(vec![t(1, 4, 8), t(1, 6, 12), t(1, 9, 18)]);
+        let analysis = SuperpositionTest::new(1).analyze(&ts);
+        assert_eq!(analysis.verdict, Verdict::Feasible);
+        assert_eq!(analysis.iterations, 3);
+    }
+
+    #[test]
+    fn rejects_overload_immediately() {
+        let ts = TaskSet::from_tasks(vec![t(9, 9, 10), t(9, 9, 10)]);
+        let analysis = SuperpositionTest::new(4).analyze(&ts);
+        assert_eq!(analysis.verdict, Verdict::Infeasible);
+        assert_eq!(analysis.iterations, 0);
+    }
+
+    #[test]
+    fn higher_levels_accept_more_sets() {
+        // Feasible set with tight deadlines relative to periods: low levels
+        // reject it, high levels accept it.
+        let ts = TaskSet::from_tasks(vec![t(1, 2, 10), t(2, 3, 10), t(5, 9, 10)]);
+        assert!(brute_force_feasible(&ts, 1_000));
+        let verdicts: Vec<Verdict> = (1..=6)
+            .map(|x| SuperpositionTest::new(x).analyze(&ts).verdict)
+            .collect();
+        // Monotone: once accepted, stays accepted.
+        let first_accept = verdicts.iter().position(|v| v.is_feasible());
+        assert!(first_accept.is_some(), "a high enough level must accept");
+        for (i, v) in verdicts.iter().enumerate() {
+            if Some(i) >= first_accept {
+                assert!(v.is_feasible());
+            }
+        }
+    }
+
+    #[test]
+    fn acceptance_implies_brute_force_feasibility() {
+        // Soundness on a few hand-picked sets.
+        let sets = vec![
+            TaskSet::from_tasks(vec![t(1, 3, 7), t(2, 9, 11), t(1, 5, 13)]),
+            TaskSet::from_tasks(vec![t(2, 4, 10), t(3, 8, 15), t(1, 2, 6)]),
+            TaskSet::from_tasks(vec![t(3, 5, 9), t(2, 11, 14)]),
+        ];
+        for ts in sets {
+            for level in 1..=5u64 {
+                let analysis = SuperpositionTest::new(level).analyze(&ts);
+                if analysis.verdict.is_feasible() {
+                    assert!(brute_force_feasible(&ts, 2_000));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_verdict_reports_witness_interval() {
+        let ts = TaskSet::from_tasks(vec![t(1, 2, 10), t(2, 3, 10), t(5, 9, 10)]);
+        let analysis = SuperpositionTest::new(1).analyze(&ts);
+        assert_eq!(analysis.verdict, Verdict::Unknown);
+        let overload = analysis.overload.expect("witness expected");
+        assert!(overload.demand > overload.interval);
+    }
+
+    #[test]
+    fn iteration_count_grows_with_level() {
+        let ts = TaskSet::from_tasks(vec![t(1, 4, 8), t(1, 6, 12), t(1, 9, 18)]);
+        let mut last = 0;
+        for level in 1..=5u64 {
+            let analysis = SuperpositionTest::new(level).analyze(&ts);
+            assert!(analysis.iterations >= last);
+            last = analysis.iterations;
+        }
+        assert!(last > 3);
+    }
+
+    #[test]
+    fn level_accessor_and_name() {
+        let test = SuperpositionTest::new(4);
+        assert_eq!(test.level(), 4);
+        assert_eq!(test.name(), "superpos(4)");
+        assert!(!test.is_exact());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_level_panics() {
+        let _ = SuperpositionTest::new(0);
+    }
+
+    #[test]
+    fn empty_set_is_feasible() {
+        assert_eq!(
+            SuperpositionTest::new(2).analyze(&TaskSet::new()).verdict,
+            Verdict::Feasible
+        );
+    }
+}

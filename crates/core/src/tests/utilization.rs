@@ -1,0 +1,194 @@
+//! Utilization- and density-based tests (§3.1 and folklore baselines).
+
+use edf_model::TaskSet;
+
+use crate::analysis::{Analysis, FeasibilityTest, Verdict};
+use crate::arith::{BoundCheck, FracSum};
+
+/// The Liu & Layland utilization test: for task sets whose deadlines are no
+/// smaller than their periods, `U ≤ 1` is necessary *and* sufficient under
+/// preemptive EDF (§3.1 of the paper).
+///
+/// For sets containing a task with `D < T` the utilization condition is
+/// only necessary; the test then answers [`Verdict::Infeasible`] for
+/// `U > 1` and [`Verdict::Unknown`] otherwise.
+///
+/// # Examples
+///
+/// ```
+/// use edf_analysis::tests::LiuLaylandTest;
+/// use edf_analysis::{FeasibilityTest, Verdict};
+/// use edf_model::{Task, TaskSet, Time};
+///
+/// # fn main() -> Result<(), edf_model::TaskError> {
+/// let implicit = TaskSet::from_tasks(vec![
+///     Task::new(Time::new(2), Time::new(4), Time::new(4))?,
+///     Task::new(Time::new(3), Time::new(6), Time::new(6))?,
+/// ]);
+/// assert_eq!(LiuLaylandTest::new().analyze(&implicit).verdict, Verdict::Feasible);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LiuLaylandTest;
+
+impl LiuLaylandTest {
+    /// Creates the test.
+    #[must_use]
+    pub fn new() -> Self {
+        LiuLaylandTest
+    }
+}
+
+impl FeasibilityTest for LiuLaylandTest {
+    fn name(&self) -> &str {
+        "liu-layland"
+    }
+
+    fn is_exact(&self) -> bool {
+        // Exact only on the restricted D >= T model.
+        false
+    }
+
+    fn analyze(&self, task_set: &TaskSet) -> Analysis {
+        if task_set.is_empty() {
+            return Analysis::trivial(Verdict::Feasible);
+        }
+        let exceeds = task_set.utilization_exceeds_one();
+        let mut analysis = Analysis::trivial(if exceeds {
+            Verdict::Infeasible
+        } else if task_set.iter().all(|t| t.deadline() >= t.period()) {
+            Verdict::Feasible
+        } else {
+            Verdict::Unknown
+        });
+        analysis.iterations = 1;
+        analysis
+    }
+}
+
+/// The density test: `Σ Cᵢ / min(Dᵢ, Tᵢ) ≤ 1` is sufficient for EDF
+/// feasibility of constrained-deadline sporadic tasks.
+///
+/// It is cheap but very pessimistic for small deadlines; it serves as an
+/// additional baseline for the experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DensityTest;
+
+impl DensityTest {
+    /// Creates the test.
+    #[must_use]
+    pub fn new() -> Self {
+        DensityTest
+    }
+}
+
+impl FeasibilityTest for DensityTest {
+    fn name(&self) -> &str {
+        "density"
+    }
+
+    fn is_exact(&self) -> bool {
+        false
+    }
+
+    fn analyze(&self, task_set: &TaskSet) -> Analysis {
+        if task_set.is_empty() {
+            return Analysis::trivial(Verdict::Feasible);
+        }
+        if task_set.utilization_exceeds_one() {
+            let mut a = Analysis::trivial(Verdict::Infeasible);
+            a.iterations = 1;
+            return a;
+        }
+        let mut density = FracSum::new();
+        for task in task_set {
+            let effective = task.deadline().min(task.period());
+            density.add(task.wcet().as_u128(), effective.as_u128());
+        }
+        let verdict = match density.cmp_integer(1) {
+            BoundCheck::WithinBound => Verdict::Feasible,
+            BoundCheck::ExceedsBound | BoundCheck::Overflow => Verdict::Unknown,
+        };
+        let mut a = Analysis::trivial(verdict);
+        a.iterations = 1;
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edf_model::Task;
+
+    fn t(c: u64, d: u64, p: u64) -> Task {
+        Task::from_ticks(c, d, p).expect("valid task")
+    }
+
+    #[test]
+    fn liu_layland_accepts_implicit_deadline_full_utilization() {
+        let ts = TaskSet::from_tasks(vec![t(1, 2, 2), t(1, 4, 4), t(1, 4, 4)]);
+        let a = LiuLaylandTest::new().analyze(&ts);
+        assert_eq!(a.verdict, Verdict::Feasible);
+        assert_eq!(a.iterations, 1);
+    }
+
+    #[test]
+    fn liu_layland_rejects_overload() {
+        let ts = TaskSet::from_tasks(vec![t(2, 3, 3), t(2, 4, 4)]);
+        assert_eq!(LiuLaylandTest::new().analyze(&ts).verdict, Verdict::Infeasible);
+    }
+
+    #[test]
+    fn liu_layland_unknown_for_constrained_deadlines() {
+        let ts = TaskSet::from_tasks(vec![t(1, 2, 4)]);
+        assert_eq!(LiuLaylandTest::new().analyze(&ts).verdict, Verdict::Unknown);
+    }
+
+    #[test]
+    fn liu_layland_accepts_arbitrary_deadlines_with_low_utilization() {
+        let ts = TaskSet::from_tasks(vec![t(1, 10, 4), t(1, 12, 6)]);
+        assert_eq!(LiuLaylandTest::new().analyze(&ts).verdict, Verdict::Feasible);
+    }
+
+    #[test]
+    fn liu_layland_trivial_empty() {
+        assert_eq!(LiuLaylandTest::new().analyze(&TaskSet::new()).verdict, Verdict::Feasible);
+        assert!(!LiuLaylandTest::new().is_exact());
+        assert_eq!(LiuLaylandTest::new().name(), "liu-layland");
+    }
+
+    #[test]
+    fn density_accepts_when_density_below_one() {
+        let ts = TaskSet::from_tasks(vec![t(1, 4, 8), t(2, 8, 16)]);
+        // density = 0.25 + 0.25 = 0.5
+        assert_eq!(DensityTest::new().analyze(&ts).verdict, Verdict::Feasible);
+    }
+
+    #[test]
+    fn density_unknown_when_density_above_one_but_feasible_possible() {
+        let ts = TaskSet::from_tasks(vec![t(3, 4, 100), t(3, 4, 100)]);
+        // density = 1.5 but utilization is tiny.
+        assert_eq!(DensityTest::new().analyze(&ts).verdict, Verdict::Unknown);
+    }
+
+    #[test]
+    fn density_rejects_overload() {
+        let ts = TaskSet::from_tasks(vec![t(3, 3, 3), t(1, 2, 2)]);
+        assert_eq!(DensityTest::new().analyze(&ts).verdict, Verdict::Infeasible);
+    }
+
+    #[test]
+    fn density_exact_boundary() {
+        // density exactly 1: 1/2 + 1/2
+        let ts = TaskSet::from_tasks(vec![t(1, 2, 4), t(1, 2, 4)]);
+        assert_eq!(DensityTest::new().analyze(&ts).verdict, Verdict::Feasible);
+        assert_eq!(DensityTest::new().name(), "density");
+        assert!(!DensityTest::new().is_exact());
+    }
+
+    #[test]
+    fn density_trivial_empty() {
+        assert_eq!(DensityTest::new().analyze(&TaskSet::new()).verdict, Verdict::Feasible);
+    }
+}

@@ -1,0 +1,190 @@
+//! Experiment E1 (Figure 1): acceptance rate over utilization for the
+//! sufficient tests (Devi, `SuperPos(2..=10)`) and the exact processor
+//! demand test.
+
+use edf_analysis::tests::{DeviTest, ProcessorDemandTest, SuperpositionTest};
+use edf_analysis::FeasibilityTest;
+use edf_gen::{utilization_sweep, TaskSetConfig};
+use edf_model::TaskSet;
+
+use crate::report::{fmt_f64, Table};
+use crate::stats::{acceptance_rate, parallel_map};
+
+/// Configuration of the acceptance-rate experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AcceptanceConfig {
+    /// Utilization sweep in percent (Figure 1 uses 70–100 %).
+    pub utilization_percent: std::ops::RangeInclusive<u32>,
+    /// Task sets per utilization point.
+    pub sets_per_point: usize,
+    /// Superposition levels to include (Figure 1 uses 2..=10).
+    pub superposition_levels: Vec<u64>,
+    /// Base generator configuration (task count, periods, gap, seed).
+    pub generator: TaskSetConfig,
+}
+
+impl Default for AcceptanceConfig {
+    fn default() -> Self {
+        AcceptanceConfig::quick()
+    }
+}
+
+impl AcceptanceConfig {
+    /// A laptop-scale configuration (hundreds of task sets) that shows the
+    /// same curve shapes as the paper within seconds.
+    #[must_use]
+    pub fn quick() -> Self {
+        AcceptanceConfig {
+            utilization_percent: 70..=100,
+            sets_per_point: 40,
+            superposition_levels: vec![2, 3, 4, 5, 6, 7, 8, 9, 10],
+            generator: TaskSetConfig::new()
+                .task_count(5..=30)
+                .average_gap(0.3)
+                .seed(2005),
+        }
+    }
+
+    /// The paper-scale configuration (many thousands of task sets); takes
+    /// considerably longer.
+    #[must_use]
+    pub fn full() -> Self {
+        AcceptanceConfig {
+            sets_per_point: 600,
+            generator: TaskSetConfig::new()
+                .task_count(5..=100)
+                .average_gap(0.3)
+                .seed(2005),
+            ..AcceptanceConfig::quick()
+        }
+    }
+}
+
+/// Acceptance rates of every test at one utilization point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AcceptanceRow {
+    /// Target utilization in percent.
+    pub utilization_percent: u32,
+    /// `(test label, acceptance rate in [0, 1])`, in presentation order.
+    pub rates: Vec<(String, f64)>,
+}
+
+/// Runs the acceptance experiment and returns one row per utilization point.
+#[must_use]
+pub fn run_acceptance(config: &AcceptanceConfig) -> Vec<AcceptanceRow> {
+    let mut tests: Vec<(String, Box<dyn FeasibilityTest + Sync>)> = Vec::new();
+    tests.push(("Devi".to_owned(), Box::new(DeviTest::new())));
+    for &level in &config.superposition_levels {
+        tests.push((
+            format!("SuperPos({level})"),
+            Box::new(SuperpositionTest::new(level)),
+        ));
+    }
+    tests.push((
+        "Processor Demand".to_owned(),
+        Box::new(ProcessorDemandTest::new()),
+    ));
+
+    let sweep = utilization_sweep(
+        &config.generator,
+        config.utilization_percent.clone(),
+        config.sets_per_point,
+    );
+    sweep
+        .into_iter()
+        .map(|point| {
+            let rates = tests
+                .iter()
+                .map(|(label, test)| {
+                    let accepted: Vec<bool> = parallel_map(&point.task_sets, |ts: &TaskSet| {
+                        test.analyze(ts).verdict.is_feasible()
+                    });
+                    (label.clone(), acceptance_rate(&accepted))
+                })
+                .collect();
+            AcceptanceRow {
+                utilization_percent: point.parameter,
+                rates,
+            }
+        })
+        .collect()
+}
+
+/// Renders acceptance rows as a [`Table`] (one column per test).
+#[must_use]
+pub fn acceptance_table(rows: &[AcceptanceRow]) -> Table {
+    let mut headers: Vec<String> = vec!["U (%)".to_owned()];
+    if let Some(first) = rows.first() {
+        headers.extend(first.rates.iter().map(|(label, _)| label.clone()));
+    }
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        "Figure 1 — percentage of task sets deemed feasible",
+        &header_refs,
+    );
+    for row in rows {
+        let mut cells = vec![row.utilization_percent.to_string()];
+        cells.extend(row.rates.iter().map(|(_, rate)| fmt_f64(*rate, 3)));
+        table.add_row(cells);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> AcceptanceConfig {
+        AcceptanceConfig {
+            utilization_percent: 80..=82,
+            sets_per_point: 6,
+            superposition_levels: vec![2, 4],
+            generator: TaskSetConfig::new().task_count(4..=8).average_gap(0.3).seed(1),
+        }
+    }
+
+    #[test]
+    fn produces_one_row_per_utilization_point() {
+        let rows = run_acceptance(&tiny_config());
+        assert_eq!(rows.len(), 3);
+        for row in &rows {
+            assert_eq!(row.rates.len(), 4); // Devi, SuperPos(2), SuperPos(4), PDA
+            for (_, rate) in &row.rates {
+                assert!((0.0..=1.0).contains(rate));
+            }
+        }
+    }
+
+    #[test]
+    fn exact_test_dominates_sufficient_tests() {
+        let rows = run_acceptance(&tiny_config());
+        for row in &rows {
+            let devi = row.rates.first().unwrap().1;
+            let exact = row.rates.last().unwrap().1;
+            assert!(
+                exact >= devi - 1e-12,
+                "the exact test accepts at least as many sets as Devi"
+            );
+            // Superposition levels also dominate Devi.
+            for (label, rate) in &row.rates[1..row.rates.len() - 1] {
+                assert!(rate >= &(devi - 1e-12), "{label} must dominate Devi");
+            }
+        }
+    }
+
+    #[test]
+    fn table_rendering_matches_rows() {
+        let rows = run_acceptance(&tiny_config());
+        let table = acceptance_table(&rows);
+        assert_eq!(table.row_count(), rows.len());
+        assert!(table.to_ascii().contains("SuperPos(2)"));
+        assert!(table.to_csv().contains("Processor Demand"));
+    }
+
+    #[test]
+    fn default_and_full_configs_are_consistent() {
+        assert_eq!(AcceptanceConfig::default(), AcceptanceConfig::quick());
+        let full = AcceptanceConfig::full();
+        assert!(full.sets_per_point > AcceptanceConfig::quick().sets_per_point);
+    }
+}

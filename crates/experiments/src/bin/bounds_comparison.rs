@@ -1,0 +1,27 @@
+//! Compares the feasibility bounds of §4.3 (Baruah, George, busy period,
+//! superposition, hyperperiod) on random task sets: how often each bound is
+//! defined, how often it is the tightest, and its mean value.
+//!
+//! Usage: `cargo run -p edf-experiments --release --bin bounds_comparison [--full]`
+
+use edf_experiments::{bound_table, full_scale_requested, results_dir, run_bound_comparison};
+use edf_gen::TaskSetConfig;
+
+fn main() {
+    let sets = if full_scale_requested() { 2_000 } else { 200 };
+    let generator = TaskSetConfig::new()
+        .task_count(5..=50)
+        .utilization(0.85..=0.99)
+        .average_gap(0.3)
+        .seed(463);
+    println!("comparing feasibility bounds on {sets} random task sets\n");
+    let comparison = run_bound_comparison(&generator, sets);
+    let table = bound_table(&comparison);
+    println!("{}", table.to_ascii());
+
+    let path = results_dir().join("bounds_comparison.csv");
+    match table.write_csv(&path) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(err) => eprintln!("could not write {}: {err}", path.display()),
+    }
+}

@@ -1,0 +1,28 @@
+//! Regenerates Figure 1: percentage of task sets deemed feasible over the
+//! target utilization, for Devi, SuperPos(2..=10) and the processor demand
+//! test.
+//!
+//! Usage: `cargo run -p edf-experiments --release --bin fig1_acceptance [--full]`
+
+use edf_experiments::{
+    acceptance_table, full_scale_requested, results_dir, run_acceptance, AcceptanceConfig,
+};
+
+fn main() {
+    let config = if full_scale_requested() {
+        println!("running paper-scale (full) configuration — this takes a while\n");
+        AcceptanceConfig::full()
+    } else {
+        println!("running quick configuration (pass --full for paper-scale counts)\n");
+        AcceptanceConfig::quick()
+    };
+    let rows = run_acceptance(&config);
+    let table = acceptance_table(&rows);
+    println!("{}", table.to_ascii());
+
+    let path = results_dir().join("fig1_acceptance.csv");
+    match table.write_csv(&path) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(err) => eprintln!("could not write {}: {err}", path.display()),
+    }
+}

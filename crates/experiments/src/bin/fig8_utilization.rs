@@ -1,0 +1,33 @@
+//! Regenerates Figure 8: average and maximum number of test intervals for
+//! the dynamic-error, all-approximated and processor demand tests over the
+//! target utilization (90–99 %).
+//!
+//! Usage: `cargo run -p edf-experiments --release --bin fig8_utilization [--full]`
+
+use edf_experiments::{
+    effort_tables, full_scale_requested, results_dir, run_utilization_effort,
+    UtilizationEffortConfig,
+};
+
+fn main() {
+    let config = if full_scale_requested() {
+        println!("running paper-scale (full) configuration — this takes a while\n");
+        UtilizationEffortConfig::full()
+    } else {
+        println!("running quick configuration (pass --full for paper-scale counts)\n");
+        UtilizationEffortConfig::quick()
+    };
+    let rows = run_utilization_effort(&config);
+    let (avg, max) = effort_tables("Figure 8 — effort for different utilizations", "U (%)", &rows);
+    println!("{}", avg.to_ascii());
+    println!("{}", max.to_ascii());
+
+    let dir = results_dir();
+    for (table, file) in [(&avg, "fig8_average.csv"), (&max, "fig8_maximum.csv")] {
+        let path = dir.join(file);
+        match table.write_csv(&path) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(err) => eprintln!("could not write {}: {err}", path.display()),
+        }
+    }
+}

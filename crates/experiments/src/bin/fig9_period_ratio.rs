@@ -1,0 +1,36 @@
+//! Regenerates Figure 9: average and maximum number of test intervals for
+//! the dynamic-error, all-approximated and processor demand tests over the
+//! period ratio `Tmax/Tmin`.
+//!
+//! Usage: `cargo run -p edf-experiments --release --bin fig9_period_ratio [--full]`
+
+use edf_experiments::{
+    effort_tables, full_scale_requested, results_dir, run_ratio_effort, RatioEffortConfig,
+};
+
+fn main() {
+    let config = if full_scale_requested() {
+        println!("running paper-scale (full) configuration — this takes a while\n");
+        RatioEffortConfig::full()
+    } else {
+        println!("running quick configuration (pass --full for paper-scale counts)\n");
+        RatioEffortConfig::quick()
+    };
+    let rows = run_ratio_effort(&config);
+    let (avg, max) = effort_tables(
+        "Figure 9 — effort for different values of Tmax/Tmin",
+        "Tmax/Tmin",
+        &rows,
+    );
+    println!("{}", avg.to_ascii());
+    println!("{}", max.to_ascii());
+
+    let dir = results_dir();
+    for (table, file) in [(&avg, "fig9_average.csv"), (&max, "fig9_maximum.csv")] {
+        let path = dir.join(file);
+        match table.write_csv(&path) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(err) => eprintln!("could not write {}: {err}", path.display()),
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Regenerates Table 1: iterations of Devi's test, the dynamic-error test,
+//! the all-approximated test and the processor demand test on the five
+//! literature task sets (Burns, Ma & Shin, GAP, Gresser 1, Gresser 2).
+//!
+//! Usage: `cargo run -p edf-experiments --release --bin table1_literature`
+
+use edf_experiments::{literature_table, results_dir, run_literature};
+
+fn main() {
+    let rows = run_literature();
+    let table = literature_table(&rows);
+    println!("{}", table.to_ascii());
+
+    let path = results_dir().join("table1_literature.csv");
+    match table.write_csv(&path) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(err) => eprintln!("could not write {}: {err}", path.display()),
+    }
+}

@@ -1,0 +1,167 @@
+//! Experiment E6: comparison of the feasibility bounds of §4.3 (Baruah,
+//! George, busy period, superposition, hyperperiod) on random task sets —
+//! how large each bound is and how often each is the tightest.
+
+use edf_analysis::bounds::FeasibilityBounds;
+use edf_gen::TaskSetConfig;
+use edf_model::{TaskSet, Time};
+
+use crate::report::{fmt_f64, Table};
+use crate::stats::parallel_map;
+
+/// Names of the compared bounds, in presentation order.
+pub const BOUND_NAMES: [&str; 5] = [
+    "Baruah",
+    "George",
+    "Busy period",
+    "Superposition",
+    "Hyperperiod",
+];
+
+/// Aggregated comparison of the bounds over a batch of task sets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundComparison {
+    /// Number of task sets analysed.
+    pub sets: usize,
+    /// Mean bound value per bound (NaN when the bound was never defined).
+    pub mean_value: Vec<(String, f64)>,
+    /// Fraction of sets for which each bound was defined.
+    pub defined_rate: Vec<(String, f64)>,
+    /// Fraction of sets for which each bound was the (joint) tightest.
+    pub tightest_rate: Vec<(String, f64)>,
+}
+
+fn bound_values(bounds: &FeasibilityBounds) -> [Option<Time>; 5] {
+    [
+        bounds.baruah,
+        bounds.george,
+        bounds.busy_period,
+        bounds.superposition,
+        bounds.hyperperiod,
+    ]
+}
+
+/// Runs the bound comparison on `sets_per_batch` task sets drawn from
+/// `generator`.
+#[must_use]
+pub fn run_bound_comparison(generator: &TaskSetConfig, sets_per_batch: usize) -> BoundComparison {
+    let task_sets = generator.generate_many(sets_per_batch);
+    let all_bounds: Vec<FeasibilityBounds> =
+        parallel_map(&task_sets, |ts: &TaskSet| FeasibilityBounds::compute(ts));
+
+    let mut sums = [0.0f64; 5];
+    let mut defined = [0usize; 5];
+    let mut tightest = [0usize; 5];
+    for bounds in &all_bounds {
+        let values = bound_values(bounds);
+        let min = values.iter().flatten().min().copied();
+        for (i, value) in values.iter().enumerate() {
+            if let Some(v) = value {
+                sums[i] += v.as_f64();
+                defined[i] += 1;
+                if Some(*v) == min {
+                    tightest[i] += 1;
+                }
+            }
+        }
+    }
+
+    let total = task_sets.len().max(1) as f64;
+    BoundComparison {
+        sets: task_sets.len(),
+        mean_value: BOUND_NAMES
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                let mean = if defined[i] == 0 {
+                    f64::NAN
+                } else {
+                    sums[i] / defined[i] as f64
+                };
+                ((*name).to_owned(), mean)
+            })
+            .collect(),
+        defined_rate: BOUND_NAMES
+            .iter()
+            .enumerate()
+            .map(|(i, name)| ((*name).to_owned(), defined[i] as f64 / total))
+            .collect(),
+        tightest_rate: BOUND_NAMES
+            .iter()
+            .enumerate()
+            .map(|(i, name)| ((*name).to_owned(), tightest[i] as f64 / total))
+            .collect(),
+    }
+}
+
+/// Renders the comparison as a table (one row per bound).
+#[must_use]
+pub fn bound_table(comparison: &BoundComparison) -> Table {
+    let mut table = Table::new(
+        "Feasibility bounds (§4.3) on random task sets",
+        &["Bound", "defined", "tightest", "mean value"],
+    );
+    for i in 0..BOUND_NAMES.len() {
+        table.add_row(vec![
+            comparison.mean_value[i].0.clone(),
+            fmt_f64(comparison.defined_rate[i].1, 2),
+            fmt_f64(comparison.tightest_rate[i].1, 2),
+            fmt_f64(comparison.mean_value[i].1, 0),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generator() -> TaskSetConfig {
+        TaskSetConfig::new()
+            .task_count(5..=15)
+            .utilization(0.85..=0.95)
+            .average_gap(0.3)
+            .seed(31)
+    }
+
+    #[test]
+    fn comparison_covers_every_bound() {
+        let cmp = run_bound_comparison(&generator(), 20);
+        assert_eq!(cmp.sets, 20);
+        assert_eq!(cmp.mean_value.len(), 5);
+        assert_eq!(cmp.defined_rate.len(), 5);
+        assert_eq!(cmp.tightest_rate.len(), 5);
+        // With U < 1 and constrained deadlines every bound should usually be
+        // defined.
+        for (name, rate) in &cmp.defined_rate {
+            if name != "Hyperperiod" {
+                assert!(*rate > 0.9, "{name} defined only {rate}");
+            }
+        }
+    }
+
+    #[test]
+    fn george_is_never_looser_than_baruah_on_average() {
+        let cmp = run_bound_comparison(&generator(), 20);
+        let mean = |name: &str| {
+            cmp.mean_value
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        assert!(mean("George") <= mean("Baruah"));
+        // The superposition bound never exceeds max(George, Dmax) and is
+        // close to George for these workloads.
+        assert!(mean("Superposition") >= mean("George") * 0.99);
+    }
+
+    #[test]
+    fn table_renders_all_bounds() {
+        let table = bound_table(&run_bound_comparison(&generator(), 5));
+        let text = table.to_ascii();
+        for name in BOUND_NAMES {
+            assert!(text.contains(name));
+        }
+    }
+}

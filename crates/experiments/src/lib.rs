@@ -1,0 +1,85 @@
+//! # `edf-experiments` — regenerating the paper's figures and tables
+//!
+//! This crate contains the experiment harness that reproduces the
+//! evaluation of Albers & Slomka (DATE 2005):
+//!
+//! | Binary | Paper artifact | Library entry point |
+//! |---|---|---|
+//! | `fig1_acceptance` | Figure 1 — acceptance rate over utilization | [`run_acceptance`] |
+//! | `fig8_utilization` | Figure 8 — iterations over utilization (avg & max) | [`run_utilization_effort`] |
+//! | `fig9_period_ratio` | Figure 9 — iterations over `Tmax/Tmin` | [`run_ratio_effort`] |
+//! | `table1_literature` | Table 1 — literature task sets | [`run_literature`] |
+//! | `bounds_comparison` | §4.3 bound discussion | [`run_bound_comparison`] |
+//!
+//! Each binary prints aligned tables to stdout (the same rows/series the
+//! paper reports) and writes CSV files under `results/`.  By default a
+//! laptop-scale *quick* configuration is used; pass `--full` (or set
+//! `EDF_EXPERIMENTS_FULL=1`) for paper-scale task-set counts.
+//!
+//! # Examples
+//!
+//! ```
+//! use edf_experiments::{literature_table, run_literature};
+//!
+//! let rows = run_literature();
+//! assert_eq!(rows.len(), 5);
+//! println!("{}", literature_table(&rows).to_ascii());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod acceptance;
+mod bound_study;
+mod iterations;
+mod report;
+mod stats;
+
+pub use acceptance::{acceptance_table, run_acceptance, AcceptanceConfig, AcceptanceRow};
+pub use bound_study::{bound_table, run_bound_comparison, BoundComparison, BOUND_NAMES};
+pub use iterations::{
+    effort_tables, literature_table, run_literature, run_ratio_effort, run_utilization_effort,
+    EffortRow, LiteratureRow, RatioEffortConfig, UtilizationEffortConfig,
+};
+pub use report::{fmt_f64, Table};
+pub use stats::{acceptance_rate, parallel_map, IterationStats};
+
+use std::path::PathBuf;
+
+/// Returns `true` when the paper-scale ("full") configuration was requested
+/// via the `--full` command line flag or the `EDF_EXPERIMENTS_FULL`
+/// environment variable.
+#[must_use]
+pub fn full_scale_requested() -> bool {
+    std::env::args().any(|arg| arg == "--full")
+        || std::env::var("EDF_EXPERIMENTS_FULL").is_ok_and(|v| v == "1" || v == "true")
+}
+
+/// Directory into which the experiment binaries write their CSV results.
+#[must_use]
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("EDF_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_dir_defaults_to_results() {
+        // Do not rely on ambient env in the test runner beyond the default.
+        if std::env::var_os("EDF_RESULTS_DIR").is_none() {
+            assert_eq!(results_dir(), PathBuf::from("results"));
+        }
+    }
+
+    #[test]
+    fn full_scale_flag_defaults_to_false_in_tests() {
+        if std::env::var_os("EDF_EXPERIMENTS_FULL").is_none() {
+            assert!(!full_scale_requested());
+        }
+    }
+}

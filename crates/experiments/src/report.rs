@@ -1,0 +1,198 @@
+//! Plain-text and CSV reporting of experiment results.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A simple rectangular result table: a title, a header row and data rows.
+///
+/// # Examples
+///
+/// ```
+/// use edf_experiments::Table;
+///
+/// let mut table = Table::new("demo", &["x", "y"]);
+/// table.add_row(vec!["1".into(), "2".into()]);
+/// let text = table.to_ascii();
+/// assert!(text.contains("demo"));
+/// assert!(text.contains('1'));
+/// assert_eq!(table.to_csv().lines().count(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with the given title and column headers.
+    #[must_use]
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_owned(),
+            headers: headers.iter().map(|h| (*h).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a data row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length does not match the header length.
+    pub fn add_row(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width must match the header"
+        );
+        self.rows.push(row);
+    }
+
+    /// The table title.
+    #[must_use]
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table as an aligned ASCII block.
+    #[must_use]
+    pub fn to_ascii(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let mut header_line = String::new();
+        for (i, header) in self.headers.iter().enumerate() {
+            let _ = write!(header_line, "{:>width$}  ", header, width = widths[i]);
+        }
+        let _ = writeln!(out, "{}", header_line.trim_end());
+        let _ = writeln!(out, "{}", "-".repeat(header_line.trim_end().len()));
+        for row in &self.rows {
+            let mut line = String::new();
+            for (i, cell) in row.iter().enumerate() {
+                let _ = write!(line, "{:>width$}  ", cell, width = widths[i]);
+            }
+            let _ = writeln!(out, "{}", line.trim_end());
+        }
+        out
+    }
+
+    /// Renders the table as CSV (header + rows, comma separated, values
+    /// quoted only when they contain a comma).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let escape = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_owned()
+            }
+        };
+        let mut out = String::new();
+        let header: Vec<String> = self.headers.iter().map(|h| escape(h)).collect();
+        let _ = writeln!(out, "{}", header.join(","));
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(|c| escape(c)).collect();
+            let _ = writeln!(out, "{}", cells.join(","));
+        }
+        out
+    }
+
+    /// Writes the CSV rendering to `path`, creating parent directories as
+    /// needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error from creating directories or writing.
+    pub fn write_csv(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        fs::write(path, self.to_csv())
+    }
+}
+
+/// Formats a float with a fixed number of decimals, rendering NaN as "-".
+#[must_use]
+pub fn fmt_f64(value: f64, decimals: usize) -> String {
+    if value.is_nan() {
+        "-".to_owned()
+    } else {
+        format!("{value:.decimals$}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("results", &["a", "bbbb", "c"]);
+        t.add_row(vec!["1".into(), "2".into(), "3".into()]);
+        t.add_row(vec!["10".into(), "20,5".into(), "x\"y".into()]);
+        t
+    }
+
+    #[test]
+    fn ascii_rendering_is_aligned_and_complete() {
+        let text = sample().to_ascii();
+        assert!(text.contains("## results"));
+        assert!(text.contains("bbbb"));
+        assert!(text.contains("20,5"));
+        assert_eq!(text.lines().count(), 5);
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "a,bbbb,c");
+        assert_eq!(lines[1], "1,2,3");
+        assert!(lines[2].contains("\"20,5\""));
+        assert!(lines[2].contains("\"x\"\"y\""));
+    }
+
+    #[test]
+    fn csv_roundtrip_to_disk() {
+        let dir = std::env::temp_dir().join("edf_experiments_table_test");
+        let path = dir.join("nested").join("out.csv");
+        sample().write_csv(&path).unwrap();
+        let read_back = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(read_back, sample().to_csv());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_row_width_panics() {
+        let mut t = Table::new("bad", &["a", "b"]);
+        t.add_row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f64(1.23456, 2), "1.23");
+        assert_eq!(fmt_f64(f64::NAN, 2), "-");
+        assert_eq!(fmt_f64(0.0, 1), "0.0");
+    }
+
+    #[test]
+    fn accessors() {
+        let t = sample();
+        assert_eq!(t.title(), "results");
+        assert_eq!(t.row_count(), 2);
+    }
+}

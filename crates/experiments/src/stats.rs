@@ -1,0 +1,143 @@
+//! Small statistics helpers shared by the experiments.
+
+use std::num::NonZeroUsize;
+use std::thread;
+
+/// Aggregated iteration statistics over a batch of task sets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterationStats {
+    /// Number of samples aggregated.
+    pub count: usize,
+    /// Mean number of iterations.
+    pub mean: f64,
+    /// Maximum number of iterations.
+    pub max: u64,
+    /// Total number of iterations.
+    pub total: u64,
+}
+
+impl IterationStats {
+    /// Aggregates a slice of per-task-set iteration counts.
+    ///
+    /// Returns a zeroed record (mean = NaN) for an empty slice.
+    #[must_use]
+    pub fn from_samples(samples: &[u64]) -> Self {
+        if samples.is_empty() {
+            return IterationStats {
+                count: 0,
+                mean: f64::NAN,
+                max: 0,
+                total: 0,
+            };
+        }
+        let total: u64 = samples.iter().sum();
+        IterationStats {
+            count: samples.len(),
+            mean: total as f64 / samples.len() as f64,
+            max: samples.iter().copied().max().unwrap_or(0),
+            total,
+        }
+    }
+}
+
+/// Fraction of `true` values in a slice of outcomes (acceptance rate).
+///
+/// Returns NaN for an empty slice.
+#[must_use]
+pub fn acceptance_rate(outcomes: &[bool]) -> f64 {
+    if outcomes.is_empty() {
+        return f64::NAN;
+    }
+    outcomes.iter().filter(|&&accepted| accepted).count() as f64 / outcomes.len() as f64
+}
+
+/// Applies `f` to every item of `items`, splitting the work over the
+/// available CPU cores with scoped threads.  Result order matches input
+/// order.
+///
+/// Falls back to a sequential map for tiny inputs.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(items.len().max(1));
+    if workers <= 1 || items.len() < 4 {
+        return items.iter().map(&f).collect();
+    }
+    let chunk_size = items.len().div_ceil(workers);
+    let mut results: Vec<Option<R>> = Vec::with_capacity(items.len());
+    results.resize_with(items.len(), || None);
+    let chunks: Vec<(usize, &[T])> = items
+        .chunks(chunk_size)
+        .enumerate()
+        .map(|(i, chunk)| (i * chunk_size, chunk))
+        .collect();
+    let slots = std::sync::Mutex::new(&mut results);
+    thread::scope(|scope| {
+        for (offset, chunk) in chunks {
+            let f = &f;
+            let slots = &slots;
+            scope.spawn(move || {
+                let local: Vec<R> = chunk.iter().map(f).collect();
+                let mut guard = slots.lock().expect("no poisoned lock");
+                for (i, value) in local.into_iter().enumerate() {
+                    guard[offset + i] = Some(value);
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| slot.expect("every slot filled by a worker"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iteration_stats_basic() {
+        let stats = IterationStats::from_samples(&[1, 2, 3, 10]);
+        assert_eq!(stats.count, 4);
+        assert_eq!(stats.max, 10);
+        assert_eq!(stats.total, 16);
+        assert!((stats.mean - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iteration_stats_empty() {
+        let stats = IterationStats::from_samples(&[]);
+        assert_eq!(stats.count, 0);
+        assert!(stats.mean.is_nan());
+        assert_eq!(stats.max, 0);
+    }
+
+    #[test]
+    fn acceptance_rate_basic() {
+        assert!((acceptance_rate(&[true, true, false, false]) - 0.5).abs() < 1e-12);
+        assert!((acceptance_rate(&[true]) - 1.0).abs() < 1e-12);
+        assert!(acceptance_rate(&[]).is_nan());
+    }
+
+    #[test]
+    fn parallel_map_preserves_order_and_values() {
+        let items: Vec<u64> = (0..1_000).collect();
+        let doubled = parallel_map(&items, |&x| x * 2);
+        assert_eq!(doubled.len(), items.len());
+        for (i, value) in doubled.iter().enumerate() {
+            assert_eq!(*value, items[i] * 2);
+        }
+    }
+
+    #[test]
+    fn parallel_map_small_inputs() {
+        assert_eq!(parallel_map(&[1, 2, 3], |&x| x + 1), vec![2, 3, 4]);
+        assert_eq!(parallel_map::<u32, u32, _>(&[], |&x| x), Vec::<u32>::new());
+    }
+}

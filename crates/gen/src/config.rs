@@ -1,0 +1,289 @@
+//! Task-set generation configuration.
+
+use edf_model::{Task, TaskBuilder, TaskSet, Time};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::periods::PeriodDistribution;
+use crate::uunifast::uunifast;
+
+/// Configuration for random sporadic task-set generation, mirroring the
+/// setup of §5 of the paper: UUniFast utilizations, a configurable period
+/// distribution, and a controllable *deadline gap* (the relative distance
+/// between deadline and period).
+///
+/// # Examples
+///
+/// ```
+/// use edf_gen::TaskSetConfig;
+///
+/// let config = TaskSetConfig::new()
+///     .task_count(5..=20)
+///     .utilization(0.90..=0.99)
+///     .average_gap(0.3)
+///     .seed(42);
+/// let sets = config.generate_many(10);
+/// assert_eq!(sets.len(), 10);
+/// for ts in &sets {
+///     assert!(ts.len() >= 5 && ts.len() <= 20);
+///     assert!(ts.utilization() <= 1.0 + 1e-9);
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskSetConfig {
+    task_count: (usize, usize),
+    utilization: (f64, f64),
+    periods: PeriodDistribution,
+    average_gap: f64,
+    seed: u64,
+}
+
+impl Default for TaskSetConfig {
+    fn default() -> Self {
+        TaskSetConfig::new()
+    }
+}
+
+impl TaskSetConfig {
+    /// Creates the default configuration: 5–100 tasks (the paper's range),
+    /// utilization 0.90–0.99, periods uniform in `[1_000, 1_000_000]`,
+    /// average gap 0.3, seed 0.
+    #[must_use]
+    pub fn new() -> Self {
+        TaskSetConfig {
+            task_count: (5, 100),
+            utilization: (0.90, 0.99),
+            periods: PeriodDistribution::default(),
+            average_gap: 0.3,
+            seed: 0,
+        }
+    }
+
+    /// Sets the (inclusive) range of task-set sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    #[must_use]
+    pub fn task_count(mut self, range: std::ops::RangeInclusive<usize>) -> Self {
+        assert!(!range.is_empty(), "task count range must not be empty");
+        self.task_count = (*range.start(), *range.end());
+        self
+    }
+
+    /// Sets the (inclusive) range of target total utilizations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bounds are not within `(0, 1]` or inverted.
+    #[must_use]
+    pub fn utilization(mut self, range: std::ops::RangeInclusive<f64>) -> Self {
+        let (lo, hi) = (*range.start(), *range.end());
+        assert!(lo > 0.0 && hi <= 1.0 + 1e-12 && lo <= hi, "utilization range must lie in (0, 1]");
+        self.utilization = (lo, hi);
+        self
+    }
+
+    /// Sets a single target utilization.
+    #[must_use]
+    pub fn fixed_utilization(self, value: f64) -> Self {
+        self.utilization(value..=value)
+    }
+
+    /// Sets the period distribution.
+    #[must_use]
+    pub fn periods(mut self, periods: PeriodDistribution) -> Self {
+        self.periods = periods;
+        self
+    }
+
+    /// Sets the average deadline gap `g ∈ [0, 1)`: deadlines are drawn as
+    /// `D = C + (T − C)·(1 − γ)` with `γ` uniform in `[0, 2g]` (clamped to
+    /// `[0, 1]`), so the *expected* gap between deadline and period is `g`
+    /// as in the paper's experiments ("average gap of 20 %, 30 % and 40 %").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gap` is not within `[0, 1)`.
+    #[must_use]
+    pub fn average_gap(mut self, gap: f64) -> Self {
+        assert!((0.0..1.0).contains(&gap), "average gap must be in [0, 1)");
+        self.average_gap = gap;
+        self
+    }
+
+    /// Sets the RNG seed, making generation fully reproducible.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The configured period distribution.
+    #[must_use]
+    pub fn period_distribution(&self) -> &PeriodDistribution {
+        &self.periods
+    }
+
+    /// The configured RNG seed.
+    #[must_use]
+    pub fn seed_value(&self) -> u64 {
+        self.seed
+    }
+
+    /// Generates a single task set using the configured seed.
+    #[must_use]
+    pub fn generate(&self) -> TaskSet {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        self.generate_with(&mut rng)
+    }
+
+    /// Generates `count` task sets using the configured seed (the sets are
+    /// different from each other but the whole batch is reproducible).
+    #[must_use]
+    pub fn generate_many(&self, count: usize) -> Vec<TaskSet> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        (0..count).map(|_| self.generate_with(&mut rng)).collect()
+    }
+
+    /// Generates a task set from a caller-supplied random source.
+    #[must_use]
+    pub fn generate_with<R: Rng + ?Sized>(&self, rng: &mut R) -> TaskSet {
+        let n = if self.task_count.0 == self.task_count.1 {
+            self.task_count.0
+        } else {
+            rng.gen_range(self.task_count.0..=self.task_count.1)
+        };
+        let target_u = if (self.utilization.0 - self.utilization.1).abs() < f64::EPSILON {
+            self.utilization.0
+        } else {
+            rng.gen_range(self.utilization.0..=self.utilization.1)
+        };
+        let utilizations = uunifast(n, target_u, rng);
+
+        let mut tasks = Vec::with_capacity(n);
+        for utilization in utilizations {
+            tasks.push(self.build_task(utilization, rng));
+        }
+        TaskSet::from_tasks(tasks)
+    }
+
+    fn build_task<R: Rng + ?Sized>(&self, utilization: f64, rng: &mut R) -> Task {
+        let period = self.periods.sample(rng).max(1);
+        // Round the execution time, clamping into [1, period].
+        let wcet = ((utilization * period as f64).round() as u64).clamp(1, period);
+        // Draw the relative gap and place the deadline between C and T.
+        let gamma = if self.average_gap == 0.0 {
+            0.0
+        } else {
+            rng.gen_range(0.0..=(2.0 * self.average_gap)).min(1.0)
+        };
+        let span = (period - wcet) as f64;
+        let deadline = wcet + (span * (1.0 - gamma)).round() as u64;
+        let deadline = deadline.clamp(wcet, period);
+        TaskBuilder::new(Time::new(wcet), Time::new(deadline), Time::new(period))
+            .build()
+            .expect("generated parameters are valid by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_sets_respect_the_configuration() {
+        let config = TaskSetConfig::new()
+            .task_count(5..=30)
+            .utilization(0.90..=0.99)
+            .average_gap(0.2)
+            .seed(7);
+        for ts in config.generate_many(50) {
+            assert!(ts.len() >= 5 && ts.len() <= 30);
+            // Rounding WCETs moves the realized utilization slightly; it
+            // must stay close to the requested band.
+            assert!(ts.utilization() > 0.5);
+            assert!(ts.utilization() < 1.05);
+            for task in &ts {
+                assert!(task.wcet() >= Time::ONE);
+                assert!(task.deadline() >= task.wcet());
+                assert!(task.deadline() <= task.period());
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_reproducible() {
+        let config = TaskSetConfig::new().seed(99).task_count(10..=10);
+        assert_eq!(config.generate(), config.generate());
+        assert_eq!(config.generate_many(5), config.generate_many(5));
+        let other = TaskSetConfig::new().seed(100).task_count(10..=10);
+        assert_ne!(config.generate(), other.generate());
+    }
+
+    #[test]
+    fn fixed_parameters_are_honoured() {
+        let config = TaskSetConfig::new()
+            .task_count(12..=12)
+            .fixed_utilization(0.75)
+            .seed(3);
+        let ts = config.generate();
+        assert_eq!(ts.len(), 12);
+        assert!((ts.utilization() - 0.75).abs() < 0.05);
+    }
+
+    #[test]
+    fn zero_gap_gives_implicit_deadlines() {
+        let config = TaskSetConfig::new()
+            .task_count(20..=20)
+            .average_gap(0.0)
+            .seed(5);
+        let ts = config.generate();
+        assert!(ts.all_implicit_deadlines());
+    }
+
+    #[test]
+    fn larger_gap_shrinks_deadlines() {
+        let small = TaskSetConfig::new().task_count(40..=40).average_gap(0.1).seed(8);
+        let large = TaskSetConfig::new().task_count(40..=40).average_gap(0.45).seed(8);
+        let gap_small = small.generate().average_deadline_gap().unwrap();
+        let gap_large = large.generate().average_deadline_gap().unwrap();
+        assert!(gap_large > gap_small);
+        assert!((gap_small - 0.1).abs() < 0.1);
+        assert!((gap_large - 0.45).abs() < 0.15);
+    }
+
+    #[test]
+    fn ratio_controlled_periods_reach_the_requested_spread() {
+        let config = TaskSetConfig::new()
+            .task_count(60..=60)
+            .periods(PeriodDistribution::RatioControlled { min: 100, ratio: 10_000 })
+            .seed(2);
+        let ts = config.generate();
+        let ratio = ts.period_ratio().unwrap();
+        assert!(ratio > 100.0, "observed ratio {ratio} too small");
+        assert!(ratio <= 10_000.0);
+    }
+
+    #[test]
+    fn default_configuration_matches_paper() {
+        let config = TaskSetConfig::default();
+        assert_eq!(config, TaskSetConfig::new());
+        assert_eq!(
+            config.period_distribution(),
+            &PeriodDistribution::Uniform { min: 1_000, max: 1_000_000 }
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_utilization_range_panics() {
+        let _ = TaskSetConfig::new().utilization(0.5..=1.5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_gap_panics() {
+        let _ = TaskSetConfig::new().average_gap(1.0);
+    }
+}

@@ -1,0 +1,184 @@
+//! Period distributions for random task sets.
+
+use rand::Rng;
+
+/// How task periods (minimum inter-arrival times) are drawn.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PeriodDistribution {
+    /// Uniformly distributed integer periods in `[min, max]` (the
+    /// distribution of the paper's Figure 8 experiment).
+    Uniform {
+        /// Smallest period (inclusive).
+        min: u64,
+        /// Largest period (inclusive).
+        max: u64,
+    },
+    /// Log-uniformly distributed periods in `[min, max]`: each order of
+    /// magnitude is equally likely, the common choice for automotive-style
+    /// workloads.
+    LogUniform {
+        /// Smallest period (inclusive).
+        min: u64,
+        /// Largest period (inclusive).
+        max: u64,
+    },
+    /// Periods drawn uniformly from an explicit menu of values (e.g. the
+    /// typical {1, 2, 5, 10, 20, 50, 100, 200, 1000} ms automotive set).
+    Choice(Vec<u64>),
+    /// Periods log-uniformly distributed in `[min, min·ratio]` — the
+    /// distribution used to sweep `Tmax/Tmin` in the paper's Figure 9.
+    ///
+    /// Sampling each order of magnitude equally guarantees that task sets
+    /// mix very small and very large periods, which is exactly the regime
+    /// in which the processor demand test degenerates (§3.3): the analysis
+    /// horizon is driven by the large, slow tasks while the number of test
+    /// intervals below it is driven by the small, fast ones.
+    RatioControlled {
+        /// Smallest period.
+        min: u64,
+        /// Ratio `Tmax / Tmin`.
+        ratio: u64,
+    },
+}
+
+impl PeriodDistribution {
+    /// Draws one period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the distribution is degenerate (empty choice list,
+    /// `max < min`, zero minimum or zero ratio).
+    #[must_use]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        match self {
+            PeriodDistribution::Uniform { min, max } => {
+                assert!(*min >= 1 && max >= min, "degenerate uniform period range");
+                rng.gen_range(*min..=*max)
+            }
+            PeriodDistribution::LogUniform { min, max } => {
+                assert!(*min >= 1 && max >= min, "degenerate log-uniform period range");
+                let lo = (*min as f64).ln();
+                let hi = (*max as f64).ln();
+                let value = (rng.gen_range(lo..=hi)).exp().round() as u64;
+                value.clamp(*min, *max)
+            }
+            PeriodDistribution::Choice(values) => {
+                assert!(!values.is_empty(), "empty period choice list");
+                values[rng.gen_range(0..values.len())]
+            }
+            PeriodDistribution::RatioControlled { min, ratio } => {
+                assert!(*min >= 1 && *ratio >= 1, "degenerate ratio-controlled periods");
+                let max = min.saturating_mul(*ratio);
+                if max == *min {
+                    return *min;
+                }
+                let lo = (*min as f64).ln();
+                let hi = (max as f64).ln();
+                let value = (rng.gen_range(lo..=hi)).exp().round() as u64;
+                value.clamp(*min, max)
+            }
+        }
+    }
+
+    /// The inclusive range `[min, max]` the distribution can produce.
+    #[must_use]
+    pub fn range(&self) -> (u64, u64) {
+        match self {
+            PeriodDistribution::Uniform { min, max }
+            | PeriodDistribution::LogUniform { min, max } => (*min, *max),
+            PeriodDistribution::Choice(values) => (
+                values.iter().copied().min().unwrap_or(0),
+                values.iter().copied().max().unwrap_or(0),
+            ),
+            PeriodDistribution::RatioControlled { min, ratio } => {
+                (*min, min.saturating_mul(*ratio))
+            }
+        }
+    }
+}
+
+impl Default for PeriodDistribution {
+    /// The paper's default: periods uniform in `[1_000, 1_000_000]`.
+    fn default() -> Self {
+        PeriodDistribution::Uniform {
+            min: 1_000,
+            max: 1_000_000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_stay_in_range() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let distributions = vec![
+            PeriodDistribution::Uniform { min: 10, max: 100 },
+            PeriodDistribution::LogUniform { min: 10, max: 100_000 },
+            PeriodDistribution::Choice(vec![5, 10, 20, 50]),
+            PeriodDistribution::RatioControlled { min: 100, ratio: 1_000 },
+        ];
+        for dist in distributions {
+            let (lo, hi) = dist.range();
+            for _ in 0..500 {
+                let p = dist.sample(&mut rng);
+                assert!(p >= lo && p <= hi, "{p} outside [{lo}, {hi}] for {dist:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn choice_only_returns_menu_values() {
+        let menu = vec![7u64, 13, 21];
+        let dist = PeriodDistribution::Choice(menu.clone());
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert!(menu.contains(&dist.sample(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn log_uniform_covers_small_and_large_decades() {
+        let dist = PeriodDistribution::LogUniform { min: 10, max: 1_000_000 };
+        let mut rng = StdRng::seed_from_u64(9);
+        let samples: Vec<u64> = (0..3_000).map(|_| dist.sample(&mut rng)).collect();
+        let small = samples.iter().filter(|&&p| p < 1_000).count();
+        let large = samples.iter().filter(|&&p| p >= 100_000).count();
+        // Each spans roughly two of the five decades: both must be common.
+        assert!(small > 300, "too few small periods: {small}");
+        assert!(large > 300, "too few large periods: {large}");
+    }
+
+    #[test]
+    fn ratio_controlled_range() {
+        let dist = PeriodDistribution::RatioControlled { min: 50, ratio: 4 };
+        assert_eq!(dist.range(), (50, 200));
+    }
+
+    #[test]
+    fn default_matches_paper_setup() {
+        assert_eq!(
+            PeriodDistribution::default(),
+            PeriodDistribution::Uniform { min: 1_000, max: 1_000_000 }
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_choice_panics() {
+        let dist = PeriodDistribution::Choice(vec![]);
+        let _ = dist.sample(&mut StdRng::seed_from_u64(0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn inverted_uniform_range_panics() {
+        let dist = PeriodDistribution::Uniform { min: 10, max: 5 };
+        let _ = dist.sample(&mut StdRng::seed_from_u64(0));
+    }
+}

@@ -1,0 +1,142 @@
+//! Parameter sweeps: batches of task sets across a range of utilizations or
+//! period ratios, as used by the paper's experiments.
+
+use edf_model::TaskSet;
+
+use crate::config::TaskSetConfig;
+use crate::periods::PeriodDistribution;
+
+/// One point of a sweep: the swept parameter value and the task sets
+/// generated for it.
+#[derive(Debug, Clone)]
+pub struct SweepPoint<P> {
+    /// The swept parameter (utilization in percent, period ratio, ...).
+    pub parameter: P,
+    /// The generated task sets for this parameter value.
+    pub task_sets: Vec<TaskSet>,
+}
+
+/// Generates the utilization sweep of Figures 1 and 8: for every
+/// utilization percentage in `percent_range`, `sets_per_point` task sets
+/// drawn from `base` with that (fixed) target utilization.
+///
+/// The seed of each point is derived from the base seed and the parameter
+/// so that points are independent yet reproducible.
+///
+/// # Examples
+///
+/// ```
+/// use edf_gen::{utilization_sweep, TaskSetConfig};
+///
+/// let base = TaskSetConfig::new().task_count(5..=15).seed(1);
+/// let sweep = utilization_sweep(&base, 90..=92, 5);
+/// assert_eq!(sweep.len(), 3);
+/// assert_eq!(sweep[0].parameter, 90);
+/// assert_eq!(sweep[0].task_sets.len(), 5);
+/// ```
+#[must_use]
+pub fn utilization_sweep(
+    base: &TaskSetConfig,
+    percent_range: std::ops::RangeInclusive<u32>,
+    sets_per_point: usize,
+) -> Vec<SweepPoint<u32>> {
+    percent_range
+        .map(|percent| {
+            let utilization = f64::from(percent) / 100.0;
+            let config = base
+                .clone()
+                .fixed_utilization(utilization.min(1.0))
+                .seed(derive_seed(base, u64::from(percent)));
+            SweepPoint {
+                parameter: percent,
+                task_sets: config.generate_many(sets_per_point),
+            }
+        })
+        .collect()
+}
+
+/// Generates the period-ratio sweep of Figure 9: for every ratio in
+/// `ratios`, `sets_per_point` task sets whose periods span `[min_period,
+/// min_period·ratio]`.
+#[must_use]
+pub fn period_ratio_sweep(
+    base: &TaskSetConfig,
+    min_period: u64,
+    ratios: &[u64],
+    sets_per_point: usize,
+) -> Vec<SweepPoint<u64>> {
+    ratios
+        .iter()
+        .map(|&ratio| {
+            let config = base
+                .clone()
+                .periods(PeriodDistribution::RatioControlled {
+                    min: min_period,
+                    ratio,
+                })
+                .seed(derive_seed(base, ratio));
+            SweepPoint {
+                parameter: ratio,
+                task_sets: config.generate_many(sets_per_point),
+            }
+        })
+        .collect()
+}
+
+/// Mixes the base seed with the swept parameter (SplitMix64 finalizer) so
+/// every sweep point uses an independent, reproducible stream.
+fn derive_seed(base: &TaskSetConfig, parameter: u64) -> u64 {
+    let mut z = base
+        .seed_value()
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(parameter.wrapping_mul(0xD6E8_FEB8_6659_FD93));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_sweep_produces_requested_points() {
+        let base = TaskSetConfig::new().task_count(5..=10).seed(3);
+        let sweep = utilization_sweep(&base, 90..=99, 3);
+        assert_eq!(sweep.len(), 10);
+        for (offset, point) in sweep.iter().enumerate() {
+            assert_eq!(point.parameter, 90 + offset as u32);
+            assert_eq!(point.task_sets.len(), 3);
+            for ts in &point.task_sets {
+                let target = f64::from(point.parameter) / 100.0;
+                assert!((ts.utilization() - target).abs() < 0.05);
+            }
+        }
+    }
+
+    #[test]
+    fn ratio_sweep_spans_the_requested_ratios() {
+        let base = TaskSetConfig::new().task_count(10..=20).seed(5);
+        let ratios = [100, 10_000, 1_000_000];
+        let sweep = period_ratio_sweep(&base, 100, &ratios, 2);
+        assert_eq!(sweep.len(), 3);
+        for (point, &ratio) in sweep.iter().zip(&ratios) {
+            assert_eq!(point.parameter, ratio);
+            for ts in &point.task_sets {
+                let observed = ts.period_ratio().unwrap();
+                assert!(observed <= ratio as f64 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn sweeps_are_reproducible() {
+        let base = TaskSetConfig::new().task_count(5..=10).seed(3);
+        let a = utilization_sweep(&base, 95..=96, 2);
+        let b = utilization_sweep(&base, 95..=96, 2);
+        assert_eq!(a.len(), b.len());
+        for (pa, pb) in a.iter().zip(&b) {
+            assert_eq!(pa.task_sets, pb.task_sets);
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! The UUniFast utilization generator (Bini & Buttazzo).
+//!
+//! The experiments of the paper generate random task sets "following the
+//! uniform distribution proposed by Bini" (ref. [4]): task utilizations
+//! must be drawn uniformly from the simplex `Σ Uᵢ = U` to avoid the biasing
+//! effects of naive generation.  UUniFast is the standard algorithm that
+//! achieves exactly that in `O(n)`.
+
+use rand::Rng;
+
+/// Draws `n` task utilizations summing to `total_utilization`, uniformly
+/// distributed over the simplex (UUniFast).
+///
+/// # Panics
+///
+/// Panics if `n` is zero or `total_utilization` is not strictly positive
+/// and finite.
+///
+/// # Examples
+///
+/// ```
+/// use edf_gen::uunifast;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let utils = uunifast(5, 0.9, &mut rng);
+/// assert_eq!(utils.len(), 5);
+/// let sum: f64 = utils.iter().sum();
+/// assert!((sum - 0.9).abs() < 1e-9);
+/// ```
+#[must_use]
+pub fn uunifast<R: Rng + ?Sized>(n: usize, total_utilization: f64, rng: &mut R) -> Vec<f64> {
+    assert!(n > 0, "cannot distribute utilization over zero tasks");
+    assert!(
+        total_utilization > 0.0 && total_utilization.is_finite(),
+        "total utilization must be positive and finite"
+    );
+    let mut utilizations = Vec::with_capacity(n);
+    let mut remaining = total_utilization;
+    for i in 1..n {
+        let exponent = 1.0 / (n - i) as f64;
+        let next: f64 = remaining * rng.gen::<f64>().powf(exponent);
+        utilizations.push(remaining - next);
+        remaining = next;
+    }
+    utilizations.push(remaining);
+    utilizations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sums_to_target_and_stays_positive() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for &(n, u) in &[(1usize, 0.5f64), (2, 0.9), (10, 0.99), (100, 0.95), (50, 0.7)] {
+            let utils = uunifast(n, u, &mut rng);
+            assert_eq!(utils.len(), n);
+            let sum: f64 = utils.iter().sum();
+            assert!((sum - u).abs() < 1e-9, "sum {sum} != {u}");
+            assert!(utils.iter().all(|&x| x >= 0.0 && x <= u + 1e-12));
+        }
+    }
+
+    #[test]
+    fn single_task_gets_everything() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(uunifast(1, 0.75, &mut rng), vec![0.75]);
+    }
+
+    #[test]
+    fn is_deterministic_for_a_fixed_seed() {
+        let a = uunifast(8, 0.9, &mut StdRng::seed_from_u64(123));
+        let b = uunifast(8, 0.9, &mut StdRng::seed_from_u64(123));
+        assert_eq!(a, b);
+        let c = uunifast(8, 0.9, &mut StdRng::seed_from_u64(124));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn spreads_load_reasonably() {
+        // Statistical sanity: with many draws, the mean share of the first
+        // task approaches U/n.
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 4;
+        let u = 0.8;
+        let samples = 2_000;
+        let mean_first: f64 = (0..samples)
+            .map(|_| uunifast(n, u, &mut rng)[0])
+            .sum::<f64>()
+            / samples as f64;
+        assert!((mean_first - u / n as f64).abs() < 0.02, "mean {mean_first}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_tasks_panics() {
+        let _ = uunifast(0, 0.5, &mut StdRng::seed_from_u64(0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_positive_utilization_panics() {
+        let _ = uunifast(3, 0.0, &mut StdRng::seed_from_u64(0));
+    }
+}

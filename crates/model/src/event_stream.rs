@@ -1,0 +1,477 @@
+//! Gresser-style event streams (§2 and §3.6 of the paper).
+//!
+//! The sporadic task model describes strictly periodic worst-case arrival
+//! patterns.  Gresser's *event stream* model generalises this to bursty
+//! stimuli: an event stream is a set of tuples `(z, a)` where `a` is the
+//! earliest time (relative to the start of an interval) at which the tuple's
+//! events can occur and `z` is the cycle with which the tuple repeats
+//! (`None` encodes a one-shot tuple that contributes at most a single
+//! event).  The *event bound function* `η(I)` gives the maximum number of
+//! events the stream can produce in any time window of length `I`.
+//!
+//! The paper notes that its new feasibility tests "can be extended to more
+//! advanced task models. Especially the extension for the event stream model
+//! is easy".  This module provides that substrate: streams, their event
+//! bound function, and [`EventStreamTask`]s whose demand bound function can
+//! be fed into a processor-demand style analysis.
+//!
+//! # Examples
+//!
+//! A periodic stream with period 10 is the single tuple `(10, 0)`:
+//!
+//! ```
+//! use edf_model::{EventStream, Time};
+//!
+//! let periodic = EventStream::periodic(Time::new(10));
+//! assert_eq!(periodic.eta(Time::new(0)), 1);   // an event right at the window start
+//! assert_eq!(periodic.eta(Time::new(9)), 1);
+//! assert_eq!(periodic.eta(Time::new(10)), 2);
+//! ```
+//!
+//! A burst of 3 events that repeats every 100 time units, with 5 time units
+//! between the events inside the burst:
+//!
+//! ```
+//! use edf_model::{EventStream, Time};
+//!
+//! let burst = EventStream::bursty(3, Time::new(5), Time::new(100));
+//! assert_eq!(burst.eta(Time::new(0)), 1);
+//! assert_eq!(burst.eta(Time::new(5)), 2);
+//! assert_eq!(burst.eta(Time::new(10)), 3);
+//! assert_eq!(burst.eta(Time::new(99)), 3);
+//! assert_eq!(burst.eta(Time::new(100)), 4);
+//! ```
+
+use core::fmt;
+
+use crate::task::Task;
+use crate::time::Time;
+
+/// One tuple `(z, a)` of an event stream.
+///
+/// `offset` is the earliest position of the tuple's first event relative to
+/// the start of the observation window; `cycle` is the distance between
+/// repetitions (`None` for a tuple that fires at most once).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct EventTuple {
+    /// Repetition cycle `z`; `None` for a one-shot tuple.
+    pub cycle: Option<Time>,
+    /// Offset `a` of the first event inside the window.
+    pub offset: Time,
+}
+
+impl EventTuple {
+    /// A periodically repeating tuple.
+    #[must_use]
+    pub fn periodic(cycle: Time, offset: Time) -> Self {
+        EventTuple {
+            cycle: Some(cycle),
+            offset,
+        }
+    }
+
+    /// A tuple contributing at most one event.
+    #[must_use]
+    pub fn single(offset: Time) -> Self {
+        EventTuple {
+            cycle: None,
+            offset,
+        }
+    }
+
+    /// Number of events this tuple contributes to a window of length
+    /// `interval`.
+    #[must_use]
+    pub fn events_in(&self, interval: Time) -> u64 {
+        if interval < self.offset {
+            return 0;
+        }
+        match self.cycle {
+            None => 1,
+            Some(z) if z.is_zero() => 1,
+            Some(z) => (interval - self.offset).div_floor(z) + 1,
+        }
+    }
+}
+
+/// Errors produced when constructing event streams or event-stream tasks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EventStreamError {
+    /// The stream contains no tuples.
+    EmptyStream,
+    /// A repeating tuple has a zero cycle.
+    ZeroCycle,
+    /// The per-event execution time is zero.
+    ZeroWcet,
+    /// The relative deadline is zero.
+    ZeroDeadline,
+}
+
+impl fmt::Display for EventStreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EventStreamError::EmptyStream => write!(f, "event stream must contain at least one tuple"),
+            EventStreamError::ZeroCycle => write!(f, "repeating event tuple must have a positive cycle"),
+            EventStreamError::ZeroWcet => write!(f, "per-event execution time must be positive"),
+            EventStreamError::ZeroDeadline => write!(f, "relative deadline must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for EventStreamError {}
+
+/// A Gresser event stream: a set of [`EventTuple`]s whose superposition
+/// gives the worst-case arrival pattern of a stimulus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct EventStream {
+    tuples: Vec<EventTuple>,
+}
+
+impl EventStream {
+    /// Creates an event stream from its tuples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EventStreamError::EmptyStream`] if `tuples` is empty and
+    /// [`EventStreamError::ZeroCycle`] if any repeating tuple has cycle 0.
+    pub fn new(tuples: Vec<EventTuple>) -> Result<Self, EventStreamError> {
+        if tuples.is_empty() {
+            return Err(EventStreamError::EmptyStream);
+        }
+        if tuples
+            .iter()
+            .any(|t| matches!(t.cycle, Some(z) if z.is_zero()))
+        {
+            return Err(EventStreamError::ZeroCycle);
+        }
+        Ok(EventStream { tuples })
+    }
+
+    /// The stream of a strictly periodic stimulus with the given period:
+    /// the single tuple `(period, 0)`.
+    #[must_use]
+    pub fn periodic(period: Time) -> Self {
+        EventStream {
+            tuples: vec![EventTuple::periodic(period, Time::ZERO)],
+        }
+    }
+
+    /// The stream of a sporadic burst: `burst_len` events separated by
+    /// `inner_distance`, the whole pattern repeating every `outer_cycle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `burst_len` is zero.
+    #[must_use]
+    pub fn bursty(burst_len: u64, inner_distance: Time, outer_cycle: Time) -> Self {
+        assert!(burst_len > 0, "burst length must be positive");
+        let tuples = (0..burst_len)
+            .map(|k| EventTuple::periodic(outer_cycle, inner_distance * k))
+            .collect();
+        EventStream { tuples }
+    }
+
+    /// The tuples of this stream.
+    #[must_use]
+    pub fn tuples(&self) -> &[EventTuple] {
+        &self.tuples
+    }
+
+    /// The event bound function `η(I)`: the maximum number of events in any
+    /// window of length `interval`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use edf_model::{EventStream, Time};
+    /// let s = EventStream::periodic(Time::new(4));
+    /// assert_eq!(s.eta(Time::new(11)), 3);
+    /// ```
+    #[must_use]
+    pub fn eta(&self, interval: Time) -> u64 {
+        self.tuples.iter().map(|t| t.events_in(interval)).sum()
+    }
+
+    /// The long-run event rate (events per time unit) contributed by the
+    /// repeating tuples.
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        self.tuples
+            .iter()
+            .filter_map(|t| t.cycle)
+            .map(|z| 1.0 / z.as_f64())
+            .sum()
+    }
+
+    /// Interval lengths `≤ horizon` at which `η` increases (the candidate
+    /// test intervals of a demand-based analysis), sorted and de-duplicated.
+    #[must_use]
+    pub fn change_points(&self, horizon: Time) -> Vec<Time> {
+        let mut points = Vec::new();
+        for tuple in &self.tuples {
+            let mut at = tuple.offset;
+            loop {
+                if at > horizon {
+                    break;
+                }
+                points.push(at);
+                match tuple.cycle {
+                    Some(z) => match at.checked_add(z) {
+                        Some(next) => at = next,
+                        None => break,
+                    },
+                    None => break,
+                }
+            }
+        }
+        points.sort_unstable();
+        points.dedup();
+        points
+    }
+}
+
+impl fmt::Display for EventStream {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "event stream with {} tuple(s)", self.tuples.len())
+    }
+}
+
+/// A task activated by an [`EventStream`]: every event requires `wcet`
+/// execution time and must finish within `deadline` of its occurrence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct EventStreamTask {
+    stream: EventStream,
+    wcet: Time,
+    deadline: Time,
+    name: Option<String>,
+}
+
+impl EventStreamTask {
+    /// Creates an event-stream task.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EventStreamError`] if `wcet` or `deadline` is zero.
+    pub fn new(stream: EventStream, wcet: Time, deadline: Time) -> Result<Self, EventStreamError> {
+        if wcet.is_zero() {
+            return Err(EventStreamError::ZeroWcet);
+        }
+        if deadline.is_zero() {
+            return Err(EventStreamError::ZeroDeadline);
+        }
+        Ok(EventStreamTask {
+            stream,
+            wcet,
+            deadline,
+            name: None,
+        })
+    }
+
+    /// Gives the task a human-readable name.
+    #[must_use]
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = Some(name.into());
+        self
+    }
+
+    /// The activating event stream.
+    #[must_use]
+    pub fn stream(&self) -> &EventStream {
+        &self.stream
+    }
+
+    /// Execution demand per event.
+    #[must_use]
+    pub fn wcet(&self) -> Time {
+        self.wcet
+    }
+
+    /// Relative deadline per event.
+    #[must_use]
+    pub fn deadline(&self) -> Time {
+        self.deadline
+    }
+
+    /// Optional name.
+    #[must_use]
+    pub fn name(&self) -> Option<&str> {
+        self.name.as_deref()
+    }
+
+    /// Long-run processor utilization of this task.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        self.stream.rate() * self.wcet.as_f64()
+    }
+
+    /// Demand bound function: the maximum execution demand with both event
+    /// occurrence and deadline inside a window of length `interval`.
+    ///
+    /// Events with occurrence time `t ≤ interval − deadline` have their
+    /// deadline inside the window, hence
+    /// `dbf(I) = C · η(I − D)` for `I ≥ D` and 0 otherwise.
+    #[must_use]
+    pub fn dbf(&self, interval: Time) -> Time {
+        if interval < self.deadline {
+            return Time::ZERO;
+        }
+        let events = self.stream.eta(interval - self.deadline);
+        self.wcet.saturating_mul(events)
+    }
+
+    /// Converts a purely periodic event-stream task (single periodic tuple
+    /// with offset 0) into an equivalent sporadic [`Task`]; returns `None`
+    /// for genuinely bursty streams.
+    #[must_use]
+    pub fn to_sporadic(&self) -> Option<Task> {
+        if self.stream.tuples.len() != 1 {
+            return None;
+        }
+        let tuple = self.stream.tuples[0];
+        let cycle = tuple.cycle?;
+        if !tuple.offset.is_zero() {
+            return None;
+        }
+        Task::new(self.wcet, self.deadline, cycle).ok()
+    }
+}
+
+impl fmt::Display for EventStreamTask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.name {
+            Some(n) => write!(f, "{n}(C={}, D={}, {})", self.wcet, self.deadline, self.stream),
+            None => write!(f, "es-task(C={}, D={}, {})", self.wcet, self.deadline, self.stream),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn periodic_eta_matches_closed_form() {
+        let s = EventStream::periodic(Time::new(10));
+        for i in 0..50u64 {
+            assert_eq!(s.eta(Time::new(i)), i / 10 + 1);
+        }
+    }
+
+    #[test]
+    fn single_tuple_contributes_once() {
+        let tuple = EventTuple::single(Time::new(5));
+        assert_eq!(tuple.events_in(Time::new(4)), 0);
+        assert_eq!(tuple.events_in(Time::new(5)), 1);
+        assert_eq!(tuple.events_in(Time::new(500)), 1);
+    }
+
+    #[test]
+    fn bursty_eta() {
+        let s = EventStream::bursty(3, Time::new(2), Time::new(50));
+        assert_eq!(s.eta(Time::new(0)), 1);
+        assert_eq!(s.eta(Time::new(2)), 2);
+        assert_eq!(s.eta(Time::new(4)), 3);
+        assert_eq!(s.eta(Time::new(49)), 3);
+        assert_eq!(s.eta(Time::new(50)), 4);
+        assert_eq!(s.eta(Time::new(54)), 6);
+    }
+
+    #[test]
+    fn construction_errors() {
+        assert_eq!(EventStream::new(vec![]), Err(EventStreamError::EmptyStream));
+        assert_eq!(
+            EventStream::new(vec![EventTuple::periodic(Time::ZERO, Time::ZERO)]),
+            Err(EventStreamError::ZeroCycle)
+        );
+        let s = EventStream::periodic(Time::new(10));
+        assert_eq!(
+            EventStreamTask::new(s.clone(), Time::ZERO, Time::new(5)),
+            Err(EventStreamError::ZeroWcet)
+        );
+        assert_eq!(
+            EventStreamTask::new(s, Time::new(1), Time::ZERO),
+            Err(EventStreamError::ZeroDeadline)
+        );
+        assert!(!EventStreamError::EmptyStream.to_string().is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn bursty_zero_len_panics() {
+        let _ = EventStream::bursty(0, Time::new(1), Time::new(10));
+    }
+
+    #[test]
+    fn rate_and_utilization() {
+        let s = EventStream::bursty(2, Time::new(1), Time::new(20));
+        assert!((s.rate() - 0.1).abs() < 1e-12);
+        let task = EventStreamTask::new(s, Time::new(3), Time::new(5)).unwrap();
+        assert!((task.utilization() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dbf_shifts_by_deadline() {
+        let s = EventStream::periodic(Time::new(10));
+        let task = EventStreamTask::new(s, Time::new(2), Time::new(4)).unwrap();
+        assert_eq!(task.dbf(Time::new(3)), Time::ZERO);
+        assert_eq!(task.dbf(Time::new(4)), Time::new(2)); // first event's deadline
+        assert_eq!(task.dbf(Time::new(13)), Time::new(2));
+        assert_eq!(task.dbf(Time::new(14)), Time::new(4)); // second event
+    }
+
+    #[test]
+    fn change_points_sorted_unique() {
+        let s = EventStream::bursty(2, Time::new(3), Time::new(10));
+        let pts = s.change_points(Time::new(25));
+        assert_eq!(
+            pts,
+            vec![
+                Time::new(0),
+                Time::new(3),
+                Time::new(10),
+                Time::new(13),
+                Time::new(20),
+                Time::new(23)
+            ]
+        );
+    }
+
+    #[test]
+    fn conversion_to_sporadic() {
+        let periodic = EventStreamTask::new(
+            EventStream::periodic(Time::new(12)),
+            Time::new(2),
+            Time::new(9),
+        )
+        .unwrap();
+        let sporadic = periodic.to_sporadic().expect("periodic stream converts");
+        assert_eq!(sporadic.period(), Time::new(12));
+        assert_eq!(sporadic.deadline(), Time::new(9));
+
+        let bursty = EventStreamTask::new(
+            EventStream::bursty(2, Time::new(1), Time::new(12)),
+            Time::new(2),
+            Time::new(9),
+        )
+        .unwrap();
+        assert!(bursty.to_sporadic().is_none());
+    }
+
+    #[test]
+    fn naming_and_display() {
+        let task = EventStreamTask::new(
+            EventStream::periodic(Time::new(10)),
+            Time::new(1),
+            Time::new(5),
+        )
+        .unwrap()
+        .named("can_rx");
+        assert_eq!(task.name(), Some("can_rx"));
+        assert!(task.to_string().contains("can_rx"));
+        assert!(EventStream::periodic(Time::new(3)).to_string().contains("1 tuple"));
+    }
+}

@@ -1,0 +1,51 @@
+//! # `edf-model` — sporadic task and event stream models
+//!
+//! Data model underlying the EDF feasibility analyses of the
+//! `edf-feasibility` workspace, reproducing the analysis model of
+//!
+//! > K. Albers, F. Slomka. *Efficient Feasibility Analysis for Real-Time
+//! > Systems with EDF Scheduling.* DATE 2005.
+//!
+//! The crate provides:
+//!
+//! * [`Time`] — discrete, exact time values;
+//! * [`Task`] / [`TaskSet`] — the sporadic task model `(C, D, T, φ)` of §2
+//!   of the paper, with validation, builders and aggregate quantities
+//!   (utilization, density, hyperperiod, deadline gap);
+//! * [`EventStream`] / [`EventStreamTask`] — Gresser's event stream model,
+//!   the "advanced task model" extension the paper refers to;
+//! * [`literature`] — reconstructions of the Table 1 example task sets
+//!   (Burns, Ma & Shin, GAP, Gresser 1/2).
+//!
+//! # Examples
+//!
+//! ```
+//! use edf_model::{Task, TaskSet, Time};
+//!
+//! # fn main() -> Result<(), edf_model::TaskError> {
+//! let set = TaskSet::from_tasks(vec![
+//!     Task::new(Time::new(2), Time::new(7), Time::new(10))?.named("control"),
+//!     Task::new(Time::new(3), Time::new(14), Time::new(20))?.named("logging"),
+//! ]);
+//! assert!(set.utilization() < 1.0);
+//! assert_eq!(set.hyperperiod(), Some(Time::new(20)));
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Enable the `serde` feature to (de)serialize all model types.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod event_stream;
+pub mod literature;
+mod task;
+mod task_set;
+mod time;
+
+pub use event_stream::{EventStream, EventStreamError, EventStreamTask, EventTuple};
+pub use task::{Task, TaskBuilder, TaskError};
+pub use task_set::TaskSet;
+pub use time::Time;

@@ -1,0 +1,452 @@
+//! Discrete time values used throughout the analysis.
+//!
+//! All quantities of the sporadic task model (worst-case execution times,
+//! relative deadlines, minimum inter-arrival times, test intervals) are
+//! expressed as non-negative integers of an arbitrary but fixed resolution
+//! (e.g. microseconds or processor cycles).  Using integers keeps the demand
+//! bound function and all feasibility comparisons exact.
+//!
+//! [`Time`] is a thin newtype over `u64` providing checked and saturating
+//! arithmetic, ordering, and the number-theoretic helpers (`gcd`, `lcm`)
+//! needed for hyperperiod computations.
+//!
+//! # Examples
+//!
+//! ```
+//! use edf_model::Time;
+//!
+//! let period = Time::new(20);
+//! let deadline = Time::new(15);
+//! assert!(deadline < period);
+//! assert_eq!((period - deadline).as_u64(), 5);
+//! assert_eq!(Time::new(12).lcm(Time::new(18)), Some(Time::new(36)));
+//! ```
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
+
+/// A non-negative, discrete instant or duration.
+///
+/// `Time` wraps a `u64` tick count.  The unit is chosen by the caller and is
+/// never interpreted by this library; only ratios and comparisons matter for
+/// feasibility analysis.
+///
+/// Arithmetic through the standard operators panics on overflow/underflow in
+/// debug builds and wraps in release builds (the same contract as the
+/// underlying integer type); use [`Time::checked_add`], [`Time::checked_sub`],
+/// [`Time::checked_mul`] or the saturating variants when the operands are not
+/// known to be in range.
+///
+/// # Examples
+///
+/// ```
+/// use edf_model::Time;
+///
+/// let t = Time::new(10) + Time::new(5);
+/// assert_eq!(t, Time::new(15));
+/// assert_eq!(t.saturating_sub(Time::new(100)), Time::ZERO);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[cfg_attr(feature = "serde", serde(transparent))]
+pub struct Time(u64);
+
+impl Time {
+    /// The zero instant / empty duration.
+    pub const ZERO: Time = Time(0);
+    /// One tick.
+    pub const ONE: Time = Time(1);
+    /// The largest representable time value.
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Creates a time value from a raw tick count.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use edf_model::Time;
+    /// assert_eq!(Time::new(42).as_u64(), 42);
+    /// ```
+    #[inline]
+    #[must_use]
+    pub const fn new(ticks: u64) -> Self {
+        Time(ticks)
+    }
+
+    /// Returns the raw tick count.
+    #[inline]
+    #[must_use]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the tick count widened to `u128` (useful for overflow-free
+    /// intermediate products).
+    #[inline]
+    #[must_use]
+    pub const fn as_u128(self) -> u128 {
+        self.0 as u128
+    }
+
+    /// Returns the tick count as `f64` (lossy for values above 2⁵³).
+    #[inline]
+    #[must_use]
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// Returns `true` if this is the zero value.
+    #[inline]
+    #[must_use]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Checked addition; `None` on overflow.
+    #[inline]
+    #[must_use]
+    pub const fn checked_add(self, rhs: Time) -> Option<Time> {
+        match self.0.checked_add(rhs.0) {
+            Some(v) => Some(Time(v)),
+            None => None,
+        }
+    }
+
+    /// Checked subtraction; `None` if `rhs > self`.
+    #[inline]
+    #[must_use]
+    pub const fn checked_sub(self, rhs: Time) -> Option<Time> {
+        match self.0.checked_sub(rhs.0) {
+            Some(v) => Some(Time(v)),
+            None => None,
+        }
+    }
+
+    /// Checked multiplication by a scalar; `None` on overflow.
+    #[inline]
+    #[must_use]
+    pub const fn checked_mul(self, factor: u64) -> Option<Time> {
+        match self.0.checked_mul(factor) {
+            Some(v) => Some(Time(v)),
+            None => None,
+        }
+    }
+
+    /// Saturating addition.
+    #[inline]
+    #[must_use]
+    pub const fn saturating_add(self, rhs: Time) -> Time {
+        Time(self.0.saturating_add(rhs.0))
+    }
+
+    /// Saturating subtraction (clamps at zero).
+    #[inline]
+    #[must_use]
+    pub const fn saturating_sub(self, rhs: Time) -> Time {
+        Time(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Saturating multiplication by a scalar.
+    #[inline]
+    #[must_use]
+    pub const fn saturating_mul(self, factor: u64) -> Time {
+        Time(self.0.saturating_mul(factor))
+    }
+
+    /// Integer division rounding towards zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    #[inline]
+    #[must_use]
+    pub const fn div_floor(self, divisor: Time) -> u64 {
+        self.0 / divisor.0
+    }
+
+    /// Integer division rounding up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    #[inline]
+    #[must_use]
+    pub const fn div_ceil(self, divisor: Time) -> u64 {
+        self.0.div_ceil(divisor.0)
+    }
+
+    /// Greatest common divisor with `other` (Euclid's algorithm).
+    ///
+    /// `gcd(0, x) == x` by convention.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use edf_model::Time;
+    /// assert_eq!(Time::new(12).gcd(Time::new(18)), Time::new(6));
+    /// assert_eq!(Time::new(0).gcd(Time::new(7)), Time::new(7));
+    /// ```
+    #[must_use]
+    pub const fn gcd(self, other: Time) -> Time {
+        let (mut a, mut b) = (self.0, other.0);
+        while b != 0 {
+            let t = a % b;
+            a = b;
+            b = t;
+        }
+        Time(a)
+    }
+
+    /// Least common multiple with `other`, or `None` if it overflows `u64`.
+    ///
+    /// `lcm(0, x) == 0` by convention.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use edf_model::Time;
+    /// assert_eq!(Time::new(4).lcm(Time::new(6)), Some(Time::new(12)));
+    /// assert_eq!(Time::new(u64::MAX).lcm(Time::new(u64::MAX - 1)), None);
+    /// ```
+    #[must_use]
+    pub const fn lcm(self, other: Time) -> Option<Time> {
+        if self.0 == 0 || other.0 == 0 {
+            return Some(Time::ZERO);
+        }
+        let g = self.gcd(other).0;
+        // (a / g) * b cannot lose precision because g divides a.
+        match (self.0 / g).checked_mul(other.0) {
+            Some(v) => Some(Time(v)),
+            None => None,
+        }
+    }
+
+    /// Returns the smaller of two time values.
+    #[inline]
+    #[must_use]
+    pub fn min(self, other: Time) -> Time {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the larger of two time values.
+    #[inline]
+    #[must_use]
+    pub fn max(self, other: Time) -> Time {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for Time {
+    fn from(ticks: u64) -> Self {
+        Time(ticks)
+    }
+}
+
+impl From<u32> for Time {
+    fn from(ticks: u32) -> Self {
+        Time(u64::from(ticks))
+    }
+}
+
+impl From<Time> for u64 {
+    fn from(t: Time) -> Self {
+        t.0
+    }
+}
+
+impl From<Time> for u128 {
+    fn from(t: Time) -> Self {
+        u128::from(t.0)
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, rhs: Time) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Time {
+    #[inline]
+    fn add_assign(&mut self, rhs: Time) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Time {
+    type Output = Time;
+    #[inline]
+    fn sub(self, rhs: Time) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Time {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Time) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Time {
+    type Output = Time;
+    #[inline]
+    fn mul(self, rhs: u64) -> Time {
+        Time(self.0 * rhs)
+    }
+}
+
+impl Mul<Time> for u64 {
+    type Output = Time;
+    #[inline]
+    fn mul(self, rhs: Time) -> Time {
+        Time(self * rhs.0)
+    }
+}
+
+impl Div<Time> for Time {
+    type Output = u64;
+    #[inline]
+    fn div(self, rhs: Time) -> u64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Rem<Time> for Time {
+    type Output = Time;
+    #[inline]
+    fn rem(self, rhs: Time) -> Time {
+        Time(self.0 % rhs.0)
+    }
+}
+
+impl Sum for Time {
+    fn sum<I: Iterator<Item = Time>>(iter: I) -> Self {
+        iter.fold(Time::ZERO, |acc, t| acc + t)
+    }
+}
+
+impl<'a> Sum<&'a Time> for Time {
+    fn sum<I: Iterator<Item = &'a Time>>(iter: I) -> Self {
+        iter.fold(Time::ZERO, |acc, t| acc + *t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        assert_eq!(Time::new(5).as_u64(), 5);
+        assert_eq!(Time::from(7u32).as_u64(), 7);
+        assert_eq!(u64::from(Time::new(9)), 9);
+        assert_eq!(Time::ZERO.as_u64(), 0);
+        assert!(Time::ZERO.is_zero());
+        assert!(!Time::ONE.is_zero());
+        assert_eq!(Time::default(), Time::ZERO);
+    }
+
+    #[test]
+    fn display_matches_inner() {
+        assert_eq!(Time::new(123).to_string(), "123");
+        assert_eq!(format!("{:>5}", Time::new(42)), "   42");
+    }
+
+    #[test]
+    fn basic_arithmetic() {
+        assert_eq!(Time::new(3) + Time::new(4), Time::new(7));
+        assert_eq!(Time::new(9) - Time::new(4), Time::new(5));
+        assert_eq!(Time::new(3) * 4, Time::new(12));
+        assert_eq!(4 * Time::new(3), Time::new(12));
+        assert_eq!(Time::new(17) / Time::new(5), 3);
+        assert_eq!(Time::new(17) % Time::new(5), Time::new(2));
+        let mut t = Time::new(1);
+        t += Time::new(2);
+        assert_eq!(t, Time::new(3));
+        t -= Time::new(1);
+        assert_eq!(t, Time::new(2));
+    }
+
+    #[test]
+    fn checked_arithmetic() {
+        assert_eq!(Time::MAX.checked_add(Time::ONE), None);
+        assert_eq!(Time::new(1).checked_add(Time::new(2)), Some(Time::new(3)));
+        assert_eq!(Time::new(1).checked_sub(Time::new(2)), None);
+        assert_eq!(Time::new(5).checked_sub(Time::new(2)), Some(Time::new(3)));
+        assert_eq!(Time::MAX.checked_mul(2), None);
+        assert_eq!(Time::new(5).checked_mul(3), Some(Time::new(15)));
+    }
+
+    #[test]
+    fn saturating_arithmetic() {
+        assert_eq!(Time::MAX.saturating_add(Time::ONE), Time::MAX);
+        assert_eq!(Time::new(1).saturating_sub(Time::new(5)), Time::ZERO);
+        assert_eq!(Time::MAX.saturating_mul(3), Time::MAX);
+        assert_eq!(Time::new(2).saturating_mul(3), Time::new(6));
+    }
+
+    #[test]
+    fn division_helpers() {
+        assert_eq!(Time::new(10).div_floor(Time::new(3)), 3);
+        assert_eq!(Time::new(10).div_ceil(Time::new(3)), 4);
+        assert_eq!(Time::new(9).div_ceil(Time::new(3)), 3);
+        assert_eq!(Time::new(0).div_ceil(Time::new(3)), 0);
+    }
+
+    #[test]
+    fn gcd_lcm() {
+        assert_eq!(Time::new(12).gcd(Time::new(18)), Time::new(6));
+        assert_eq!(Time::new(17).gcd(Time::new(5)), Time::new(1));
+        assert_eq!(Time::new(0).gcd(Time::new(5)), Time::new(5));
+        assert_eq!(Time::new(5).gcd(Time::new(0)), Time::new(5));
+        assert_eq!(Time::new(4).lcm(Time::new(6)), Some(Time::new(12)));
+        assert_eq!(Time::new(0).lcm(Time::new(6)), Some(Time::ZERO));
+        assert_eq!(
+            Time::new(u64::MAX).lcm(Time::new(u64::MAX - 1)),
+            None,
+            "lcm of two huge coprime-ish values overflows"
+        );
+    }
+
+    #[test]
+    fn min_max_sum() {
+        assert_eq!(Time::new(3).min(Time::new(5)), Time::new(3));
+        assert_eq!(Time::new(3).max(Time::new(5)), Time::new(5));
+        let v = [Time::new(1), Time::new(2), Time::new(3)];
+        let total: Time = v.iter().sum();
+        assert_eq!(total, Time::new(6));
+        let total2: Time = v.into_iter().sum();
+        assert_eq!(total2, Time::new(6));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Time::new(1) < Time::new(2));
+        assert!(Time::new(2) <= Time::new(2));
+        assert_eq!(Time::new(2).cmp(&Time::new(2)), core::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    #[should_panic]
+    fn sub_underflow_panics_in_debug() {
+        let _ = Time::new(1) - Time::new(2);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests of the task / task-set / event-stream model.
+
+use edf_model::{EventStream, EventStreamTask, Task, TaskSet, Time};
+use proptest::prelude::*;
+
+/// Strategy producing a valid task with bounded parameters.
+fn arb_task() -> impl Strategy<Value = Task> {
+    (1u64..=1_000, 1u64..=10_000, 1u64..=10_000).prop_filter_map(
+        "wcet must not exceed period",
+        |(c, d, t)| {
+            let c = c.min(t);
+            Task::from_ticks(c, d, t).ok()
+        },
+    )
+}
+
+fn arb_task_set(max_len: usize) -> impl Strategy<Value = TaskSet> {
+    prop::collection::vec(arb_task(), 1..=max_len).prop_map(TaskSet::from_tasks)
+}
+
+proptest! {
+    #[test]
+    fn task_utilization_at_most_one(task in arb_task()) {
+        prop_assert!(task.utilization() <= 1.0 + 1e-12);
+        prop_assert!(task.utilization() > 0.0);
+    }
+
+    #[test]
+    fn task_gap_in_unit_interval(task in arb_task()) {
+        let gap = task.deadline_gap();
+        prop_assert!((0.0..=1.0).contains(&gap));
+    }
+
+    #[test]
+    fn job_deadlines_strictly_increase(task in arb_task(), k in 0u64..1_000) {
+        let d0 = task.job_deadline(k).unwrap();
+        let d1 = task.job_deadline(k + 1).unwrap();
+        prop_assert!(d1 > d0);
+        prop_assert_eq!(d1 - d0, task.period());
+    }
+
+    #[test]
+    fn utilization_exact_and_float_agree(ts in arb_task_set(12)) {
+        let float = ts.utilization();
+        let exceeds = ts.utilization_exceeds_one();
+        // The two views must agree away from the boundary.
+        if float > 1.0 + 1e-6 {
+            prop_assert!(exceeds);
+        }
+        if float < 1.0 - 1e-6 {
+            prop_assert!(!exceeds);
+        }
+    }
+
+    #[test]
+    fn hyperperiod_is_multiple_of_every_period(ts in arb_task_set(8)) {
+        if let Some(h) = ts.hyperperiod() {
+            for task in &ts {
+                prop_assert!(h % task.period() == Time::ZERO);
+            }
+        }
+    }
+
+    #[test]
+    fn sorting_preserves_multiset(ts in arb_task_set(10)) {
+        let sorted = ts.sorted_by_deadline();
+        prop_assert_eq!(sorted.len(), ts.len());
+        let mut a: Vec<_> = ts.iter().map(|t| (t.wcet(), t.deadline(), t.period())).collect();
+        let mut b: Vec<_> = sorted.iter().map(|t| (t.wcet(), t.deadline(), t.period())).collect();
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+        // And the ordering is correct.
+        for w in sorted.tasks().windows(2) {
+            prop_assert!(w[0].deadline() <= w[1].deadline());
+        }
+    }
+
+    #[test]
+    fn eta_is_monotone(period in 1u64..1_000, len in 1u64..5, inner in 1u64..50, i in 0u64..5_000) {
+        let stream = EventStream::bursty(len, Time::new(inner), Time::new(period));
+        let a = stream.eta(Time::new(i));
+        let b = stream.eta(Time::new(i + 1));
+        prop_assert!(b >= a);
+    }
+
+    #[test]
+    fn event_stream_dbf_monotone_and_bounded(period in 2u64..500, c in 1u64..20, d in 1u64..100, i in 0u64..10_000) {
+        let task = EventStreamTask::new(
+            EventStream::periodic(Time::new(period)),
+            Time::new(c),
+            Time::new(d),
+        ).unwrap();
+        let a = task.dbf(Time::new(i));
+        let b = task.dbf(Time::new(i + 1));
+        prop_assert!(b >= a);
+        // A periodic stream's dbf matches the sporadic task dbf formula.
+        let expected = if i >= d { ((i - d) / period + 1) * c } else { 0 };
+        prop_assert_eq!(a.as_u64(), expected);
+    }
+}
+
+#[test]
+fn task_set_roundtrip_from_iterator() {
+    let tasks = vec![
+        Task::from_ticks(1, 5, 10).unwrap(),
+        Task::from_ticks(2, 8, 16).unwrap(),
+    ];
+    let ts: TaskSet = tasks.clone().into_iter().collect();
+    assert_eq!(ts.tasks(), tasks.as_slice());
+}

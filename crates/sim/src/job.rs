@@ -1,0 +1,92 @@
+//! Job instances released during a simulation.
+
+use edf_model::Time;
+
+/// A single released job (one invocation of a task).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Job {
+    /// Index of the task in the simulated task set.
+    pub task_index: usize,
+    /// 0-based job number of that task.
+    pub job_index: u64,
+    /// Release (arrival) instant.
+    pub release: Time,
+    /// Absolute deadline.
+    pub absolute_deadline: Time,
+    /// Remaining execution demand.
+    pub remaining: Time,
+}
+
+impl Job {
+    /// Creates a freshly released job with its full execution demand left.
+    #[must_use]
+    pub fn new(
+        task_index: usize,
+        job_index: u64,
+        release: Time,
+        absolute_deadline: Time,
+        wcet: Time,
+    ) -> Self {
+        Job {
+            task_index,
+            job_index,
+            release,
+            absolute_deadline,
+            remaining: wcet,
+        }
+    }
+
+    /// `true` once the job has no execution demand left.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.remaining.is_zero()
+    }
+
+    /// `true` if the job is past its deadline at time `now` while still
+    /// holding unfinished demand.
+    #[must_use]
+    pub fn is_late(&self, now: Time) -> bool {
+        !self.is_complete() && now > self.absolute_deadline
+    }
+}
+
+/// A recorded deadline miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeadlineMiss {
+    /// Index of the task whose job missed its deadline.
+    pub task_index: usize,
+    /// 0-based job number of that task.
+    pub job_index: u64,
+    /// The absolute deadline that was missed.
+    pub deadline: Time,
+    /// Execution demand still pending at the deadline.
+    pub unfinished: Time,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_lifecycle_predicates() {
+        let mut job = Job::new(0, 3, Time::new(30), Time::new(38), Time::new(4));
+        assert!(!job.is_complete());
+        assert!(!job.is_late(Time::new(38)));
+        assert!(job.is_late(Time::new(39)));
+        job.remaining = Time::ZERO;
+        assert!(job.is_complete());
+        assert!(!job.is_late(Time::new(100)));
+    }
+
+    #[test]
+    fn deadline_miss_is_plain_data() {
+        let miss = DeadlineMiss {
+            task_index: 1,
+            job_index: 2,
+            deadline: Time::new(20),
+            unfinished: Time::new(3),
+        };
+        assert_eq!(miss.task_index, 1);
+        assert!(!format!("{miss:?}").is_empty());
+    }
+}

@@ -1,0 +1,53 @@
+//! # `edf-sim` — a discrete-event uniprocessor scheduler simulator
+//!
+//! A compact, exact (integer-time) simulator for preemptive uniprocessor
+//! scheduling of periodic task sets, used throughout the `edf-feasibility`
+//! workspace as an *independent oracle* against which the analytical
+//! feasibility tests of `edf-analysis` are cross-validated, and to
+//! demonstrate the EDF-optimality result the paper builds on.
+//!
+//! * [`Simulator`] — event-driven simulation with preemptive EDF,
+//!   deadline-monotonic or rate-monotonic scheduling, deadline-miss
+//!   detection, preemption counting and optional execution traces;
+//! * [`simulate_edf_feasibility`] — a one-call feasibility oracle that
+//!   simulates the synchronous arrival pattern over the exact horizon
+//!   (hyperperiod + largest deadline);
+//! * [`Trace`] — Gantt-style execution traces.
+//!
+//! # Examples
+//!
+//! ```
+//! use edf_model::{Task, TaskSet, Time};
+//! use edf_sim::{SchedulingPolicy, Simulator};
+//!
+//! # fn main() -> Result<(), edf_model::TaskError> {
+//! let ts = TaskSet::from_tasks(vec![
+//!     Task::new(Time::new(2), Time::new(5), Time::new(5))?,
+//!     Task::new(Time::new(4), Time::new(7), Time::new(7))?,
+//! ]);
+//! // EDF meets every deadline; deadline-monotonic fixed priorities do not.
+//! assert!(Simulator::new(&ts).horizon(Time::new(70)).run().is_schedulable());
+//! let dm = Simulator::new(&ts)
+//!     .policy(SchedulingPolicy::DeadlineMonotonic)
+//!     .horizon(Time::new(70))
+//!     .run();
+//! assert!(!dm.is_schedulable());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod job;
+mod oracle;
+mod policy;
+mod scheduler;
+mod trace;
+
+pub use job::{DeadlineMiss, Job};
+pub use oracle::{simulate_edf_feasibility, simulate_feasibility, OracleVerdict};
+pub use policy::SchedulingPolicy;
+pub use scheduler::{SimulationOutcome, Simulator};
+pub use trace::{ExecutionSlice, Trace};

@@ -1,0 +1,137 @@
+//! Simulation-based feasibility oracle.
+//!
+//! For a *periodic* task system released synchronously, simulating the
+//! schedule over one hyperperiod (plus the largest deadline) and checking
+//! for deadline misses is an exact feasibility test.  The analytical tests
+//! of the `edf-analysis` crate are much faster, but the simulator provides
+//! an independent implementation against which they are cross-validated in
+//! the integration and property tests of this workspace.
+
+use edf_model::{TaskSet, Time};
+
+use crate::policy::SchedulingPolicy;
+use crate::scheduler::Simulator;
+
+/// Default cap on the oracle's simulation horizon (ticks).
+const DEFAULT_HORIZON_CAP: u64 = 1 << 22;
+
+/// Outcome of the simulation oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OracleVerdict {
+    /// No deadline miss within the exact horizon: the synchronous periodic
+    /// pattern is schedulable.
+    Schedulable,
+    /// A deadline miss occurred at the given absolute deadline.
+    MissAt(Time),
+    /// The exact horizon (hyperperiod + max deadline) exceeds the cap, so
+    /// the simulation covered only a prefix and cannot prove schedulability.
+    Inconclusive,
+}
+
+impl OracleVerdict {
+    /// `true` for [`OracleVerdict::Schedulable`].
+    #[must_use]
+    pub fn is_schedulable(self) -> bool {
+        matches!(self, OracleVerdict::Schedulable)
+    }
+}
+
+/// Simulates the synchronous periodic arrival pattern under EDF and reports
+/// whether every deadline is met over the exact horizon
+/// (`hyperperiod + max deadline`).
+///
+/// # Examples
+///
+/// ```
+/// use edf_model::{Task, TaskSet, Time};
+/// use edf_sim::{simulate_edf_feasibility, OracleVerdict};
+///
+/// # fn main() -> Result<(), edf_model::TaskError> {
+/// let ts = TaskSet::from_tasks(vec![
+///     Task::new(Time::new(1), Time::new(2), Time::new(4))?,
+///     Task::new(Time::new(2), Time::new(6), Time::new(8))?,
+/// ]);
+/// assert_eq!(simulate_edf_feasibility(&ts), OracleVerdict::Schedulable);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn simulate_edf_feasibility(task_set: &TaskSet) -> OracleVerdict {
+    simulate_feasibility(task_set, SchedulingPolicy::EarliestDeadlineFirst, DEFAULT_HORIZON_CAP)
+}
+
+/// Like [`simulate_edf_feasibility`] but with an explicit policy and horizon
+/// cap.
+#[must_use]
+pub fn simulate_feasibility(
+    task_set: &TaskSet,
+    policy: SchedulingPolicy,
+    horizon_cap: u64,
+) -> OracleVerdict {
+    if task_set.is_empty() {
+        return OracleVerdict::Schedulable;
+    }
+    let exact_horizon = task_set
+        .hyperperiod()
+        .and_then(|h| h.checked_add(task_set.max_deadline().unwrap_or(Time::ZERO)));
+    let (horizon, exact) = match exact_horizon {
+        Some(h) if h.as_u64() <= horizon_cap => (h, true),
+        _ => (Time::new(horizon_cap), false),
+    };
+    let outcome = Simulator::new(task_set)
+        .policy(policy)
+        .horizon(horizon)
+        .run();
+    match outcome.deadline_misses.first() {
+        Some(miss) => OracleVerdict::MissAt(miss.deadline),
+        None if exact => OracleVerdict::Schedulable,
+        None => OracleVerdict::Inconclusive,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edf_model::Task;
+
+    fn t(c: u64, d: u64, p: u64) -> Task {
+        Task::from_ticks(c, d, p).expect("valid task")
+    }
+
+    #[test]
+    fn schedulable_and_unschedulable_sets() {
+        let good = TaskSet::from_tasks(vec![t(1, 2, 10), t(2, 3, 10), t(5, 9, 10)]);
+        assert_eq!(simulate_edf_feasibility(&good), OracleVerdict::Schedulable);
+        assert!(simulate_edf_feasibility(&good).is_schedulable());
+
+        let bad = TaskSet::from_tasks(vec![t(3, 4, 10), t(4, 6, 10), t(2, 5, 12)]);
+        match simulate_edf_feasibility(&bad) {
+            OracleVerdict::MissAt(deadline) => assert!(deadline <= Time::new(6)),
+            other => panic!("expected a miss, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_set_is_schedulable() {
+        assert_eq!(simulate_edf_feasibility(&TaskSet::new()), OracleVerdict::Schedulable);
+    }
+
+    #[test]
+    fn huge_hyperperiod_is_inconclusive_when_no_miss_is_found() {
+        let ts = TaskSet::from_tasks(vec![
+            t(1, 999_983, 999_983),
+            t(1, 1_000_003, 1_000_003),
+            t(1, 1_000_033, 1_000_033),
+        ]);
+        assert_eq!(simulate_edf_feasibility(&ts), OracleVerdict::Inconclusive);
+    }
+
+    #[test]
+    fn fixed_priority_oracle_differs_from_edf() {
+        let ts = TaskSet::from_tasks(vec![t(2, 5, 5), t(4, 7, 7)]);
+        assert!(simulate_feasibility(&ts, SchedulingPolicy::EarliestDeadlineFirst, 1 << 20)
+            .is_schedulable());
+        assert!(!simulate_feasibility(&ts, SchedulingPolicy::DeadlineMonotonic, 1 << 20)
+            .is_schedulable());
+    }
+}

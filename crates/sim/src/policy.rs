@@ -1,0 +1,124 @@
+//! Scheduling policies of the uniprocessor simulator.
+
+use edf_model::TaskSet;
+
+use crate::job::Job;
+
+/// Preemptive uniprocessor scheduling policies supported by the simulator.
+///
+/// EDF is optimal on a uniprocessor (Liu & Layland, ref. [12] of the
+/// paper): if any policy can schedule a task set, EDF can.  The
+/// fixed-priority policies are provided so examples and tests can
+/// demonstrate exactly that gap.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum SchedulingPolicy {
+    /// Earliest deadline first (dynamic priorities, optimal).
+    #[default]
+    EarliestDeadlineFirst,
+    /// Deadline-monotonic fixed priorities (smaller relative deadline =
+    /// higher priority).
+    DeadlineMonotonic,
+    /// Rate-monotonic fixed priorities (smaller period = higher priority).
+    RateMonotonic,
+}
+
+impl SchedulingPolicy {
+    /// Short lowercase name (used in reports).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedulingPolicy::EarliestDeadlineFirst => "edf",
+            SchedulingPolicy::DeadlineMonotonic => "dm",
+            SchedulingPolicy::RateMonotonic => "rm",
+        }
+    }
+
+    /// Picks the index (within `ready`) of the job to execute next, or
+    /// `None` if no job is ready.
+    ///
+    /// Ties are broken by earliest release, then lowest task index, making
+    /// the simulation fully deterministic.
+    #[must_use]
+    pub fn select(self, task_set: &TaskSet, ready: &[Job]) -> Option<usize> {
+        ready
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, job)| {
+                let primary = match self {
+                    SchedulingPolicy::EarliestDeadlineFirst => job.absolute_deadline.as_u64(),
+                    SchedulingPolicy::DeadlineMonotonic => {
+                        task_set[job.task_index].deadline().as_u64()
+                    }
+                    SchedulingPolicy::RateMonotonic => task_set[job.task_index].period().as_u64(),
+                };
+                (primary, job.release.as_u64(), job.task_index)
+            })
+            .map(|(idx, _)| idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edf_model::{Task, Time};
+
+    fn ts() -> TaskSet {
+        TaskSet::from_tasks(vec![
+            Task::from_ticks(1, 10, 20).unwrap(),
+            Task::from_ticks(1, 30, 12).unwrap(),
+        ])
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(SchedulingPolicy::EarliestDeadlineFirst.name(), "edf");
+        assert_eq!(SchedulingPolicy::DeadlineMonotonic.name(), "dm");
+        assert_eq!(SchedulingPolicy::RateMonotonic.name(), "rm");
+        assert_eq!(SchedulingPolicy::default(), SchedulingPolicy::EarliestDeadlineFirst);
+    }
+
+    #[test]
+    fn empty_ready_queue_selects_nothing() {
+        assert_eq!(SchedulingPolicy::EarliestDeadlineFirst.select(&ts(), &[]), None);
+    }
+
+    #[test]
+    fn edf_picks_earliest_absolute_deadline() {
+        let ready = vec![
+            Job::new(0, 0, Time::ZERO, Time::new(10), Time::new(1)),
+            Job::new(1, 0, Time::ZERO, Time::new(8), Time::new(1)),
+        ];
+        assert_eq!(
+            SchedulingPolicy::EarliestDeadlineFirst.select(&ts(), &ready),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn dm_and_rm_use_static_parameters() {
+        // Task 0: D=10, T=20; task 1: D=30, T=12.
+        let ready = vec![
+            Job::new(0, 0, Time::ZERO, Time::new(10), Time::new(1)),
+            Job::new(1, 0, Time::ZERO, Time::new(5), Time::new(1)),
+        ];
+        // DM: task 0 wins (smaller relative deadline) even though task 1's
+        // absolute deadline is earlier.
+        assert_eq!(SchedulingPolicy::DeadlineMonotonic.select(&ts(), &ready), Some(0));
+        // RM: task 1 wins (smaller period).
+        assert_eq!(SchedulingPolicy::RateMonotonic.select(&ts(), &ready), Some(1));
+    }
+
+    #[test]
+    fn ties_break_deterministically() {
+        let ready = vec![
+            Job::new(1, 0, Time::new(2), Time::new(10), Time::new(1)),
+            Job::new(0, 0, Time::new(2), Time::new(10), Time::new(1)),
+        ];
+        // Same deadline and release: lowest task index wins.
+        assert_eq!(
+            SchedulingPolicy::EarliestDeadlineFirst.select(&ts(), &ready),
+            Some(1)
+        );
+    }
+}

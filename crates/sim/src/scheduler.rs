@@ -1,0 +1,437 @@
+//! The event-driven uniprocessor scheduler simulation.
+
+use edf_model::{TaskSet, Time};
+
+use crate::job::{DeadlineMiss, Job};
+use crate::policy::SchedulingPolicy;
+use crate::trace::Trace;
+
+/// Aggregate result of one simulation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimulationOutcome {
+    /// All deadline misses observed (empty for a schedulable run), in
+    /// chronological order.  If the simulation was configured to stop at
+    /// the first miss, at most one entry is present.
+    pub deadline_misses: Vec<DeadlineMiss>,
+    /// Number of jobs that completed within the horizon.
+    pub completed_jobs: u64,
+    /// Number of preemptions (a running job displaced by another).
+    pub preemptions: u64,
+    /// Total processor idle time within the horizon.
+    pub idle_time: Time,
+    /// Total processor busy time within the horizon.
+    pub busy_time: Time,
+    /// The simulated horizon.
+    pub horizon: Time,
+    /// Optional execution trace (present when tracing was enabled).
+    pub trace: Option<Trace>,
+}
+
+impl SimulationOutcome {
+    /// `true` when no deadline was missed within the horizon.
+    #[must_use]
+    pub fn is_schedulable(&self) -> bool {
+        self.deadline_misses.is_empty()
+    }
+
+    /// Fraction of the horizon the processor was busy.
+    #[must_use]
+    pub fn observed_utilization(&self) -> f64 {
+        if self.horizon.is_zero() {
+            0.0
+        } else {
+            self.busy_time.as_f64() / self.horizon.as_f64()
+        }
+    }
+}
+
+/// Builder/runner for uniprocessor schedule simulations.
+///
+/// The simulator releases jobs periodically (each task at its phase and
+/// every period thereafter — the synchronous worst case when all phases are
+/// zero), schedules them preemptively according to the configured
+/// [`SchedulingPolicy`], and records deadline misses.
+///
+/// # Examples
+///
+/// ```
+/// use edf_model::{Task, TaskSet, Time};
+/// use edf_sim::Simulator;
+///
+/// # fn main() -> Result<(), edf_model::TaskError> {
+/// let ts = TaskSet::from_tasks(vec![
+///     Task::new(Time::new(1), Time::new(2), Time::new(4))?,
+///     Task::new(Time::new(2), Time::new(4), Time::new(8))?,
+/// ]);
+/// let outcome = Simulator::new(&ts).horizon(Time::new(64)).run();
+/// assert!(outcome.is_schedulable());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulator<'a> {
+    task_set: &'a TaskSet,
+    policy: SchedulingPolicy,
+    horizon: Option<Time>,
+    stop_at_first_miss: bool,
+    collect_trace: bool,
+    trace_limit: Option<usize>,
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator for `task_set` with EDF scheduling, an automatic
+    /// horizon, stop-at-first-miss behaviour and no trace collection.
+    #[must_use]
+    pub fn new(task_set: &'a TaskSet) -> Self {
+        Simulator {
+            task_set,
+            policy: SchedulingPolicy::EarliestDeadlineFirst,
+            horizon: None,
+            stop_at_first_miss: true,
+            collect_trace: false,
+            trace_limit: None,
+        }
+    }
+
+    /// Selects the scheduling policy (default: EDF).
+    #[must_use]
+    pub fn policy(mut self, policy: SchedulingPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets an explicit simulation horizon.  Without one, the simulator
+    /// uses `hyperperiod + max deadline` (capped at 2²⁴ ticks to keep
+    /// accidental huge runs bounded; pass an explicit horizon to go
+    /// further).
+    #[must_use]
+    pub fn horizon(mut self, horizon: Time) -> Self {
+        self.horizon = Some(horizon);
+        self
+    }
+
+    /// Continue simulating after a deadline miss (collecting all misses)
+    /// instead of stopping at the first one.
+    #[must_use]
+    pub fn record_all_misses(mut self) -> Self {
+        self.stop_at_first_miss = false;
+        self
+    }
+
+    /// Enables execution-trace collection (optionally bounded to the last
+    /// `limit` slices).
+    #[must_use]
+    pub fn with_trace(mut self, limit: Option<usize>) -> Self {
+        self.collect_trace = true;
+        self.trace_limit = limit;
+        self
+    }
+
+    fn default_horizon(&self) -> Time {
+        const CAP: u64 = 1 << 24;
+        let candidate = self
+            .task_set
+            .hyperperiod()
+            .and_then(|h| h.checked_add(self.task_set.max_deadline().unwrap_or(Time::ZERO)))
+            .unwrap_or(Time::new(CAP));
+        Time::new(candidate.as_u64().min(CAP))
+    }
+
+    /// Runs the simulation and returns the outcome.
+    #[must_use]
+    pub fn run(&self) -> SimulationOutcome {
+        let horizon = self.horizon.unwrap_or_else(|| self.default_horizon());
+        let mut trace = if self.collect_trace {
+            Some(match self.trace_limit {
+                Some(limit) => Trace::with_limit(limit),
+                None => Trace::new(),
+            })
+        } else {
+            None
+        };
+
+        let n = self.task_set.len();
+        // Next release instant and job counter per task.
+        let mut next_release: Vec<Time> = self.task_set.iter().map(|t| t.phase()).collect();
+        let mut job_counter: Vec<u64> = vec![0; n];
+        let mut ready: Vec<Job> = Vec::new();
+        let mut misses: Vec<DeadlineMiss> = Vec::new();
+        let mut completed_jobs = 0u64;
+        let mut preemptions = 0u64;
+        let mut busy_time = Time::ZERO;
+        let mut last_running: Option<usize> = None;
+        let mut now = Time::ZERO;
+
+        while now < horizon {
+            // Release every job due at `now`.
+            for (idx, task) in self.task_set.iter().enumerate() {
+                while next_release[idx] <= now && next_release[idx] < horizon {
+                    let release = next_release[idx];
+                    let deadline = release.saturating_add(task.deadline());
+                    ready.push(Job::new(idx, job_counter[idx], release, deadline, task.wcet()));
+                    job_counter[idx] += 1;
+                    next_release[idx] = release.saturating_add(task.period());
+                }
+            }
+
+            // Next instant at which the ready queue can change by a release.
+            let next_event = next_release
+                .iter()
+                .copied()
+                .filter(|r| *r > now)
+                .min()
+                .unwrap_or(horizon)
+                .min(horizon);
+
+            let Some(selected) = self.policy.select(self.task_set, &ready) else {
+                // Idle until the next release.
+                if let Some(trace) = trace.as_mut() {
+                    trace.record(None, now, next_event);
+                }
+                last_running = None;
+                now = next_event;
+                continue;
+            };
+
+            // Detect preemption: a different unfinished job was running.
+            let selected_task = ready[selected].task_index;
+            if let Some(previous) = last_running {
+                if previous != selected_task
+                    && ready.iter().any(|j| j.task_index == previous && !j.is_complete())
+                {
+                    preemptions += 1;
+                }
+            }
+
+            // Run the selected job until it finishes or the next release.
+            let slice_end = next_event.min(now.saturating_add(ready[selected].remaining));
+            let executed = slice_end - now;
+            ready[selected].remaining -= executed;
+            busy_time += executed;
+            if let Some(trace) = trace.as_mut() {
+                trace.record(Some(selected_task), now, slice_end);
+            }
+            last_running = Some(selected_task);
+            now = slice_end;
+
+            // Collect completions and deadline misses.
+            let mut i = 0;
+            while i < ready.len() {
+                if ready[i].is_complete() {
+                    if now > ready[i].absolute_deadline {
+                        // Finished, but only after its deadline had passed.
+                        let job = ready[i];
+                        misses.push(DeadlineMiss {
+                            task_index: job.task_index,
+                            job_index: job.job_index,
+                            deadline: job.absolute_deadline,
+                            unfinished: Time::ZERO,
+                        });
+                        if self.stop_at_first_miss {
+                            let idle_time = now.saturating_sub(busy_time);
+                            return SimulationOutcome {
+                                deadline_misses: misses,
+                                completed_jobs,
+                                preemptions,
+                                idle_time,
+                                busy_time,
+                                horizon,
+                                trace,
+                            };
+                        }
+                    } else {
+                        completed_jobs += 1;
+                    }
+                    ready.swap_remove(i);
+                    continue;
+                }
+                if ready[i].is_late(now) {
+                    let job = ready[i];
+                    misses.push(DeadlineMiss {
+                        task_index: job.task_index,
+                        job_index: job.job_index,
+                        deadline: job.absolute_deadline,
+                        unfinished: job.remaining,
+                    });
+                    if self.stop_at_first_miss {
+                        let idle_time = now.saturating_sub(busy_time);
+                        return SimulationOutcome {
+                            deadline_misses: misses,
+                            completed_jobs,
+                            preemptions,
+                            idle_time,
+                            busy_time,
+                            horizon,
+                            trace,
+                        };
+                    }
+                    // Drop the late job so the overload does not cascade
+                    // forever when recording all misses.
+                    ready.swap_remove(i);
+                    continue;
+                }
+                i += 1;
+            }
+        }
+
+        // Any unfinished job whose deadline lies within the horizon counts
+        // as a miss.
+        for job in &ready {
+            if job.absolute_deadline <= horizon && !job.is_complete() {
+                misses.push(DeadlineMiss {
+                    task_index: job.task_index,
+                    job_index: job.job_index,
+                    deadline: job.absolute_deadline,
+                    unfinished: job.remaining,
+                });
+            }
+        }
+        misses.sort_by_key(|m| m.deadline);
+
+        SimulationOutcome {
+            deadline_misses: misses,
+            completed_jobs,
+            preemptions,
+            idle_time: horizon.saturating_sub(busy_time),
+            busy_time,
+            horizon,
+            trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edf_model::Task;
+
+    fn t(c: u64, d: u64, p: u64) -> Task {
+        Task::from_ticks(c, d, p).expect("valid task")
+    }
+
+    #[test]
+    fn schedulable_set_has_no_misses() {
+        let ts = TaskSet::from_tasks(vec![t(1, 4, 4), t(2, 8, 8)]);
+        let outcome = Simulator::new(&ts).horizon(Time::new(80)).run();
+        assert!(outcome.is_schedulable());
+        assert_eq!(outcome.completed_jobs, 20 + 10);
+        assert_eq!(outcome.busy_time, Time::new(20 + 20));
+        assert_eq!(outcome.idle_time, Time::new(40));
+        assert!((outcome.observed_utilization() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_utilization_set_has_no_idle_time() {
+        let ts = TaskSet::from_tasks(vec![t(1, 2, 2), t(2, 4, 4)]);
+        let outcome = Simulator::new(&ts).horizon(Time::new(100)).run();
+        assert!(outcome.is_schedulable());
+        assert_eq!(outcome.idle_time, Time::ZERO);
+    }
+
+    #[test]
+    fn overloaded_set_misses_and_stops_at_first_miss() {
+        let ts = TaskSet::from_tasks(vec![t(3, 4, 10), t(4, 6, 10), t(2, 5, 12)]);
+        let outcome = Simulator::new(&ts).horizon(Time::new(200)).run();
+        assert!(!outcome.is_schedulable());
+        assert_eq!(outcome.deadline_misses.len(), 1);
+        // The analysis predicts the first overload inside the interval of
+        // length 6; the simulated miss must be at a deadline <= 6.
+        assert!(outcome.deadline_misses[0].deadline <= Time::new(6));
+    }
+
+    #[test]
+    fn record_all_misses_collects_more_than_one() {
+        let ts = TaskSet::from_tasks(vec![t(3, 4, 10), t(4, 6, 10), t(2, 5, 12)]);
+        let outcome = Simulator::new(&ts)
+            .horizon(Time::new(100))
+            .record_all_misses()
+            .run();
+        assert!(outcome.deadline_misses.len() > 1);
+    }
+
+    #[test]
+    fn trace_accounts_for_every_tick() {
+        let ts = TaskSet::from_tasks(vec![t(1, 3, 5), t(2, 6, 10)]);
+        let outcome = Simulator::new(&ts)
+            .horizon(Time::new(50))
+            .with_trace(None)
+            .run();
+        let trace = outcome.trace.expect("trace collected");
+        let total: Time = trace
+            .slices()
+            .iter()
+            .fold(Time::ZERO, |acc, s| acc + s.duration());
+        assert_eq!(total, Time::new(50));
+        assert_eq!(trace.idle_time(), outcome.idle_time);
+        assert_eq!(trace.execution_time_of(0), Time::new(10));
+        assert_eq!(trace.execution_time_of(1), Time::new(10));
+    }
+
+    #[test]
+    fn edf_schedules_what_dm_cannot() {
+        // Classic example: feasible under EDF, infeasible under DM/RM.
+        let ts = TaskSet::from_tasks(vec![t(2, 5, 5), t(4, 7, 7)]);
+        // U = 0.4 + 0.571 = 0.971 <= 1: EDF succeeds.
+        let edf = Simulator::new(&ts).horizon(Time::new(70)).run();
+        assert!(edf.is_schedulable());
+        // Fixed priorities (either order) miss a deadline.
+        let dm = Simulator::new(&ts)
+            .policy(SchedulingPolicy::DeadlineMonotonic)
+            .horizon(Time::new(70))
+            .run();
+        assert!(!dm.is_schedulable());
+        let rm = Simulator::new(&ts)
+            .policy(SchedulingPolicy::RateMonotonic)
+            .horizon(Time::new(70))
+            .run();
+        assert!(!rm.is_schedulable());
+    }
+
+    #[test]
+    fn preemptions_are_counted() {
+        // A long low-priority job preempted by a short high-frequency task.
+        let ts = TaskSet::from_tasks(vec![t(1, 3, 5), t(6, 20, 20)]);
+        let outcome = Simulator::new(&ts).horizon(Time::new(40)).run();
+        assert!(outcome.is_schedulable());
+        assert!(outcome.preemptions > 0);
+    }
+
+    #[test]
+    fn phases_delay_first_release() {
+        let ts = TaskSet::from_tasks(vec![
+            t(2, 5, 10).with_phase(Time::new(3)),
+            t(1, 4, 10),
+        ]);
+        let outcome = Simulator::new(&ts)
+            .horizon(Time::new(20))
+            .with_trace(None)
+            .run();
+        assert!(outcome.is_schedulable());
+        let trace = outcome.trace.unwrap();
+        // Task 1 (phase 0) runs first; task 0 cannot start before t = 3.
+        assert_eq!(trace.slices()[0].task_index, Some(1));
+        assert!(trace
+            .slices()
+            .iter()
+            .filter(|s| s.task_index == Some(0))
+            .all(|s| s.start >= Time::new(3)));
+    }
+
+    #[test]
+    fn default_horizon_is_capped_and_runs() {
+        let ts = TaskSet::from_tasks(vec![t(1, 1_000_003, 1_000_003), t(1, 999_983, 999_983)]);
+        // Hyperperiod ~ 10^12: the default horizon cap keeps this tractable.
+        let outcome = Simulator::new(&ts).run();
+        assert!(outcome.horizon <= Time::new(1 << 24));
+        assert!(outcome.is_schedulable());
+    }
+
+    #[test]
+    fn empty_task_set_is_trivially_schedulable() {
+        let ts = TaskSet::new();
+        let outcome = Simulator::new(&ts).horizon(Time::new(10)).run();
+        assert!(outcome.is_schedulable());
+        assert_eq!(outcome.busy_time, Time::ZERO);
+        assert_eq!(outcome.idle_time, Time::new(10));
+    }
+}

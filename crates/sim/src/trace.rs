@@ -1,0 +1,173 @@
+//! Execution traces (Gantt-style) recorded by the simulator.
+
+use core::fmt;
+
+use edf_model::Time;
+
+/// A contiguous slice of processor time given to one job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecutionSlice {
+    /// Index of the executing task, or `None` for an idle slice.
+    pub task_index: Option<usize>,
+    /// Start of the slice.
+    pub start: Time,
+    /// Exclusive end of the slice.
+    pub end: Time,
+}
+
+impl ExecutionSlice {
+    /// Length of the slice.
+    #[must_use]
+    pub fn duration(&self) -> Time {
+        self.end - self.start
+    }
+
+    /// `true` if the processor was idle during this slice.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.task_index.is_none()
+    }
+}
+
+/// An execution trace: the sequence of processor slices of one simulation,
+/// merged so that consecutive slices of the same task (or consecutive idle
+/// slices) form a single entry.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    slices: Vec<ExecutionSlice>,
+    limit: Option<usize>,
+}
+
+impl Trace {
+    /// Creates an empty, unbounded trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Trace {
+            slices: Vec::new(),
+            limit: None,
+        }
+    }
+
+    /// Creates a trace that keeps at most `limit` slices (older slices are
+    /// dropped from the front), protecting long simulations from unbounded
+    /// memory growth.
+    #[must_use]
+    pub fn with_limit(limit: usize) -> Self {
+        Trace {
+            slices: Vec::new(),
+            limit: Some(limit),
+        }
+    }
+
+    /// Records that `task_index` (or idle time, for `None`) occupied the
+    /// processor during `[start, end)`.  Adjacent slices of the same task
+    /// are merged.
+    pub fn record(&mut self, task_index: Option<usize>, start: Time, end: Time) {
+        if start >= end {
+            return;
+        }
+        if let Some(last) = self.slices.last_mut() {
+            if last.task_index == task_index && last.end == start {
+                last.end = end;
+                return;
+            }
+        }
+        self.slices.push(ExecutionSlice {
+            task_index,
+            start,
+            end,
+        });
+        if let Some(limit) = self.limit {
+            if self.slices.len() > limit {
+                let excess = self.slices.len() - limit;
+                self.slices.drain(..excess);
+            }
+        }
+    }
+
+    /// The recorded slices in chronological order.
+    #[must_use]
+    pub fn slices(&self) -> &[ExecutionSlice] {
+        &self.slices
+    }
+
+    /// Total processor time spent idle within the recorded slices.
+    #[must_use]
+    pub fn idle_time(&self) -> Time {
+        self.slices
+            .iter()
+            .filter(|s| s.is_idle())
+            .fold(Time::ZERO, |acc, s| acc + s.duration())
+    }
+
+    /// Total processor time spent executing task `task_index`.
+    #[must_use]
+    pub fn execution_time_of(&self, task_index: usize) -> Time {
+        self.slices
+            .iter()
+            .filter(|s| s.task_index == Some(task_index))
+            .fold(Time::ZERO, |acc, s| acc + s.duration())
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for slice in &self.slices {
+            match slice.task_index {
+                Some(idx) => writeln!(f, "[{:>6}, {:>6})  task {}", slice.start, slice.end, idx)?,
+                None => writeln!(f, "[{:>6}, {:>6})  idle", slice.start, slice.end)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slices_merge_when_adjacent_and_same_task() {
+        let mut trace = Trace::new();
+        trace.record(Some(0), Time::new(0), Time::new(2));
+        trace.record(Some(0), Time::new(2), Time::new(5));
+        trace.record(Some(1), Time::new(5), Time::new(6));
+        trace.record(None, Time::new(6), Time::new(9));
+        trace.record(None, Time::new(9), Time::new(10));
+        assert_eq!(trace.slices().len(), 3);
+        assert_eq!(trace.slices()[0].duration(), Time::new(5));
+        assert_eq!(trace.idle_time(), Time::new(4));
+        assert_eq!(trace.execution_time_of(0), Time::new(5));
+        assert_eq!(trace.execution_time_of(1), Time::new(1));
+        assert_eq!(trace.execution_time_of(7), Time::ZERO);
+    }
+
+    #[test]
+    fn empty_and_degenerate_records_are_ignored() {
+        let mut trace = Trace::new();
+        trace.record(Some(0), Time::new(5), Time::new(5));
+        trace.record(Some(0), Time::new(7), Time::new(6));
+        assert!(trace.slices().is_empty());
+        assert_eq!(trace.idle_time(), Time::ZERO);
+    }
+
+    #[test]
+    fn limit_drops_oldest_slices() {
+        let mut trace = Trace::with_limit(2);
+        trace.record(Some(0), Time::new(0), Time::new(1));
+        trace.record(Some(1), Time::new(1), Time::new(2));
+        trace.record(Some(2), Time::new(2), Time::new(3));
+        assert_eq!(trace.slices().len(), 2);
+        assert_eq!(trace.slices()[0].task_index, Some(1));
+    }
+
+    #[test]
+    fn display_contains_idle_and_task_rows() {
+        let mut trace = Trace::new();
+        trace.record(Some(3), Time::new(0), Time::new(4));
+        trace.record(None, Time::new(4), Time::new(6));
+        let text = trace.to_string();
+        assert!(text.contains("task 3"));
+        assert!(text.contains("idle"));
+    }
+}

@@ -1,0 +1,95 @@
+//! Automotive gateway case study: a CAN-gateway-style workload with a wide
+//! spread of periods (fast bus handlers next to slow diagnostic jobs) — the
+//! regime of Figure 9 of the paper in which the classic processor demand
+//! test degenerates while the new exact tests stay cheap.
+//!
+//! The example also shows why EDF is the right scheduler for the workload:
+//! the same task set misses deadlines under deadline-monotonic fixed
+//! priorities.
+//!
+//! Run with `cargo run --example automotive_gateway` (use `--release` for
+//! the larger sweep at the end).
+
+use edf_feasibility::{
+    AllApproximatedTest, DynamicErrorTest, FeasibilityTest, PeriodDistribution,
+    ProcessorDemandTest, SchedulingPolicy, Simulator, Task, TaskError, TaskSet, TaskSetConfig,
+    Time,
+};
+
+fn gateway() -> Result<TaskSet, TaskError> {
+    // Times in microseconds.
+    Ok(TaskSet::from_tasks(vec![
+        Task::new(Time::new(45), Time::new(200), Time::new(250))?.named("can_rx_high"),
+        Task::new(Time::new(60), Time::new(400), Time::new(500))?.named("can_rx_low"),
+        Task::new(Time::new(120), Time::new(900), Time::new(1_000))?.named("frame_routing"),
+        Task::new(Time::new(300), Time::new(4_000), Time::new(5_000))?.named("signal_gateway"),
+        Task::new(Time::new(900), Time::new(9_000), Time::new(10_000))?.named("network_mgmt"),
+        Task::new(Time::new(4_000), Time::new(45_000), Time::new(50_000))?.named("diagnostics"),
+        Task::new(Time::new(30_000), Time::new(400_000), Time::new(500_000))?.named("flash_journal"),
+        Task::new(Time::new(110_000), Time::new(900_000), Time::new(1_000_000))?.named("key_rotation"),
+    ]))
+}
+
+fn main() -> Result<(), TaskError> {
+    let ts = gateway()?;
+    println!(
+        "automotive gateway: {} tasks, U = {:.3}, Tmax/Tmin = {:.0}",
+        ts.len(),
+        ts.utilization(),
+        ts.period_ratio().unwrap_or(f64::NAN)
+    );
+    println!();
+
+    // Exact analyses: identical verdicts, very different effort.
+    let dynamic = DynamicErrorTest::new().analyze(&ts);
+    let all_approx = AllApproximatedTest::new().analyze(&ts);
+    let pda = ProcessorDemandTest::new().analyze(&ts);
+    println!("dynamic-error     : {:<10} after {:>6} intervals", dynamic.verdict.to_string(), dynamic.iterations);
+    println!("all-approximated  : {:<10} after {:>6} intervals", all_approx.verdict.to_string(), all_approx.iterations);
+    println!("processor-demand  : {:<10} after {:>6} intervals", pda.verdict.to_string(), pda.iterations);
+    println!();
+
+    // EDF vs. fixed priorities on the same workload.
+    let horizon = Time::new(2_000_000);
+    let edf = Simulator::new(&ts).horizon(horizon).run();
+    let dm = Simulator::new(&ts)
+        .policy(SchedulingPolicy::DeadlineMonotonic)
+        .horizon(horizon)
+        .run();
+    println!(
+        "simulation over {horizon} us: EDF misses = {}, DM misses = {}, preemptions (EDF) = {}",
+        edf.deadline_misses.len(),
+        dm.deadline_misses.len(),
+        edf.preemptions
+    );
+    println!();
+
+    // A small Figure-9-style sweep: random gateways with growing period
+    // spread, comparing the examined intervals of the exact tests.
+    println!("period-spread sweep (random gateway-like task sets, U in [0.90, 0.97]):");
+    println!(
+        "{:>10} {:>14} {:>16} {:>16}",
+        "Tmax/Tmin", "dynamic", "all-approximated", "processor-demand"
+    );
+    for ratio in [100u64, 1_000, 10_000, 100_000] {
+        let config = TaskSetConfig::new()
+            .task_count(8..=20)
+            .utilization(0.90..=0.97)
+            .average_gap(0.2)
+            .periods(PeriodDistribution::RatioControlled { min: 100, ratio })
+            .seed(7 + ratio);
+        let sets = config.generate_many(10);
+        let mean = |test: &dyn FeasibilityTest| -> f64 {
+            sets.iter().map(|ts| test.analyze(ts).iterations as f64).sum::<f64>() / sets.len() as f64
+        };
+        println!(
+            "{:>10} {:>14.1} {:>16.1} {:>16.1}",
+            ratio,
+            mean(&DynamicErrorTest::new()),
+            mean(&AllApproximatedTest::new()),
+            mean(&ProcessorDemandTest::new()),
+        );
+    }
+
+    Ok(())
+}

@@ -1,0 +1,87 @@
+//! Avionics case study: the Generic Avionics Platform (GAP) workload of
+//! Table 1, plus a sensitivity analysis — how much can the radar tracking
+//! load grow before the system stops being schedulable, and how much
+//! cheaper are the new exact tests compared to the processor demand test
+//! while answering that question.
+//!
+//! Run with `cargo run --example avionics_gap`.
+
+use edf_feasibility::model::literature;
+use edf_feasibility::{
+    AllApproximatedTest, DeviTest, DynamicErrorTest, FeasibilityTest, ProcessorDemandTest, Task,
+    TaskSet,
+};
+
+fn main() {
+    let gap = literature::gap();
+    println!("Generic Avionics Platform: {} tasks, U = {:.3}", gap.len(), gap.utilization());
+    println!();
+
+    // Baseline verdicts and effort.
+    let tests: Vec<(&str, Box<dyn FeasibilityTest>)> = vec![
+        ("devi", Box::new(DeviTest::new())),
+        ("dynamic-error", Box::new(DynamicErrorTest::new())),
+        ("all-approximated", Box::new(AllApproximatedTest::new())),
+        ("processor-demand", Box::new(ProcessorDemandTest::new())),
+    ];
+    println!("{:<18} {:>10} {:>12}", "test", "verdict", "iterations");
+    for (name, test) in &tests {
+        let analysis = test.analyze(&gap);
+        println!(
+            "{:<18} {:>10} {:>12}",
+            name,
+            analysis.verdict.to_string(),
+            analysis.iterations
+        );
+    }
+    println!();
+
+    // Sensitivity: scale the radar tracking filter's execution time until
+    // the system becomes infeasible, comparing the effort of the exact
+    // tests at every step.
+    println!("sensitivity of the radar tracking filter WCET (scaling in steps of 25%):");
+    println!(
+        "{:>7} {:>8} {:>10} {:>14} {:>14} {:>14}",
+        "scale", "U", "verdict", "dyn iters", "all-appr iters", "pda iters"
+    );
+    let mut scale_percent = 100u64;
+    loop {
+        let scaled = scale_task(&gap, "gap_radar_tracking_filter", scale_percent);
+        let dynamic = DynamicErrorTest::new().analyze(&scaled);
+        let all_approx = AllApproximatedTest::new().analyze(&scaled);
+        let pda = ProcessorDemandTest::new().analyze(&scaled);
+        assert_eq!(dynamic.verdict, pda.verdict, "exact tests must agree");
+        println!(
+            "{:>6}% {:>8.3} {:>10} {:>14} {:>14} {:>14}",
+            scale_percent,
+            scaled.utilization(),
+            pda.verdict.to_string(),
+            dynamic.iterations,
+            all_approx.iterations,
+            pda.iterations
+        );
+        if pda.verdict.is_infeasible() || scale_percent >= 600 {
+            break;
+        }
+        scale_percent += 25;
+    }
+}
+
+/// Returns a copy of the task set with the WCET of the named task scaled to
+/// `percent` of its original value.
+fn scale_task(task_set: &TaskSet, name: &str, percent: u64) -> TaskSet {
+    task_set
+        .iter()
+        .map(|task| {
+            if task.name() == Some(name) {
+                scale_wcet(task, percent)
+            } else {
+                task.clone()
+            }
+        })
+        .collect()
+}
+
+fn scale_wcet(task: &Task, percent: u64) -> Task {
+    task.with_scaled_wcet(percent, 100)
+}

@@ -1,0 +1,21 @@
+//! Reproduces the shape of Table 1 of the paper from the library API: the
+//! number of examined test intervals for Devi's test, the two new exact
+//! tests and the processor demand test on the literature task sets.
+//!
+//! Run with `cargo run --example literature_table`.
+
+use edf_feasibility::experiments::{literature_table, run_literature};
+
+fn main() {
+    let rows = run_literature();
+    println!("{}", literature_table(&rows).to_ascii());
+
+    // Summarize the headline claim of the paper for these examples.
+    for row in &rows {
+        let speedup = row.processor_demand as f64 / row.all_approximated.max(1) as f64;
+        println!(
+            "{:<10}  all-approximated needs {:>5.1}x fewer intervals than the processor demand test",
+            row.name, speedup
+        );
+    }
+}

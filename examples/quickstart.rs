@@ -1,0 +1,53 @@
+//! Quickstart: model a small task set, run every feasibility test on it and
+//! cross-check the verdict with the discrete-event simulator.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use edf_feasibility::{
+    all_tests, simulate_edf_feasibility, Task, TaskError, TaskSet, Time,
+};
+
+fn main() -> Result<(), TaskError> {
+    // A small control application: three periodic activities with deadlines
+    // shorter than their periods.
+    let task_set = TaskSet::from_tasks(vec![
+        Task::new(Time::new(2), Time::new(6), Time::new(10))?.named("sensor_fusion"),
+        Task::new(Time::new(5), Time::new(18), Time::new(25))?.named("control_law"),
+        Task::new(Time::new(9), Time::new(40), Time::new(50))?.named("telemetry"),
+    ]);
+
+    println!("{task_set}");
+    println!(
+        "utilization = {:.3}, hyperperiod = {}",
+        task_set.utilization(),
+        task_set
+            .hyperperiod()
+            .map_or("overflow".to_owned(), |h| h.to_string())
+    );
+    println!();
+
+    // Run the whole test suite: sufficient tests, the exact baseline and the
+    // paper's two new exact tests.
+    println!(
+        "{:<22} {:>12} {:>12} {:>8}",
+        "test", "verdict", "iterations", "exact?"
+    );
+    for test in all_tests() {
+        let analysis = test.analyze(&task_set);
+        println!(
+            "{:<22} {:>12} {:>12} {:>8}",
+            test.name(),
+            analysis.verdict.to_string(),
+            analysis.iterations,
+            if test.is_exact() { "yes" } else { "no" }
+        );
+    }
+    println!();
+
+    // Cross-check with the simulator: simulate the synchronous arrival
+    // pattern over the exact horizon.
+    let oracle = simulate_edf_feasibility(&task_set);
+    println!("simulation oracle: {oracle:?}");
+
+    Ok(())
+}

@@ -1,0 +1,79 @@
+//! # `edf-feasibility`
+//!
+//! Fast exact feasibility analysis for uniprocessor real-time systems under
+//! preemptive EDF scheduling — a Rust implementation of
+//!
+//! > K. Albers, F. Slomka. *Efficient Feasibility Analysis for Real-Time
+//! > Systems with EDF Scheduling.* Design, Automation and Test in Europe
+//! > (DATE), 2005.
+//!
+//! This facade crate re-exports the workspace members under one roof:
+//!
+//! * [`model`] (`edf-model`) — the sporadic task and event-stream models,
+//!   plus the literature example task sets;
+//! * [`analysis`] (`edf-analysis`) — the feasibility tests: Liu & Layland,
+//!   density, Devi, processor demand, QPA, `SuperPos(x)`, and the paper's
+//!   two new exact tests (dynamic-error and all-approximated) together with
+//!   the feasibility bounds of §4.3;
+//! * [`sim`] (`edf-sim`) — a discrete-event EDF / fixed-priority scheduler
+//!   simulator used as an independent oracle;
+//! * [`gen`] (`edf-gen`) — reproducible random task-set generation
+//!   (UUniFast, period and deadline-gap control);
+//! * [`experiments`] (`edf-experiments`) — the harness regenerating every
+//!   figure and table of the paper's evaluation.
+//!
+//! The most common types are re-exported at the crate root.
+//!
+//! # Quick start
+//!
+//! ```
+//! use edf_feasibility::{AllApproximatedTest, FeasibilityTest, Task, TaskSet, Time, Verdict};
+//!
+//! # fn main() -> Result<(), edf_feasibility::TaskError> {
+//! let task_set = TaskSet::from_tasks(vec![
+//!     Task::new(Time::new(2), Time::new(7), Time::new(10))?.named("control loop"),
+//!     Task::new(Time::new(3), Time::new(9), Time::new(25))?.named("telemetry"),
+//!     Task::new(Time::new(10), Time::new(60), Time::new(80))?.named("logging"),
+//! ]);
+//!
+//! let analysis = AllApproximatedTest::new().analyze(&task_set);
+//! assert_eq!(analysis.verdict, Verdict::Feasible);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use edf_analysis as analysis;
+pub use edf_experiments as experiments;
+pub use edf_gen as gen;
+pub use edf_model as model;
+pub use edf_sim as sim;
+
+pub use edf_analysis::event_stream_analysis::MixedSystem;
+pub use edf_analysis::exhaustive::exhaustive_check;
+pub use edf_analysis::sensitivity::{breakdown_scaling, breakdown_scaling_exact, wcet_slack};
+pub use edf_analysis::tests::{
+    AllApproximatedTest, BoundSelection, DensityTest, DeviTest, DynamicErrorTest, LevelGrowth,
+    LiuLaylandTest, ProcessorDemandTest, QpaTest, RevisionOrder, SuperpositionTest,
+};
+pub use edf_analysis::{all_tests, Analysis, DemandOverload, FeasibilityTest, Verdict};
+pub use edf_gen::{PeriodDistribution, TaskSetConfig};
+pub use edf_model::{
+    EventStream, EventStreamTask, Task, TaskBuilder, TaskError, TaskSet, Time,
+};
+pub use edf_sim::{simulate_edf_feasibility, OracleVerdict, SchedulingPolicy, Simulator};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facade_reexports_compose() {
+        let ts = TaskSet::from_tasks(vec![Task::from_ticks(1, 5, 10).unwrap()]);
+        assert!(ProcessorDemandTest::new().analyze(&ts).is_feasible());
+        assert!(simulate_edf_feasibility(&ts).is_schedulable());
+        assert_eq!(all_tests().len(), 16);
+    }
+}

@@ -1,0 +1,131 @@
+//! Cross-crate integration tests: the analytical feasibility tests
+//! (`edf-analysis`), the random generator (`edf-gen`) and the discrete-event
+//! simulator (`edf-sim`) must all tell the same story.
+
+use edf_feasibility::{
+    simulate_edf_feasibility, AllApproximatedTest, DeviTest, DynamicErrorTest, FeasibilityTest,
+    OracleVerdict, PeriodDistribution, ProcessorDemandTest, QpaTest, SuperpositionTest,
+    TaskSetConfig, Verdict,
+};
+
+/// The analytical exact tests agree with the simulation oracle on random
+/// task sets whose hyperperiod is small enough for exact simulation.
+#[test]
+fn exact_tests_agree_with_simulation_oracle() {
+    // Periods from a harmonic-friendly menu keep the hyperperiod tractable
+    // so the oracle is exact.
+    let config = TaskSetConfig::new()
+        .task_count(3..=8)
+        .utilization(0.70..=0.99)
+        .average_gap(0.35)
+        .periods(PeriodDistribution::Choice(vec![4, 8, 10, 16, 20, 40, 80]))
+        .seed(1201);
+    let mut simulated_feasible = 0;
+    let mut simulated_infeasible = 0;
+    for ts in config.generate_many(60) {
+        let analytic = ProcessorDemandTest::new().analyze(&ts).verdict;
+        let dynamic = DynamicErrorTest::new().analyze(&ts).verdict;
+        let all_approx = AllApproximatedTest::new().analyze(&ts).verdict;
+        assert_eq!(analytic, dynamic, "dynamic-error disagrees on {ts}");
+        assert_eq!(analytic, all_approx, "all-approximated disagrees on {ts}");
+        match simulate_edf_feasibility(&ts) {
+            OracleVerdict::Schedulable => {
+                simulated_feasible += 1;
+                assert_eq!(analytic, Verdict::Feasible, "oracle feasible but analysis not on {ts}");
+            }
+            OracleVerdict::MissAt(_) => {
+                simulated_infeasible += 1;
+                assert_eq!(analytic, Verdict::Infeasible, "oracle miss but analysis feasible on {ts}");
+            }
+            OracleVerdict::Inconclusive => {}
+        }
+    }
+    // The sample must exercise both outcomes to be meaningful.
+    assert!(simulated_feasible > 5, "too few feasible samples ({simulated_feasible})");
+    assert!(simulated_infeasible > 5, "too few infeasible samples ({simulated_infeasible})");
+}
+
+/// Sufficient tests never accept a set the exact tests reject, across the
+/// generator's whole parameter space.
+#[test]
+fn sufficient_tests_are_sound_on_generated_sets() {
+    let config = TaskSetConfig::new()
+        .task_count(5..=40)
+        .utilization(0.80..=0.999)
+        .average_gap(0.4)
+        .seed(77);
+    let sufficient: Vec<Box<dyn FeasibilityTest>> = vec![
+        Box::new(DeviTest::new()),
+        Box::new(SuperpositionTest::new(1)),
+        Box::new(SuperpositionTest::new(3)),
+        Box::new(SuperpositionTest::new(6)),
+    ];
+    for ts in config.generate_many(120) {
+        let exact = ProcessorDemandTest::new().analyze(&ts).verdict;
+        for test in &sufficient {
+            let verdict = test.analyze(&ts).verdict;
+            if verdict == Verdict::Feasible {
+                assert_eq!(
+                    exact,
+                    Verdict::Feasible,
+                    "{} accepted a set the exact test rejects: {ts}",
+                    test.name()
+                );
+            }
+        }
+    }
+}
+
+/// QPA and the processor demand test agree on wide-spread, high-utilization
+/// workloads (the hard case for both).
+#[test]
+fn qpa_matches_processor_demand_on_wide_period_spread() {
+    let config = TaskSetConfig::new()
+        .task_count(5..=30)
+        .utilization(0.90..=0.99)
+        .average_gap(0.3)
+        .periods(PeriodDistribution::RatioControlled { min: 50, ratio: 10_000 })
+        .seed(4242);
+    for ts in config.generate_many(40) {
+        let qpa = QpaTest::new().analyze(&ts);
+        let pda = ProcessorDemandTest::new().analyze(&ts);
+        assert_eq!(qpa.verdict, pda.verdict, "QPA disagrees on {ts}");
+        assert!(qpa.verdict.is_decisive());
+    }
+}
+
+/// The headline performance claim, end to end: on high-utilization task
+/// sets with a wide period spread, the new exact tests examine far fewer
+/// intervals than the processor demand baseline while returning identical
+/// verdicts.
+#[test]
+fn new_tests_are_cheaper_on_the_paper_workload() {
+    let config = TaskSetConfig::new()
+        .task_count(10..=50)
+        .utilization(0.93..=0.99)
+        .average_gap(0.3)
+        .periods(PeriodDistribution::RatioControlled { min: 100, ratio: 10_000 })
+        .seed(555);
+    let sets = config.generate_many(25);
+    let mut pda_total = 0u64;
+    let mut dynamic_total = 0u64;
+    let mut all_total = 0u64;
+    for ts in &sets {
+        let pda = ProcessorDemandTest::new().analyze(ts);
+        let dynamic = DynamicErrorTest::new().analyze(ts);
+        let all_approx = AllApproximatedTest::new().analyze(ts);
+        assert_eq!(pda.verdict, dynamic.verdict);
+        assert_eq!(pda.verdict, all_approx.verdict);
+        pda_total += pda.iterations;
+        dynamic_total += dynamic.iterations;
+        all_total += all_approx.iterations;
+    }
+    assert!(
+        dynamic_total * 2 < pda_total,
+        "dynamic-error should need at most half the intervals overall ({dynamic_total} vs {pda_total})"
+    );
+    assert!(
+        all_total * 2 < pda_total,
+        "all-approximated should need at most half the intervals overall ({all_total} vs {pda_total})"
+    );
+}
