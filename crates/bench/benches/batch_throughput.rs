@@ -1,0 +1,50 @@
+//! Benchmark of the `edf_analysis::batch` front end: task sets analyzed
+//! per second through `analyze_many`, serial vs. parallel, plus the cost
+//! of preparation itself — the perf-trajectory baseline for batch-scale
+//! experiment runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use edf_analysis::batch::{analyze_many, analyze_many_serial, prepare_many, BoxedTest};
+use edf_analysis::tests::{AllApproximatedTest, DynamicErrorTest, ProcessorDemandTest, QpaTest};
+use edf_bench::utilization_fixture;
+
+fn exact_suite() -> Vec<BoxedTest> {
+    vec![
+        Box::new(DynamicErrorTest::new()),
+        Box::new(AllApproximatedTest::new()),
+        Box::new(QpaTest::new()),
+        Box::new(ProcessorDemandTest::new()),
+    ]
+}
+
+fn bench_batch_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_throughput");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    for &batch_size in &[16usize, 64] {
+        let sets = utilization_fixture(95, batch_size);
+        let tests = exact_suite();
+        group.bench_with_input(BenchmarkId::new("serial", batch_size), &sets, |b, sets| {
+            b.iter(|| analyze_many_serial(sets, &tests).len())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("parallel", batch_size),
+            &sets,
+            |b, sets| b.iter(|| analyze_many(sets, &tests).len()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("prepare_only", batch_size),
+            &sets,
+            |b, sets| b.iter(|| prepare_many(sets).len()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_throughput);
+criterion_main!(benches);

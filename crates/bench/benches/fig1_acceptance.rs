@@ -21,24 +21,23 @@ fn bench_acceptance(c: &mut Criterion) {
         let tests: Vec<(String, Box<dyn FeasibilityTest>)> = vec![
             ("devi".to_owned(), Box::new(DeviTest::new())),
             ("superpos3".to_owned(), Box::new(SuperpositionTest::new(3))),
-            ("superpos10".to_owned(), Box::new(SuperpositionTest::new(10))),
+            (
+                "superpos10".to_owned(),
+                Box::new(SuperpositionTest::new(10)),
+            ),
             (
                 "processor_demand".to_owned(),
                 Box::new(ProcessorDemandTest::new()),
             ),
         ];
         for (name, test) in &tests {
-            group.bench_with_input(
-                BenchmarkId::new(name.clone(), percent),
-                &sets,
-                |b, sets| {
-                    b.iter(|| {
-                        sets.iter()
-                            .filter(|ts| test.analyze(ts).verdict.is_feasible())
-                            .count()
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name.clone(), percent), &sets, |b, sets| {
+                b.iter(|| {
+                    sets.iter()
+                        .filter(|ts| test.analyze(ts).verdict.is_feasible())
+                        .count()
+                })
+            });
         }
     }
     group.finish();

@@ -29,17 +29,13 @@ fn bench_utilization_effort(c: &mut Criterion) {
             ),
         ];
         for (name, test) in &tests {
-            group.bench_with_input(
-                BenchmarkId::new(name.clone(), percent),
-                &sets,
-                |b, sets| {
-                    b.iter(|| {
-                        sets.iter()
-                            .map(|ts| test.analyze(ts).iterations)
-                            .sum::<u64>()
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name.clone(), percent), &sets, |b, sets| {
+                b.iter(|| {
+                    sets.iter()
+                        .map(|ts| test.analyze(ts).iterations)
+                        .sum::<u64>()
+                })
+            });
         }
     }
     group.finish();

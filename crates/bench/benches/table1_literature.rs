@@ -4,9 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 
-use edf_analysis::tests::{
-    AllApproximatedTest, DeviTest, DynamicErrorTest, ProcessorDemandTest,
-};
+use edf_analysis::tests::{AllApproximatedTest, DeviTest, DynamicErrorTest, ProcessorDemandTest};
 use edf_analysis::FeasibilityTest;
 use edf_model::literature;
 

@@ -10,6 +10,8 @@ use core::fmt;
 
 use edf_model::{TaskSet, Time};
 
+use crate::workload::{PreparedWorkload, Workload};
+
 /// Outcome of a feasibility test.
 ///
 /// Sufficient tests (Liu & Layland, density, Devi, `SuperPos(x)`) can only
@@ -138,6 +140,14 @@ impl fmt::Display for Analysis {
 
 /// Interface implemented by every feasibility test in this crate.
 ///
+/// Tests consume a [`PreparedWorkload`] — the cached canonical form of any
+/// [`Workload`](crate::workload::Workload) — so the same implementations
+/// serve sporadic task sets, Gresser event streams and mixed systems.  The
+/// convenience entry points [`FeasibilityTest::analyze`] (task sets) and
+/// [`FeasibilityTest::analyze_workload`] (any workload) prepare on the
+/// fly; batch callers prepare once and use
+/// [`FeasibilityTest::analyze_prepared`] directly.
+///
 /// The trait is object-safe so heterogeneous collections of tests can be
 /// iterated by the experiment harness:
 ///
@@ -166,8 +176,20 @@ pub trait FeasibilityTest {
     /// purely sufficient tests.
     fn is_exact(&self) -> bool;
 
-    /// Runs the test on `task_set`.
-    fn analyze(&self, task_set: &TaskSet) -> Analysis;
+    /// Runs the test on a prepared workload (the core entry point; the
+    /// prepared state is shared when several tests analyze one workload).
+    fn analyze_prepared(&self, workload: &PreparedWorkload) -> Analysis;
+
+    /// Runs the test on a sporadic task set.
+    fn analyze(&self, task_set: &TaskSet) -> Analysis {
+        self.analyze_prepared(&PreparedWorkload::new(task_set))
+    }
+
+    /// Runs the test on any demand-characterized workload (event streams,
+    /// mixed systems, custom models).
+    fn analyze_workload(&self, workload: &dyn Workload) -> Analysis {
+        self.analyze_prepared(&PreparedWorkload::new(workload))
+    }
 }
 
 /// Mutable counter for the effort metric, shared by the test
@@ -197,11 +219,7 @@ impl IterationCounter {
         self.count
     }
 
-    pub(crate) fn finish(
-        self,
-        verdict: Verdict,
-        overload: Option<DemandOverload>,
-    ) -> Analysis {
+    pub(crate) fn finish(self, verdict: Verdict, overload: Option<DemandOverload>) -> Analysis {
         Analysis {
             verdict,
             iterations: self.count,

@@ -451,8 +451,14 @@ mod tests {
         assert!(b > a);
         assert_eq!(a.cmp(&a), Ordering::Equal);
         assert_eq!(a.checked_cmp_integer(1), Some(Ordering::Less));
-        assert_eq!(Ratio::from_integer(2).checked_cmp_integer(2), Some(Ordering::Equal));
-        assert_eq!(Ratio::from_integer(3).checked_cmp_integer(2), Some(Ordering::Greater));
+        assert_eq!(
+            Ratio::from_integer(2).checked_cmp_integer(2),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Ratio::from_integer(3).checked_cmp_integer(2),
+            Some(Ordering::Greater)
+        );
     }
 
     #[test]
@@ -462,7 +468,11 @@ mod tests {
         assert_eq!(huge.checked_mul(huge), None);
         assert_eq!(huge.checked_cmp_integer(1), Some(Ordering::Greater));
         let tiny = Ratio::new(1, u128::MAX).unwrap();
-        assert_eq!(tiny.checked_cmp_integer(u128::MAX), None, "den * value overflows");
+        assert_eq!(
+            tiny.checked_cmp_integer(u128::MAX),
+            None,
+            "den * value overflows"
+        );
     }
 
     #[test]
@@ -514,7 +524,10 @@ mod tests {
     #[test]
     fn fracs_le_integer_exact_boundary() {
         assert!(fracs_le_integer(&[(1, 2), (1, 3), (1, 6)], 1));
-        assert!(!fracs_le_integer(&[(1, 2), (1, 3), (1, 6), (1, 1_000_000)], 1));
+        assert!(!fracs_le_integer(
+            &[(1, 2), (1, 3), (1, 6), (1, 1_000_000)],
+            1
+        ));
         assert!(fracs_le_integer(&[], 0));
         assert!(fracs_le_integer(&[(0, 5)], 0));
         assert!(!fracs_le_integer(&[(1, 5)], 0));
@@ -536,8 +549,8 @@ mod tests {
         // 40 distinct primes as denominators: the naive lcm overflows u128,
         // the remainder-based path must still answer exactly.
         let primes: [u128; 40] = [
-            2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79,
-            83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173,
+            2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83,
+            89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173,
         ];
         // Σ (p-1)/p for 40 primes ≈ 40 - Σ1/p ≈ 38.6
         let terms: Vec<(u128, u128)> = primes.iter().map(|&p| (p - 1, p)).collect();
@@ -548,7 +561,10 @@ mod tests {
     #[test]
     fn fracs_le_integer_huge_values_are_conservative() {
         // Overflow of the integer part: conservatively reported as exceeding.
-        assert!(!fracs_le_integer(&[(u128::MAX, 1), (u128::MAX, 1)], u128::MAX));
+        assert!(!fracs_le_integer(
+            &[(u128::MAX, 1), (u128::MAX, 1)],
+            u128::MAX
+        ));
     }
 
     #[test]

@@ -1,0 +1,245 @@
+//! Parallel batch-analysis front end.
+//!
+//! Fleet-scale experiments analyze thousands of workloads with a whole
+//! suite of tests.  Two structural savings apply:
+//!
+//! 1. **Prepared-state sharing** — all per-workload state (component
+//!    decomposition, exact utilization comparison, §4.3 bounds, deadline
+//!    ordering) is computed once per workload via
+//!    [`PreparedWorkload`] and shared by every test, instead of being
+//!    recomputed inside each test;
+//! 2. **Multi-core fan-out** — workloads are independent, so the batch is
+//!    split over the available CPU cores with scoped threads
+//!    ([`parallel_map`], generalized from the experiment harness's former
+//!    private pool).
+//!
+//! [`analyze_many`] combines both; [`analyze_many_serial`] is the
+//! single-threaded reference (used by the benchmarks to measure the
+//! speedup).
+//!
+//! # Examples
+//!
+//! ```
+//! use edf_analysis::batch;
+//! use edf_model::{Task, TaskSet, Time};
+//!
+//! # fn main() -> Result<(), edf_model::TaskError> {
+//! let workloads = vec![
+//!     TaskSet::from_tasks(vec![Task::new(Time::new(1), Time::new(8), Time::new(8))?]),
+//!     TaskSet::from_tasks(vec![Task::new(Time::new(3), Time::new(5), Time::new(5))?]),
+//! ];
+//! let tests = edf_analysis::all_tests();
+//! let results = batch::analyze_many(&workloads, &tests);
+//! assert_eq!(results.len(), workloads.len());
+//! assert_eq!(results[0].len(), tests.len());
+//! assert!(results[0].iter().all(|a| a.verdict.is_feasible()));
+//! # Ok(())
+//! # }
+//! ```
+
+use std::num::NonZeroUsize;
+use std::thread;
+
+use crate::analysis::{Analysis, FeasibilityTest};
+use crate::workload::{PreparedWorkload, Workload};
+
+/// The boxed test type the batch front end consumes (also produced by
+/// [`all_tests`](crate::all_tests)).
+pub type BoxedTest = Box<dyn FeasibilityTest + Send + Sync>;
+
+/// Applies `f` to every item of `items`, splitting the work over the
+/// available CPU cores with scoped threads.  Result order matches input
+/// order.
+///
+/// Falls back to a sequential map for tiny inputs.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(items.len().max(1));
+    if workers <= 1 || items.len() < 4 {
+        return items.iter().map(&f).collect();
+    }
+    let chunk_size = items.len().div_ceil(workers);
+    let mut results: Vec<Option<R>> = Vec::with_capacity(items.len());
+    results.resize_with(items.len(), || None);
+    let chunks: Vec<(usize, &[T])> = items
+        .chunks(chunk_size)
+        .enumerate()
+        .map(|(i, chunk)| (i * chunk_size, chunk))
+        .collect();
+    let slots = std::sync::Mutex::new(&mut results);
+    thread::scope(|scope| {
+        for (offset, chunk) in chunks {
+            let f = &f;
+            let slots = &slots;
+            scope.spawn(move || {
+                let local: Vec<R> = chunk.iter().map(f).collect();
+                let mut guard = slots.lock().expect("no poisoned lock");
+                for (i, value) in local.into_iter().enumerate() {
+                    guard[offset + i] = Some(value);
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| slot.expect("every slot filled by a worker"))
+        .collect()
+}
+
+/// Prepares every workload in parallel (decomposition, exact utilization,
+/// lazy bounds), preserving order.
+#[must_use]
+pub fn prepare_many<W: Workload + Sync>(workloads: &[W]) -> Vec<PreparedWorkload> {
+    parallel_map(workloads, |w| PreparedWorkload::new(w))
+}
+
+/// Runs every test on every workload, fanning the workloads out across the
+/// CPU cores.  `results[i][j]` is the analysis of `workloads[i]` by
+/// `tests[j]`; each workload is prepared exactly once and shared by all
+/// tests.
+#[must_use]
+pub fn analyze_many<W: Workload + Sync>(
+    workloads: &[W],
+    tests: &[BoxedTest],
+) -> Vec<Vec<Analysis>> {
+    parallel_map(workloads, |workload| {
+        let prepared = PreparedWorkload::new(workload);
+        tests
+            .iter()
+            .map(|test| test.analyze_prepared(&prepared))
+            .collect()
+    })
+}
+
+/// Single-threaded [`analyze_many`] (the baseline the benchmarks compare
+/// the parallel fan-out against; prepared-state sharing still applies).
+#[must_use]
+pub fn analyze_many_serial<W: Workload>(
+    workloads: &[W],
+    tests: &[BoxedTest],
+) -> Vec<Vec<Analysis>> {
+    workloads
+        .iter()
+        .map(|workload| {
+            let prepared = PreparedWorkload::new(workload);
+            tests
+                .iter()
+                .map(|test| test.analyze_prepared(&prepared))
+                .collect()
+        })
+        .collect()
+}
+
+/// Runs every prepared workload through every test, in parallel — the
+/// variant for callers that already hold prepared workloads (e.g. to run
+/// several suites over one preparation).
+#[must_use]
+pub fn analyze_many_prepared(
+    workloads: &[PreparedWorkload],
+    tests: &[BoxedTest],
+) -> Vec<Vec<Analysis>> {
+    parallel_map(workloads, |prepared| {
+        tests
+            .iter()
+            .map(|test| test.analyze_prepared(prepared))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::{DeviTest, ProcessorDemandTest, QpaTest};
+    use edf_model::{Task, TaskSet};
+
+    fn t(c: u64, d: u64, p: u64) -> Task {
+        Task::from_ticks(c, d, p).expect("valid task")
+    }
+
+    fn suite() -> Vec<BoxedTest> {
+        vec![
+            Box::new(DeviTest::new()),
+            Box::new(ProcessorDemandTest::new()),
+            Box::new(QpaTest::new()),
+        ]
+    }
+
+    fn sample_sets() -> Vec<TaskSet> {
+        vec![
+            TaskSet::from_tasks(vec![t(1, 4, 8), t(2, 6, 12)]),
+            TaskSet::from_tasks(vec![t(3, 4, 10), t(4, 6, 10), t(2, 5, 12)]),
+            TaskSet::from_tasks(vec![t(1, 2, 10), t(2, 3, 10), t(5, 9, 10)]),
+            TaskSet::from_tasks(vec![t(1, 2, 2), t(2, 4, 4)]),
+            TaskSet::from_tasks(vec![t(5, 3, 10)]),
+        ]
+    }
+
+    #[test]
+    fn parallel_map_preserves_order_and_values() {
+        let items: Vec<u64> = (0..1_000).collect();
+        let doubled = parallel_map(&items, |&x| x * 2);
+        assert_eq!(doubled.len(), items.len());
+        for (i, value) in doubled.iter().enumerate() {
+            assert_eq!(*value, items[i] * 2);
+        }
+    }
+
+    #[test]
+    fn parallel_map_small_inputs() {
+        assert_eq!(parallel_map(&[1, 2, 3], |&x| x + 1), vec![2, 3, 4]);
+        assert_eq!(parallel_map::<u32, u32, _>(&[], |&x| x), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn analyze_many_matches_individual_analyze_calls() {
+        let workloads = sample_sets();
+        let tests = suite();
+        let batch = analyze_many(&workloads, &tests);
+        assert_eq!(batch.len(), workloads.len());
+        for (i, ts) in workloads.iter().enumerate() {
+            assert_eq!(batch[i].len(), tests.len());
+            for (j, test) in tests.iter().enumerate() {
+                assert_eq!(batch[i][j], test.analyze(ts), "workload {i}, test {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let workloads = sample_sets();
+        let tests = suite();
+        assert_eq!(
+            analyze_many(&workloads, &tests),
+            analyze_many_serial(&workloads, &tests)
+        );
+    }
+
+    #[test]
+    fn prepared_variant_agrees() {
+        let workloads = sample_sets();
+        let tests = suite();
+        let prepared = prepare_many(&workloads);
+        assert_eq!(
+            analyze_many_prepared(&prepared, &tests),
+            analyze_many(&workloads, &tests)
+        );
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let tests = suite();
+        assert!(analyze_many::<TaskSet>(&[], &tests).is_empty());
+        let workloads = sample_sets();
+        let none: Vec<BoxedTest> = Vec::new();
+        let results = analyze_many(&workloads, &none);
+        assert_eq!(results.len(), workloads.len());
+        assert!(results.iter().all(Vec::is_empty));
+    }
+}

@@ -15,6 +15,18 @@
 //!   all-approximated test (§4.3), `max(Dmax, George)`; the paper proves it
 //!   coincides with the George bound whenever `Cτ ≤ Dτ`.
 //!
+//! Every bound is defined on [`DemandComponent`] lists (the canonical form
+//! of any [`Workload`](crate::workload::Workload)), which is how the §4.3
+//! derivations carry over to event-stream and mixed systems: a component
+//! with cost `C`, first deadline `D'` and cycle `z` satisfies
+//! `dbf(I) ≤ I·C/z + C·max(0, 1 − D'/z)`, exactly the per-task inequality
+//! behind the George bound.  The sporadic-only bounds (Baruah needs every
+//! component periodic; the busy period and hyperperiod arguments need the
+//! classic synchronous pattern) return `None` for workloads outside their
+//! domain, and [`FeasibilityBounds::analysis_horizon`] picks the tightest
+//! of whatever is available.  The `TaskSet` entry points are thin wrappers
+//! over the component forms.
+//!
 //! All bounds are rounded **up** to the next integer so that using them as
 //! a search horizon can never cut off a violating deadline.
 //!
@@ -37,44 +49,52 @@
 
 use edf_model::{TaskSet, Time};
 
-use crate::demand::rbf_set;
+use crate::workload::{components_exceed_one, DemandComponent, Workload};
 
 /// Maximum number of fix-point iterations attempted by [`busy_period`].
 const BUSY_PERIOD_MAX_ITERATIONS: usize = 100_000;
 
-/// The collection of all implemented feasibility bounds for one task set.
+/// The collection of all implemented feasibility bounds for one workload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FeasibilityBounds {
-    /// Baruah et al. bound, `None` if `U ≥ 1` or the set has no task with
-    /// `D < T` (in which case the Liu & Layland argument applies instead).
+    /// Baruah et al. bound, `None` if `U ≥ 1`, the workload has one-shot
+    /// components, or no component has `D < T` (in which case the Liu &
+    /// Layland argument applies instead).
     pub baruah: Option<Time>,
     /// George et al. bound, `None` if `U ≥ 1`.
     pub george: Option<Time>,
-    /// Synchronous busy period, `None` if the fix-point does not converge
-    /// within the iteration budget (e.g. `U > 1`).
+    /// Synchronous busy period, `None` outside the sporadic model or if the
+    /// fix-point does not converge within the iteration budget (`U > 1`).
     pub busy_period: Option<Time>,
-    /// `lcm(Tᵢ) + max Dᵢ`, `None` on overflow or for an empty set.
+    /// `lcm(Tᵢ) + max Dᵢ`, `None` on overflow, one-shot components or an
+    /// empty workload.
     pub hyperperiod: Option<Time>,
     /// Superposition bound of §4.3, `None` if `U ≥ 1`.
     pub superposition: Option<Time>,
 }
 
 impl FeasibilityBounds {
-    /// Computes every bound for `task_set`.
+    /// Computes every bound for a sporadic task set.
     #[must_use]
     pub fn compute(task_set: &TaskSet) -> Self {
+        FeasibilityBounds::for_components(&task_set.demand_components())
+    }
+
+    /// Computes every bound for an arbitrary component decomposition.
+    #[must_use]
+    pub fn for_components(components: &[DemandComponent]) -> Self {
         FeasibilityBounds {
-            baruah: baruah_bound(task_set),
-            george: george_bound(task_set),
-            busy_period: busy_period(task_set),
-            hyperperiod: hyperperiod_bound(task_set),
-            superposition: superposition_bound(task_set),
+            baruah: baruah_components(components),
+            george: george_components(components),
+            busy_period: busy_period_components(components),
+            hyperperiod: hyperperiod_components(components),
+            superposition: superposition_components(components),
         }
     }
 
     /// The tightest available bound: the minimum over all bounds that could
     /// be computed, or `None` if none could (utilization ≥ 1 with an
-    /// overflowing hyperperiod).
+    /// overflowing or undefined hyperperiod).
     #[must_use]
     pub fn analysis_horizon(&self) -> Option<Time> {
         [
@@ -127,24 +147,33 @@ fn smallest_satisfying(predicate: impl Fn(u64) -> bool) -> Option<Time> {
 /// another bound).
 #[must_use]
 pub fn baruah_bound(task_set: &TaskSet) -> Option<Time> {
-    if task_set.is_empty() || task_set.utilization_exceeds_one() {
+    baruah_components(&task_set.demand_components())
+}
+
+/// [`baruah_bound`] on an arbitrary component decomposition.  The per-task
+/// inequality `dbf(I, τ) ≤ Uτ·(I + (T − D))` holds for any periodic
+/// component (offsets are folded into the first deadline), but not for
+/// one-shots, so workloads containing one-shot components return `None`.
+#[must_use]
+pub fn baruah_components(components: &[DemandComponent]) -> Option<Time> {
+    if components.is_empty() || components_exceed_one(components) {
         return None;
     }
-    let max_diff = task_set
-        .iter()
-        .map(|t| t.period().saturating_sub(t.deadline()))
-        .max()
-        .unwrap_or(Time::ZERO);
+    let mut max_diff = Time::ZERO;
+    for component in components {
+        let period = component.period()?; // one-shot: bound not applicable
+        max_diff = max_diff.max(period.saturating_sub(component.first_deadline()));
+    }
     if max_diff.is_zero() {
         return None;
     }
     smallest_satisfying(|l| {
-        let terms: Vec<(u128, u128)> = task_set
+        let terms: Vec<(u128, u128)> = components
             .iter()
-            .map(|t| {
+            .map(|c| {
                 (
-                    t.wcet().as_u128() * (u128::from(l) + max_diff.as_u128()),
-                    t.period().as_u128(),
+                    c.wcet().as_u128() * (u128::from(l) + max_diff.as_u128()),
+                    c.period().expect("checked periodic above").as_u128(),
                 )
             })
             .collect();
@@ -162,30 +191,38 @@ pub fn baruah_bound(task_set: &TaskSet) -> Option<Time> {
 /// Returns `None` when `U ≥ 1`.
 #[must_use]
 pub fn george_bound(task_set: &TaskSet) -> Option<Time> {
-    if task_set.is_empty() || task_set.utilization_exceeds_one() {
+    george_components(&task_set.demand_components())
+}
+
+/// [`george_bound`] on an arbitrary component decomposition: periodic
+/// components contribute the usual `(T − D')·C/T` slack term (clamped at
+/// zero), one-shot components a constant `C`.
+#[must_use]
+pub fn george_components(components: &[DemandComponent]) -> Option<Time> {
+    if components.is_empty() || components_exceed_one(components) {
         return None;
     }
-    let all_implicit = task_set
-        .iter()
-        .all(|t| t.deadline() >= t.period());
-    if all_implicit {
+    let degenerate = components.iter().all(|c| match c.period() {
+        Some(period) => c.first_deadline() >= period,
+        None => false,
+    });
+    if degenerate {
         // The numerator is zero: any positive horizon works; report the
         // smallest deadline so the caller has a non-trivial bound.
-        return task_set.min_deadline();
+        return components.iter().map(DemandComponent::first_deadline).min();
     }
     smallest_satisfying(|l| {
-        let terms: Vec<(u128, u128)> = task_set
+        let terms: Vec<(u128, u128)> = components
             .iter()
-            .map(|t| {
-                let slack = if t.deadline() <= t.period() {
-                    (t.period() - t.deadline()).as_u128()
-                } else {
-                    0
-                };
-                (
-                    t.wcet().as_u128() * (u128::from(l) + slack),
-                    t.period().as_u128(),
-                )
+            .map(|c| match c.period() {
+                Some(period) => {
+                    let slack = period.saturating_sub(c.first_deadline()).as_u128();
+                    (
+                        c.wcet().as_u128() * (u128::from(l) + slack),
+                        period.as_u128(),
+                    )
+                }
+                None => (c.wcet().as_u128(), 1),
             })
             .collect();
         crate::arith::fracs_le_integer(&terms, u128::from(l))
@@ -201,12 +238,28 @@ pub fn george_bound(task_set: &TaskSet) -> Option<Time> {
 /// budget (which happens for overloaded sets).
 #[must_use]
 pub fn busy_period(task_set: &TaskSet) -> Option<Time> {
-    if task_set.is_empty() {
+    busy_period_components(&task_set.demand_components())
+}
+
+/// [`busy_period`] on a component decomposition.  The synchronous-pattern
+/// argument is specific to the sporadic model, so this returns `None`
+/// whenever a component is one-shot or released after the window start.
+#[must_use]
+pub fn busy_period_components(components: &[DemandComponent]) -> Option<Time> {
+    if components.is_empty()
+        || components
+            .iter()
+            .any(|c| c.period().is_none() || !c.release_offset().is_zero())
+    {
         return None;
     }
-    let mut length = task_set.total_wcet();
+    let mut length = components
+        .iter()
+        .fold(Time::ZERO, |acc, c| acc.saturating_add(c.wcet()));
     for _ in 0..BUSY_PERIOD_MAX_ITERATIONS {
-        let next = rbf_set(task_set, length);
+        let next = components
+            .iter()
+            .fold(Time::ZERO, |acc, c| acc.saturating_add(c.rbf(length)));
         if next == length {
             return Some(length);
         }
@@ -223,8 +276,27 @@ pub fn busy_period(task_set: &TaskSet) -> Option<Time> {
 /// larger than the others.  `None` if the hyperperiod overflows.
 #[must_use]
 pub fn hyperperiod_bound(task_set: &TaskSet) -> Option<Time> {
-    let h = task_set.hyperperiod()?;
-    h.checked_add(task_set.max_deadline()?)
+    hyperperiod_components(&task_set.demand_components())
+}
+
+/// [`hyperperiod_bound`] on a component decomposition: the demand pattern
+/// of periodic components (offsets included) repeats with the lcm of the
+/// cycles, so `lcm + max D'` stays valid; one-shot components break the
+/// periodicity and yield `None`.
+#[must_use]
+pub fn hyperperiod_components(components: &[DemandComponent]) -> Option<Time> {
+    if components.is_empty() {
+        return None;
+    }
+    let mut lcm = Time::ONE;
+    for component in components {
+        lcm = lcm.lcm(component.period()?)?;
+    }
+    let max_deadline = components
+        .iter()
+        .map(DemandComponent::first_deadline)
+        .max()?;
+    lcm.checked_add(max_deadline)
 }
 
 /// The superposition feasibility bound of §4.3: the interval from which on
@@ -236,8 +308,17 @@ pub fn hyperperiod_bound(task_set: &TaskSet) -> Option<Time> {
 /// new test); it is never larger than `max(Dmax, George)`.
 #[must_use]
 pub fn superposition_bound(task_set: &TaskSet) -> Option<Time> {
-    let george = george_bound(task_set)?;
-    let dmax = task_set.max_deadline()?;
+    superposition_components(&task_set.demand_components())
+}
+
+/// [`superposition_bound`] on an arbitrary component decomposition.
+#[must_use]
+pub fn superposition_components(components: &[DemandComponent]) -> Option<Time> {
+    let george = george_components(components)?;
+    let dmax = components
+        .iter()
+        .map(DemandComponent::first_deadline)
+        .max()?;
     Some(george.max(dmax))
 }
 
@@ -245,7 +326,8 @@ pub fn superposition_bound(task_set: &TaskSet) -> Option<Time> {
 mod tests {
     use super::*;
     use crate::demand::dbf_set;
-    use edf_model::Task;
+    use crate::workload::PreparedWorkload;
+    use edf_model::{EventStream, EventStreamTask, Task};
 
     fn t(c: u64, d: u64, p: u64) -> Task {
         Task::from_ticks(c, d, p).expect("valid task")
@@ -365,9 +447,15 @@ mod tests {
         let ts = constrained_set();
         let all = FeasibilityBounds::compute(&ts);
         let horizon = all.analysis_horizon().unwrap();
-        for candidate in [all.baruah, all.george, all.busy_period, all.hyperperiod, all.superposition]
-            .into_iter()
-            .flatten()
+        for candidate in [
+            all.baruah,
+            all.george,
+            all.busy_period,
+            all.hyperperiod,
+            all.superposition,
+        ]
+        .into_iter()
+        .flatten()
         {
             assert!(horizon <= candidate);
         }
@@ -397,14 +485,63 @@ mod tests {
         }
         let violation = first_violation.expect("set is infeasible");
         let all = FeasibilityBounds::compute(&ts);
-        for bound in [all.baruah, all.george, all.busy_period, all.hyperperiod, all.superposition]
-            .into_iter()
-            .flatten()
+        for bound in [
+            all.baruah,
+            all.george,
+            all.busy_period,
+            all.hyperperiod,
+            all.superposition,
+        ]
+        .into_iter()
+        .flatten()
         {
             assert!(
                 violation <= bound,
                 "violation at {violation} must not exceed bound {bound}"
             );
+        }
+    }
+
+    #[test]
+    fn stream_workload_bounds_are_safe_horizons() {
+        // A mixed workload: the George-style bound must dominate every
+        // demand violation-free region boundary; check dbf <= I beyond the
+        // horizon over a window.
+        let stream = EventStreamTask::new(
+            EventStream::bursty(3, Time::new(5), Time::new(100)),
+            Time::new(4),
+            Time::new(20),
+        )
+        .unwrap();
+        let prepared = PreparedWorkload::new(&stream);
+        let bounds = FeasibilityBounds::for_components(prepared.components());
+        // Baruah and busy period do not apply to offset components.
+        assert_eq!(bounds.busy_period, None);
+        let george = bounds.george.expect("utilization far below 1");
+        let hyper = bounds.hyperperiod.expect("purely periodic tuples");
+        assert_eq!(hyper, Time::new(100 + 30));
+        for i in george.as_u64()..george.as_u64() + 200 {
+            assert!(prepared.dbf(Time::new(i)) <= Time::new(i));
+        }
+    }
+
+    #[test]
+    fn one_shot_components_disable_periodic_bounds() {
+        let components = vec![
+            DemandComponent::periodic(Time::new(1), Time::new(4), Time::new(10)),
+            DemandComponent::one_shot(Time::new(2), Time::new(5), Time::ZERO),
+        ];
+        let bounds = FeasibilityBounds::for_components(&components);
+        assert_eq!(bounds.baruah, None);
+        assert_eq!(bounds.busy_period, None);
+        assert_eq!(bounds.hyperperiod, None);
+        // George absorbs the one-shot as a constant: L = 0.1·L + 0.6 + 2.
+        let george = bounds.george.expect("defined");
+        assert_eq!(george, Time::new(3)); // ceil(2.6 / 0.9) = 3
+                                          // Safe: no violation at or beyond the bound for this workload.
+        let prepared = PreparedWorkload::from_components(components);
+        for i in george.as_u64()..george.as_u64() + 100 {
+            assert!(prepared.dbf(Time::new(i)) <= Time::new(i));
         }
     }
 }

@@ -81,9 +81,9 @@ pub fn jobs_with_deadline_in(task: &Task, interval: Time) -> u64 {
 /// ```
 #[must_use]
 pub fn dbf_set(task_set: &TaskSet, interval: Time) -> Time {
-    task_set
-        .iter()
-        .fold(Time::ZERO, |acc, t| acc.saturating_add(dbf_task(t, interval)))
+    task_set.iter().fold(Time::ZERO, |acc, t| {
+        acc.saturating_add(dbf_task(t, interval))
+    })
 }
 
 /// Request bound function of a single task: cumulative execution time of
@@ -105,9 +105,9 @@ pub fn rbf_task(task: &Task, interval: Time) -> Time {
 /// Request bound function of a task set.
 #[must_use]
 pub fn rbf_set(task_set: &TaskSet, interval: Time) -> Time {
-    task_set
-        .iter()
-        .fold(Time::ZERO, |acc, t| acc.saturating_add(rbf_task(t, interval)))
+    task_set.iter().fold(Time::ZERO, |acc, t| {
+        acc.saturating_add(rbf_task(t, interval))
+    })
 }
 
 /// The absolute deadline of the first job of `task` strictly *after*
@@ -135,9 +135,7 @@ pub fn next_deadline_after(task: &Task, interval: Time) -> Option<Time> {
         return Some(task.deadline());
     }
     let k = (interval - task.deadline()).div_floor(task.period()) + 1;
-    task.period()
-        .checked_mul(k)?
-        .checked_add(task.deadline())
+    task.period().checked_mul(k)?.checked_add(task.deadline())
 }
 
 /// One entry produced by [`DeadlineIter`]: an absolute deadline and the
@@ -305,8 +303,14 @@ mod tests {
         assert_eq!(next_deadline_after(&tau, Time::ZERO), Some(Time::new(4)));
         assert_eq!(next_deadline_after(&tau, Time::new(3)), Some(Time::new(4)));
         assert_eq!(next_deadline_after(&tau, Time::new(4)), Some(Time::new(14)));
-        assert_eq!(next_deadline_after(&tau, Time::new(13)), Some(Time::new(14)));
-        assert_eq!(next_deadline_after(&tau, Time::new(14)), Some(Time::new(24)));
+        assert_eq!(
+            next_deadline_after(&tau, Time::new(13)),
+            Some(Time::new(14))
+        );
+        assert_eq!(
+            next_deadline_after(&tau, Time::new(14)),
+            Some(Time::new(24))
+        );
     }
 
     #[test]
@@ -343,7 +347,8 @@ mod tests {
             }
         }
         expected.sort();
-        let mut got: Vec<(Time, usize)> = events.iter().map(|e| (e.deadline, e.task_index)).collect();
+        let mut got: Vec<(Time, usize)> =
+            events.iter().map(|e| (e.deadline, e.task_index)).collect();
         got.sort();
         assert_eq!(got, expected);
     }

@@ -1,128 +1,55 @@
-//! Demand-based feasibility analysis for event-stream activated systems —
-//! the "advanced task model" extension the paper points to in §2 and §3.6.
+//! Compatibility surface for event-stream feasibility analysis.
 //!
-//! A [`MixedSystem`] combines ordinary sporadic tasks with
-//! [`EventStreamTask`]s (Gresser streams: bursty stimuli described by a set
-//! of `(cycle, offset)` tuples).  Its demand bound function is simply the
-//! sum of the per-component demand bound functions, and the processor
-//! demand criterion carries over unchanged: the system is feasible under
-//! preemptive EDF if and only if the total demand never exceeds the
-//! interval length.
+//! Historically this module carried a bespoke demand loop for
+//! [`MixedSystem`]s.  That loop is gone: mixed systems are ordinary
+//! [`Workload`](crate::workload::Workload)s now, analyzed by the very same
+//! [`ProcessorDemandTest`] (and every other test) as sporadic task sets —
+//! the point of §2/§3.6 of the paper.  What remains here are thin
+//! convenience wrappers kept for API stability; new code should prefer
+//! [`FeasibilityTest::analyze_workload`](crate::FeasibilityTest::analyze_workload)
+//! with a [`PreparedWorkload`](crate::workload::PreparedWorkload).
 //!
-//! The analysis enumerates the (finitely many, per horizon) interval
-//! lengths at which the total demand increases and compares demand and
-//! capacity there, limited by a George-style feasibility bound derived the
-//! same way as in §4.3: `dbf(I) ≤ I·U + G` with a constant `G`, so any
-//! violation lies below `G / (1 − U)`.
+//! # Examples
+//!
+//! ```
+//! use edf_analysis::event_stream_analysis::MixedSystem;
+//! use edf_analysis::Verdict;
+//! use edf_model::{EventStream, EventStreamTask, Task, TaskSet, Time};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let sporadic = TaskSet::from_tasks(vec![
+//!     Task::new(Time::new(2), Time::new(8), Time::new(10))?,
+//! ]);
+//! let burst = EventStreamTask::new(
+//!     EventStream::bursty(3, Time::new(5), Time::new(100)),
+//!     Time::new(4),
+//!     Time::new(20),
+//! )?;
+//! let system = MixedSystem::new(sporadic, vec![burst]);
+//! assert!(system.utilization() < 1.0);
+//! assert_eq!(system.analyze().verdict, Verdict::Feasible);
+//! # Ok(())
+//! # }
+//! ```
 
-use edf_model::{EventStreamTask, TaskSet, Time};
+use edf_model::Time;
 
-use crate::analysis::{Analysis, DemandOverload, IterationCounter, Verdict};
-use crate::demand::{dbf_set, DeadlineIter};
+pub use crate::workload::MixedSystem;
 
-/// A system mixing sporadic tasks and event-stream activated tasks.
-///
-/// # Examples
-///
-/// ```
-/// use edf_analysis::event_stream_analysis::MixedSystem;
-/// use edf_analysis::Verdict;
-/// use edf_model::{EventStream, EventStreamTask, Task, TaskSet, Time};
-///
-/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
-/// let sporadic = TaskSet::from_tasks(vec![
-///     Task::new(Time::new(2), Time::new(8), Time::new(10))?,
-/// ]);
-/// let burst = EventStreamTask::new(
-///     EventStream::bursty(3, Time::new(5), Time::new(100)),
-///     Time::new(4),
-///     Time::new(20),
-/// )?;
-/// let system = MixedSystem::new(sporadic, vec![burst]);
-/// assert!(system.utilization() < 1.0);
-/// assert_eq!(system.analyze().verdict, Verdict::Feasible);
-/// # Ok(())
-/// # }
-/// ```
-#[derive(Debug, Clone, PartialEq)]
-pub struct MixedSystem {
-    sporadic: TaskSet,
-    stream_tasks: Vec<EventStreamTask>,
-}
+use crate::analysis::{Analysis, FeasibilityTest, Verdict};
+use crate::tests::{BoundSelection, ProcessorDemandTest};
+use crate::workload::PreparedWorkload;
 
 impl MixedSystem {
-    /// Creates a mixed system from its sporadic and event-stream parts.
-    #[must_use]
-    pub fn new(sporadic: TaskSet, stream_tasks: Vec<EventStreamTask>) -> Self {
-        MixedSystem {
-            sporadic,
-            stream_tasks,
-        }
-    }
-
-    /// The sporadic part.
-    #[must_use]
-    pub fn sporadic(&self) -> &TaskSet {
-        &self.sporadic
-    }
-
-    /// The event-stream part.
-    #[must_use]
-    pub fn stream_tasks(&self) -> &[EventStreamTask] {
-        &self.stream_tasks
-    }
-
-    /// Long-run processor utilization of the whole system.
-    #[must_use]
-    pub fn utilization(&self) -> f64 {
-        self.sporadic.utilization()
-            + self
-                .stream_tasks
-                .iter()
-                .map(EventStreamTask::utilization)
-                .sum::<f64>()
-    }
-
-    /// Total demand bound function of the system.
-    #[must_use]
-    pub fn demand(&self, interval: Time) -> Time {
-        let streams = self
-            .stream_tasks
-            .iter()
-            .fold(Time::ZERO, |acc, t| acc.saturating_add(t.dbf(interval)));
-        dbf_set(&self.sporadic, interval).saturating_add(streams)
-    }
-
     /// A valid feasibility bound: any interval violating the processor
-    /// demand criterion lies strictly below it.  `None` if the utilization
-    /// is too close to (or above) 1 for the bound to be finite.
+    /// demand criterion lies below it.  `None` if no finite bound exists
+    /// (utilization at 1 with one-shot tuples, or above 1).
     ///
-    /// Derivation (mirroring §4.3): each sporadic task satisfies
-    /// `dbf(I, τ) ≤ I·C/T + C·(1 − D/T)` and each event-stream tuple
-    /// `(z, a)` of a task with per-event cost `C` satisfies
-    /// `C·η ≤ I·C/z + C`, so `dbf(I) ≤ I·U + G` with the constant `G`
-    /// computed below, and `dbf(I) > I` forces `I < G/(1 − U)`.
+    /// This is the tightest of the component-generalized §4.3 bounds; see
+    /// [`crate::bounds::FeasibilityBounds::for_components`].
     #[must_use]
     pub fn feasibility_bound(&self) -> Option<Time> {
-        let utilization = self.utilization();
-        if utilization >= 1.0 - 1e-9 {
-            return None;
-        }
-        let mut constant = 0.0f64;
-        for task in &self.sporadic {
-            let slack = 1.0 - task.deadline().min(task.period()).as_f64() / task.period().as_f64();
-            constant += task.wcet().as_f64() * slack;
-        }
-        for stream_task in &self.stream_tasks {
-            let tuples = stream_task.stream().tuples().len() as f64;
-            constant += stream_task.wcet().as_f64() * tuples;
-        }
-        // Round up generously; the +1 absorbs the rounding of the division.
-        let bound = (constant / (1.0 - utilization)).ceil() + 1.0;
-        if bound > u64::MAX as f64 {
-            return None;
-        }
-        Some(Time::new(bound as u64))
+        PreparedWorkload::new(self).analysis_horizon()
     }
 
     /// All interval lengths `≤ horizon` at which the total demand can
@@ -130,41 +57,24 @@ impl MixedSystem {
     /// sorted and de-duplicated.
     #[must_use]
     pub fn change_points(&self, horizon: Time) -> Vec<Time> {
-        let mut points: Vec<Time> = DeadlineIter::new(&self.sporadic, horizon)
-            .map(|e| e.deadline)
+        let prepared = PreparedWorkload::new(self);
+        let mut points: Vec<Time> = prepared
+            .demand_events(horizon)
+            .map(|event| event.interval)
             .collect();
-        for stream_task in &self.stream_tasks {
-            let deadline = stream_task.deadline();
-            if horizon < deadline {
-                continue;
-            }
-            for occurrence in stream_task.stream().change_points(horizon - deadline) {
-                points.push(occurrence + deadline);
-            }
-        }
-        points.sort_unstable();
         points.dedup();
         points
     }
 
-    /// Runs the exact processor-demand analysis of the mixed system.
+    /// Runs the exact processor-demand analysis of the mixed system — a
+    /// thin wrapper over [`ProcessorDemandTest`] on the common
+    /// [`Workload`](crate::workload::Workload) path.
     ///
-    /// Returns [`Verdict::Unknown`] when no finite feasibility bound exists
-    /// (utilization at or above 1 cannot be handled by the bound used
-    /// here — split the system or use the pure sporadic analysis in that
-    /// case).
+    /// Returns [`Verdict::Unknown`] only when no finite feasibility bound
+    /// exists for the system.
     #[must_use]
     pub fn analyze(&self) -> Analysis {
-        if self.sporadic.is_empty() && self.stream_tasks.is_empty() {
-            return Analysis::trivial(Verdict::Feasible);
-        }
-        if self.utilization() > 1.0 + 1e-9 {
-            return Analysis::trivial(Verdict::Infeasible);
-        }
-        let Some(horizon) = self.feasibility_bound() else {
-            return Analysis::trivial(Verdict::Unknown);
-        };
-        self.analyze_up_to(horizon, true)
+        ProcessorDemandTest::new().analyze_workload(self)
     }
 
     /// Runs the processor-demand analysis up to an explicit horizon.
@@ -173,23 +83,12 @@ impl MixedSystem {
     /// bound (only then can the analysis answer [`Verdict::Feasible`]).
     #[must_use]
     pub fn analyze_up_to(&self, horizon: Time, horizon_is_exact: bool) -> Analysis {
-        let mut counter = IterationCounter::new();
-        for interval in self.change_points(horizon) {
-            counter.record(interval);
-            let demand = self.demand(interval);
-            if demand > interval {
-                return counter.finish(
-                    Verdict::Infeasible,
-                    Some(DemandOverload { interval, demand }),
-                );
-            }
+        let mut analysis =
+            ProcessorDemandTest::with_bound(BoundSelection::Fixed(horizon)).analyze_workload(self);
+        if horizon_is_exact && analysis.verdict == Verdict::Unknown {
+            analysis.verdict = Verdict::Feasible;
         }
-        let verdict = if horizon_is_exact {
-            Verdict::Feasible
-        } else {
-            Verdict::Unknown
-        };
-        counter.finish(verdict, None)
+        analysis
     }
 }
 
@@ -198,7 +97,7 @@ mod tests {
     use super::*;
     use crate::tests::ProcessorDemandTest;
     use crate::FeasibilityTest;
-    use edf_model::{EventStream, Task};
+    use edf_model::{EventStream, EventStreamTask, Task, TaskSet};
 
     fn t(c: u64, d: u64, p: u64) -> Task {
         Task::from_ticks(c, d, p).expect("valid task")
@@ -291,9 +190,12 @@ mod tests {
         );
         assert!(overloaded.utilization() > 1.0);
         assert_eq!(overloaded.analyze().verdict, Verdict::Infeasible);
-        // Utilization exactly ~1: no finite bound, inconclusive.
+        // Utilization exactly 1 with implicit deadlines: the old bespoke
+        // loop had to give up (no finite George bound), but the common
+        // workload path falls back to the hyperperiod bound and answers
+        // exactly.
         let saturated = MixedSystem::new(TaskSet::from_tasks(vec![t(10, 10, 10)]), vec![]);
-        assert_eq!(saturated.analyze().verdict, Verdict::Unknown);
+        assert_eq!(saturated.analyze().verdict, Verdict::Feasible);
     }
 
     #[test]
@@ -328,6 +230,70 @@ mod tests {
         // for this feasible system (spot-check a window beyond the bound).
         for i in bound.as_u64()..bound.as_u64() + 50 {
             assert!(system.demand(Time::new(i)) <= Time::new(i));
+        }
+    }
+
+    #[test]
+    fn analyze_up_to_respects_exactness_flag() {
+        let system = MixedSystem::new(
+            TaskSet::from_tasks(vec![t(2, 8, 10)]),
+            vec![burst(2, 2, 40, 3, 12)],
+        );
+        let horizon = system.feasibility_bound().expect("finite bound");
+        assert_eq!(
+            system.analyze_up_to(horizon, true).verdict,
+            Verdict::Feasible
+        );
+        assert_eq!(
+            system.analyze_up_to(Time::new(5), false).verdict,
+            Verdict::Unknown
+        );
+        // A violation below the horizon is conclusive either way.
+        let overloaded = MixedSystem::new(
+            TaskSet::from_tasks(vec![t(6, 10, 10)]),
+            vec![burst(3, 1, 100, 10, 25)],
+        );
+        assert_eq!(
+            overloaded.analyze_up_to(Time::new(200), false).verdict,
+            Verdict::Infeasible
+        );
+    }
+
+    #[test]
+    fn every_exact_test_agrees_on_mixed_systems() {
+        use crate::tests::{AllApproximatedTest, DynamicErrorTest, QpaTest};
+        let systems = vec![
+            MixedSystem::new(
+                TaskSet::from_tasks(vec![t(2, 8, 10), t(5, 35, 40)]),
+                vec![burst(4, 5, 200, 3, 30)],
+            ),
+            MixedSystem::new(
+                TaskSet::from_tasks(vec![t(6, 10, 10)]),
+                vec![burst(3, 1, 100, 10, 25)],
+            ),
+            MixedSystem::new(
+                TaskSet::from_tasks(vec![t(1, 5, 20)]),
+                vec![burst(2, 3, 50, 2, 10), burst(2, 7, 90, 1, 15)],
+            ),
+        ];
+        for system in systems {
+            let prepared = PreparedWorkload::new(&system);
+            let reference = ProcessorDemandTest::new()
+                .analyze_prepared(&prepared)
+                .verdict;
+            assert!(reference.is_decisive());
+            for test in [
+                Box::new(QpaTest::new()) as Box<dyn FeasibilityTest>,
+                Box::new(DynamicErrorTest::new()),
+                Box::new(AllApproximatedTest::new()),
+            ] {
+                assert_eq!(
+                    test.analyze_prepared(&prepared).verdict,
+                    reference,
+                    "{} disagrees on a mixed system",
+                    test.name()
+                );
+            }
         }
     }
 }

@@ -10,7 +10,8 @@
 use edf_model::{TaskSet, Time};
 
 use crate::analysis::{Analysis, DemandOverload, IterationCounter, Verdict};
-use crate::demand::dbf_set;
+use crate::bounds::hyperperiod_components;
+use crate::workload::{PreparedWorkload, Workload};
 
 /// Default cap on the exhaustive horizon (ticks).
 const DEFAULT_HORIZON_CAP: u64 = 1 << 22;
@@ -42,12 +43,21 @@ const DEFAULT_HORIZON_CAP: u64 = 1 << 22;
 /// ```
 #[must_use]
 pub fn exhaustive_check(task_set: &TaskSet) -> Analysis {
-    let natural = task_set
-        .hyperperiod()
-        .and_then(|h| h.checked_add(task_set.max_deadline().unwrap_or(Time::ZERO)));
+    exhaustive_check_workload(task_set)
+}
+
+/// [`exhaustive_check`] for any demand-characterized workload: the natural
+/// horizon is the component hyperperiod bound (`lcm` of the cycles plus the
+/// largest first deadline), capped at `2²²` ticks.
+#[must_use]
+pub fn exhaustive_check_workload(workload: &(impl Workload + ?Sized)) -> Analysis {
+    let prepared = PreparedWorkload::new(workload);
+    let natural = hyperperiod_components(prepared.components());
     match natural {
-        Some(h) if h.as_u64() <= DEFAULT_HORIZON_CAP => exhaustive_check_up_to(task_set, h, true),
-        _ => exhaustive_check_up_to(task_set, Time::new(DEFAULT_HORIZON_CAP), false),
+        Some(h) if h.as_u64() <= DEFAULT_HORIZON_CAP => {
+            exhaustive_check_prepared_up_to(&prepared, h, true)
+        }
+        _ => exhaustive_check_prepared_up_to(&prepared, Time::new(DEFAULT_HORIZON_CAP), false),
     }
 }
 
@@ -64,17 +74,27 @@ pub fn exhaustive_check_up_to(
     horizon: Time,
     horizon_is_exact: bool,
 ) -> Analysis {
-    if task_set.is_empty() {
+    exhaustive_check_prepared_up_to(&PreparedWorkload::new(task_set), horizon, horizon_is_exact)
+}
+
+/// [`exhaustive_check_up_to`] on a prepared workload.
+#[must_use]
+pub fn exhaustive_check_prepared_up_to(
+    workload: &PreparedWorkload,
+    horizon: Time,
+    horizon_is_exact: bool,
+) -> Analysis {
+    if workload.is_empty() {
         return Analysis::trivial(Verdict::Feasible);
     }
-    if task_set.utilization_exceeds_one() {
+    if workload.utilization_exceeds_one() {
         return Analysis::trivial(Verdict::Infeasible);
     }
     let mut counter = IterationCounter::new();
     for i in 1..=horizon.as_u64() {
         let interval = Time::new(i);
         counter.record(interval);
-        let demand = dbf_set(task_set, interval);
+        let demand = workload.dbf(interval);
         if demand > interval {
             return counter.finish(
                 Verdict::Infeasible,

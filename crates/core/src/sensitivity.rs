@@ -18,6 +18,7 @@ use edf_model::{Task, TaskSet, Time};
 
 use crate::analysis::FeasibilityTest;
 use crate::tests::AllApproximatedTest;
+use crate::workload::{PreparedWorkload, Workload};
 
 /// Precision denominator used for scaling factors: factors are expressed in
 /// 1/1000 steps (per-mille).
@@ -29,17 +30,10 @@ pub struct BreakdownScaling {
     /// Largest feasible scaling factor (e.g. `1.25` means every WCET can
     /// grow by 25 %), in steps of 1/1000.
     pub factor: f64,
-    /// Utilization of the task set at that scaling.
+    /// Utilization of the workload at that scaling.
     pub utilization_at_breakdown: f64,
     /// Number of feasibility-test invocations spent by the search.
     pub probes: u32,
-}
-
-fn scaled_set(task_set: &TaskSet, numer: u64) -> TaskSet {
-    task_set
-        .iter()
-        .map(|task| task.with_scaled_wcet(numer, SCALE_DENOMINATOR))
-        .collect()
 }
 
 /// Finds the largest per-mille scaling of every WCET under which `test`
@@ -72,13 +66,49 @@ pub fn breakdown_scaling(
     task_set: &TaskSet,
     test: &dyn FeasibilityTest,
 ) -> Option<BreakdownScaling> {
-    if task_set.is_empty() {
+    breakdown_scaling_workload(task_set, test)
+}
+
+/// [`breakdown_scaling`] for any demand-characterized workload — event
+/// streams and mixed systems included, since scaling acts on the component
+/// decomposition.
+///
+/// # Examples
+///
+/// ```
+/// use edf_analysis::sensitivity::breakdown_scaling_workload;
+/// use edf_analysis::tests::AllApproximatedTest;
+/// use edf_analysis::workload::MixedSystem;
+/// use edf_model::{EventStream, EventStreamTask, TaskSet, Time};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let burst = EventStreamTask::new(
+///     EventStream::bursty(2, Time::new(10), Time::new(100)),
+///     Time::new(5),
+///     Time::new(40),
+/// )?;
+/// let system = MixedSystem::new(TaskSet::new(), vec![burst]);
+/// let breakdown = breakdown_scaling_workload(&system, &AllApproximatedTest::new())
+///     .expect("feasible system");
+/// assert!(breakdown.factor >= 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn breakdown_scaling_workload(
+    workload: &(impl Workload + ?Sized),
+    test: &dyn FeasibilityTest,
+) -> Option<BreakdownScaling> {
+    let base = PreparedWorkload::new(workload);
+    if base.is_empty() {
         return None;
     }
     let mut probes = 0u32;
     let mut accepts = |numer: u64| {
         probes += 1;
-        test.analyze(&scaled_set(task_set, numer)).verdict.is_feasible()
+        test.analyze_prepared(&base.with_scaled_wcets(numer, SCALE_DENOMINATOR))
+            .verdict
+            .is_feasible()
     };
     if !accepts(SCALE_DENOMINATOR) {
         return None;
@@ -101,10 +131,10 @@ pub fn breakdown_scaling(
             hi = mid;
         }
     }
-    let breakdown_set = scaled_set(task_set, lo);
+    let breakdown_workload = base.with_scaled_wcets(lo, SCALE_DENOMINATOR);
     Some(BreakdownScaling {
         factor: lo as f64 / SCALE_DENOMINATOR as f64,
-        utilization_at_breakdown: breakdown_set.utilization(),
+        utilization_at_breakdown: breakdown_workload.utilization(),
         probes,
     })
 }
@@ -172,7 +202,11 @@ pub fn wcet_slack(
     let (mut lo, mut hi) = (0u64, headroom.as_u64());
     while lo < hi {
         let mid = lo + (hi - lo).div_ceil(2);
-        if test.analyze(&with_extra(Time::new(mid))).verdict.is_feasible() {
+        if test
+            .analyze(&with_extra(Time::new(mid)))
+            .verdict
+            .is_feasible()
+        {
             lo = mid;
         } else {
             hi = mid - 1;
@@ -183,8 +217,7 @@ pub fn wcet_slack(
 
 fn inflate(task: &Task, extra: Time) -> Task {
     let wcet = (task.wcet() + extra).min(task.period());
-    Task::new(wcet, task.deadline(), task.period())
-        .expect("inflated WCET stays within the period")
+    Task::new(wcet, task.deadline(), task.period()).expect("inflated WCET stays within the period")
 }
 
 #[cfg(test)]
@@ -201,7 +234,11 @@ mod tests {
         // U = 0.5: the breakdown factor should be ~2.0 (U -> 1.0).
         let ts = TaskSet::from_tasks(vec![t(1, 4, 4), t(1, 4, 4)]);
         let breakdown = breakdown_scaling_exact(&ts).expect("feasible");
-        assert!((breakdown.factor - 2.0).abs() < 0.01, "factor {}", breakdown.factor);
+        assert!(
+            (breakdown.factor - 2.0).abs() < 0.01,
+            "factor {}",
+            breakdown.factor
+        );
         assert!(breakdown.utilization_at_breakdown > 0.99);
         assert!(breakdown.probes > 0);
     }
@@ -219,7 +256,10 @@ mod tests {
     fn infeasible_sets_have_no_breakdown() {
         let ts = TaskSet::from_tasks(vec![t(5, 3, 10)]);
         assert_eq!(breakdown_scaling_exact(&ts), None);
-        assert_eq!(breakdown_scaling(&TaskSet::new(), &AllApproximatedTest::new()), None);
+        assert_eq!(
+            breakdown_scaling(&TaskSet::new(), &AllApproximatedTest::new()),
+            None
+        );
     }
 
     #[test]
@@ -234,9 +274,15 @@ mod tests {
     fn wcet_slack_matches_hand_computation() {
         let ts = TaskSet::from_tasks(vec![t(2, 10, 10), t(2, 20, 20)]);
         // U = 0.2 + 0.1; task 0 can grow to C = 9 (U = 1.0).
-        assert_eq!(wcet_slack(&ts, 0, &ProcessorDemandTest::new()), Some(Time::new(7)));
+        assert_eq!(
+            wcet_slack(&ts, 0, &ProcessorDemandTest::new()),
+            Some(Time::new(7))
+        );
         // Task 1 can grow to C = 16 (U = 0.2 + 0.8).
-        assert_eq!(wcet_slack(&ts, 1, &ProcessorDemandTest::new()), Some(Time::new(14)));
+        assert_eq!(
+            wcet_slack(&ts, 1, &ProcessorDemandTest::new()),
+            Some(Time::new(14))
+        );
     }
 
     #[test]
@@ -244,7 +290,10 @@ mod tests {
         let ts = TaskSet::from_tasks(vec![t(2, 10, 10), t(2, 20, 20)]);
         assert_eq!(wcet_slack(&ts, 5, &ProcessorDemandTest::new()), None);
         let infeasible = TaskSet::from_tasks(vec![t(5, 3, 10)]);
-        assert_eq!(wcet_slack(&infeasible, 0, &ProcessorDemandTest::new()), None);
+        assert_eq!(
+            wcet_slack(&infeasible, 0, &ProcessorDemandTest::new()),
+            None
+        );
         // A task already at C == T has zero slack.
         let saturated = TaskSet::from_tasks(vec![t(10, 10, 10)]);
         assert_eq!(
@@ -258,9 +307,15 @@ mod tests {
         let ts = TaskSet::from_tasks(vec![t(1, 2, 10), t(2, 3, 10)]);
         // dbf(3) = C1 + C2 must stay <= 3, so task 1 has no room at all
         // even though utilization is far below 1.
-        assert_eq!(wcet_slack(&ts, 1, &ProcessorDemandTest::new()), Some(Time::ZERO));
+        assert_eq!(
+            wcet_slack(&ts, 1, &ProcessorDemandTest::new()),
+            Some(Time::ZERO)
+        );
         // Task 0 likewise: growing it to 2 would give dbf(2) = 2 <= 2 (ok)
         // but dbf(3) = 4 > 3, so its slack is also 0.
-        assert_eq!(wcet_slack(&ts, 0, &ProcessorDemandTest::new()), Some(Time::ZERO));
+        assert_eq!(
+            wcet_slack(&ts, 0, &ProcessorDemandTest::new()),
+            Some(Time::ZERO)
+        );
     }
 }

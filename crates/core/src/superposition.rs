@@ -21,6 +21,7 @@ use edf_model::{Task, Time};
 
 use crate::arith::ceil_div_u128;
 use crate::demand::dbf_task;
+use crate::workload::DemandComponent;
 
 /// The maximum test interval `Im(τ)` of a task at approximation level
 /// `level ≥ 1`: the absolute deadline of its `level`-th job,
@@ -96,21 +97,62 @@ pub fn dbf_approx_set<'a>(
     level: u64,
     interval: Time,
 ) -> Time {
-    tasks
-        .into_iter()
-        .fold(Time::ZERO, |acc, t| acc.saturating_add(dbf_approx_task(t, level, interval)))
+    tasks.into_iter().fold(Time::ZERO, |acc, t| {
+        acc.saturating_add(dbf_approx_task(t, level, interval))
+    })
 }
 
-/// One approximated task inside a demand comparison: the task itself and
-/// the interval `Im` from which its demand is approximated linearly.
+/// One approximated demand source inside a demand comparison: the linear
+/// slope parameters (`C`, `T`) and the interval `Im` from which the demand
+/// is approximated linearly.
+///
+/// The term is model-agnostic — built from a sporadic [`Task`]
+/// ([`ApproxTerm::for_task`]) or from any periodic
+/// [`DemandComponent`] ([`ApproxTerm::for_component`]), which is how the
+/// superposition machinery serves event-stream workloads.  One-shot
+/// components are never approximated (their demand is constant beyond the
+/// single deadline, so keeping them exact is free).
 #[derive(Debug, Clone, Copy)]
-pub struct ApproxTerm<'a> {
-    /// The approximated task.
-    pub task: &'a Task,
+pub struct ApproxTerm {
+    /// Cost per job — the numerator of the approximation slope `C/T`.
+    pub wcet: Time,
+    /// Job distance — the denominator of the approximation slope `C/T`.
+    pub period: Time,
     /// Start of the approximation (`dbf` is exact up to and including `Im`).
     pub im: Time,
-    /// Exact demand `dbf(Im, τ)` of the task at `Im`.
+    /// Exact demand `dbf(Im, τ)` of the source at `Im`.
     pub dbf_at_im: Time,
+}
+
+impl ApproxTerm {
+    /// The approximation term of a sporadic task.
+    #[must_use]
+    pub fn for_task(task: &Task, im: Time, dbf_at_im: Time) -> Self {
+        ApproxTerm {
+            wcet: task.wcet(),
+            period: task.period(),
+            im,
+            dbf_at_im,
+        }
+    }
+
+    /// The approximation term of a periodic demand component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the component is one-shot — one-shots have no linear tail
+    /// and must stay exact.
+    #[must_use]
+    pub fn for_component(component: &DemandComponent, im: Time, dbf_at_im: Time) -> Self {
+        ApproxTerm {
+            wcet: component.wcet(),
+            period: component
+                .period()
+                .expect("one-shot components are never approximated"),
+            im,
+            dbf_at_im,
+        }
+    }
 }
 
 /// Exactly decides whether the approximated demand
@@ -127,20 +169,20 @@ pub struct ApproxTerm<'a> {
 #[must_use]
 pub fn approx_demand_within(
     exact_demand: Time,
-    approx_terms: &[ApproxTerm<'_>],
+    approx_terms: &[ApproxTerm],
     interval: Time,
 ) -> bool {
     let mut base = exact_demand.as_u128();
     let mut fractions: Vec<(u128, u128)> = Vec::with_capacity(approx_terms.len());
     for term in approx_terms {
-        debug_assert!(interval >= term.im, "approximation queried before its start");
+        debug_assert!(
+            interval >= term.im,
+            "approximation queried before its start"
+        );
         base += term.dbf_at_im.as_u128();
         let delta = interval.saturating_sub(term.im);
         if !delta.is_zero() {
-            fractions.push((
-                term.task.wcet().as_u128() * delta.as_u128(),
-                term.task.period().as_u128(),
-            ));
+            fractions.push((term.wcet.as_u128() * delta.as_u128(), term.period.as_u128()));
         }
     }
     let capacity = interval.as_u128();
@@ -158,8 +200,68 @@ pub fn approx_demand_within(
 /// approximated total demand.
 #[must_use]
 pub fn approximation_error(task: &Task, im: Time, interval: Time) -> Time {
-    let approx = approx_contribution(task, im, dbf_task(task, im), interval);
-    approx.saturating_sub(dbf_task(task, interval))
+    approximation_error_component(&DemandComponent::from_task(task), im, interval)
+}
+
+/// [`approximation_error`] for an arbitrary demand component (zero for
+/// one-shot components: their demand never grows past `im`, so the linear
+/// approximation with slope 0 is exact).
+#[must_use]
+pub fn approximation_error_component(
+    component: &DemandComponent,
+    im: Time,
+    interval: Time,
+) -> Time {
+    let Some(period) = component.period() else {
+        return Time::ZERO;
+    };
+    let delta = interval.saturating_sub(im);
+    let linear = if delta.is_zero() {
+        Time::ZERO
+    } else {
+        let value = ceil_div_u128(
+            component.wcet().as_u128() * delta.as_u128(),
+            period.as_u128(),
+        );
+        Time::new(value.min(u128::from(u64::MAX)) as u64)
+    };
+    component
+        .dbf(im)
+        .saturating_add(linear)
+        .saturating_sub(component.dbf(interval))
+}
+
+/// The approximated demand bound function of a demand component at a given
+/// approximation level (Def. 4 carried over to arbitrary workloads; exact
+/// below the component's maximum test interval, linear with slope `C/T`
+/// beyond it, constant for one-shot components).
+#[must_use]
+pub fn dbf_approx_component(component: &DemandComponent, level: u64, interval: Time) -> Time {
+    let im = component.max_test_interval(level);
+    if interval <= im {
+        return component.dbf(interval);
+    }
+    let Some(period) = component.period() else {
+        // One-shot: demand is constant past the single deadline.
+        return component.dbf(interval);
+    };
+    let delta = interval - im;
+    let linear = ceil_div_u128(
+        component.wcet().as_u128() * delta.as_u128(),
+        period.as_u128(),
+    );
+    component
+        .dbf(im)
+        .saturating_add(Time::new(linear.min(u128::from(u64::MAX)) as u64))
+}
+
+/// The approximated demand bound function of a whole component list
+/// (Def. 5 on the [`Workload`](crate::workload::Workload) canonical form).
+#[must_use]
+pub fn dbf_approx_components(components: &[DemandComponent], level: u64, interval: Time) -> Time {
+    components.iter().fold(Time::ZERO, |acc, c| {
+        acc.saturating_add(dbf_approx_component(c, level, interval))
+    })
 }
 
 #[cfg(test)]
@@ -298,11 +400,7 @@ mod tests {
         // τ = (3, 5, 12) approximated from its first deadline (Im = 5):
         // real-valued dbf'(I) = 3 + 3·(I − 5)/12.
         let tau = t(3, 5, 12);
-        let term = ApproxTerm {
-            task: &tau,
-            im: Time::new(5),
-            dbf_at_im: Time::new(3),
-        };
+        let term = ApproxTerm::for_task(&tau, Time::new(5), Time::new(3));
         for i in 5..200u64 {
             let real = 3.0 + 3.0 * (i as f64 - 5.0) / 12.0;
             let within = approx_demand_within(Time::ZERO, &[term], Time::new(i));
@@ -313,11 +411,7 @@ mod tests {
     #[test]
     fn approx_demand_within_includes_exact_part() {
         let tau = t(2, 4, 10);
-        let term = ApproxTerm {
-            task: &tau,
-            im: Time::new(4),
-            dbf_at_im: Time::new(2),
-        };
+        let term = ApproxTerm::for_task(&tau, Time::new(4), Time::new(2));
         // Demand at I = 12 is exact + dbf(4) + 2*(12-4)/10 = exact + 3.6.
         assert!(approx_demand_within(Time::new(8), &[term], Time::new(12)));
         assert!(!approx_demand_within(Time::new(9), &[term], Time::new(12)));

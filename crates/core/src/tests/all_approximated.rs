@@ -24,12 +24,11 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use edf_model::{TaskSet, Time};
+use edf_model::Time;
 
 use crate::analysis::{Analysis, DemandOverload, FeasibilityTest, IterationCounter, Verdict};
-use crate::bounds::FeasibilityBounds;
-use crate::demand::{dbf_task, next_deadline_after};
-use crate::superposition::{approx_demand_within, approximation_error, ApproxTerm};
+use crate::superposition::{approx_demand_within, approximation_error_component, ApproxTerm};
+use crate::workload::{DemandComponent, PreparedWorkload};
 
 /// Order in which approximations are withdrawn when a comparison fails.
 ///
@@ -94,10 +93,10 @@ impl AllApproximatedTest {
     }
 }
 
-/// Per-task bookkeeping.
+/// Per-component bookkeeping.
 #[derive(Debug, Clone, Copy)]
-struct TaskState {
-    /// Exact demand of the examined deadlines of this task.
+struct ComponentState {
+    /// Exact demand of the examined deadlines of this component.
     examined_demand: Time,
     /// `Some((im, seq))` when approximated from `im`, with the sequence
     /// number of the approximation (for FIFO revision).
@@ -113,36 +112,38 @@ impl FeasibilityTest for AllApproximatedTest {
         true
     }
 
-    fn analyze(&self, task_set: &TaskSet) -> Analysis {
-        if task_set.is_empty() {
+    fn analyze_prepared(&self, workload: &PreparedWorkload) -> Analysis {
+        if workload.is_empty() {
             return Analysis::trivial(Verdict::Feasible);
         }
-        if task_set.utilization_exceeds_one() {
+        if workload.utilization_exceeds_one() {
             return Analysis::trivial(Verdict::Infeasible);
         }
-        let Some(horizon) = FeasibilityBounds::compute(task_set).analysis_horizon() else {
+        let Some(horizon) = workload.analysis_horizon() else {
             return Analysis::trivial(Verdict::Unknown);
         };
+        let components = workload.components();
 
         let mut counter = IterationCounter::new();
-        let mut states: Vec<TaskState> = vec![
-            TaskState {
+        let mut states: Vec<ComponentState> = vec![
+            ComponentState {
                 examined_demand: Time::ZERO,
                 approximated: None,
             };
-            task_set.len()
+            components.len()
         ];
         let mut approx_seq: u64 = 0;
         let mut pending: BinaryHeap<Reverse<(Time, usize)>> = BinaryHeap::new();
-        for (idx, task) in task_set.iter().enumerate() {
-            if task.deadline() <= horizon {
-                pending.push(Reverse((task.deadline(), idx)));
+        for (idx, component) in components.iter().enumerate() {
+            if component.first_deadline() <= horizon {
+                pending.push(Reverse((component.first_deadline(), idx)));
             }
         }
 
         while let Some(Reverse((interval, idx))) = pending.pop() {
-            states[idx].examined_demand =
-                states[idx].examined_demand.saturating_add(task_set[idx].wcet());
+            states[idx].examined_demand = states[idx]
+                .examined_demand
+                .saturating_add(components[idx].wcet());
 
             loop {
                 counter.record(interval);
@@ -150,14 +151,12 @@ impl FeasibilityTest for AllApproximatedTest {
                     .iter()
                     .filter(|s| s.approximated.is_none())
                     .fold(Time::ZERO, |acc, s| acc.saturating_add(s.examined_demand));
-                let approx_terms: Vec<ApproxTerm<'_>> = states
+                let approx_terms: Vec<ApproxTerm> = states
                     .iter()
                     .enumerate()
                     .filter_map(|(j, s)| {
-                        s.approximated.map(|(im, _)| ApproxTerm {
-                            task: &task_set[j],
-                            im,
-                            dbf_at_im: s.examined_demand,
+                        s.approximated.map(|(im, _)| {
+                            ApproxTerm::for_component(&components[j], im, s.examined_demand)
                         })
                     })
                     .collect();
@@ -175,19 +174,23 @@ impl FeasibilityTest for AllApproximatedTest {
                 }
                 // Withdraw one approximation according to the configured
                 // revision order.
-                let revise = self.pick_revision(task_set, &states, interval);
+                let revise = self.pick_revision(components, &states, interval);
                 states[revise].approximated = None;
-                states[revise].examined_demand = dbf_task(&task_set[revise], interval);
-                if let Some(next) = next_deadline_after(&task_set[revise], interval) {
+                states[revise].examined_demand = components[revise].dbf(interval);
+                if let Some(next) = components[revise].next_deadline_after(interval) {
                     if next <= horizon {
                         pending.push(Reverse((next, revise)));
                     }
                 }
             }
 
-            // The examined task is (re-)approximated from this interval on.
-            states[idx].approximated = Some((interval, approx_seq));
-            approx_seq += 1;
+            // The examined component is (re-)approximated from this interval
+            // on.  One-shot components have no future demand, so they stay
+            // in the exact part instead.
+            if components[idx].period().is_some() {
+                states[idx].approximated = Some((interval, approx_seq));
+                approx_seq += 1;
+            }
         }
 
         counter.finish(Verdict::Feasible, None)
@@ -195,11 +198,12 @@ impl FeasibilityTest for AllApproximatedTest {
 }
 
 impl AllApproximatedTest {
-    /// Picks the approximated task whose approximation is withdrawn next.
+    /// Picks the approximated component whose approximation is withdrawn
+    /// next.
     fn pick_revision(
         &self,
-        task_set: &TaskSet,
-        states: &[TaskState],
+        components: &[DemandComponent],
+        states: &[ComponentState],
         interval: Time,
     ) -> usize {
         let approximated = states
@@ -210,23 +214,26 @@ impl AllApproximatedTest {
             RevisionOrder::Fifo => approximated
                 .min_by_key(|&(_, _, seq)| seq)
                 .map(|(j, _, _)| j)
-                .expect("at least one approximated task"),
+                .expect("at least one approximated component"),
             RevisionOrder::LargestError => approximated
                 .max_by_key(|&(j, im, seq)| {
-                    (approximation_error(&task_set[j], im, interval), u64::MAX - seq)
+                    (
+                        approximation_error_component(&components[j], im, interval),
+                        u64::MAX - seq,
+                    )
                 })
                 .map(|(j, _, _)| j)
-                .expect("at least one approximated task"),
+                .expect("at least one approximated component"),
             RevisionOrder::LargestUtilization => approximated
                 .max_by(|&(a, _, sa), &(b, _, sb)| {
-                    task_set[a]
+                    components[a]
                         .utilization()
-                        .partial_cmp(&task_set[b].utilization())
+                        .partial_cmp(&components[b].utilization())
                         .unwrap_or(core::cmp::Ordering::Equal)
                         .then(sb.cmp(&sa))
                 })
                 .map(|(j, _, _)| j)
-                .expect("at least one approximated task"),
+                .expect("at least one approximated component"),
         }
     }
 }
@@ -235,7 +242,7 @@ impl AllApproximatedTest {
 mod tests {
     use super::*;
     use crate::tests::{DeviTest, DynamicErrorTest, ProcessorDemandTest};
-    use edf_model::Task;
+    use edf_model::{Task, TaskSet};
 
     fn t(c: u64, d: u64, p: u64) -> Task {
         Task::from_ticks(c, d, p).expect("valid task")
@@ -266,7 +273,12 @@ mod tests {
         // "If the initial test interval is accepted for each task without
         // generating new test intervals, the behaviour and the performance
         // of the test is equal to the test given by Devi." (§4.2)
-        let ts = TaskSet::from_tasks(vec![t(1, 8, 10), t(2, 16, 20), t(5, 35, 40), t(10, 95, 100)]);
+        let ts = TaskSet::from_tasks(vec![
+            t(1, 8, 10),
+            t(2, 16, 20),
+            t(5, 35, 40),
+            t(10, 95, 100),
+        ]);
         assert_eq!(DeviTest::new().analyze(&ts).verdict, Verdict::Feasible);
         let analysis = AllApproximatedTest::new().analyze(&ts);
         assert_eq!(analysis.verdict, Verdict::Feasible);
@@ -348,7 +360,10 @@ mod tests {
             Verdict::Feasible
         );
         let over = TaskSet::from_tasks(vec![t(9, 9, 10), t(9, 9, 10)]);
-        assert_eq!(AllApproximatedTest::new().analyze(&over).verdict, Verdict::Infeasible);
+        assert_eq!(
+            AllApproximatedTest::new().analyze(&over).verdict,
+            Verdict::Infeasible
+        );
         let test = AllApproximatedTest::new();
         assert_eq!(test.name(), "all-approximated");
         assert!(test.is_exact());
@@ -361,10 +376,16 @@ mod tests {
         // U = 1 with implicit deadlines: feasible, and the horizon cap keeps
         // the interval generation finite.
         let ts = TaskSet::from_tasks(vec![t(1, 2, 2), t(1, 4, 4), t(1, 4, 4)]);
-        assert_eq!(AllApproximatedTest::new().analyze(&ts).verdict, Verdict::Feasible);
+        assert_eq!(
+            AllApproximatedTest::new().analyze(&ts).verdict,
+            Verdict::Feasible
+        );
         // U = 1 with a constrained deadline: infeasible.
         let bad = TaskSet::from_tasks(vec![t(1, 1, 2), t(2, 3, 4)]);
-        assert_eq!(AllApproximatedTest::new().analyze(&bad).verdict, Verdict::Infeasible);
+        assert_eq!(
+            AllApproximatedTest::new().analyze(&bad).verdict,
+            Verdict::Infeasible
+        );
     }
 
     #[test]

@@ -11,10 +11,9 @@
 //! superposition test `SuperPos(1)`; the property tests of this crate check
 //! that equivalence on random task sets.
 
-use edf_model::TaskSet;
-
 use crate::analysis::{Analysis, FeasibilityTest, IterationCounter, Verdict};
 use crate::arith::fracs_le_integer;
+use crate::workload::PreparedWorkload;
 
 /// Devi's sufficient test.
 ///
@@ -56,29 +55,35 @@ impl FeasibilityTest for DeviTest {
         false
     }
 
-    fn analyze(&self, task_set: &TaskSet) -> Analysis {
-        if task_set.is_empty() {
+    fn analyze_prepared(&self, workload: &PreparedWorkload) -> Analysis {
+        if workload.is_empty() {
             return Analysis::trivial(Verdict::Feasible);
         }
-        if task_set.utilization_exceeds_one() {
+        if workload.utilization_exceeds_one() {
             return Analysis::trivial(Verdict::Infeasible);
         }
-        let sorted = task_set.sorted_by_deadline();
+        let components = workload.components();
+        let order = workload.deadline_order();
         let mut counter = IterationCounter::new();
-        for k in 1..=sorted.len() {
-            let dk = sorted[k - 1].deadline();
+        for k in 1..=order.len() {
+            let dk = components[order[k - 1]].first_deadline();
             counter.record(dk);
-            // Check Σ_{i<=k} Ci·(Dk + Ti − min(Ti, Di)) / Ti  <=  Dk exactly.
-            let terms: Vec<(u128, u128)> = sorted
-                .tasks()
+            // Check Σ_{i<=k} Ci·(Dk + Ti − min(Ti, Di)) / Ti  <=  Dk exactly;
+            // one-shot components contribute their constant cost.
+            let terms: Vec<(u128, u128)> = order[..k]
                 .iter()
-                .take(k)
-                .map(|task| {
-                    let slack = task.period() - task.deadline().min(task.period());
-                    (
-                        task.wcet().as_u128() * (dk.as_u128() + slack.as_u128()),
-                        task.period().as_u128(),
-                    )
+                .map(|&i| {
+                    let component = &components[i];
+                    match component.period() {
+                        Some(period) => {
+                            let slack = period.saturating_sub(component.first_deadline());
+                            (
+                                component.wcet().as_u128() * (dk.as_u128() + slack.as_u128()),
+                                period.as_u128(),
+                            )
+                        }
+                        None => (component.wcet().as_u128(), 1),
+                    }
                 })
                 .collect();
             if !fracs_le_integer(&terms, dk.as_u128()) {
@@ -92,7 +97,7 @@ impl FeasibilityTest for DeviTest {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use edf_model::Task;
+    use edf_model::{Task, TaskSet};
 
     fn t(c: u64, d: u64, p: u64) -> Task {
         Task::from_ticks(c, d, p).expect("valid task")
@@ -168,7 +173,10 @@ mod tests {
 
     #[test]
     fn empty_and_overload() {
-        assert_eq!(DeviTest::new().analyze(&TaskSet::new()).verdict, Verdict::Feasible);
+        assert_eq!(
+            DeviTest::new().analyze(&TaskSet::new()).verdict,
+            Verdict::Feasible
+        );
         let over = TaskSet::from_tasks(vec![t(9, 9, 10), t(9, 9, 10)]);
         assert_eq!(DeviTest::new().analyze(&over).verdict, Verdict::Infeasible);
         assert!(!DeviTest::new().is_exact());

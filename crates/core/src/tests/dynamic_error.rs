@@ -21,12 +21,11 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use edf_model::{TaskSet, Time};
+use edf_model::Time;
 
 use crate::analysis::{Analysis, DemandOverload, FeasibilityTest, IterationCounter, Verdict};
-use crate::bounds::FeasibilityBounds;
-use crate::demand::{dbf_task, next_deadline_after};
-use crate::superposition::{approx_demand_within, max_test_interval, ApproxTerm};
+use crate::superposition::{approx_demand_within, ApproxTerm};
+use crate::workload::PreparedWorkload;
 
 /// How the approximation level grows when the current level is too coarse.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -130,12 +129,12 @@ impl DynamicErrorTest {
     }
 }
 
-/// Per-task bookkeeping of the sweep.
+/// Per-component bookkeeping of the sweep.
 #[derive(Debug, Clone, Copy)]
-struct TaskState {
-    /// Exact demand of the deadlines of this task examined so far.
+struct ComponentState {
+    /// Exact demand of the deadlines of this component examined so far.
     examined_demand: Time,
-    /// `Some(im)` when the task is currently approximated from `im` on.
+    /// `Some(im)` when the component is currently approximated from `im` on.
     approximated_from: Option<Time>,
 }
 
@@ -148,38 +147,40 @@ impl FeasibilityTest for DynamicErrorTest {
         self.max_level.is_none()
     }
 
-    fn analyze(&self, task_set: &TaskSet) -> Analysis {
-        if task_set.is_empty() {
+    fn analyze_prepared(&self, workload: &PreparedWorkload) -> Analysis {
+        if workload.is_empty() {
             return Analysis::trivial(Verdict::Feasible);
         }
-        if task_set.utilization_exceeds_one() {
+        if workload.utilization_exceeds_one() {
             return Analysis::trivial(Verdict::Infeasible);
         }
-        let Some(horizon) = FeasibilityBounds::compute(task_set).analysis_horizon() else {
+        let Some(horizon) = workload.analysis_horizon() else {
             return Analysis::trivial(Verdict::Unknown);
         };
+        let components = workload.components();
 
         let mut level = self.initial_level;
         let mut counter = IterationCounter::new();
-        let mut states: Vec<TaskState> = vec![
-            TaskState {
+        let mut states: Vec<ComponentState> = vec![
+            ComponentState {
                 examined_demand: Time::ZERO,
                 approximated_from: None,
             };
-            task_set.len()
+            components.len()
         ];
-        // Pending exact test intervals: (absolute deadline, task index).
+        // Pending exact test intervals: (absolute deadline, component index).
         let mut pending: BinaryHeap<Reverse<(Time, usize)>> = BinaryHeap::new();
-        for (idx, task) in task_set.iter().enumerate() {
-            if task.deadline() <= horizon {
-                pending.push(Reverse((task.deadline(), idx)));
+        for (idx, component) in components.iter().enumerate() {
+            if component.first_deadline() <= horizon {
+                pending.push(Reverse((component.first_deadline(), idx)));
             }
         }
 
         while let Some(Reverse((interval, idx))) = pending.pop() {
-            // The popped interval is an exact deadline of task `idx`.
-            states[idx].examined_demand =
-                states[idx].examined_demand.saturating_add(task_set[idx].wcet());
+            // The popped interval is an exact deadline of component `idx`.
+            states[idx].examined_demand = states[idx]
+                .examined_demand
+                .saturating_add(components[idx].wcet());
 
             // Compare the approximated demand against the capacity; refine
             // (raise the level, withdraw approximations) until it fits or
@@ -190,14 +191,12 @@ impl FeasibilityTest for DynamicErrorTest {
                     .iter()
                     .filter(|s| s.approximated_from.is_none())
                     .fold(Time::ZERO, |acc, s| acc.saturating_add(s.examined_demand));
-                let approx_terms: Vec<ApproxTerm<'_>> = states
+                let approx_terms: Vec<ApproxTerm> = states
                     .iter()
                     .enumerate()
                     .filter_map(|(j, s)| {
-                        s.approximated_from.map(|im| ApproxTerm {
-                            task: &task_set[j],
-                            im,
-                            dbf_at_im: s.examined_demand,
+                        s.approximated_from.map(|im| {
+                            ApproxTerm::for_component(&components[j], im, s.examined_demand)
                         })
                     })
                     .collect();
@@ -229,12 +228,12 @@ impl FeasibilityTest for DynamicErrorTest {
                         let Some(im) = states[j].approximated_from else {
                             continue;
                         };
-                        // Withdraw the approximation of tasks that would not
-                        // be approximated at `im` under the new level.
-                        if max_test_interval(&task_set[j], level) > im {
+                        // Withdraw the approximation of components that would
+                        // not be approximated at `im` under the new level.
+                        if components[j].max_test_interval(level) > im {
                             states[j].approximated_from = None;
-                            states[j].examined_demand = dbf_task(&task_set[j], interval);
-                            if let Some(next) = next_deadline_after(&task_set[j], interval) {
+                            states[j].examined_demand = components[j].dbf(interval);
+                            if let Some(next) = components[j].next_deadline_after(interval) {
                                 if next <= horizon {
                                     pending.push(Reverse((next, j)));
                                 }
@@ -255,11 +254,16 @@ impl FeasibilityTest for DynamicErrorTest {
                 }
             }
 
-            // Decide how task `idx` continues: exactly (next deadline) while
-            // below its test border, approximated from here on otherwise.
-            let border = max_test_interval(&task_set[idx], level);
+            // Decide how component `idx` continues: exactly (next deadline)
+            // while below its test border, approximated from here on
+            // otherwise.  One-shot components have no future demand — they
+            // simply stay in the exact part.
+            if components[idx].period().is_none() {
+                continue;
+            }
+            let border = components[idx].max_test_interval(level);
             if interval < border {
-                if let Some(next) = next_deadline_after(&task_set[idx], interval) {
+                if let Some(next) = components[idx].next_deadline_after(interval) {
                     if next <= horizon {
                         pending.push(Reverse((next, idx)));
                     }
@@ -277,7 +281,7 @@ impl FeasibilityTest for DynamicErrorTest {
 mod tests {
     use super::*;
     use crate::tests::{DeviTest, ProcessorDemandTest};
-    use edf_model::Task;
+    use edf_model::{Task, TaskSet};
 
     fn t(c: u64, d: u64, p: u64) -> Task {
         Task::from_ticks(c, d, p).expect("valid task")
@@ -310,7 +314,12 @@ mod tests {
     fn devi_accepted_sets_run_at_level_one() {
         // Devi accepts => one comparison per task, exactly like Table 1's
         // Burns and GAP rows.
-        let ts = TaskSet::from_tasks(vec![t(1, 8, 10), t(2, 16, 20), t(5, 35, 40), t(10, 95, 100)]);
+        let ts = TaskSet::from_tasks(vec![
+            t(1, 8, 10),
+            t(2, 16, 20),
+            t(5, 35, 40),
+            t(10, 95, 100),
+        ]);
         assert_eq!(DeviTest::new().analyze(&ts).verdict, Verdict::Feasible);
         let dynamic = DynamicErrorTest::new().analyze(&ts);
         assert_eq!(dynamic.verdict, Verdict::Feasible);
@@ -404,13 +413,19 @@ mod tests {
             Verdict::Feasible
         );
         let over = TaskSet::from_tasks(vec![t(9, 9, 10), t(9, 9, 10)]);
-        assert_eq!(DynamicErrorTest::new().analyze(&over).verdict, Verdict::Infeasible);
+        assert_eq!(
+            DynamicErrorTest::new().analyze(&over).verdict,
+            Verdict::Infeasible
+        );
         let test = DynamicErrorTest::new();
         assert_eq!(test.name(), "dynamic-error");
         assert!(test.is_exact());
         assert_eq!(test.max_level(), None);
         assert_eq!(test, DynamicErrorTest::default());
-        assert_eq!(DynamicErrorTest::new().with_max_level(0).max_level(), Some(1));
+        assert_eq!(
+            DynamicErrorTest::new().with_max_level(0).max_level(),
+            Some(1)
+        );
     }
 
     #[test]
@@ -422,6 +437,9 @@ mod tests {
     #[test]
     fn full_utilization_implicit_deadline_set() {
         let ts = TaskSet::from_tasks(vec![t(1, 2, 2), t(1, 4, 4), t(1, 4, 4)]);
-        assert_eq!(DynamicErrorTest::new().analyze(&ts).verdict, Verdict::Feasible);
+        assert_eq!(
+            DynamicErrorTest::new().analyze(&ts).verdict,
+            Verdict::Feasible
+        );
     }
 }

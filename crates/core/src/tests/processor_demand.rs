@@ -8,11 +8,11 @@
 //! below the bound, which explodes when the task set mixes very small and
 //! very large periods (§3.3 and Figure 9 of the paper).
 
-use edf_model::{TaskSet, Time};
+use edf_model::Time;
 
 use crate::analysis::{Analysis, DemandOverload, FeasibilityTest, IterationCounter, Verdict};
-use crate::bounds::{self, FeasibilityBounds};
-use crate::demand::DeadlineIter;
+use crate::bounds;
+use crate::workload::PreparedWorkload;
 
 /// Which feasibility bound limits the search of the processor demand test.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -85,13 +85,17 @@ impl ProcessorDemandTest {
         self.bound
     }
 
-    fn horizon(&self, task_set: &TaskSet) -> Option<Time> {
+    fn horizon(&self, workload: &PreparedWorkload) -> Option<Time> {
+        // A specific selection computes only that bound; the cached
+        // all-bounds struct is reserved for `Tightest` (where every bound
+        // is needed anyway and sharing across tests pays off).
+        let components = workload.components();
         match self.bound {
-            BoundSelection::Tightest => FeasibilityBounds::compute(task_set).analysis_horizon(),
-            BoundSelection::Baruah => bounds::baruah_bound(task_set),
-            BoundSelection::George => bounds::george_bound(task_set),
-            BoundSelection::BusyPeriod => bounds::busy_period(task_set),
-            BoundSelection::Hyperperiod => bounds::hyperperiod_bound(task_set),
+            BoundSelection::Tightest => workload.analysis_horizon(),
+            BoundSelection::Baruah => bounds::baruah_components(components),
+            BoundSelection::George => bounds::george_components(components),
+            BoundSelection::BusyPeriod => bounds::busy_period_components(components),
+            BoundSelection::Hyperperiod => bounds::hyperperiod_components(components),
             BoundSelection::Fixed(limit) => Some(limit),
         }
     }
@@ -106,33 +110,34 @@ impl FeasibilityTest for ProcessorDemandTest {
         !matches!(self.bound, BoundSelection::Fixed(_))
     }
 
-    fn analyze(&self, task_set: &TaskSet) -> Analysis {
-        if task_set.is_empty() {
+    fn analyze_prepared(&self, workload: &PreparedWorkload) -> Analysis {
+        if workload.is_empty() {
             return Analysis::trivial(Verdict::Feasible);
         }
-        if task_set.utilization_exceeds_one() {
+        if workload.utilization_exceeds_one() {
             return Analysis::trivial(Verdict::Infeasible);
         }
-        let Some(horizon) = self.horizon(task_set) else {
+        let Some(horizon) = self.horizon(workload) else {
             // U == 1 with an overflowing hyperperiod: no usable bound.
             return Analysis::trivial(Verdict::Unknown);
         };
+        let components = workload.components();
         let mut counter = IterationCounter::new();
         let mut demand = Time::ZERO;
-        let mut iter = DeadlineIter::new(task_set, horizon).peekable();
+        let mut iter = workload.demand_events(horizon).peekable();
         while let Some(event) = iter.next() {
-            demand = demand.saturating_add(task_set[event.task_index].wcet());
+            demand = demand.saturating_add(components[event.component].wcet());
             // Fold all jobs sharing this absolute deadline into one check.
-            while matches!(iter.peek(), Some(next) if next.deadline == event.deadline) {
+            while matches!(iter.peek(), Some(next) if next.interval == event.interval) {
                 let extra = iter.next().expect("peeked event exists");
-                demand = demand.saturating_add(task_set[extra.task_index].wcet());
+                demand = demand.saturating_add(components[extra.component].wcet());
             }
-            counter.record(event.deadline);
-            if demand > event.deadline {
+            counter.record(event.interval);
+            if demand > event.interval {
                 return counter.finish(
                     Verdict::Infeasible,
                     Some(DemandOverload {
-                        interval: event.deadline,
+                        interval: event.interval,
                         demand,
                     }),
                 );
@@ -152,7 +157,7 @@ impl FeasibilityTest for ProcessorDemandTest {
 mod tests {
     use super::*;
     use crate::demand::dbf_set;
-    use edf_model::Task;
+    use edf_model::{Task, TaskSet};
 
     fn t(c: u64, d: u64, p: u64) -> Task {
         Task::from_ticks(c, d, p).expect("valid task")
@@ -205,17 +210,26 @@ mod tests {
     #[test]
     fn full_utilization_implicit_deadlines_is_feasible() {
         let ts = TaskSet::from_tasks(vec![t(1, 2, 2), t(2, 4, 4)]);
-        assert_eq!(ProcessorDemandTest::new().analyze(&ts).verdict, Verdict::Feasible);
+        assert_eq!(
+            ProcessorDemandTest::new().analyze(&ts).verdict,
+            Verdict::Feasible
+        );
     }
 
     #[test]
     fn full_utilization_with_tight_deadline_is_infeasible() {
         let ts = TaskSet::from_tasks(vec![t(1, 1, 2), t(2, 4, 4), t(1, 4, 4)]);
         // U = 0.5 + 0.5 + 0.25 > 1.
-        assert_eq!(ProcessorDemandTest::new().analyze(&ts).verdict, Verdict::Infeasible);
+        assert_eq!(
+            ProcessorDemandTest::new().analyze(&ts).verdict,
+            Verdict::Infeasible
+        );
         let ts2 = TaskSet::from_tasks(vec![t(1, 1, 2), t(2, 3, 4)]);
         // U = 1, but dbf(3) = 2 + 2 = 4 > 3.
-        assert_eq!(ProcessorDemandTest::new().analyze(&ts2).verdict, Verdict::Infeasible);
+        assert_eq!(
+            ProcessorDemandTest::new().analyze(&ts2).verdict,
+            Verdict::Infeasible
+        );
     }
 
     #[test]
@@ -277,8 +291,8 @@ mod tests {
     fn iterations_count_distinct_intervals() {
         // Two tasks sharing every deadline: each distinct interval counted once.
         let ts = TaskSet::from_tasks(vec![t(1, 10, 10), t(2, 10, 10)]);
-        let analysis = ProcessorDemandTest::with_bound(BoundSelection::Fixed(Time::new(40)))
-            .analyze(&ts);
+        let analysis =
+            ProcessorDemandTest::with_bound(BoundSelection::Fixed(Time::new(40))).analyze(&ts);
         assert_eq!(analysis.iterations, 4); // intervals 10, 20, 30, 40
     }
 

@@ -13,11 +13,10 @@
 //! interval; the iteration provably visits only a small subset of the
 //! deadlines while preserving exactness.
 
-use edf_model::{TaskSet, Time};
+use edf_model::Time;
 
 use crate::analysis::{Analysis, DemandOverload, FeasibilityTest, IterationCounter, Verdict};
-use crate::bounds::FeasibilityBounds;
-use crate::demand::dbf_set;
+use crate::workload::PreparedWorkload;
 
 /// The QPA exact feasibility test.
 ///
@@ -46,30 +45,6 @@ impl QpaTest {
     pub fn new() -> Self {
         QpaTest
     }
-
-    /// The largest absolute deadline strictly smaller than `limit`, or
-    /// `None` if there is none.
-    fn largest_deadline_below(task_set: &TaskSet, limit: Time) -> Option<Time> {
-        let mut best: Option<Time> = None;
-        for task in task_set {
-            if task.deadline() >= limit {
-                continue;
-            }
-            // Largest k with k*T + D < limit.
-            let k = (limit - task.deadline() - Time::ONE).div_floor(task.period());
-            let candidate = task
-                .period()
-                .checked_mul(k)
-                .and_then(|p| p.checked_add(task.deadline()));
-            if let Some(candidate) = candidate {
-                best = Some(match best {
-                    Some(b) => b.max(candidate),
-                    None => candidate,
-                });
-            }
-        }
-        best
-    }
 }
 
 impl FeasibilityTest for QpaTest {
@@ -81,28 +56,28 @@ impl FeasibilityTest for QpaTest {
         true
     }
 
-    fn analyze(&self, task_set: &TaskSet) -> Analysis {
-        if task_set.is_empty() {
+    fn analyze_prepared(&self, workload: &PreparedWorkload) -> Analysis {
+        if workload.is_empty() {
             return Analysis::trivial(Verdict::Feasible);
         }
-        if task_set.utilization_exceeds_one() {
+        if workload.utilization_exceeds_one() {
             return Analysis::trivial(Verdict::Infeasible);
         }
-        let Some(horizon) = FeasibilityBounds::compute(task_set).analysis_horizon() else {
+        let Some(horizon) = workload.analysis_horizon() else {
             return Analysis::trivial(Verdict::Unknown);
         };
-        let min_deadline = task_set
-            .min_deadline()
-            .expect("non-empty task set has a minimum deadline");
+        let min_deadline = workload
+            .min_first_deadline()
+            .expect("non-empty workload has a minimum deadline");
         let mut counter = IterationCounter::new();
         // Start just above the horizon so deadlines equal to it are included.
         let start = horizon.saturating_add(Time::ONE);
-        let Some(mut t) = Self::largest_deadline_below(task_set, start) else {
+        let Some(mut t) = workload.last_deadline_below(start) else {
             return counter.finish(Verdict::Feasible, None);
         };
         loop {
             counter.record(t);
-            let demand = dbf_set(task_set, t);
+            let demand = workload.dbf(t);
             if demand > t {
                 return counter.finish(
                     Verdict::Infeasible,
@@ -119,7 +94,7 @@ impl FeasibilityTest for QpaTest {
                 demand
             } else {
                 // demand == t: step down to the largest deadline below t.
-                match Self::largest_deadline_below(task_set, t) {
+                match workload.last_deadline_below(t) {
                     Some(prev) => prev,
                     None => return counter.finish(Verdict::Feasible, None),
                 }
@@ -131,8 +106,9 @@ impl FeasibilityTest for QpaTest {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::demand::dbf_set;
     use crate::tests::ProcessorDemandTest;
-    use edf_model::Task;
+    use edf_model::{Task, TaskSet};
 
     fn t(c: u64, d: u64, p: u64) -> Task {
         Task::from_ticks(c, d, p).expect("valid task")
@@ -141,12 +117,25 @@ mod tests {
     #[test]
     fn largest_deadline_below_enumerates_correctly() {
         let ts = TaskSet::from_tasks(vec![t(1, 3, 5), t(1, 4, 10)]);
+        let prepared = PreparedWorkload::new(&ts);
         // deadlines: 3, 4, 8, 13, 14, 18, 23, 24, ...
-        assert_eq!(QpaTest::largest_deadline_below(&ts, Time::new(25)), Some(Time::new(24)));
-        assert_eq!(QpaTest::largest_deadline_below(&ts, Time::new(24)), Some(Time::new(23)));
-        assert_eq!(QpaTest::largest_deadline_below(&ts, Time::new(14)), Some(Time::new(13)));
-        assert_eq!(QpaTest::largest_deadline_below(&ts, Time::new(4)), Some(Time::new(3)));
-        assert_eq!(QpaTest::largest_deadline_below(&ts, Time::new(3)), None);
+        assert_eq!(
+            prepared.last_deadline_below(Time::new(25)),
+            Some(Time::new(24))
+        );
+        assert_eq!(
+            prepared.last_deadline_below(Time::new(24)),
+            Some(Time::new(23))
+        );
+        assert_eq!(
+            prepared.last_deadline_below(Time::new(14)),
+            Some(Time::new(13))
+        );
+        assert_eq!(
+            prepared.last_deadline_below(Time::new(4)),
+            Some(Time::new(3))
+        );
+        assert_eq!(prepared.last_deadline_below(Time::new(3)), None);
     }
 
     #[test]
@@ -187,7 +176,10 @@ mod tests {
 
     #[test]
     fn trivial_paths() {
-        assert_eq!(QpaTest::new().analyze(&TaskSet::new()).verdict, Verdict::Feasible);
+        assert_eq!(
+            QpaTest::new().analyze(&TaskSet::new()).verdict,
+            Verdict::Feasible
+        );
         let over = TaskSet::from_tasks(vec![t(9, 9, 10), t(9, 9, 10)]);
         assert_eq!(QpaTest::new().analyze(&over).verdict, Verdict::Infeasible);
         assert_eq!(QpaTest::new().name(), "qpa");

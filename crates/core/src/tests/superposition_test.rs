@@ -10,11 +10,11 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use edf_model::{TaskSet, Time};
+use edf_model::Time;
 
 use crate::analysis::{Analysis, DemandOverload, FeasibilityTest, IterationCounter, Verdict};
-use crate::demand::dbf_task;
-use crate::superposition::{approx_demand_within, dbf_approx_set, max_test_interval, ApproxTerm};
+use crate::superposition::{approx_demand_within, dbf_approx_components, ApproxTerm};
+use crate::workload::PreparedWorkload;
 
 /// The superposition test at a fixed approximation level.
 ///
@@ -74,27 +74,30 @@ impl FeasibilityTest for SuperpositionTest {
         false
     }
 
-    fn analyze(&self, task_set: &TaskSet) -> Analysis {
-        if task_set.is_empty() {
+    fn analyze_prepared(&self, workload: &PreparedWorkload) -> Analysis {
+        if workload.is_empty() {
             return Analysis::trivial(Verdict::Feasible);
         }
-        if task_set.utilization_exceeds_one() {
+        if workload.utilization_exceeds_one() {
             return Analysis::trivial(Verdict::Infeasible);
         }
-        // Test intervals: deadlines of the first `level` jobs of each task,
-        // merged in ascending order, de-duplicated across tasks.
+        let components = workload.components();
+        // Test intervals: deadlines of the first `level` jobs of each
+        // component, merged in ascending order, de-duplicated.
         let mut heap: BinaryHeap<Reverse<(Time, usize, u64)>> = BinaryHeap::new();
-        for (idx, task) in task_set.iter().enumerate() {
-            heap.push(Reverse((task.deadline(), idx, 1)));
+        for (idx, component) in components.iter().enumerate() {
+            heap.push(Reverse((component.first_deadline(), idx, 1)));
         }
         let mut counter = IterationCounter::new();
         let mut last_checked: Option<Time> = None;
         while let Some(Reverse((interval, idx, job))) = heap.pop() {
-            // Schedule the next job of this task if still below its border.
+            // Schedule the next job of this component if still below its
+            // border (one-shot components have a single job).
             if job < self.level {
-                let task = &task_set[idx];
-                if let Some(next) = interval.checked_add(task.period()) {
-                    heap.push(Reverse((next, idx, job + 1)));
+                if let Some(period) = components[idx].period() {
+                    if let Some(next) = interval.checked_add(period) {
+                        heap.push(Reverse((next, idx, job + 1)));
+                    }
                 }
             }
             if last_checked == Some(interval) {
@@ -106,26 +109,21 @@ impl FeasibilityTest for SuperpositionTest {
             // exact rational arithmetic.
             let mut exact_part = Time::ZERO;
             let mut approx_terms = Vec::new();
-            for task in task_set {
-                let im = max_test_interval(task, self.level);
-                if interval <= im {
-                    exact_part = exact_part.saturating_add(dbf_task(task, interval));
+            for component in components {
+                let im = component.max_test_interval(self.level);
+                if interval <= im || component.period().is_none() {
+                    // One-shot demand is constant beyond `im` — exact either
+                    // way.
+                    exact_part = exact_part.saturating_add(component.dbf(interval));
                 } else {
-                    approx_terms.push(ApproxTerm {
-                        task,
-                        im,
-                        dbf_at_im: dbf_task(task, im),
-                    });
+                    approx_terms.push(ApproxTerm::for_component(component, im, component.dbf(im)));
                 }
             }
             if !approx_demand_within(exact_part, &approx_terms, interval) {
                 // Report the (slightly pessimistic) integer upper bound of
                 // the approximated demand as the witness.
-                let demand = dbf_approx_set(task_set.iter(), self.level, interval);
-                return counter.finish(
-                    Verdict::Unknown,
-                    Some(DemandOverload { interval, demand }),
-                );
+                let demand = dbf_approx_components(components, self.level, interval);
+                return counter.finish(Verdict::Unknown, Some(DemandOverload { interval, demand }));
             }
         }
         counter.finish(Verdict::Feasible, None)
@@ -136,7 +134,7 @@ impl FeasibilityTest for SuperpositionTest {
 mod tests {
     use super::*;
     use crate::demand::dbf_set;
-    use edf_model::Task;
+    use edf_model::{Task, TaskSet};
 
     fn t(c: u64, d: u64, p: u64) -> Task {
         Task::from_ticks(c, d, p).expect("valid task")

@@ -1,9 +1,8 @@
 //! Utilization- and density-based tests (§3.1 and folklore baselines).
 
-use edf_model::TaskSet;
-
 use crate::analysis::{Analysis, FeasibilityTest, Verdict};
 use crate::arith::{BoundCheck, FracSum};
+use crate::workload::PreparedWorkload;
 
 /// The Liu & Layland utilization test: for task sets whose deadlines are no
 /// smaller than their periods, `U ≤ 1` is necessary *and* sufficient under
@@ -50,14 +49,20 @@ impl FeasibilityTest for LiuLaylandTest {
         false
     }
 
-    fn analyze(&self, task_set: &TaskSet) -> Analysis {
-        if task_set.is_empty() {
+    fn analyze_prepared(&self, workload: &PreparedWorkload) -> Analysis {
+        if workload.is_empty() {
             return Analysis::trivial(Verdict::Feasible);
         }
-        let exceeds = task_set.utilization_exceeds_one();
+        let exceeds = workload.utilization_exceeds_one();
+        // The D ≥ T argument needs every component periodic with a relative
+        // deadline no smaller than its period.
+        let all_relaxed = workload.components().iter().all(|c| match c.period() {
+            Some(period) => c.first_deadline().saturating_sub(c.release_offset()) >= period,
+            None => false,
+        });
         let mut analysis = Analysis::trivial(if exceeds {
             Verdict::Infeasible
-        } else if task_set.iter().all(|t| t.deadline() >= t.period()) {
+        } else if all_relaxed {
             Verdict::Feasible
         } else {
             Verdict::Unknown
@@ -92,19 +97,25 @@ impl FeasibilityTest for DensityTest {
         false
     }
 
-    fn analyze(&self, task_set: &TaskSet) -> Analysis {
-        if task_set.is_empty() {
+    fn analyze_prepared(&self, workload: &PreparedWorkload) -> Analysis {
+        if workload.is_empty() {
             return Analysis::trivial(Verdict::Feasible);
         }
-        if task_set.utilization_exceeds_one() {
+        if workload.utilization_exceeds_one() {
             let mut a = Analysis::trivial(Verdict::Infeasible);
             a.iterations = 1;
             return a;
         }
         let mut density = FracSum::new();
-        for task in task_set {
-            let effective = task.deadline().min(task.period());
-            density.add(task.wcet().as_u128(), effective.as_u128());
+        for component in workload.components() {
+            // dbf(I) ≤ C/min(D, T)·I holds per component (first jump at D,
+            // slope C/T), so the density argument carries over verbatim;
+            // one-shot components contribute C/D.
+            let effective = match component.period() {
+                Some(period) => component.first_deadline().min(period),
+                None => component.first_deadline(),
+            };
+            density.add(component.wcet().as_u128(), effective.as_u128());
         }
         let verdict = match density.cmp_integer(1) {
             BoundCheck::WithinBound => Verdict::Feasible,
@@ -119,7 +130,7 @@ impl FeasibilityTest for DensityTest {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use edf_model::Task;
+    use edf_model::{Task, TaskSet};
 
     fn t(c: u64, d: u64, p: u64) -> Task {
         Task::from_ticks(c, d, p).expect("valid task")
@@ -136,7 +147,10 @@ mod tests {
     #[test]
     fn liu_layland_rejects_overload() {
         let ts = TaskSet::from_tasks(vec![t(2, 3, 3), t(2, 4, 4)]);
-        assert_eq!(LiuLaylandTest::new().analyze(&ts).verdict, Verdict::Infeasible);
+        assert_eq!(
+            LiuLaylandTest::new().analyze(&ts).verdict,
+            Verdict::Infeasible
+        );
     }
 
     #[test]
@@ -148,12 +162,18 @@ mod tests {
     #[test]
     fn liu_layland_accepts_arbitrary_deadlines_with_low_utilization() {
         let ts = TaskSet::from_tasks(vec![t(1, 10, 4), t(1, 12, 6)]);
-        assert_eq!(LiuLaylandTest::new().analyze(&ts).verdict, Verdict::Feasible);
+        assert_eq!(
+            LiuLaylandTest::new().analyze(&ts).verdict,
+            Verdict::Feasible
+        );
     }
 
     #[test]
     fn liu_layland_trivial_empty() {
-        assert_eq!(LiuLaylandTest::new().analyze(&TaskSet::new()).verdict, Verdict::Feasible);
+        assert_eq!(
+            LiuLaylandTest::new().analyze(&TaskSet::new()).verdict,
+            Verdict::Feasible
+        );
         assert!(!LiuLaylandTest::new().is_exact());
         assert_eq!(LiuLaylandTest::new().name(), "liu-layland");
     }
@@ -189,6 +209,9 @@ mod tests {
 
     #[test]
     fn density_trivial_empty() {
-        assert_eq!(DensityTest::new().analyze(&TaskSet::new()).verdict, Verdict::Feasible);
+        assert_eq!(
+            DensityTest::new().analyze(&TaskSet::new()).verdict,
+            Verdict::Feasible
+        );
     }
 }

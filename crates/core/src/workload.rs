@@ -1,0 +1,973 @@
+//! The [`Workload`] demand abstraction: one interface for every task model.
+//!
+//! §2/§3.6 of the paper stress that the processor-demand framework is not
+//! tied to the sporadic task model — any workload whose *demand bound
+//! function* `dbf(I)` can be evaluated and whose demand change points can
+//! be enumerated is analyzable by exactly the same tests.  This module
+//! makes that observation structural:
+//!
+//! * [`DemandComponent`] — the elementary demand generator: jobs of cost
+//!   `C` with absolute deadlines `D, D + T, D + 2T, …` (or a single
+//!   deadline for one-shot events).  A sporadic task is one component; a
+//!   Gresser event-stream task is one component **per tuple** `(z, a)`
+//!   (cost `C`, first deadline `a + D`, cycle `z`) — the decomposition is
+//!   exact because `dbf(I) = C·η(I − D)` distributes over the tuples;
+//! * [`Workload`] — anything that can decompose itself into components:
+//!   implemented for [`TaskSet`], [`Task`], [`EventStreamTask`], slices
+//!   and vectors of event-stream tasks, and [`MixedSystem`];
+//! * [`PreparedWorkload`] — a workload snapshot with the shared state every
+//!   test needs (components, exact utilization comparison, §4.3
+//!   feasibility bounds, deadline ordering) computed **once** and cached,
+//!   so a suite of tests re-uses it instead of recomputing per test.
+//!
+//! Every [`FeasibilityTest`](crate::FeasibilityTest) consumes a
+//! [`PreparedWorkload`], which is what lets the exact tests of the paper
+//! run unchanged on event-stream and mixed systems.
+//!
+//! # Examples
+//!
+//! ```
+//! use edf_analysis::tests::AllApproximatedTest;
+//! use edf_analysis::workload::{MixedSystem, PreparedWorkload, Workload};
+//! use edf_analysis::{FeasibilityTest, Verdict};
+//! use edf_model::{EventStream, EventStreamTask, Task, TaskSet, Time};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let sporadic = TaskSet::from_tasks(vec![
+//!     Task::new(Time::new(2), Time::new(8), Time::new(10))?,
+//! ]);
+//! let burst = EventStreamTask::new(
+//!     EventStream::bursty(3, Time::new(5), Time::new(100)),
+//!     Time::new(4),
+//!     Time::new(20),
+//! )?;
+//! let system = MixedSystem::new(sporadic, vec![burst]);
+//!
+//! // The paper's all-approximated exact test, on an event-stream system:
+//! let prepared = PreparedWorkload::new(&system);
+//! let analysis = AllApproximatedTest::new().analyze_prepared(&prepared);
+//! assert_eq!(analysis.verdict, Verdict::Feasible);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::OnceLock;
+
+use edf_model::{EventStreamTask, Task, TaskSet, Time};
+
+use crate::arith::fracs_le_integer;
+use crate::bounds::FeasibilityBounds;
+
+/// The elementary demand generator behind every supported task model.
+///
+/// A component releases jobs of cost [`wcet`](DemandComponent::wcet) at
+/// `offset, offset + T, offset + 2T, …` (synchronous worst case), each due
+/// [`first_deadline`](DemandComponent::first_deadline)` − offset` time
+/// units after its release.  A component with `period() == None` is
+/// *one-shot*: it contributes a single job.
+///
+/// # Examples
+///
+/// ```
+/// use edf_analysis::workload::DemandComponent;
+/// use edf_model::Time;
+///
+/// let c = DemandComponent::periodic(Time::new(2), Time::new(4), Time::new(10));
+/// assert_eq!(c.dbf(Time::new(3)), Time::ZERO);
+/// assert_eq!(c.dbf(Time::new(4)), Time::new(2));
+/// assert_eq!(c.dbf(Time::new(14)), Time::new(4));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DemandComponent {
+    wcet: Time,
+    /// Absolute deadline of the first job (`offset + relative deadline`).
+    deadline: Time,
+    /// Release instant of the first job within the observation window.
+    offset: Time,
+    /// Distance between consecutive jobs; `None` for a one-shot component.
+    period: Option<Time>,
+}
+
+impl DemandComponent {
+    /// A periodic component released at the window start (a sporadic task).
+    #[must_use]
+    pub fn periodic(wcet: Time, deadline: Time, period: Time) -> Self {
+        DemandComponent {
+            wcet,
+            deadline,
+            offset: Time::ZERO,
+            period: Some(period),
+        }
+    }
+
+    /// A periodic component whose first job is released at `offset` with
+    /// relative deadline `relative_deadline` (an event-stream tuple).
+    #[must_use]
+    pub fn periodic_from(wcet: Time, relative_deadline: Time, period: Time, offset: Time) -> Self {
+        DemandComponent {
+            wcet,
+            deadline: offset.saturating_add(relative_deadline),
+            offset,
+            period: Some(period),
+        }
+    }
+
+    /// A one-shot component: a single job released at `offset` and due at
+    /// `offset + relative_deadline`.
+    #[must_use]
+    pub fn one_shot(wcet: Time, relative_deadline: Time, offset: Time) -> Self {
+        DemandComponent {
+            wcet,
+            deadline: offset.saturating_add(relative_deadline),
+            offset,
+            period: None,
+        }
+    }
+
+    /// The component equivalent to a sporadic [`Task`].
+    #[must_use]
+    pub fn from_task(task: &Task) -> Self {
+        DemandComponent::periodic(task.wcet(), task.deadline(), task.period())
+    }
+
+    /// Execution cost per job.
+    #[must_use]
+    pub fn wcet(&self) -> Time {
+        self.wcet
+    }
+
+    /// Absolute deadline of the first job.
+    #[must_use]
+    pub fn first_deadline(&self) -> Time {
+        self.deadline
+    }
+
+    /// Release instant of the first job.
+    #[must_use]
+    pub fn release_offset(&self) -> Time {
+        self.offset
+    }
+
+    /// Distance between jobs, `None` for a one-shot component.
+    #[must_use]
+    pub fn period(&self) -> Option<Time> {
+        self.period
+    }
+
+    /// Long-run utilization (`C/T` for periodic components, 0 for
+    /// one-shots).
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        match self.period {
+            Some(period) => self.wcet.as_f64() / period.as_f64(),
+            None => 0.0,
+        }
+    }
+
+    /// Demand bound function: total cost of jobs with release *and*
+    /// deadline inside an interval of length `interval`.
+    #[must_use]
+    pub fn dbf(&self, interval: Time) -> Time {
+        if interval < self.deadline {
+            return Time::ZERO;
+        }
+        match self.period {
+            None => self.wcet,
+            Some(period) => {
+                let jobs = (interval - self.deadline).div_floor(period) + 1;
+                self.wcet.saturating_mul(jobs)
+            }
+        }
+    }
+
+    /// Request bound function: total cost of jobs *released* within an
+    /// interval of length `interval` (half-open, with the job released at
+    /// instant 0 counting for `interval = 0`, mirroring
+    /// [`rbf_task`](crate::demand::rbf_task)).
+    #[must_use]
+    pub fn rbf(&self, interval: Time) -> Time {
+        if self.offset.is_zero() && interval.is_zero() {
+            return self.wcet;
+        }
+        if interval <= self.offset {
+            return Time::ZERO;
+        }
+        match self.period {
+            None => self.wcet,
+            Some(period) => {
+                let jobs = (interval - self.offset - Time::ONE).div_floor(period) + 1;
+                self.wcet.saturating_mul(jobs)
+            }
+        }
+    }
+
+    /// The absolute deadline of the first job strictly after `interval`
+    /// (Lemma 5's `NextInt`), or `None` if there is none / on overflow.
+    #[must_use]
+    pub fn next_deadline_after(&self, interval: Time) -> Option<Time> {
+        if interval < self.deadline {
+            return Some(self.deadline);
+        }
+        let period = self.period?;
+        let k = (interval - self.deadline).div_floor(period) + 1;
+        period.checked_mul(k)?.checked_add(self.deadline)
+    }
+
+    /// The largest job deadline strictly below `limit`, or `None`.
+    #[must_use]
+    pub fn last_deadline_below(&self, limit: Time) -> Option<Time> {
+        if self.deadline >= limit {
+            return None;
+        }
+        match self.period {
+            None => Some(self.deadline),
+            Some(period) => {
+                let k = (limit - self.deadline - Time::ONE).div_floor(period);
+                period.checked_mul(k)?.checked_add(self.deadline)
+            }
+        }
+    }
+
+    /// The maximum test interval `Im` at approximation `level ≥ 1`: the
+    /// deadline of the `level`-th job (Def. 4 generalized; one-shot
+    /// components saturate at their single deadline).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is zero.
+    #[must_use]
+    pub fn max_test_interval(&self, level: u64) -> Time {
+        assert!(level >= 1, "approximation level must be at least 1");
+        match self.period {
+            None => self.deadline,
+            Some(period) => period
+                .saturating_mul(level - 1)
+                .saturating_add(self.deadline),
+        }
+    }
+}
+
+/// One entry of [`DemandEventIter`]: an interval length at which the
+/// demand increases and the component responsible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DemandEvent {
+    /// Interval length (an absolute job deadline).
+    pub interval: Time,
+    /// Index of the component within the prepared workload.
+    pub component: usize,
+}
+
+/// Lazily merged stream of all component job deadlines `≤ horizon` in
+/// non-decreasing order (the k-way merge behind the demand-based tests,
+/// generalizing [`DeadlineIter`](crate::demand::DeadlineIter) to arbitrary
+/// workloads).
+///
+/// Ties are returned as separate events, one per job, so callers can
+/// accumulate per-job demand incrementally.
+#[derive(Debug)]
+pub struct DemandEventIter<'a> {
+    components: &'a [DemandComponent],
+    heap: BinaryHeap<Reverse<(Time, usize)>>,
+    horizon: Time,
+}
+
+impl<'a> DemandEventIter<'a> {
+    /// Creates the iterator over all job deadlines `≤ horizon`.
+    #[must_use]
+    pub fn new(components: &'a [DemandComponent], horizon: Time) -> Self {
+        let mut heap = BinaryHeap::with_capacity(components.len());
+        for (idx, component) in components.iter().enumerate() {
+            if component.first_deadline() <= horizon {
+                heap.push(Reverse((component.first_deadline(), idx)));
+            }
+        }
+        DemandEventIter {
+            components,
+            heap,
+            horizon,
+        }
+    }
+}
+
+impl Iterator for DemandEventIter<'_> {
+    type Item = DemandEvent;
+
+    fn next(&mut self) -> Option<DemandEvent> {
+        let Reverse((interval, component)) = self.heap.pop()?;
+        if let Some(period) = self.components[component].period() {
+            if let Some(next) = interval.checked_add(period) {
+                if next <= self.horizon {
+                    self.heap.push(Reverse((next, component)));
+                }
+            }
+        }
+        Some(DemandEvent {
+            interval,
+            component,
+        })
+    }
+}
+
+/// A demand-characterized workload: anything that can decompose itself
+/// into [`DemandComponent`]s.
+///
+/// The provided methods (`dbf`, `rbf`, `utilization`, `next_demand_point`,
+/// `demand_events`) are derived from the decomposition; implementors only
+/// supply [`Workload::demand_components`] (and may override the rest with
+/// cheaper model-specific versions).  For anything hot, wrap the workload
+/// in a [`PreparedWorkload`] once and reuse it — the trait methods here
+/// recompute the decomposition on every call.
+pub trait Workload {
+    /// Decomposes the workload into elementary demand components.
+    fn demand_components(&self) -> Vec<DemandComponent>;
+
+    /// Number of user-visible tasks (for reporting; a bursty event stream
+    /// is one task but several components).
+    fn task_count(&self) -> usize {
+        self.demand_components().len()
+    }
+
+    /// `true` if the workload has no demand at all.
+    fn is_empty(&self) -> bool {
+        self.demand_components().is_empty()
+    }
+
+    /// Long-run processor utilization.
+    fn utilization(&self) -> f64 {
+        self.demand_components()
+            .iter()
+            .map(DemandComponent::utilization)
+            .sum()
+    }
+
+    /// Total demand bound function `dbf(I)`.
+    fn dbf(&self, interval: Time) -> Time {
+        self.demand_components()
+            .iter()
+            .fold(Time::ZERO, |acc, c| acc.saturating_add(c.dbf(interval)))
+    }
+
+    /// Total request bound function `rbf(I)`.
+    fn rbf(&self, interval: Time) -> Time {
+        self.demand_components()
+            .iter()
+            .fold(Time::ZERO, |acc, c| acc.saturating_add(c.rbf(interval)))
+    }
+
+    /// The smallest interval length strictly greater than `interval` at
+    /// which the demand increases, or `None` if demand never grows again.
+    fn next_demand_point(&self, interval: Time) -> Option<Time> {
+        self.demand_components()
+            .iter()
+            .filter_map(|c| c.next_deadline_after(interval))
+            .min()
+    }
+}
+
+impl Workload for TaskSet {
+    fn demand_components(&self) -> Vec<DemandComponent> {
+        self.iter().map(DemandComponent::from_task).collect()
+    }
+
+    fn task_count(&self) -> usize {
+        self.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.is_empty()
+    }
+
+    fn utilization(&self) -> f64 {
+        self.utilization()
+    }
+}
+
+impl Workload for Task {
+    fn demand_components(&self) -> Vec<DemandComponent> {
+        vec![DemandComponent::from_task(self)]
+    }
+
+    fn task_count(&self) -> usize {
+        1
+    }
+}
+
+impl Workload for EventStreamTask {
+    fn demand_components(&self) -> Vec<DemandComponent> {
+        stream_task_components(self)
+    }
+
+    fn task_count(&self) -> usize {
+        1
+    }
+
+    fn is_empty(&self) -> bool {
+        false
+    }
+
+    fn utilization(&self) -> f64 {
+        self.utilization()
+    }
+}
+
+impl Workload for [EventStreamTask] {
+    fn demand_components(&self) -> Vec<DemandComponent> {
+        self.iter().flat_map(stream_task_components).collect()
+    }
+
+    fn task_count(&self) -> usize {
+        self.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.is_empty()
+    }
+}
+
+impl Workload for Vec<EventStreamTask> {
+    fn demand_components(&self) -> Vec<DemandComponent> {
+        self.as_slice().demand_components()
+    }
+
+    fn task_count(&self) -> usize {
+        self.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.is_empty()
+    }
+}
+
+/// Decomposition of an event-stream task: one component per tuple.
+///
+/// `dbf(I) = C·η(I − D)` and `η` is the sum of the per-tuple event counts,
+/// so tuple `(z, a)` becomes a component with cost `C`, first deadline
+/// `a + D` and cycle `z` — the decomposition is exact, not an
+/// approximation.
+fn stream_task_components(task: &EventStreamTask) -> Vec<DemandComponent> {
+    task.stream()
+        .tuples()
+        .iter()
+        .map(|tuple| match tuple.cycle {
+            Some(cycle) => {
+                DemandComponent::periodic_from(task.wcet(), task.deadline(), cycle, tuple.offset)
+            }
+            None => DemandComponent::one_shot(task.wcet(), task.deadline(), tuple.offset),
+        })
+        .collect()
+}
+
+/// A system mixing sporadic tasks and event-stream activated tasks — the
+/// "advanced task model" of §2/§3.6.
+///
+/// `MixedSystem` used to carry its own bespoke analysis loop; it is now an
+/// ordinary [`Workload`] and every feasibility test of this crate applies.
+/// The convenience methods ([`MixedSystem::analyze`], …) are thin wrappers
+/// over the common path.
+///
+/// # Examples
+///
+/// ```
+/// use edf_analysis::workload::MixedSystem;
+/// use edf_analysis::Verdict;
+/// use edf_model::{EventStream, EventStreamTask, Task, TaskSet, Time};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let sporadic = TaskSet::from_tasks(vec![
+///     Task::new(Time::new(2), Time::new(8), Time::new(10))?,
+/// ]);
+/// let burst = EventStreamTask::new(
+///     EventStream::bursty(3, Time::new(5), Time::new(100)),
+///     Time::new(4),
+///     Time::new(20),
+/// )?;
+/// let system = MixedSystem::new(sporadic, vec![burst]);
+/// assert!(edf_analysis::workload::Workload::utilization(&system) < 1.0);
+/// assert_eq!(system.analyze().verdict, Verdict::Feasible);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixedSystem {
+    sporadic: TaskSet,
+    stream_tasks: Vec<EventStreamTask>,
+}
+
+impl MixedSystem {
+    /// Creates a mixed system from its sporadic and event-stream parts.
+    #[must_use]
+    pub fn new(sporadic: TaskSet, stream_tasks: Vec<EventStreamTask>) -> Self {
+        MixedSystem {
+            sporadic,
+            stream_tasks,
+        }
+    }
+
+    /// The sporadic part.
+    #[must_use]
+    pub fn sporadic(&self) -> &TaskSet {
+        &self.sporadic
+    }
+
+    /// The event-stream part.
+    #[must_use]
+    pub fn stream_tasks(&self) -> &[EventStreamTask] {
+        &self.stream_tasks
+    }
+
+    /// Long-run processor utilization of the whole system.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        Workload::utilization(self)
+    }
+
+    /// Total demand bound function of the system.
+    #[must_use]
+    pub fn demand(&self, interval: Time) -> Time {
+        Workload::dbf(self, interval)
+    }
+}
+
+impl Workload for MixedSystem {
+    fn demand_components(&self) -> Vec<DemandComponent> {
+        let mut components = Workload::demand_components(&self.sporadic);
+        components.extend(self.stream_tasks.as_slice().demand_components());
+        components
+    }
+
+    fn task_count(&self) -> usize {
+        self.sporadic.len() + self.stream_tasks.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.sporadic.is_empty() && self.stream_tasks.is_empty()
+    }
+
+    fn utilization(&self) -> f64 {
+        self.sporadic.utilization()
+            + self
+                .stream_tasks
+                .iter()
+                .map(EventStreamTask::utilization)
+                .sum::<f64>()
+    }
+}
+
+/// A [`Workload`] snapshot with all per-suite state computed once: the
+/// component decomposition, the exact `U > 1` comparison, the feasibility
+/// bounds of §4.3 and the deadline ordering.
+///
+/// Preparing is cheap (linear in the number of components; the bounds are
+/// computed lazily on first use) and pays off as soon as a workload is
+/// analyzed by more than one test — which is what every experiment in the
+/// paper does.  `PreparedWorkload` is `Sync`, so one prepared instance can
+/// be shared by the parallel batch front end ([`crate::batch`]).
+#[derive(Debug)]
+pub struct PreparedWorkload {
+    components: Vec<DemandComponent>,
+    task_count: usize,
+    utilization: f64,
+    exceeds_one: bool,
+    bounds: OnceLock<FeasibilityBounds>,
+    deadline_order: OnceLock<Vec<usize>>,
+}
+
+impl PreparedWorkload {
+    /// Prepares `workload` for repeated analysis.
+    #[must_use]
+    pub fn new<W: Workload + ?Sized>(workload: &W) -> Self {
+        let components = workload.demand_components();
+        let task_count = workload.task_count();
+        PreparedWorkload::from_parts(components, task_count)
+    }
+
+    /// Prepares a raw component list (advanced use: custom task models
+    /// without a [`Workload`] implementation).
+    #[must_use]
+    pub fn from_components(components: Vec<DemandComponent>) -> Self {
+        let task_count = components.len();
+        PreparedWorkload::from_parts(components, task_count)
+    }
+
+    fn from_parts(components: Vec<DemandComponent>, task_count: usize) -> Self {
+        let utilization = components.iter().map(DemandComponent::utilization).sum();
+        let exceeds_one = components_exceed_one(&components);
+        PreparedWorkload {
+            components,
+            task_count,
+            utilization,
+            exceeds_one,
+            bounds: OnceLock::new(),
+            deadline_order: OnceLock::new(),
+        }
+    }
+
+    /// The component decomposition.
+    #[must_use]
+    pub fn components(&self) -> &[DemandComponent] {
+        &self.components
+    }
+
+    /// Number of user-visible tasks of the source workload.
+    #[must_use]
+    pub fn task_count(&self) -> usize {
+        self.task_count
+    }
+
+    /// `true` if the workload has no components.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Long-run utilization as `f64`.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        self.utilization
+    }
+
+    /// Exact (integer arithmetic) test whether the long-run utilization
+    /// exceeds 1 — the trivial necessary condition of every test.
+    #[must_use]
+    pub fn utilization_exceeds_one(&self) -> bool {
+        self.exceeds_one
+    }
+
+    /// Total demand bound function.
+    #[must_use]
+    pub fn dbf(&self, interval: Time) -> Time {
+        self.components
+            .iter()
+            .fold(Time::ZERO, |acc, c| acc.saturating_add(c.dbf(interval)))
+    }
+
+    /// Total request bound function.
+    #[must_use]
+    pub fn rbf(&self, interval: Time) -> Time {
+        self.components
+            .iter()
+            .fold(Time::ZERO, |acc, c| acc.saturating_add(c.rbf(interval)))
+    }
+
+    /// The feasibility bounds of §4.3, computed on first use and cached.
+    pub fn bounds(&self) -> &FeasibilityBounds {
+        self.bounds
+            .get_or_init(|| FeasibilityBounds::for_components(&self.components))
+    }
+
+    /// The tightest cached feasibility bound (see
+    /// [`FeasibilityBounds::analysis_horizon`]).
+    #[must_use]
+    pub fn analysis_horizon(&self) -> Option<Time> {
+        self.bounds().analysis_horizon()
+    }
+
+    /// Smallest first deadline over all components.
+    #[must_use]
+    pub fn min_first_deadline(&self) -> Option<Time> {
+        self.components
+            .iter()
+            .map(DemandComponent::first_deadline)
+            .min()
+    }
+
+    /// Largest first deadline over all components.
+    #[must_use]
+    pub fn max_first_deadline(&self) -> Option<Time> {
+        self.components
+            .iter()
+            .map(DemandComponent::first_deadline)
+            .max()
+    }
+
+    /// Component indices sorted by non-decreasing first deadline (cached;
+    /// the order Devi's test and `SuperPos` iterate in).
+    #[must_use]
+    pub fn deadline_order(&self) -> &[usize] {
+        self.deadline_order.get_or_init(|| {
+            let mut order: Vec<usize> = (0..self.components.len()).collect();
+            order.sort_by_key(|&i| self.components[i].first_deadline());
+            order
+        })
+    }
+
+    /// Merged stream of all job deadlines `≤ horizon` in ascending order.
+    #[must_use]
+    pub fn demand_events(&self, horizon: Time) -> DemandEventIter<'_> {
+        DemandEventIter::new(&self.components, horizon)
+    }
+
+    /// The largest job deadline (over all components) strictly below
+    /// `limit`, or `None` — the step function of the QPA test.
+    #[must_use]
+    pub fn last_deadline_below(&self, limit: Time) -> Option<Time> {
+        self.components
+            .iter()
+            .filter_map(|c| c.last_deadline_below(limit))
+            .max()
+    }
+
+    /// A copy with every component's cost scaled by `numer/denom`
+    /// (rounded up, clamped to at least 1 and, for periodic components, to
+    /// at most the period) — the workhorse of the sensitivity searches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `denom` is zero.
+    #[must_use]
+    pub fn with_scaled_wcets(&self, numer: u64, denom: u64) -> PreparedWorkload {
+        assert!(denom > 0, "scaling denominator must be positive");
+        let components = self
+            .components
+            .iter()
+            .map(|c| {
+                let scaled = (c.wcet.as_u128() * u128::from(numer)).div_ceil(u128::from(denom));
+                let mut wcet = Time::new(scaled.min(u128::from(u64::MAX)) as u64).max(Time::ONE);
+                if let Some(period) = c.period {
+                    wcet = wcet.min(period);
+                }
+                DemandComponent { wcet, ..*c }
+            })
+            .collect();
+        PreparedWorkload::from_parts(components, self.task_count)
+    }
+}
+
+impl Workload for PreparedWorkload {
+    fn demand_components(&self) -> Vec<DemandComponent> {
+        self.components.clone()
+    }
+
+    fn task_count(&self) -> usize {
+        self.task_count
+    }
+
+    fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    fn utilization(&self) -> f64 {
+        self.utilization
+    }
+
+    fn dbf(&self, interval: Time) -> Time {
+        PreparedWorkload::dbf(self, interval)
+    }
+
+    fn rbf(&self, interval: Time) -> Time {
+        PreparedWorkload::rbf(self, interval)
+    }
+}
+
+/// Exact `Σ Cᵢ/Tᵢ > 1` over the periodic components (one-shots have no
+/// long-run rate), evaluated with the crate's rational arithmetic.
+pub(crate) fn components_exceed_one(components: &[DemandComponent]) -> bool {
+    let terms: Vec<(u128, u128)> = components
+        .iter()
+        .filter_map(|c| c.period.map(|p| (c.wcet.as_u128(), p.as_u128())))
+        .collect();
+    !fracs_le_integer(&terms, 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demand::{dbf_set, rbf_set};
+    use edf_model::EventStream;
+
+    fn t(c: u64, d: u64, p: u64) -> Task {
+        Task::from_ticks(c, d, p).expect("valid task")
+    }
+
+    fn burst(count: u64, inner: u64, outer: u64, c: u64, d: u64) -> EventStreamTask {
+        EventStreamTask::new(
+            EventStream::bursty(count, Time::new(inner), Time::new(outer)),
+            Time::new(c),
+            Time::new(d),
+        )
+        .expect("valid event stream task")
+    }
+
+    #[test]
+    fn task_set_components_reproduce_dbf_and_rbf() {
+        let ts = TaskSet::from_tasks(vec![t(1, 2, 4), t(2, 6, 8), t(3, 10, 20)]);
+        let prepared = PreparedWorkload::new(&ts);
+        assert_eq!(prepared.components().len(), 3);
+        for i in 0..120u64 {
+            let i = Time::new(i);
+            assert_eq!(prepared.dbf(i), dbf_set(&ts, i), "dbf at {i}");
+            assert_eq!(prepared.rbf(i), rbf_set(&ts, i), "rbf at {i}");
+        }
+        assert!(!prepared.utilization_exceeds_one());
+        assert!((prepared.utilization() - ts.utilization()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stream_task_components_reproduce_stream_dbf() {
+        let task = burst(3, 5, 100, 4, 20);
+        let prepared = PreparedWorkload::new(&task);
+        assert_eq!(prepared.components().len(), 3);
+        assert_eq!(prepared.task_count(), 1);
+        for i in 0..400u64 {
+            let i = Time::new(i);
+            assert_eq!(prepared.dbf(i), task.dbf(i), "dbf at {i}");
+        }
+        assert!((prepared.utilization() - task.utilization()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_shot_tuple_contributes_once() {
+        let stream = EventStream::new(vec![
+            edf_model::EventTuple::periodic(Time::new(50), Time::ZERO),
+            edf_model::EventTuple::single(Time::new(7)),
+        ])
+        .unwrap();
+        let task = EventStreamTask::new(stream, Time::new(3), Time::new(10)).unwrap();
+        let prepared = PreparedWorkload::new(&task);
+        for i in 0..300u64 {
+            let i = Time::new(i);
+            assert_eq!(prepared.dbf(i), task.dbf(i), "dbf at {i}");
+        }
+        // The one-shot component saturates.
+        let one_shot = prepared
+            .components()
+            .iter()
+            .find(|c| c.period().is_none())
+            .expect("one-shot present");
+        assert_eq!(one_shot.first_deadline(), Time::new(17));
+        assert_eq!(one_shot.dbf(Time::new(1_000)), Time::new(3));
+        assert_eq!(one_shot.next_deadline_after(Time::new(17)), None);
+        assert_eq!(one_shot.max_test_interval(9), Time::new(17));
+    }
+
+    #[test]
+    fn mixed_system_components_are_the_union() {
+        let system = MixedSystem::new(
+            TaskSet::from_tasks(vec![t(1, 5, 20)]),
+            vec![burst(2, 3, 50, 2, 10)],
+        );
+        let prepared = PreparedWorkload::new(&system);
+        assert_eq!(prepared.components().len(), 1 + 2);
+        assert_eq!(prepared.task_count(), 2);
+        for i in 0..200u64 {
+            let i = Time::new(i);
+            assert_eq!(prepared.dbf(i), system.demand(i));
+        }
+    }
+
+    #[test]
+    fn demand_events_are_sorted_and_complete() {
+        let system = MixedSystem::new(
+            TaskSet::from_tasks(vec![t(1, 5, 20)]),
+            vec![burst(2, 3, 50, 2, 10)],
+        );
+        let prepared = PreparedWorkload::new(&system);
+        let horizon = Time::new(70);
+        let events: Vec<DemandEvent> = prepared.demand_events(horizon).collect();
+        for pair in events.windows(2) {
+            assert!(pair[0].interval <= pair[1].interval);
+        }
+        // Demand increases exactly at the event intervals.
+        let intervals: Vec<Time> = events.iter().map(|e| e.interval).collect();
+        for i in 1..=horizon.as_u64() {
+            let i = Time::new(i);
+            let grew = prepared.dbf(i) > prepared.dbf(i - Time::ONE);
+            assert_eq!(grew, intervals.contains(&i), "at {i}");
+        }
+        // Expected stream deadlines: events at 0, 3, 50, 53 offset by 10.
+        for expected in [5u64, 25, 45, 65, 10, 13, 60, 63] {
+            assert!(
+                intervals.contains(&Time::new(expected)),
+                "missing {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn next_demand_point_matches_event_enumeration() {
+        let ts = TaskSet::from_tasks(vec![t(1, 3, 5), t(1, 4, 10)]);
+        // deadlines: 3, 4, 8, 13, 14, 18, ...
+        assert_eq!(ts.next_demand_point(Time::ZERO), Some(Time::new(3)));
+        assert_eq!(ts.next_demand_point(Time::new(3)), Some(Time::new(4)));
+        assert_eq!(ts.next_demand_point(Time::new(4)), Some(Time::new(8)));
+        assert_eq!(ts.next_demand_point(Time::new(8)), Some(Time::new(13)));
+    }
+
+    #[test]
+    fn last_deadline_below_matches_enumeration() {
+        let ts = TaskSet::from_tasks(vec![t(1, 3, 5), t(1, 4, 10)]);
+        let prepared = PreparedWorkload::new(&ts);
+        assert_eq!(
+            prepared.last_deadline_below(Time::new(25)),
+            Some(Time::new(24))
+        );
+        assert_eq!(
+            prepared.last_deadline_below(Time::new(24)),
+            Some(Time::new(23))
+        );
+        assert_eq!(
+            prepared.last_deadline_below(Time::new(14)),
+            Some(Time::new(13))
+        );
+        assert_eq!(
+            prepared.last_deadline_below(Time::new(4)),
+            Some(Time::new(3))
+        );
+        assert_eq!(prepared.last_deadline_below(Time::new(3)), None);
+    }
+
+    #[test]
+    fn exact_utilization_comparison() {
+        let full = PreparedWorkload::new(&TaskSet::from_tasks(vec![t(1, 2, 2), t(2, 4, 4)]));
+        assert!(!full.utilization_exceeds_one());
+        let over = PreparedWorkload::new(&TaskSet::from_tasks(vec![
+            t(1, 2, 2),
+            t(2, 4, 4),
+            t(1, 9, 9),
+        ]));
+        assert!(over.utilization_exceeds_one());
+    }
+
+    #[test]
+    fn deadline_order_is_sorted_and_stable() {
+        let ts = TaskSet::from_tasks(vec![t(2, 20, 40), t(1, 3, 9), t(1, 7, 14), t(1, 3, 5)]);
+        let prepared = PreparedWorkload::new(&ts);
+        let order = prepared.deadline_order();
+        assert_eq!(order.len(), 4);
+        for pair in order.windows(2) {
+            let a = prepared.components()[pair[0]].first_deadline();
+            let b = prepared.components()[pair[1]].first_deadline();
+            assert!(a <= b);
+        }
+        // Stable: the two deadline-3 tasks keep their input order.
+        assert_eq!(&order[..2], &[1, 3]);
+    }
+
+    #[test]
+    fn scaled_wcets_clamp_to_period() {
+        let ts = TaskSet::from_tasks(vec![t(2, 8, 10)]);
+        let prepared = PreparedWorkload::new(&ts);
+        let doubled = prepared.with_scaled_wcets(2_000, 1_000);
+        assert_eq!(doubled.components()[0].wcet(), Time::new(4));
+        let huge = prepared.with_scaled_wcets(1_000_000, 1_000);
+        assert_eq!(huge.components()[0].wcet(), Time::new(10));
+        let tiny = prepared.with_scaled_wcets(1, 1_000);
+        assert_eq!(tiny.components()[0].wcet(), Time::ONE);
+    }
+
+    #[test]
+    fn rbf_of_offset_component_counts_releases() {
+        let c =
+            DemandComponent::periodic_from(Time::new(2), Time::new(4), Time::new(10), Time::new(3));
+        // Releases at 3, 13, 23, ... (half-open window [0, I)).
+        assert_eq!(c.rbf(Time::ZERO), Time::ZERO);
+        assert_eq!(c.rbf(Time::new(3)), Time::ZERO);
+        assert_eq!(c.rbf(Time::new(4)), Time::new(2));
+        assert_eq!(c.rbf(Time::new(13)), Time::new(2));
+        assert_eq!(c.rbf(Time::new(14)), Time::new(4));
+        // And the deadline is shifted by the offset.
+        assert_eq!(c.first_deadline(), Time::new(7));
+    }
+}

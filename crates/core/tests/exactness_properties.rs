@@ -275,3 +275,124 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Workload-model equivalence (the `Workload` refactor's contract).
+// ---------------------------------------------------------------------------
+
+use edf_analysis::tests::AllApproximatedTest as AaTest;
+use edf_analysis::workload::PreparedWorkload;
+use edf_model::{EventStream, EventStreamTask};
+
+/// Re-expresses a sporadic task set as periodic event-stream tasks.
+fn as_event_streams(ts: &TaskSet) -> Vec<EventStreamTask> {
+    ts.iter()
+        .map(|task| {
+            EventStreamTask::new(
+                EventStream::periodic(task.period()),
+                task.wcet(),
+                task.deadline(),
+            )
+            .expect("valid task parameters")
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(100))]
+
+    /// A strictly periodic event-stream workload gets the same verdict and
+    /// the same dbf values as the equivalent sporadic task set under every
+    /// exact test.
+    #[test]
+    fn periodic_streams_equal_sporadic_tasks_under_every_exact_test(ts in arb_medium_set()) {
+        let streams = as_event_streams(&ts);
+        let stream_workload = PreparedWorkload::new(&streams);
+        let sporadic_workload = PreparedWorkload::new(&ts);
+        for i in (0..500u64).step_by(11) {
+            let i = Time::new(i);
+            prop_assert_eq!(
+                stream_workload.dbf(i),
+                dbf_set(&ts, i),
+                "dbf mismatch at {} on {}", i, ts
+            );
+        }
+        for test in [
+            Box::new(ProcessorDemandTest::new()) as Box<dyn FeasibilityTest>,
+            Box::new(QpaTest::new()),
+            Box::new(DynamicErrorTest::new()),
+            Box::new(AaTest::new()),
+        ] {
+            let sporadic = test.analyze_prepared(&sporadic_workload).verdict;
+            let stream = test.analyze_prepared(&stream_workload).verdict;
+            prop_assert_eq!(
+                sporadic, stream,
+                "{} disagrees between models on {}", test.name(), ts
+            );
+        }
+    }
+
+    /// dbf/rbf monotonicity (and dbf ≤ rbf domination) for mixed systems
+    /// combining sporadic background load with a bursty stream.
+    #[test]
+    fn mixed_system_dbf_rbf_monotone(
+        ts in arb_small_set(),
+        burst_len in 1u64..4,
+        inner in 1u64..8,
+        outer in 10u64..60,
+        c in 1u64..4,
+        d in 1u64..20,
+    ) {
+        let stream = EventStreamTask::new(
+            EventStream::bursty(burst_len, Time::new(inner), Time::new(outer)),
+            Time::new(c),
+            Time::new(d),
+        ).unwrap();
+        let mixed = MixedSystem::new(ts, vec![stream]);
+        let prepared = PreparedWorkload::new(&mixed);
+        let mut last_dbf = Time::ZERO;
+        let mut last_rbf = Time::ZERO;
+        for i in 0..200u64 {
+            let i = Time::new(i);
+            let dbf = prepared.dbf(i);
+            let rbf = prepared.rbf(i);
+            prop_assert!(dbf >= last_dbf, "dbf not monotone at {}", i);
+            prop_assert!(rbf >= last_rbf, "rbf not monotone at {}", i);
+            prop_assert!(dbf <= rbf, "dbf exceeds rbf at {}", i);
+            last_dbf = dbf;
+            last_rbf = rbf;
+        }
+    }
+
+    /// The exact tests agree with each other on event-stream workloads
+    /// reached through the common path (not just on task sets).
+    #[test]
+    fn exact_tests_agree_on_stream_workloads(
+        ts in arb_small_set(),
+        burst_len in 1u64..3,
+        inner in 1u64..6,
+        outer in 8u64..40,
+        c in 1u64..3,
+        d in 1u64..15,
+    ) {
+        let stream = EventStreamTask::new(
+            EventStream::bursty(burst_len, Time::new(inner), Time::new(outer)),
+            Time::new(c),
+            Time::new(d),
+        ).unwrap();
+        let mixed = MixedSystem::new(ts, vec![stream]);
+        let prepared = PreparedWorkload::new(&mixed);
+        let reference = ProcessorDemandTest::new().analyze_prepared(&prepared).verdict;
+        for test in [
+            Box::new(QpaTest::new()) as Box<dyn FeasibilityTest>,
+            Box::new(DynamicErrorTest::new()),
+            Box::new(AaTest::new()),
+        ] {
+            let verdict = test.analyze_prepared(&prepared).verdict;
+            prop_assert_eq!(
+                verdict, reference,
+                "{} disagrees on a mixed system", test.name()
+            );
+        }
+    }
+}

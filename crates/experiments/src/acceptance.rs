@@ -2,13 +2,12 @@
 //! sufficient tests (Devi, `SuperPos(2..=10)`) and the exact processor
 //! demand test.
 
+use edf_analysis::batch::{analyze_many, BoxedTest};
 use edf_analysis::tests::{DeviTest, ProcessorDemandTest, SuperpositionTest};
-use edf_analysis::FeasibilityTest;
 use edf_gen::{utilization_sweep, TaskSetConfig};
-use edf_model::TaskSet;
 
 use crate::report::{fmt_f64, Table};
-use crate::stats::{acceptance_rate, parallel_map};
+use crate::stats::acceptance_rate;
 
 /// Configuration of the acceptance-rate experiment.
 #[derive(Debug, Clone, PartialEq)]
@@ -70,20 +69,20 @@ pub struct AcceptanceRow {
 }
 
 /// Runs the acceptance experiment and returns one row per utilization point.
+///
+/// Internally one [`analyze_many`] batch per sweep point: every task set is
+/// prepared once and shared by all tests, and the sets fan out across the
+/// CPU cores.
 #[must_use]
 pub fn run_acceptance(config: &AcceptanceConfig) -> Vec<AcceptanceRow> {
-    let mut tests: Vec<(String, Box<dyn FeasibilityTest + Sync>)> = Vec::new();
-    tests.push(("Devi".to_owned(), Box::new(DeviTest::new())));
+    let mut labels: Vec<String> = vec!["Devi".to_owned()];
+    let mut tests: Vec<BoxedTest> = vec![Box::new(DeviTest::new())];
     for &level in &config.superposition_levels {
-        tests.push((
-            format!("SuperPos({level})"),
-            Box::new(SuperpositionTest::new(level)),
-        ));
+        labels.push(format!("SuperPos({level})"));
+        tests.push(Box::new(SuperpositionTest::new(level)));
     }
-    tests.push((
-        "Processor Demand".to_owned(),
-        Box::new(ProcessorDemandTest::new()),
-    ));
+    labels.push("Processor Demand".to_owned());
+    tests.push(Box::new(ProcessorDemandTest::new()));
 
     let sweep = utilization_sweep(
         &config.generator,
@@ -93,12 +92,15 @@ pub fn run_acceptance(config: &AcceptanceConfig) -> Vec<AcceptanceRow> {
     sweep
         .into_iter()
         .map(|point| {
-            let rates = tests
+            let analyses = analyze_many(&point.task_sets, &tests);
+            let rates = labels
                 .iter()
-                .map(|(label, test)| {
-                    let accepted: Vec<bool> = parallel_map(&point.task_sets, |ts: &TaskSet| {
-                        test.analyze(ts).verdict.is_feasible()
-                    });
+                .enumerate()
+                .map(|(j, label)| {
+                    let accepted: Vec<bool> = analyses
+                        .iter()
+                        .map(|per_set| per_set[j].verdict.is_feasible())
+                        .collect();
                     (label.clone(), acceptance_rate(&accepted))
                 })
                 .collect();
@@ -139,7 +141,10 @@ mod tests {
             utilization_percent: 80..=82,
             sets_per_point: 6,
             superposition_levels: vec![2, 4],
-            generator: TaskSetConfig::new().task_count(4..=8).average_gap(0.3).seed(1),
+            generator: TaskSetConfig::new()
+                .task_count(4..=8)
+                .average_gap(0.3)
+                .seed(1),
         }
     }
 

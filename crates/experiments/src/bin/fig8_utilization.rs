@@ -18,7 +18,11 @@ fn main() {
         UtilizationEffortConfig::quick()
     };
     let rows = run_utilization_effort(&config);
-    let (avg, max) = effort_tables("Figure 8 — effort for different utilizations", "U (%)", &rows);
+    let (avg, max) = effort_tables(
+        "Figure 8 — effort for different utilizations",
+        "U (%)",
+        &rows,
+    );
     println!("{}", avg.to_ascii());
     println!("{}", max.to_ascii());
 

@@ -2,29 +2,32 @@
 //! exact tests — Figure 8 (utilization sweep), Figure 9 (period-ratio
 //! sweep) and Table 1 (literature task sets).
 
+use edf_analysis::batch::{analyze_many, BoxedTest};
 use edf_analysis::tests::{
     AllApproximatedTest, BoundSelection, DeviTest, DynamicErrorTest, ProcessorDemandTest,
 };
+use edf_analysis::workload::PreparedWorkload;
 use edf_analysis::{FeasibilityTest, Verdict};
 use edf_gen::{period_ratio_sweep, utilization_sweep, TaskSetConfig};
 use edf_model::{literature, TaskSet};
 
 use crate::report::{fmt_f64, Table};
-use crate::stats::{parallel_map, IterationStats};
+use crate::stats::IterationStats;
 
 /// The tests compared by the effort experiments, in the paper's order.
-fn effort_tests() -> Vec<(String, Box<dyn FeasibilityTest + Sync>)> {
-    vec![
-        ("Dynamic".to_owned(), Box::new(DynamicErrorTest::new()) as _),
-        (
+fn effort_tests() -> (Vec<String>, Vec<BoxedTest>) {
+    (
+        vec![
+            "Dynamic".to_owned(),
             "All Approximated".to_owned(),
-            Box::new(AllApproximatedTest::new()) as _,
-        ),
-        (
             "Processor Demand".to_owned(),
-            Box::new(ProcessorDemandTest::new()) as _,
-        ),
-    ]
+        ],
+        vec![
+            Box::new(DynamicErrorTest::new()),
+            Box::new(AllApproximatedTest::new()),
+            Box::new(ProcessorDemandTest::new()),
+        ],
+    )
 }
 
 /// Effort statistics of every test at one sweep point.
@@ -84,7 +87,7 @@ impl UtilizationEffortConfig {
 /// Runs the Figure 8 experiment: iteration statistics per utilization point.
 #[must_use]
 pub fn run_utilization_effort(config: &UtilizationEffortConfig) -> Vec<EffortRow<u32>> {
-    let tests = effort_tests();
+    let (labels, tests) = effort_tests();
     let sweep = utilization_sweep(
         &config.generator,
         config.utilization_percent.clone(),
@@ -94,7 +97,7 @@ pub fn run_utilization_effort(config: &UtilizationEffortConfig) -> Vec<EffortRow
         .into_iter()
         .map(|point| EffortRow {
             parameter: point.parameter,
-            stats: collect_stats(&tests, &point.task_sets),
+            stats: collect_stats(&labels, &tests, &point.task_sets),
         })
         .collect()
 }
@@ -154,7 +157,7 @@ impl RatioEffortConfig {
 /// Runs the Figure 9 experiment: iteration statistics per period ratio.
 #[must_use]
 pub fn run_ratio_effort(config: &RatioEffortConfig) -> Vec<EffortRow<u64>> {
-    let tests = effort_tests();
+    let (labels, tests) = effort_tests();
     let sweep = period_ratio_sweep(
         &config.generator,
         config.min_period,
@@ -165,20 +168,27 @@ pub fn run_ratio_effort(config: &RatioEffortConfig) -> Vec<EffortRow<u64>> {
         .into_iter()
         .map(|point| EffortRow {
             parameter: point.parameter,
-            stats: collect_stats(&tests, &point.task_sets),
+            stats: collect_stats(&labels, &tests, &point.task_sets),
         })
         .collect()
 }
 
+/// One [`analyze_many`] batch: each task set is prepared once (bounds and
+/// all) and shared by every test, with the sets fanned out across cores.
 fn collect_stats(
-    tests: &[(String, Box<dyn FeasibilityTest + Sync>)],
+    labels: &[String],
+    tests: &[BoxedTest],
     task_sets: &[TaskSet],
 ) -> Vec<(String, IterationStats)> {
-    tests
+    let analyses = analyze_many(task_sets, tests);
+    labels
         .iter()
-        .map(|(label, test)| {
-            let iterations: Vec<u64> =
-                parallel_map(task_sets, |ts: &TaskSet| test.analyze(ts).iterations);
+        .enumerate()
+        .map(|(j, label)| {
+            let iterations: Vec<u64> = analyses
+                .iter()
+                .map(|per_set| per_set[j].iterations)
+                .collect();
             (label.clone(), IterationStats::from_samples(&iterations))
         })
         .collect()
@@ -241,12 +251,14 @@ pub fn run_literature() -> Vec<LiteratureRow> {
     literature::all()
         .into_iter()
         .map(|(name, ts)| {
-            let devi = DeviTest::new().analyze(&ts);
-            let dynamic = DynamicErrorTest::new().analyze(&ts);
-            let all_approx = AllApproximatedTest::new().analyze(&ts);
-            let pda = ProcessorDemandTest::new().analyze(&ts);
+            // One shared preparation per literature set for all five runs.
+            let prepared = PreparedWorkload::new(&ts);
+            let devi = DeviTest::new().analyze_prepared(&prepared);
+            let dynamic = DynamicErrorTest::new().analyze_prepared(&prepared);
+            let all_approx = AllApproximatedTest::new().analyze_prepared(&prepared);
+            let pda = ProcessorDemandTest::new().analyze_prepared(&prepared);
             let pda_baruah =
-                ProcessorDemandTest::with_bound(BoundSelection::Baruah).analyze(&ts);
+                ProcessorDemandTest::with_bound(BoundSelection::Baruah).analyze_prepared(&prepared);
             debug_assert_eq!(dynamic.verdict, pda.verdict);
             debug_assert_eq!(all_approx.verdict, pda.verdict);
             LiteratureRow {
@@ -291,7 +303,12 @@ pub fn literature_table(rows: &[LiteratureRow]) -> Table {
             row.all_approximated.to_string(),
             row.processor_demand.to_string(),
             row.processor_demand_baruah.to_string(),
-            if row.feasible { "feasible" } else { "infeasible" }.to_owned(),
+            if row.feasible {
+                "feasible"
+            } else {
+                "infeasible"
+            }
+            .to_owned(),
         ]);
     }
     table
@@ -305,7 +322,10 @@ mod tests {
         UtilizationEffortConfig {
             utilization_percent: 95..=96,
             sets_per_point: 5,
-            generator: TaskSetConfig::new().task_count(4..=10).average_gap(0.3).seed(17),
+            generator: TaskSetConfig::new()
+                .task_count(4..=10)
+                .average_gap(0.3)
+                .seed(17),
         }
     }
 
@@ -364,9 +384,7 @@ mod tests {
         // The processor demand effort grows with the ratio...
         assert!(lookup(&rows[1], "Processor Demand") > lookup(&rows[0], "Processor Demand"));
         // ...while the all-approximated test stays orders of magnitude below.
-        assert!(
-            lookup(&rows[1], "All Approximated") < lookup(&rows[1], "Processor Demand")
-        );
+        assert!(lookup(&rows[1], "All Approximated") < lookup(&rows[1], "Processor Demand"));
     }
 
     #[test]
@@ -384,9 +402,16 @@ mod tests {
         let rows = run_literature();
         assert_eq!(rows.len(), 5);
         let names: Vec<&str> = rows.iter().map(|r| r.name.as_str()).collect();
-        assert_eq!(names, vec!["Burns", "Ma & Shin", "GAP", "Gresser 1", "Gresser 2"]);
+        assert_eq!(
+            names,
+            vec!["Burns", "Ma & Shin", "GAP", "Gresser 1", "Gresser 2"]
+        );
         for row in &rows {
-            assert!(row.feasible, "{} must be feasible like in the paper", row.name);
+            assert!(
+                row.feasible,
+                "{} must be feasible like in the paper",
+                row.name
+            );
             assert!(
                 row.processor_demand >= row.all_approximated,
                 "{}: the all-approximated test must not need more intervals than PDA",

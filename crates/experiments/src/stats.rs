@@ -1,7 +1,11 @@
 //! Small statistics helpers shared by the experiments.
+//!
+//! The scoped-thread pool that used to live here has been promoted into
+//! the analysis crate as [`edf_analysis::batch::parallel_map`] (together
+//! with the higher-level [`edf_analysis::batch::analyze_many`] front end);
+//! it is re-exported for backwards compatibility.
 
-use std::num::NonZeroUsize;
-use std::thread;
+pub use edf_analysis::batch::parallel_map;
 
 /// Aggregated iteration statistics over a batch of task sets.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -51,52 +55,6 @@ pub fn acceptance_rate(outcomes: &[bool]) -> f64 {
     outcomes.iter().filter(|&&accepted| accepted).count() as f64 / outcomes.len() as f64
 }
 
-/// Applies `f` to every item of `items`, splitting the work over the
-/// available CPU cores with scoped threads.  Result order matches input
-/// order.
-///
-/// Falls back to a sequential map for tiny inputs.
-pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    let workers = thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(items.len().max(1));
-    if workers <= 1 || items.len() < 4 {
-        return items.iter().map(&f).collect();
-    }
-    let chunk_size = items.len().div_ceil(workers);
-    let mut results: Vec<Option<R>> = Vec::with_capacity(items.len());
-    results.resize_with(items.len(), || None);
-    let chunks: Vec<(usize, &[T])> = items
-        .chunks(chunk_size)
-        .enumerate()
-        .map(|(i, chunk)| (i * chunk_size, chunk))
-        .collect();
-    let slots = std::sync::Mutex::new(&mut results);
-    thread::scope(|scope| {
-        for (offset, chunk) in chunks {
-            let f = &f;
-            let slots = &slots;
-            scope.spawn(move || {
-                let local: Vec<R> = chunk.iter().map(f).collect();
-                let mut guard = slots.lock().expect("no poisoned lock");
-                for (i, value) in local.into_iter().enumerate() {
-                    guard[offset + i] = Some(value);
-                }
-            });
-        }
-    });
-    results
-        .into_iter()
-        .map(|slot| slot.expect("every slot filled by a worker"))
-        .collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -126,18 +84,9 @@ mod tests {
     }
 
     #[test]
-    fn parallel_map_preserves_order_and_values() {
-        let items: Vec<u64> = (0..1_000).collect();
+    fn reexported_parallel_map_works() {
+        let items: Vec<u64> = (0..100).collect();
         let doubled = parallel_map(&items, |&x| x * 2);
-        assert_eq!(doubled.len(), items.len());
-        for (i, value) in doubled.iter().enumerate() {
-            assert_eq!(*value, items[i] * 2);
-        }
-    }
-
-    #[test]
-    fn parallel_map_small_inputs() {
-        assert_eq!(parallel_map(&[1, 2, 3], |&x| x + 1), vec![2, 3, 4]);
-        assert_eq!(parallel_map::<u32, u32, _>(&[], |&x| x), Vec::<u32>::new());
+        assert_eq!(doubled[99], 198);
     }
 }

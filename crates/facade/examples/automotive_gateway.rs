@@ -25,8 +25,10 @@ fn gateway() -> Result<TaskSet, TaskError> {
         Task::new(Time::new(300), Time::new(4_000), Time::new(5_000))?.named("signal_gateway"),
         Task::new(Time::new(900), Time::new(9_000), Time::new(10_000))?.named("network_mgmt"),
         Task::new(Time::new(4_000), Time::new(45_000), Time::new(50_000))?.named("diagnostics"),
-        Task::new(Time::new(30_000), Time::new(400_000), Time::new(500_000))?.named("flash_journal"),
-        Task::new(Time::new(110_000), Time::new(900_000), Time::new(1_000_000))?.named("key_rotation"),
+        Task::new(Time::new(30_000), Time::new(400_000), Time::new(500_000))?
+            .named("flash_journal"),
+        Task::new(Time::new(110_000), Time::new(900_000), Time::new(1_000_000))?
+            .named("key_rotation"),
     ]))
 }
 
@@ -44,9 +46,21 @@ fn main() -> Result<(), TaskError> {
     let dynamic = DynamicErrorTest::new().analyze(&ts);
     let all_approx = AllApproximatedTest::new().analyze(&ts);
     let pda = ProcessorDemandTest::new().analyze(&ts);
-    println!("dynamic-error     : {:<10} after {:>6} intervals", dynamic.verdict.to_string(), dynamic.iterations);
-    println!("all-approximated  : {:<10} after {:>6} intervals", all_approx.verdict.to_string(), all_approx.iterations);
-    println!("processor-demand  : {:<10} after {:>6} intervals", pda.verdict.to_string(), pda.iterations);
+    println!(
+        "dynamic-error     : {:<10} after {:>6} intervals",
+        dynamic.verdict.to_string(),
+        dynamic.iterations
+    );
+    println!(
+        "all-approximated  : {:<10} after {:>6} intervals",
+        all_approx.verdict.to_string(),
+        all_approx.iterations
+    );
+    println!(
+        "processor-demand  : {:<10} after {:>6} intervals",
+        pda.verdict.to_string(),
+        pda.iterations
+    );
     println!();
 
     // EDF vs. fixed priorities on the same workload.
@@ -80,7 +94,10 @@ fn main() -> Result<(), TaskError> {
             .seed(7 + ratio);
         let sets = config.generate_many(10);
         let mean = |test: &dyn FeasibilityTest| -> f64 {
-            sets.iter().map(|ts| test.analyze(ts).iterations as f64).sum::<f64>() / sets.len() as f64
+            sets.iter()
+                .map(|ts| test.analyze(ts).iterations as f64)
+                .sum::<f64>()
+                / sets.len() as f64
         };
         println!(
             "{:>10} {:>14.1} {:>16.1} {:>16.1}",

@@ -14,7 +14,11 @@ use edf_feasibility::{
 
 fn main() {
     let gap = literature::gap();
-    println!("Generic Avionics Platform: {} tasks, U = {:.3}", gap.len(), gap.utilization());
+    println!(
+        "Generic Avionics Platform: {} tasks, U = {:.3}",
+        gap.len(),
+        gap.utilization()
+    );
     println!();
 
     // Baseline verdicts and effort.

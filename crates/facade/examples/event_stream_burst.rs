@@ -10,7 +10,7 @@
 //! Run with `cargo run --example event_stream_burst`.
 
 use edf_feasibility::model::{EventStream, EventStreamTask};
-use edf_feasibility::{ProcessorDemandTest, FeasibilityTest, Task, TaskError, TaskSet, Time};
+use edf_feasibility::{FeasibilityTest, ProcessorDemandTest, Task, TaskError, TaskSet, Time};
 
 fn main() -> Result<(), TaskError> {
     // A background periodic load...
@@ -28,7 +28,10 @@ fn main() -> Result<(), TaskError> {
         .named("burst_irq");
 
     println!("background utilization : {:.3}", background.utilization());
-    println!("burst source rate      : {:.3} events / time unit", interrupt.stream().rate());
+    println!(
+        "burst source rate      : {:.3} events / time unit",
+        interrupt.stream().rate()
+    );
     println!("burst source utilization: {:.3}", interrupt.utilization());
     println!();
 
@@ -63,9 +66,7 @@ fn main() -> Result<(), TaskError> {
         worst_slack = worst_slack.min(slack);
         if total > interval {
             violations += 1;
-            println!(
-                "violation: interval {interval}: demand {total} exceeds the capacity"
-            );
+            println!("violation: interval {interval}: demand {total} exceeds the capacity");
         }
     }
     println!(
@@ -79,12 +80,17 @@ fn main() -> Result<(), TaskError> {
     // Compare with the two naive sporadic abstractions of the same burst.
     let pessimistic = {
         let mut ts = background.clone();
-        ts.push(Task::new(Time::new(3), Time::new(12), Time::new(5))?.named("burst_as_dense_sporadic"));
+        ts.push(
+            Task::new(Time::new(3), Time::new(12), Time::new(5))?.named("burst_as_dense_sporadic"),
+        );
         ts
     };
     let optimistic = {
         let mut ts = background.clone();
-        ts.push(Task::new(Time::new(3), Time::new(12), Time::new(100))?.named("burst_as_sparse_sporadic"));
+        ts.push(
+            Task::new(Time::new(3), Time::new(12), Time::new(100))?
+                .named("burst_as_sparse_sporadic"),
+        );
         ts
     };
     let exact = ProcessorDemandTest::new();

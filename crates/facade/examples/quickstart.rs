@@ -3,9 +3,7 @@
 //!
 //! Run with `cargo run --example quickstart`.
 
-use edf_feasibility::{
-    all_tests, simulate_edf_feasibility, Task, TaskError, TaskSet, Time,
-};
+use edf_feasibility::{all_tests, simulate_edf_feasibility, Task, TaskError, TaskSet, Time};
 
 fn main() -> Result<(), TaskError> {
     // A small control application: three periodic activities with deadlines

@@ -28,7 +28,11 @@ fn control_unit() -> Result<TaskSet, TaskError> {
 
 fn main() -> Result<(), TaskError> {
     let ts = control_unit()?;
-    println!("motor control unit: {} tasks, U = {:.3}", ts.len(), ts.utilization());
+    println!(
+        "motor control unit: {} tasks, U = {:.3}",
+        ts.len(),
+        ts.utilization()
+    );
     println!();
 
     // 1. Global breakdown scaling.
@@ -43,7 +47,10 @@ fn main() -> Result<(), TaskError> {
 
     // 2. Per-task WCET slack.
     let exact = AllApproximatedTest::new();
-    println!("{:<16} {:>10} {:>14} {:>12}", "task", "WCET", "slack (ticks)", "headroom");
+    println!(
+        "{:<16} {:>10} {:>14} {:>12}",
+        "task", "WCET", "slack (ticks)", "headroom"
+    );
     for (index, task) in ts.iter().enumerate() {
         let slack = wcet_slack(&ts, index, &exact).expect("feasible system");
         println!(

@@ -31,18 +31,32 @@ fn exact_tests_agree_with_simulation_oracle() {
         match simulate_edf_feasibility(&ts) {
             OracleVerdict::Schedulable => {
                 simulated_feasible += 1;
-                assert_eq!(analytic, Verdict::Feasible, "oracle feasible but analysis not on {ts}");
+                assert_eq!(
+                    analytic,
+                    Verdict::Feasible,
+                    "oracle feasible but analysis not on {ts}"
+                );
             }
             OracleVerdict::MissAt(_) => {
                 simulated_infeasible += 1;
-                assert_eq!(analytic, Verdict::Infeasible, "oracle miss but analysis feasible on {ts}");
+                assert_eq!(
+                    analytic,
+                    Verdict::Infeasible,
+                    "oracle miss but analysis feasible on {ts}"
+                );
             }
             OracleVerdict::Inconclusive => {}
         }
     }
     // The sample must exercise both outcomes to be meaningful.
-    assert!(simulated_feasible > 5, "too few feasible samples ({simulated_feasible})");
-    assert!(simulated_infeasible > 5, "too few infeasible samples ({simulated_infeasible})");
+    assert!(
+        simulated_feasible > 5,
+        "too few feasible samples ({simulated_feasible})"
+    );
+    assert!(
+        simulated_infeasible > 5,
+        "too few infeasible samples ({simulated_infeasible})"
+    );
 }
 
 /// Sufficient tests never accept a set the exact tests reject, across the
@@ -84,7 +98,10 @@ fn qpa_matches_processor_demand_on_wide_period_spread() {
         .task_count(5..=30)
         .utilization(0.90..=0.99)
         .average_gap(0.3)
-        .periods(PeriodDistribution::RatioControlled { min: 50, ratio: 10_000 })
+        .periods(PeriodDistribution::RatioControlled {
+            min: 50,
+            ratio: 10_000,
+        })
         .seed(4242);
     for ts in config.generate_many(40) {
         let qpa = QpaTest::new().analyze(&ts);
@@ -104,7 +121,10 @@ fn new_tests_are_cheaper_on_the_paper_workload() {
         .task_count(10..=50)
         .utilization(0.93..=0.99)
         .average_gap(0.3)
-        .periods(PeriodDistribution::RatioControlled { min: 100, ratio: 10_000 })
+        .periods(PeriodDistribution::RatioControlled {
+            min: 100,
+            ratio: 10_000,
+        })
         .seed(555);
     let sets = config.generate_many(25);
     let mut pda_total = 0u64;

@@ -22,7 +22,11 @@ fn literature_sets_are_feasible_and_consistent() {
         let all_approx = AllApproximatedTest::new().analyze(&ts);
         assert_eq!(pda.verdict, Verdict::Feasible, "{name} must be feasible");
         assert_eq!(dynamic.verdict, Verdict::Feasible, "{name}: dynamic-error");
-        assert_eq!(all_approx.verdict, Verdict::Feasible, "{name}: all-approximated");
+        assert_eq!(
+            all_approx.verdict,
+            Verdict::Feasible,
+            "{name}: all-approximated"
+        );
         match simulate_edf_feasibility(&ts) {
             OracleVerdict::Schedulable | OracleVerdict::Inconclusive => {}
             OracleVerdict::MissAt(at) => panic!("{name}: simulator found a miss at {at}"),
@@ -70,7 +74,10 @@ fn figure_1_shape_is_reproduced() {
         utilization_percent: 75..=95,
         sets_per_point: 12,
         superposition_levels: vec![2, 5, 10],
-        generator: TaskSetConfig::new().task_count(5..=20).average_gap(0.3).seed(11),
+        generator: TaskSetConfig::new()
+            .task_count(5..=20)
+            .average_gap(0.3)
+            .seed(11),
     };
     let rows = run_acceptance(&config);
     assert_eq!(rows.len(), 21);
@@ -108,7 +115,10 @@ fn figure_8_shape_is_reproduced() {
     let config = UtilizationEffortConfig {
         utilization_percent: 92..=98,
         sets_per_point: 8,
-        generator: TaskSetConfig::new().task_count(5..=30).average_gap(0.3).seed(21),
+        generator: TaskSetConfig::new()
+            .task_count(5..=30)
+            .average_gap(0.3)
+            .seed(21),
     };
     let rows = run_utilization_effort(&config);
     assert_eq!(rows.len(), 7);
@@ -123,8 +133,14 @@ fn figure_8_shape_is_reproduced() {
     let total_pda: f64 = rows.iter().map(|r| mean_of(r, "Processor Demand")).sum();
     let total_dynamic: f64 = rows.iter().map(|r| mean_of(r, "Dynamic")).sum();
     let total_all: f64 = rows.iter().map(|r| mean_of(r, "All Approximated")).sum();
-    assert!(total_dynamic < total_pda, "dynamic {total_dynamic} vs pda {total_pda}");
-    assert!(total_all < total_pda, "all-approx {total_all} vs pda {total_pda}");
+    assert!(
+        total_dynamic < total_pda,
+        "dynamic {total_dynamic} vs pda {total_pda}"
+    );
+    assert!(
+        total_all < total_pda,
+        "all-approx {total_all} vs pda {total_pda}"
+    );
     // Effort at 98 % exceeds effort at 92 % for the processor demand test.
     assert!(mean_of(&rows[6], "Processor Demand") > mean_of(&rows[0], "Processor Demand"));
 }
@@ -160,8 +176,14 @@ fn figure_9_shape_is_reproduced() {
     );
     let all_large = mean_of(&rows[2], "All Approximated");
     let dynamic_large = mean_of(&rows[2], "Dynamic");
-    assert!(all_large * 5.0 < pda_large, "all-approximated stays far below PDA");
-    assert!(dynamic_large * 5.0 < pda_large, "dynamic stays far below PDA");
+    assert!(
+        all_large * 5.0 < pda_large,
+        "all-approximated stays far below PDA"
+    );
+    assert!(
+        dynamic_large * 5.0 < pda_large,
+        "dynamic stays far below PDA"
+    );
 }
 
 /// Devi's verdict equals SuperPos(1) on the (constrained-deadline)
@@ -170,7 +192,10 @@ fn figure_9_shape_is_reproduced() {
 fn devi_equals_superpos1_on_literature_sets() {
     use edf_feasibility::SuperpositionTest;
     for (name, ts) in literature::all() {
-        assert!(ts.all_constrained_or_implicit(), "{name} is constrained-deadline");
+        assert!(
+            ts.all_constrained_or_implicit(),
+            "{name} is constrained-deadline"
+        );
         let devi = DeviTest::new().analyze(&ts).verdict;
         let sp1 = SuperpositionTest::new(1).analyze(&ts).verdict;
         assert_eq!(devi, sp1, "Lemma 2 violated on {name}");

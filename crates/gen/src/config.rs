@@ -79,7 +79,10 @@ impl TaskSetConfig {
     #[must_use]
     pub fn utilization(mut self, range: std::ops::RangeInclusive<f64>) -> Self {
         let (lo, hi) = (*range.start(), *range.end());
-        assert!(lo > 0.0 && hi <= 1.0 + 1e-12 && lo <= hi, "utilization range must lie in (0, 1]");
+        assert!(
+            lo > 0.0 && hi <= 1.0 + 1e-12 && lo <= hi,
+            "utilization range must lie in (0, 1]"
+        );
         self.utilization = (lo, hi);
         self
     }
@@ -244,8 +247,14 @@ mod tests {
 
     #[test]
     fn larger_gap_shrinks_deadlines() {
-        let small = TaskSetConfig::new().task_count(40..=40).average_gap(0.1).seed(8);
-        let large = TaskSetConfig::new().task_count(40..=40).average_gap(0.45).seed(8);
+        let small = TaskSetConfig::new()
+            .task_count(40..=40)
+            .average_gap(0.1)
+            .seed(8);
+        let large = TaskSetConfig::new()
+            .task_count(40..=40)
+            .average_gap(0.45)
+            .seed(8);
         let gap_small = small.generate().average_deadline_gap().unwrap();
         let gap_large = large.generate().average_deadline_gap().unwrap();
         assert!(gap_large > gap_small);
@@ -257,7 +266,10 @@ mod tests {
     fn ratio_controlled_periods_reach_the_requested_spread() {
         let config = TaskSetConfig::new()
             .task_count(60..=60)
-            .periods(PeriodDistribution::RatioControlled { min: 100, ratio: 10_000 })
+            .periods(PeriodDistribution::RatioControlled {
+                min: 100,
+                ratio: 10_000,
+            })
             .seed(2);
         let ts = config.generate();
         let ratio = ts.period_ratio().unwrap();
@@ -271,7 +283,10 @@ mod tests {
         assert_eq!(config, TaskSetConfig::new());
         assert_eq!(
             config.period_distribution(),
-            &PeriodDistribution::Uniform { min: 1_000, max: 1_000_000 }
+            &PeriodDistribution::Uniform {
+                min: 1_000,
+                max: 1_000_000
+            }
         );
     }
 

@@ -57,7 +57,10 @@ impl PeriodDistribution {
                 rng.gen_range(*min..=*max)
             }
             PeriodDistribution::LogUniform { min, max } => {
-                assert!(*min >= 1 && max >= min, "degenerate log-uniform period range");
+                assert!(
+                    *min >= 1 && max >= min,
+                    "degenerate log-uniform period range"
+                );
                 let lo = (*min as f64).ln();
                 let hi = (*max as f64).ln();
                 let value = (rng.gen_range(lo..=hi)).exp().round() as u64;
@@ -68,7 +71,10 @@ impl PeriodDistribution {
                 values[rng.gen_range(0..values.len())]
             }
             PeriodDistribution::RatioControlled { min, ratio } => {
-                assert!(*min >= 1 && *ratio >= 1, "degenerate ratio-controlled periods");
+                assert!(
+                    *min >= 1 && *ratio >= 1,
+                    "degenerate ratio-controlled periods"
+                );
                 let max = min.saturating_mul(*ratio);
                 if max == *min {
                     return *min;
@@ -119,9 +125,15 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let distributions = vec![
             PeriodDistribution::Uniform { min: 10, max: 100 },
-            PeriodDistribution::LogUniform { min: 10, max: 100_000 },
+            PeriodDistribution::LogUniform {
+                min: 10,
+                max: 100_000,
+            },
             PeriodDistribution::Choice(vec![5, 10, 20, 50]),
-            PeriodDistribution::RatioControlled { min: 100, ratio: 1_000 },
+            PeriodDistribution::RatioControlled {
+                min: 100,
+                ratio: 1_000,
+            },
         ];
         for dist in distributions {
             let (lo, hi) = dist.range();
@@ -144,7 +156,10 @@ mod tests {
 
     #[test]
     fn log_uniform_covers_small_and_large_decades() {
-        let dist = PeriodDistribution::LogUniform { min: 10, max: 1_000_000 };
+        let dist = PeriodDistribution::LogUniform {
+            min: 10,
+            max: 1_000_000,
+        };
         let mut rng = StdRng::seed_from_u64(9);
         let samples: Vec<u64> = (0..3_000).map(|_| dist.sample(&mut rng)).collect();
         let small = samples.iter().filter(|&&p| p < 1_000).count();
@@ -164,7 +179,10 @@ mod tests {
     fn default_matches_paper_setup() {
         assert_eq!(
             PeriodDistribution::default(),
-            PeriodDistribution::Uniform { min: 1_000, max: 1_000_000 }
+            PeriodDistribution::Uniform {
+                min: 1_000,
+                max: 1_000_000
+            }
         );
     }
 

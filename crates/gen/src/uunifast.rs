@@ -57,7 +57,13 @@ mod tests {
     #[test]
     fn sums_to_target_and_stays_positive() {
         let mut rng = StdRng::seed_from_u64(42);
-        for &(n, u) in &[(1usize, 0.5f64), (2, 0.9), (10, 0.99), (100, 0.95), (50, 0.7)] {
+        for &(n, u) in &[
+            (1usize, 0.5f64),
+            (2, 0.9),
+            (10, 0.99),
+            (100, 0.95),
+            (50, 0.7),
+        ] {
             let utils = uunifast(n, u, &mut rng);
             assert_eq!(utils.len(), n);
             let sum: f64 = utils.iter().sum();
@@ -93,7 +99,10 @@ mod tests {
             .map(|_| uunifast(n, u, &mut rng)[0])
             .sum::<f64>()
             / samples as f64;
-        assert!((mean_first - u / n as f64).abs() < 0.02, "mean {mean_first}");
+        assert!(
+            (mean_first - u / n as f64).abs() < 0.02,
+            "mean {mean_first}"
+        );
     }
 
     #[test]

@@ -112,8 +112,12 @@ pub enum EventStreamError {
 impl fmt::Display for EventStreamError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            EventStreamError::EmptyStream => write!(f, "event stream must contain at least one tuple"),
-            EventStreamError::ZeroCycle => write!(f, "repeating event tuple must have a positive cycle"),
+            EventStreamError::EmptyStream => {
+                write!(f, "event stream must contain at least one tuple")
+            }
+            EventStreamError::ZeroCycle => {
+                write!(f, "repeating event tuple must have a positive cycle")
+            }
             EventStreamError::ZeroWcet => write!(f, "per-event execution time must be positive"),
             EventStreamError::ZeroDeadline => write!(f, "relative deadline must be positive"),
         }
@@ -343,8 +347,16 @@ impl EventStreamTask {
 impl fmt::Display for EventStreamTask {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.name {
-            Some(n) => write!(f, "{n}(C={}, D={}, {})", self.wcet, self.deadline, self.stream),
-            None => write!(f, "es-task(C={}, D={}, {})", self.wcet, self.deadline, self.stream),
+            Some(n) => write!(
+                f,
+                "{n}(C={}, D={}, {})",
+                self.wcet, self.deadline, self.stream
+            ),
+            None => write!(
+                f,
+                "es-task(C={}, D={}, {})",
+                self.wcet, self.deadline, self.stream
+            ),
         }
     }
 }
@@ -472,6 +484,8 @@ mod tests {
         .named("can_rx");
         assert_eq!(task.name(), Some("can_rx"));
         assert!(task.to_string().contains("can_rx"));
-        assert!(EventStream::periodic(Time::new(3)).to_string().contains("1 tuple"));
+        assert!(EventStream::periodic(Time::new(3))
+            .to_string()
+            .contains("1 tuple"));
     }
 }

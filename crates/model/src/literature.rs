@@ -218,6 +218,9 @@ mod tests {
     #[test]
     fn order_matches_paper() {
         let labels: Vec<&str> = all().into_iter().map(|(l, _)| l).collect();
-        assert_eq!(labels, vec!["Burns", "Ma & Shin", "GAP", "Gresser 1", "Gresser 2"]);
+        assert_eq!(
+            labels,
+            vec!["Burns", "Ma & Shin", "GAP", "Gresser 1", "Gresser 2"]
+        );
     }
 }

@@ -1,0 +1,310 @@
+//! Offline stand-in for the subset of `criterion` 0.5 used by this
+//! workspace's benches: `Criterion`, `benchmark_group`, `bench_function`
+//! / `bench_with_input`, `BenchmarkId`, `black_box` and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model: per benchmark the routine is warmed up for
+//! `warm_up_time`, then timed over `sample_size` samples, where each
+//! sample runs the routine as many times as fit into
+//! `measurement_time / sample_size`.  Mean, minimum and maximum per-call
+//! wall-clock times are printed to stdout in a criterion-like format.
+//! There is no statistical analysis, no HTML report and no baseline
+//! comparison — just honest wall-clock numbers.
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity function.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifier of one benchmark within a group: a function name, an
+/// optional parameter, or both.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter (`name/param`).
+    #[must_use]
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id made of a parameter only.
+    #[must_use]
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(id: &str) -> Self {
+        BenchmarkId { id: id.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Times a routine; handed to the closure of `bench_function` /
+/// `bench_with_input`.
+#[derive(Debug)]
+pub struct Bencher<'a> {
+    settings: &'a Settings,
+    /// Filled by [`Bencher::iter`]; per-call durations, one per sample.
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher<'_> {
+    /// Runs `routine` under the group's timing settings.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up budget is spent, measuring the
+        // per-call cost to size the samples.
+        let warm_up_start = Instant::now();
+        let mut warm_up_calls: u64 = 0;
+        while warm_up_start.elapsed() < self.settings.warm_up_time || warm_up_calls == 0 {
+            black_box(routine());
+            warm_up_calls += 1;
+            if warm_up_calls >= 1_000_000 {
+                break;
+            }
+        }
+        let per_call = warm_up_start.elapsed() / warm_up_calls.max(1) as u32;
+
+        // Size each sample so the whole measurement roughly fits the budget.
+        let sample_budget =
+            self.settings.measurement_time / self.settings.sample_size.max(1) as u32;
+        let iters = if per_call.is_zero() {
+            1_000
+        } else {
+            (sample_budget.as_nanos() / per_call.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+        };
+
+        self.iters_per_sample = iters;
+        self.samples.clear();
+        for _ in 0..self.settings.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / iters as u32);
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Settings {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+/// A named collection of related benchmarks sharing timing settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: Settings,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.settings.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up budget per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Benchmarks `routine` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            settings: &self.settings,
+            samples: Vec::new(),
+            iters_per_sample: 0,
+        };
+        routine(&mut bencher);
+        report(&self.name, &id, &bencher);
+        self
+    }
+
+    /// Benchmarks `routine` under `id`, handing it `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let mut bencher = Bencher {
+            settings: &self.settings,
+            samples: Vec::new(),
+            iters_per_sample: 0,
+        };
+        routine(&mut bencher, input);
+        report(&self.name, &id, &bencher);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; reporting is immediate).
+    pub fn finish(self) {}
+}
+
+fn report(group: &str, id: &BenchmarkId, bencher: &Bencher<'_>) {
+    if bencher.samples.is_empty() {
+        println!("{group}/{id}: no samples (routine never called iter?)");
+        return;
+    }
+    let total: Duration = bencher.samples.iter().sum();
+    let mean = total / bencher.samples.len() as u32;
+    let min = bencher.samples.iter().min().copied().unwrap_or_default();
+    let max = bencher.samples.iter().max().copied().unwrap_or_default();
+    println!(
+        "{group}/{id}: time [{} {} {}] ({} samples × {} iters)",
+        fmt_duration(min),
+        fmt_duration(mean),
+        fmt_duration(max),
+        bencher.samples.len(),
+        bencher.iters_per_sample,
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named [`BenchmarkGroup`].
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== group {name} ==");
+        BenchmarkGroup {
+            name,
+            settings: Settings::default(),
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut group = BenchmarkGroup {
+            name: "bench".to_owned(),
+            settings: Settings::default(),
+            _criterion: self,
+        };
+        group.bench_function(BenchmarkId::from(id), routine);
+        self
+    }
+}
+
+/// Declares a benchmark group function (criterion-compatible spelling).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+
+    #[test]
+    fn bench_runs_routine_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim-self-test");
+        group
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut calls = 0u64;
+        group.bench_with_input(BenchmarkId::new("count", 1), &7u64, |b, &x| {
+            b.iter(|| {
+                calls += 1;
+                x * 2
+            })
+        });
+        group.finish();
+        assert!(calls > 0);
+    }
+}

@@ -57,7 +57,11 @@ impl OracleVerdict {
 /// ```
 #[must_use]
 pub fn simulate_edf_feasibility(task_set: &TaskSet) -> OracleVerdict {
-    simulate_feasibility(task_set, SchedulingPolicy::EarliestDeadlineFirst, DEFAULT_HORIZON_CAP)
+    simulate_feasibility(
+        task_set,
+        SchedulingPolicy::EarliestDeadlineFirst,
+        DEFAULT_HORIZON_CAP,
+    )
 }
 
 /// Like [`simulate_edf_feasibility`] but with an explicit policy and horizon
@@ -113,7 +117,10 @@ mod tests {
 
     #[test]
     fn empty_set_is_schedulable() {
-        assert_eq!(simulate_edf_feasibility(&TaskSet::new()), OracleVerdict::Schedulable);
+        assert_eq!(
+            simulate_edf_feasibility(&TaskSet::new()),
+            OracleVerdict::Schedulable
+        );
     }
 
     #[test]
@@ -129,9 +136,13 @@ mod tests {
     #[test]
     fn fixed_priority_oracle_differs_from_edf() {
         let ts = TaskSet::from_tasks(vec![t(2, 5, 5), t(4, 7, 7)]);
-        assert!(simulate_feasibility(&ts, SchedulingPolicy::EarliestDeadlineFirst, 1 << 20)
-            .is_schedulable());
-        assert!(!simulate_feasibility(&ts, SchedulingPolicy::DeadlineMonotonic, 1 << 20)
-            .is_schedulable());
+        assert!(
+            simulate_feasibility(&ts, SchedulingPolicy::EarliestDeadlineFirst, 1 << 20)
+                .is_schedulable()
+        );
+        assert!(
+            !simulate_feasibility(&ts, SchedulingPolicy::DeadlineMonotonic, 1 << 20)
+                .is_schedulable()
+        );
     }
 }

@@ -75,12 +75,18 @@ mod tests {
         assert_eq!(SchedulingPolicy::EarliestDeadlineFirst.name(), "edf");
         assert_eq!(SchedulingPolicy::DeadlineMonotonic.name(), "dm");
         assert_eq!(SchedulingPolicy::RateMonotonic.name(), "rm");
-        assert_eq!(SchedulingPolicy::default(), SchedulingPolicy::EarliestDeadlineFirst);
+        assert_eq!(
+            SchedulingPolicy::default(),
+            SchedulingPolicy::EarliestDeadlineFirst
+        );
     }
 
     #[test]
     fn empty_ready_queue_selects_nothing() {
-        assert_eq!(SchedulingPolicy::EarliestDeadlineFirst.select(&ts(), &[]), None);
+        assert_eq!(
+            SchedulingPolicy::EarliestDeadlineFirst.select(&ts(), &[]),
+            None
+        );
     }
 
     #[test]
@@ -104,9 +110,15 @@ mod tests {
         ];
         // DM: task 0 wins (smaller relative deadline) even though task 1's
         // absolute deadline is earlier.
-        assert_eq!(SchedulingPolicy::DeadlineMonotonic.select(&ts(), &ready), Some(0));
+        assert_eq!(
+            SchedulingPolicy::DeadlineMonotonic.select(&ts(), &ready),
+            Some(0)
+        );
         // RM: task 1 wins (smaller period).
-        assert_eq!(SchedulingPolicy::RateMonotonic.select(&ts(), &ready), Some(1));
+        assert_eq!(
+            SchedulingPolicy::RateMonotonic.select(&ts(), &ready),
+            Some(1)
+        );
     }
 
     #[test]

@@ -168,7 +168,13 @@ impl<'a> Simulator<'a> {
                 while next_release[idx] <= now && next_release[idx] < horizon {
                     let release = next_release[idx];
                     let deadline = release.saturating_add(task.deadline());
-                    ready.push(Job::new(idx, job_counter[idx], release, deadline, task.wcet()));
+                    ready.push(Job::new(
+                        idx,
+                        job_counter[idx],
+                        release,
+                        deadline,
+                        task.wcet(),
+                    ));
                     job_counter[idx] += 1;
                     next_release[idx] = release.saturating_add(task.period());
                 }
@@ -197,7 +203,9 @@ impl<'a> Simulator<'a> {
             let selected_task = ready[selected].task_index;
             if let Some(previous) = last_running {
                 if previous != selected_task
-                    && ready.iter().any(|j| j.task_index == previous && !j.is_complete())
+                    && ready
+                        .iter()
+                        .any(|j| j.task_index == previous && !j.is_complete())
                 {
                     preemptions += 1;
                 }
@@ -398,10 +406,7 @@ mod tests {
 
     #[test]
     fn phases_delay_first_release() {
-        let ts = TaskSet::from_tasks(vec![
-            t(2, 5, 10).with_phase(Time::new(3)),
-            t(1, 4, 10),
-        ]);
+        let ts = TaskSet::from_tasks(vec![t(2, 5, 10).with_phase(Time::new(3)), t(1, 4, 10)]);
         let outcome = Simulator::new(&ts)
             .horizon(Time::new(20))
             .with_trace(None)
