@@ -1,0 +1,102 @@
+//! Benchmark of the workload model zoo: per-model analysis cost of the
+//! same exact tests across sporadic task sets, Gresser event streams,
+//! arrival curves (exact and conservative decompositions) and offset
+//! transactions (synchronous over-approximation vs. candidate-exact).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use edf_analysis::tests::{AllApproximatedTest, QpaTest};
+use edf_analysis::transactions::analyze_transaction_system;
+use edf_analysis::workload::PreparedWorkload;
+use edf_analysis::FeasibilityTest;
+use edf_bench::{curve_fixture, stream_fixture, transaction_fixture, utilization_fixture};
+
+fn exact_suite() -> Vec<Box<dyn FeasibilityTest>> {
+    vec![
+        Box::new(QpaTest::new()),
+        Box::new(AllApproximatedTest::new()),
+    ]
+}
+
+fn run_suite(prepared: &PreparedWorkload) -> u64 {
+    exact_suite()
+        .iter()
+        .map(|test| test.analyze_prepared(prepared).iterations)
+        .sum()
+}
+
+fn bench_model_zoo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_zoo");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+
+    let sporadic = utilization_fixture(90, 1).remove(0);
+    group.bench_with_input(
+        BenchmarkId::new("analyze", "sporadic"),
+        &sporadic,
+        |b, workload| b.iter(|| run_suite(&PreparedWorkload::new(workload))),
+    );
+
+    let streams = stream_fixture(8);
+    group.bench_with_input(
+        BenchmarkId::new("analyze", "event_stream"),
+        &streams,
+        |b, workload| b.iter(|| run_suite(&PreparedWorkload::new(workload))),
+    );
+
+    let curves = curve_fixture(8);
+    group.bench_with_input(
+        BenchmarkId::new("analyze", "arrival_curve_exact"),
+        &curves,
+        |b, workload| b.iter(|| run_suite(&PreparedWorkload::new(workload))),
+    );
+
+    let buckets: Vec<_> = curves
+        .iter()
+        .map(|task| task.clone().conservative())
+        .collect();
+    group.bench_with_input(
+        BenchmarkId::new("analyze", "arrival_curve_conservative"),
+        &buckets,
+        |b, workload| b.iter(|| run_suite(&PreparedWorkload::new(workload))),
+    );
+
+    let transactions = transaction_fixture(3);
+    group.bench_with_input(
+        BenchmarkId::new("analyze", "transactions_synchronous"),
+        &transactions,
+        |b, system| b.iter(|| run_suite(&PreparedWorkload::new(system))),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("analyze", "transactions_candidates"),
+        &transactions,
+        |b, system| {
+            b.iter(|| {
+                exact_suite()
+                    .iter()
+                    .map(|test| analyze_transaction_system(test.as_ref(), system).iterations)
+                    .sum::<u64>()
+            })
+        },
+    );
+
+    // Decomposition cost alone, per model.
+    group.bench_with_input(
+        BenchmarkId::new("prepare", "event_stream"),
+        &streams,
+        |b, workload| b.iter(|| PreparedWorkload::new(workload).components().len()),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("prepare", "arrival_curve_conservative"),
+        &buckets,
+        |b, workload| b.iter(|| PreparedWorkload::new(workload).components().len()),
+    );
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_model_zoo);
+criterion_main!(benches);

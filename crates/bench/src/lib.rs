@@ -8,8 +8,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use edf_gen::{PeriodDistribution, TaskSetConfig};
-use edf_model::TaskSet;
+use edf_gen::{ArrivalCurveConfig, PeriodDistribution, TaskSetConfig, TransactionConfig};
+use edf_model::{ArrivalCurveTask, EventStream, EventStreamTask, TaskSet, Time, TransactionSystem};
 
 /// Task sets with the Figure 8 character: 5–50 tasks, the given target
 /// utilization (percent), periods uniform in `[1_000, 1_000_000]`, average
@@ -49,9 +49,62 @@ pub fn acceptance_fixture(percent: u32, count: usize) -> Vec<TaskSet> {
         .generate_many(count)
 }
 
+/// Bursty event-stream workloads for the model-zoo benchmark: `count`
+/// tasks, each a 3-event burst with task-dependent spacing and cost.
+#[must_use]
+pub fn stream_fixture(count: usize) -> Vec<EventStreamTask> {
+    (0..count as u64)
+        .map(|i| {
+            EventStreamTask::new(
+                EventStream::bursty(3, Time::new(4 + i % 5), Time::new(120 + 30 * i)),
+                Time::new(1 + i % 3),
+                Time::new(10 + 5 * i),
+            )
+            .expect("positive parameters")
+        })
+        .collect()
+}
+
+/// Arrival-curve workloads for the model-zoo benchmark (reproducible
+/// piecewise-linear specifications via `edf-gen`).
+#[must_use]
+pub fn curve_fixture(count: usize) -> Vec<ArrivalCurveTask> {
+    ArrivalCurveConfig::new()
+        .task_count(count..=count)
+        .segment_count(1..=3)
+        .burst(1..=4)
+        .distance(40..=400)
+        .wcet(1..=4)
+        .deadline(10..=80)
+        .seed(4_000 + count as u64)
+        .generate()
+}
+
+/// An offset-transaction system for the model-zoo benchmark.
+#[must_use]
+pub fn transaction_fixture(transactions: usize) -> TransactionSystem {
+    TransactionConfig::new()
+        .transaction_count(transactions..=transactions)
+        .part_count(2..=4)
+        .period(50..=400)
+        .wcet(1..=4)
+        .seed(5_000 + transactions as u64)
+        .generate_system(TaskSet::new())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn zoo_fixtures_are_reproducible_and_sized() {
+        assert_eq!(stream_fixture(5).len(), 5);
+        assert_eq!(curve_fixture(6), curve_fixture(6));
+        assert_eq!(curve_fixture(6).len(), 6);
+        let system = transaction_fixture(3);
+        assert_eq!(system.transactions().len(), 3);
+        assert!(system.candidate_count() >= 8);
+    }
 
     #[test]
     fn fixtures_are_reproducible_and_sized() {

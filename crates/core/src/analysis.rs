@@ -176,9 +176,39 @@ pub trait FeasibilityTest {
     /// purely sufficient tests.
     fn is_exact(&self) -> bool;
 
+    /// Runs the test treating the prepared component demand as the true
+    /// demand of the workload (the per-test implementation; call
+    /// [`FeasibilityTest::analyze_prepared`] instead).
+    fn analyze_demand(&self, workload: &PreparedWorkload) -> Analysis;
+
     /// Runs the test on a prepared workload (the core entry point; the
     /// prepared state is shared when several tests analyze one workload).
-    fn analyze_prepared(&self, workload: &PreparedWorkload) -> Analysis;
+    ///
+    /// When the workload's decomposition **over-approximates** its demand
+    /// (a conservative arrival-curve mode, the synchronous reduction of an
+    /// offset transaction — see
+    /// [`PreparedWorkload::demand_is_exact`]), a rejection only means "the
+    /// over-approximation does not fit": the workload itself may still be
+    /// feasible, so [`Verdict::Infeasible`] is demoted to
+    /// [`Verdict::Unknown`] (and the witness dropped — it violates the
+    /// over-approximation, not the workload).  Feasible verdicts are sound
+    /// either way, and so is a `U > 1` rejection whenever the
+    /// decomposition preserves the long-run utilization
+    /// ([`PreparedWorkload::utilization_is_exact`]) — that one is kept.
+    fn analyze_prepared(&self, workload: &PreparedWorkload) -> Analysis {
+        let analysis = self.analyze_demand(workload);
+        if analysis.verdict == Verdict::Infeasible
+            && !workload.demand_is_exact()
+            && !(workload.utilization_exceeds_one() && workload.utilization_is_exact())
+        {
+            return Analysis {
+                verdict: Verdict::Unknown,
+                overload: None,
+                ..analysis
+            };
+        }
+        analysis
+    }
 
     /// Runs the test on a sporadic task set.
     fn analyze(&self, task_set: &TaskSet) -> Analysis {

@@ -236,10 +236,58 @@ mod tests {
     fn empty_inputs() {
         let tests = suite();
         assert!(analyze_many::<TaskSet>(&[], &tests).is_empty());
+        assert!(analyze_many_serial::<TaskSet>(&[], &tests).is_empty());
+        assert!(prepare_many::<TaskSet>(&[]).is_empty());
         let workloads = sample_sets();
         let none: Vec<BoxedTest> = Vec::new();
         let results = analyze_many(&workloads, &none);
         assert_eq!(results.len(), workloads.len());
         assert!(results.iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn single_element_batch() {
+        let workloads = vec![sample_sets().remove(0)];
+        let tests = suite();
+        let batch = analyze_many(&workloads, &tests);
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].len(), tests.len());
+        assert_eq!(batch, analyze_many_serial(&workloads, &tests));
+        for (j, test) in tests.iter().enumerate() {
+            assert_eq!(batch[0][j], test.analyze(&workloads[0]));
+        }
+    }
+
+    #[test]
+    fn mixed_family_batch() {
+        use edf_model::{ArrivalCurve, ArrivalCurveTask, EventStream, EventStreamTask, Time};
+
+        let sporadic = TaskSet::from_tasks(vec![t(1, 4, 8), t(2, 6, 12)]);
+        let stream = EventStreamTask::new(
+            EventStream::bursty(3, Time::new(5), Time::new(100)),
+            Time::new(4),
+            Time::new(20),
+        )
+        .unwrap();
+        let curve = ArrivalCurveTask::new(
+            ArrivalCurve::from_event_stream(stream.stream()),
+            Time::new(4),
+            Time::new(20),
+        )
+        .unwrap();
+        let workloads: Vec<Box<dyn Workload + Send + Sync>> = vec![
+            Box::new(sporadic.clone()),
+            Box::new(stream.clone()),
+            Box::new(curve),
+        ];
+        let tests = suite();
+        let batch = analyze_many(&workloads, &tests);
+        assert_eq!(batch.len(), 3);
+        for (j, test) in tests.iter().enumerate() {
+            assert_eq!(batch[0][j], test.analyze(&sporadic));
+            assert_eq!(batch[1][j], test.analyze_workload(&stream));
+            // The arrival-curve twin of the stream gets identical results.
+            assert_eq!(batch[2][j], batch[1][j]);
+        }
     }
 }

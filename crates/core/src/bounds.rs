@@ -16,7 +16,7 @@
 //!   coincides with the George bound whenever `Cτ ≤ Dτ`.
 //!
 //! Every bound is defined on [`DemandComponent`] lists (the canonical form
-//! of any [`Workload`](crate::workload::Workload)), which is how the §4.3
+//! of any [`Workload`]), which is how the §4.3
 //! derivations carry over to event-stream and mixed systems: a component
 //! with cost `C`, first deadline `D'` and cycle `z` satisfies
 //! `dbf(I) ≤ I·C/z + C·max(0, 1 − D'/z)`, exactly the per-task inequality

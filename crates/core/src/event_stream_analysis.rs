@@ -6,8 +6,8 @@
 //! [`ProcessorDemandTest`] (and every other test) as sporadic task sets —
 //! the point of §2/§3.6 of the paper.  What remains here are thin
 //! convenience wrappers kept for API stability; new code should prefer
-//! [`FeasibilityTest::analyze_workload`](crate::FeasibilityTest::analyze_workload)
-//! with a [`PreparedWorkload`](crate::workload::PreparedWorkload).
+//! [`FeasibilityTest::analyze_workload`]
+//! with a [`PreparedWorkload`].
 //!
 //! # Examples
 //!

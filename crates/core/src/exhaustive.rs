@@ -87,8 +87,20 @@ pub fn exhaustive_check_prepared_up_to(
     if workload.is_empty() {
         return Analysis::trivial(Verdict::Feasible);
     }
+    // Mirrors `FeasibilityTest::analyze_prepared`: rejecting an
+    // over-approximated decomposition proves nothing about the workload —
+    // except through `U > 1` when the utilization is preserved.
+    let reject = if workload.demand_is_exact() {
+        Verdict::Infeasible
+    } else {
+        Verdict::Unknown
+    };
     if workload.utilization_exceeds_one() {
-        return Analysis::trivial(Verdict::Infeasible);
+        return Analysis::trivial(if workload.utilization_is_exact() {
+            Verdict::Infeasible
+        } else {
+            reject
+        });
     }
     let mut counter = IterationCounter::new();
     for i in 1..=horizon.as_u64() {
@@ -96,10 +108,9 @@ pub fn exhaustive_check_prepared_up_to(
         counter.record(interval);
         let demand = workload.dbf(interval);
         if demand > interval {
-            return counter.finish(
-                Verdict::Infeasible,
-                Some(DemandOverload { interval, demand }),
-            );
+            let overload =
+                (reject == Verdict::Infeasible).then_some(DemandOverload { interval, demand });
+            return counter.finish(reject, overload);
         }
     }
     let verdict = if horizon_is_exact {

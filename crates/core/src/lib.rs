@@ -8,7 +8,8 @@
 //! The crate answers the question "does this workload meet all of its
 //! deadlines on a uniprocessor under preemptive EDF?" for **any demand
 //! characterized workload** — sporadic task sets, Gresser event streams,
-//! and mixed systems — behind two central abstractions:
+//! real-time-calculus arrival curves, offset transactions, and mixed
+//! systems — behind two central abstractions:
 //!
 //! * [`workload::Workload`] — the demand interface (`dbf`, `rbf`,
 //!   utilization, demand change points).  Every workload decomposes into
@@ -41,9 +42,11 @@
 //! exact rational helpers ([`arith`]).  On top of the exact tests,
 //! [`sensitivity`] answers breakdown-utilization and WCET-slack questions,
 //! [`batch`] fans a workload batch out across the CPU cores with one
-//! shared preparation per workload, [`event_stream_analysis`] keeps the
-//! compatibility surface of the former bespoke event-stream loop, and
-//! [`exhaustive`] provides a naive reference oracle for validation.
+//! shared preparation per workload, [`transactions`] enumerates the
+//! critical-instant candidates of offset-transaction systems,
+//! [`event_stream_analysis`] keeps the compatibility surface of the former
+//! bespoke event-stream loop, and [`exhaustive`] provides a naive
+//! reference oracle for validation.
 //!
 //! # Quick start
 //!
@@ -116,6 +119,7 @@ pub mod exhaustive;
 pub mod sensitivity;
 pub mod superposition;
 pub mod tests;
+pub mod transactions;
 pub mod workload;
 
 pub use analysis::{Analysis, DemandOverload, FeasibilityTest, Verdict};

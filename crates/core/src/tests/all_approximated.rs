@@ -112,7 +112,7 @@ impl FeasibilityTest for AllApproximatedTest {
         true
     }
 
-    fn analyze_prepared(&self, workload: &PreparedWorkload) -> Analysis {
+    fn analyze_demand(&self, workload: &PreparedWorkload) -> Analysis {
         if workload.is_empty() {
             return Analysis::trivial(Verdict::Feasible);
         }

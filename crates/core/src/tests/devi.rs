@@ -55,7 +55,7 @@ impl FeasibilityTest for DeviTest {
         false
     }
 
-    fn analyze_prepared(&self, workload: &PreparedWorkload) -> Analysis {
+    fn analyze_demand(&self, workload: &PreparedWorkload) -> Analysis {
         if workload.is_empty() {
             return Analysis::trivial(Verdict::Feasible);
         }

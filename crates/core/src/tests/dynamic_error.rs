@@ -147,7 +147,7 @@ impl FeasibilityTest for DynamicErrorTest {
         self.max_level.is_none()
     }
 
-    fn analyze_prepared(&self, workload: &PreparedWorkload) -> Analysis {
+    fn analyze_demand(&self, workload: &PreparedWorkload) -> Analysis {
         if workload.is_empty() {
             return Analysis::trivial(Verdict::Feasible);
         }

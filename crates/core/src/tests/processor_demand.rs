@@ -110,7 +110,7 @@ impl FeasibilityTest for ProcessorDemandTest {
         !matches!(self.bound, BoundSelection::Fixed(_))
     }
 
-    fn analyze_prepared(&self, workload: &PreparedWorkload) -> Analysis {
+    fn analyze_demand(&self, workload: &PreparedWorkload) -> Analysis {
         if workload.is_empty() {
             return Analysis::trivial(Verdict::Feasible);
         }

@@ -49,7 +49,7 @@ impl FeasibilityTest for LiuLaylandTest {
         false
     }
 
-    fn analyze_prepared(&self, workload: &PreparedWorkload) -> Analysis {
+    fn analyze_demand(&self, workload: &PreparedWorkload) -> Analysis {
         if workload.is_empty() {
             return Analysis::trivial(Verdict::Feasible);
         }
@@ -97,7 +97,7 @@ impl FeasibilityTest for DensityTest {
         false
     }
 
-    fn analyze_prepared(&self, workload: &PreparedWorkload) -> Analysis {
+    fn analyze_demand(&self, workload: &PreparedWorkload) -> Analysis {
         if workload.is_empty() {
             return Analysis::trivial(Verdict::Feasible);
         }

@@ -55,7 +55,10 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::OnceLock;
 
-use edf_model::{EventStreamTask, Task, TaskSet, Time};
+use edf_model::{
+    ArrivalCurveTask, CurveDecomposition, EventStreamTask, EventTuple, Task, TaskSet, Time,
+    Transaction, TransactionSystem,
+};
 
 use crate::arith::fracs_le_integer;
 use crate::bounds::FeasibilityBounds;
@@ -364,6 +367,28 @@ pub trait Workload {
             .filter_map(|c| c.next_deadline_after(interval))
             .min()
     }
+
+    /// `true` (the default) when [`Workload::demand_components`] reproduces
+    /// the workload's demand exactly; `false` when the decomposition
+    /// **over-approximates** it (conservative arrival-curve mode, the
+    /// synchronous reduction of an offset transaction).  Tests demote
+    /// rejections of over-approximated demand to
+    /// [`Verdict::Unknown`](crate::Verdict::Unknown) — see
+    /// [`FeasibilityTest::analyze_prepared`](crate::FeasibilityTest::analyze_prepared).
+    fn demand_is_exact(&self) -> bool {
+        true
+    }
+
+    /// `true` (the default) when the components' long-run utilization
+    /// equals the workload's.  Distinct from [`Workload::demand_is_exact`]
+    /// because some over-approximations still preserve utilization —
+    /// dropping transaction offsets does, substituting a leaky-bucket
+    /// envelope does not — and a `U > 1` rejection from
+    /// utilization-preserving components is valid even when the demand is
+    /// over-approximated.
+    fn utilization_is_exact(&self) -> bool {
+        true
+    }
 }
 
 impl Workload for TaskSet {
@@ -447,16 +472,255 @@ impl Workload for Vec<EventStreamTask> {
 /// `a + D` and cycle `z` — the decomposition is exact, not an
 /// approximation.
 fn stream_task_components(task: &EventStreamTask) -> Vec<DemandComponent> {
-    task.stream()
-        .tuples()
+    tuple_components(task.wcet(), task.deadline(), task.stream().tuples())
+}
+
+/// One component per event tuple / staircase step: cost `wcet`, first
+/// deadline `offset + deadline`, the tuple's cycle.  Shared by the
+/// event-stream and arrival-curve decompositions — keeping the mapping in
+/// one place is what makes a converted task *analysis-equivalent*, not
+/// just demand-equivalent.
+fn tuple_components(wcet: Time, deadline: Time, tuples: &[EventTuple]) -> Vec<DemandComponent> {
+    tuples
         .iter()
         .map(|tuple| match tuple.cycle {
-            Some(cycle) => {
-                DemandComponent::periodic_from(task.wcet(), task.deadline(), cycle, tuple.offset)
-            }
-            None => DemandComponent::one_shot(task.wcet(), task.deadline(), tuple.offset),
+            Some(cycle) => DemandComponent::periodic_from(wcet, deadline, cycle, tuple.offset),
+            None => DemandComponent::one_shot(wcet, deadline, tuple.offset),
         })
         .collect()
+}
+
+impl Workload for ArrivalCurveTask {
+    fn demand_components(&self) -> Vec<DemandComponent> {
+        curve_task_components(self)
+    }
+
+    fn task_count(&self) -> usize {
+        1
+    }
+
+    fn is_empty(&self) -> bool {
+        false
+    }
+
+    fn utilization(&self) -> f64 {
+        self.utilization()
+    }
+
+    fn demand_is_exact(&self) -> bool {
+        // Conservative mode substitutes the leaky-bucket envelope (when
+        // one exists; otherwise it falls back to the exact staircase).
+        self.decomposition() != CurveDecomposition::Conservative
+            || self.curve().leaky_bucket_envelope().is_none()
+    }
+
+    fn utilization_is_exact(&self) -> bool {
+        // The envelope rounds the inter-event distance down, inflating the
+        // long-run rate.
+        self.demand_is_exact()
+    }
+}
+
+impl Workload for [ArrivalCurveTask] {
+    fn demand_components(&self) -> Vec<DemandComponent> {
+        self.iter().flat_map(curve_task_components).collect()
+    }
+
+    fn task_count(&self) -> usize {
+        self.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.is_empty()
+    }
+
+    fn utilization(&self) -> f64 {
+        // Sum the tasks' true rates, not the (possibly envelope-inflated)
+        // component utilization — matching the single-task impl.
+        self.iter().map(ArrivalCurveTask::utilization).sum()
+    }
+
+    fn demand_is_exact(&self) -> bool {
+        self.iter().all(Workload::demand_is_exact)
+    }
+
+    fn utilization_is_exact(&self) -> bool {
+        self.iter().all(Workload::utilization_is_exact)
+    }
+}
+
+impl Workload for Vec<ArrivalCurveTask> {
+    fn demand_components(&self) -> Vec<DemandComponent> {
+        self.as_slice().demand_components()
+    }
+
+    fn task_count(&self) -> usize {
+        self.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.is_empty()
+    }
+
+    fn utilization(&self) -> f64 {
+        Workload::utilization(self.as_slice())
+    }
+
+    fn demand_is_exact(&self) -> bool {
+        self.as_slice().demand_is_exact()
+    }
+
+    fn utilization_is_exact(&self) -> bool {
+        self.as_slice().utilization_is_exact()
+    }
+}
+
+/// Decomposition of an arrival-curve task.
+///
+/// In [`CurveDecomposition::Exact`] mode every staircase step of the curve
+/// becomes one component — identical in structure to the event-stream
+/// decomposition, so `dbf(I) = C·η⁺(I − D)` is reproduced exactly.  In
+/// [`CurveDecomposition::Conservative`] mode the curve's leaky-bucket
+/// envelope `(b, d)` is decomposed instead — `b` one-shot components at
+/// offset 0 plus one periodic component of cycle `d` — which
+/// over-approximates the demand (feasible verdicts stay sound; rejections
+/// are demoted to unknown, see [`Workload::demand_is_exact`]) with `O(b)`
+/// components regardless of the staircase size.  Falls back to the exact
+/// decomposition when the curve has no envelope.
+fn curve_task_components(task: &ArrivalCurveTask) -> Vec<DemandComponent> {
+    if task.decomposition() == CurveDecomposition::Conservative {
+        if let Some(envelope) = task.curve().leaky_bucket_envelope() {
+            let mut components = Vec::with_capacity(envelope.burst as usize + 1);
+            for _ in 0..envelope.burst {
+                components.push(DemandComponent::one_shot(
+                    task.wcet(),
+                    task.deadline(),
+                    Time::ZERO,
+                ));
+            }
+            components.push(DemandComponent::periodic_from(
+                task.wcet(),
+                task.deadline(),
+                envelope.distance,
+                envelope.distance,
+            ));
+            return components;
+        }
+    }
+    tuple_components(task.wcet(), task.deadline(), task.curve().steps())
+}
+
+/// The **synchronous** decomposition of a transaction: all parts released
+/// together at the window start, repeating every period (offsets dropped).
+///
+/// This over-approximates every critical-instant candidate — shifting a
+/// part by a phase can only delay its deadlines — so it is a cheap
+/// conservative stand-in for the exact per-candidate analysis in
+/// [`crate::transactions`]: feasible verdicts are sound, and rejections
+/// are demoted to unknown (see [`Workload::demand_is_exact`]).  It is
+/// exact when all offsets are equal.
+impl Workload for Transaction {
+    fn demand_components(&self) -> Vec<DemandComponent> {
+        self.parts()
+            .iter()
+            .map(|part| DemandComponent::periodic(part.wcet(), part.deadline(), self.period()))
+            .collect()
+    }
+
+    fn task_count(&self) -> usize {
+        self.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.is_empty()
+    }
+
+    fn utilization(&self) -> f64 {
+        self.utilization()
+    }
+
+    fn demand_is_exact(&self) -> bool {
+        // With one shared offset every critical-instant candidate equals
+        // the synchronous pattern, so dropping the offsets loses nothing.
+        self.parts()
+            .iter()
+            .all(|p| p.offset() == self.parts()[0].offset())
+    }
+}
+
+/// The synchronous conservative decomposition of a whole transaction
+/// system (see the [`Transaction`] impl); exact candidate enumeration
+/// lives in [`crate::transactions`].
+impl Workload for TransactionSystem {
+    fn demand_components(&self) -> Vec<DemandComponent> {
+        let mut components = Workload::demand_components(self.sporadic());
+        for transaction in self.transactions() {
+            components.extend(Workload::demand_components(transaction));
+        }
+        components
+    }
+
+    fn task_count(&self) -> usize {
+        self.sporadic().len()
+            + self
+                .transactions()
+                .iter()
+                .map(Transaction::len)
+                .sum::<usize>()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.sporadic().is_empty() && self.transactions().is_empty()
+    }
+
+    fn utilization(&self) -> f64 {
+        self.utilization()
+    }
+
+    fn demand_is_exact(&self) -> bool {
+        self.transactions().iter().all(Workload::demand_is_exact)
+    }
+}
+
+/// Boxed workloads forward to their contents, letting heterogeneous
+/// batches (sporadic + event-stream + arrival-curve in one `Vec`) flow
+/// through [`crate::batch::analyze_many`] unchanged.
+impl Workload for Box<dyn Workload + Send + Sync> {
+    fn demand_components(&self) -> Vec<DemandComponent> {
+        (**self).demand_components()
+    }
+
+    fn task_count(&self) -> usize {
+        (**self).task_count()
+    }
+
+    fn is_empty(&self) -> bool {
+        (**self).is_empty()
+    }
+
+    fn utilization(&self) -> f64 {
+        (**self).utilization()
+    }
+
+    fn dbf(&self, interval: Time) -> Time {
+        (**self).dbf(interval)
+    }
+
+    fn rbf(&self, interval: Time) -> Time {
+        (**self).rbf(interval)
+    }
+
+    fn next_demand_point(&self, interval: Time) -> Option<Time> {
+        (**self).next_demand_point(interval)
+    }
+
+    fn demand_is_exact(&self) -> bool {
+        (**self).demand_is_exact()
+    }
+
+    fn utilization_is_exact(&self) -> bool {
+        (**self).utilization_is_exact()
+    }
 }
 
 /// A system mixing sporadic tasks and event-stream activated tasks — the
@@ -570,6 +834,8 @@ pub struct PreparedWorkload {
     task_count: usize,
     utilization: f64,
     exceeds_one: bool,
+    demand_exact: bool,
+    utilization_exact: bool,
     bounds: OnceLock<FeasibilityBounds>,
     deadline_order: OnceLock<Vec<usize>>,
 }
@@ -580,18 +846,29 @@ impl PreparedWorkload {
     pub fn new<W: Workload + ?Sized>(workload: &W) -> Self {
         let components = workload.demand_components();
         let task_count = workload.task_count();
-        PreparedWorkload::from_parts(components, task_count)
+        PreparedWorkload::from_parts(
+            components,
+            task_count,
+            workload.demand_is_exact(),
+            workload.utilization_is_exact(),
+        )
     }
 
     /// Prepares a raw component list (advanced use: custom task models
-    /// without a [`Workload`] implementation).
+    /// without a [`Workload`] implementation).  The components are taken
+    /// to be the workload's exact demand.
     #[must_use]
     pub fn from_components(components: Vec<DemandComponent>) -> Self {
         let task_count = components.len();
-        PreparedWorkload::from_parts(components, task_count)
+        PreparedWorkload::from_parts(components, task_count, true, true)
     }
 
-    fn from_parts(components: Vec<DemandComponent>, task_count: usize) -> Self {
+    fn from_parts(
+        components: Vec<DemandComponent>,
+        task_count: usize,
+        demand_exact: bool,
+        utilization_exact: bool,
+    ) -> Self {
         let utilization = components.iter().map(DemandComponent::utilization).sum();
         let exceeds_one = components_exceed_one(&components);
         PreparedWorkload {
@@ -599,9 +876,29 @@ impl PreparedWorkload {
             task_count,
             utilization,
             exceeds_one,
+            demand_exact,
+            utilization_exact,
             bounds: OnceLock::new(),
             deadline_order: OnceLock::new(),
         }
+    }
+
+    /// `false` when the component decomposition over-approximates the
+    /// source workload's demand (see [`Workload::demand_is_exact`]):
+    /// feasible verdicts remain sound, but rejections are demoted to
+    /// unknown by
+    /// [`FeasibilityTest::analyze_prepared`](crate::FeasibilityTest::analyze_prepared).
+    #[must_use]
+    pub fn demand_is_exact(&self) -> bool {
+        self.demand_exact
+    }
+
+    /// `true` when the components' long-run utilization equals the source
+    /// workload's (see [`Workload::utilization_is_exact`]); a `U > 1`
+    /// rejection then stands even for over-approximated demand.
+    #[must_use]
+    pub fn utilization_is_exact(&self) -> bool {
+        self.utilization_exact
     }
 
     /// The component decomposition.
@@ -731,7 +1028,12 @@ impl PreparedWorkload {
                 DemandComponent { wcet, ..*c }
             })
             .collect();
-        PreparedWorkload::from_parts(components, self.task_count)
+        PreparedWorkload::from_parts(
+            components,
+            self.task_count,
+            self.demand_exact,
+            self.utilization_exact,
+        )
     }
 }
 
@@ -758,6 +1060,14 @@ impl Workload for PreparedWorkload {
 
     fn rbf(&self, interval: Time) -> Time {
         PreparedWorkload::rbf(self, interval)
+    }
+
+    fn demand_is_exact(&self) -> bool {
+        self.demand_exact
+    }
+
+    fn utilization_is_exact(&self) -> bool {
+        self.utilization_exact
     }
 }
 
@@ -955,6 +1265,48 @@ mod tests {
         assert_eq!(huge.components()[0].wcet(), Time::new(10));
         let tiny = prepared.with_scaled_wcets(1, 1_000);
         assert_eq!(tiny.components()[0].wcet(), Time::ONE);
+    }
+
+    #[test]
+    fn demand_exactness_is_tracked_per_model() {
+        use edf_model::{AffineSegment, ArrivalCurve, ArrivalCurveTask, TransactionPart};
+
+        let ts = TaskSet::from_tasks(vec![t(1, 4, 8)]);
+        assert!(Workload::demand_is_exact(&ts));
+        assert!(PreparedWorkload::new(&ts).demand_is_exact());
+
+        let curve =
+            ArrivalCurve::from_affine_segments(&[AffineSegment::new(2, Time::new(10))]).unwrap();
+        let exact = ArrivalCurveTask::new(curve, Time::new(1), Time::new(5)).unwrap();
+        assert!(exact.demand_is_exact());
+        let conservative = exact.clone().conservative();
+        assert!(!conservative.demand_is_exact());
+        assert!(!PreparedWorkload::new(&conservative).demand_is_exact());
+        // A one-shot-only curve has no envelope: conservative mode falls
+        // back to the exact decomposition and stays exact.
+        let one_shot = ArrivalCurveTask::new(
+            ArrivalCurve::new(vec![edf_model::EventTuple::single(Time::new(3))]).unwrap(),
+            Time::new(1),
+            Time::new(5),
+        )
+        .unwrap()
+        .conservative();
+        assert!(one_shot.demand_is_exact());
+
+        let part = |o, c, d| TransactionPart::new(Time::new(o), Time::new(c), Time::new(d));
+        let offset_free =
+            Transaction::new(Time::new(10), vec![part(0, 1, 3), part(0, 2, 5)]).unwrap();
+        assert!(offset_free.demand_is_exact());
+        let offset = Transaction::new(Time::new(10), vec![part(0, 1, 3), part(4, 2, 5)]).unwrap();
+        assert!(!offset.demand_is_exact());
+        let system = TransactionSystem::new(TaskSet::new(), vec![offset]);
+        assert!(!Workload::demand_is_exact(&system));
+        let boxed: Box<dyn Workload + Send + Sync> = Box::new(system);
+        assert!(!boxed.demand_is_exact());
+        // Scaling preserves the flag.
+        assert!(!PreparedWorkload::new(&boxed)
+            .with_scaled_wcets(2, 1)
+            .demand_is_exact());
     }
 
     #[test]

@@ -1,0 +1,271 @@
+//! Cross-validation of the workload model zoo.
+//!
+//! The tentpole claims of the arrival-curve / offset-transaction
+//! extension:
+//!
+//! * an arrival-curve workload constructed from an event-stream task gets
+//!   the **same analysis** (not just the same verdict) from every
+//!   registered test — the conversion is exact and structure preserving;
+//! * the staircase built from piecewise-linear affine segments reproduces
+//!   the segment minimum exactly, and the conservative leaky-bucket
+//!   decomposition only ever errs toward pessimism;
+//! * offset-transaction verdicts from the candidate-exact analysis agree
+//!   with the exhaustive oracle on small systems, and the synchronous
+//!   conservative decomposition is sound.
+
+use edf_analysis::tests::{ProcessorDemandTest, QpaTest};
+use edf_analysis::transactions::{analyze_transaction_system, exhaustive_transaction_check};
+use edf_analysis::workload::PreparedWorkload;
+use edf_analysis::{all_tests, FeasibilityTest, Verdict, Workload};
+use edf_gen::{ArrivalCurveConfig, TransactionConfig};
+use edf_model::{
+    AffineSegment, ArrivalCurve, ArrivalCurveTask, EventStream, EventStreamTask, EventTuple, Task,
+    TaskSet, Time, Transaction, TransactionPart, TransactionSystem,
+};
+use proptest::prelude::*;
+
+/// Random event streams with bounded cycles: 1–3 tuples, each periodic
+/// (cycle 4–30) or one-shot, offsets 0–20.
+fn arb_stream() -> impl Strategy<Value = EventStream> {
+    prop::collection::vec((0u64..=30, 0u64..=20), 1..=3).prop_map(|tuples| {
+        let tuples = tuples
+            .into_iter()
+            .map(|(cycle, offset)| {
+                if cycle < 4 {
+                    EventTuple::single(Time::new(offset))
+                } else {
+                    EventTuple::periodic(Time::new(cycle), Time::new(offset))
+                }
+            })
+            .collect();
+        EventStream::new(tuples).expect("non-empty tuples")
+    })
+}
+
+fn arb_stream_task() -> impl Strategy<Value = EventStreamTask> {
+    (arb_stream(), 1u64..=3, 1u64..=15).prop_map(|(stream, c, d)| {
+        EventStreamTask::new(stream, Time::new(c), Time::new(d)).expect("positive parameters")
+    })
+}
+
+fn arb_small_task() -> impl Strategy<Value = Task> {
+    (1u64..=2, 1u64..=10, 2u64..=12).prop_filter_map("valid task", |(c, d, t)| {
+        Task::from_ticks(c.min(t), d, t).ok()
+    })
+}
+
+fn arb_transaction() -> impl Strategy<Value = Transaction> {
+    (
+        4u64..=16,
+        prop::collection::vec((0u64..=15, 1u64..=2, 1u64..=10), 1..=3),
+    )
+        .prop_map(|(period, parts)| {
+            let parts = parts
+                .into_iter()
+                .map(|(offset, wcet, deadline)| {
+                    TransactionPart::new(
+                        Time::new(offset % period),
+                        Time::new(wcet),
+                        Time::new(deadline),
+                    )
+                })
+                .collect();
+            Transaction::new(Time::new(period), parts).expect("valid by construction")
+        })
+}
+
+fn arb_transaction_system() -> impl Strategy<Value = TransactionSystem> {
+    (
+        prop::collection::vec(arb_small_task(), 0..=2),
+        prop::collection::vec(arb_transaction(), 1..=2),
+    )
+        .prop_map(|(sporadic, transactions)| {
+            TransactionSystem::new(TaskSet::from_tasks(sporadic), transactions)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(150))]
+
+    /// The acceptance criterion of the model-zoo tentpole: the arrival
+    /// curve of an event-stream task is analysis-equivalent under **every**
+    /// registered test.
+    #[test]
+    fn curve_of_event_stream_task_is_equivalent_under_every_registered_test(
+        stream_task in arb_stream_task(),
+        background in prop::collection::vec(arb_small_task(), 0..=2),
+    ) {
+        let curve_task = ArrivalCurveTask::from_event_stream_task(&stream_task);
+
+        // The curve and the stream bound events identically...
+        for i in (0..300u64).step_by(7) {
+            let i = Time::new(i);
+            prop_assert_eq!(curve_task.curve().eta(i), stream_task.stream().eta(i));
+            prop_assert_eq!(curve_task.dbf(i), stream_task.dbf(i));
+        }
+        // ... and the round trip is lossless.
+        prop_assert_eq!(&curve_task.to_event_stream_task().unwrap(), &stream_task);
+
+        // Same analysis from every registered test, alone and with a
+        // sporadic background (mixed via explicit component concatenation).
+        let background = TaskSet::from_tasks(background);
+        let stream_solo = PreparedWorkload::new(&stream_task);
+        let curve_solo = PreparedWorkload::new(&curve_task);
+        prop_assert_eq!(stream_solo.components(), curve_solo.components());
+
+        let mut stream_mixed = Workload::demand_components(&background);
+        stream_mixed.extend(Workload::demand_components(&stream_task));
+        let mut curve_mixed = Workload::demand_components(&background);
+        curve_mixed.extend(Workload::demand_components(&curve_task));
+        let stream_mixed = PreparedWorkload::from_components(stream_mixed);
+        let curve_mixed = PreparedWorkload::from_components(curve_mixed);
+
+        for test in all_tests() {
+            prop_assert_eq!(
+                test.analyze_prepared(&stream_solo),
+                test.analyze_prepared(&curve_solo),
+                "{} diverges between models", test.name()
+            );
+            prop_assert_eq!(
+                test.analyze_prepared(&stream_mixed),
+                test.analyze_prepared(&curve_mixed),
+                "{} diverges on the mixed system", test.name()
+            );
+        }
+    }
+
+    /// `from_affine_segments` is exact: the staircase equals the pointwise
+    /// minimum of the affine pieces at every window length.
+    #[test]
+    fn affine_staircase_matches_the_segment_minimum(
+        segments in prop::collection::vec((0u64..=4, 1u64..=30), 1..=3),
+    ) {
+        let pieces: Vec<AffineSegment> = segments
+            .iter()
+            .map(|&(b, d)| AffineSegment::new(b, Time::new(d)))
+            .collect();
+        let curve = ArrivalCurve::from_affine_segments(&pieces).expect("small bursts");
+        for i in 0..=240u64 {
+            let expected = pieces.iter().map(|p| p.bound(Time::new(i))).min().unwrap();
+            prop_assert_eq!(curve.eta(Time::new(i)), expected, "at {}", i);
+        }
+    }
+
+    /// The conservative decomposition dominates the exact demand pointwise
+    /// and never converts an infeasible system into a feasible one.
+    #[test]
+    fn conservative_curve_decomposition_is_sound(
+        segments in prop::collection::vec((1u64..=4, 2u64..=30), 1..=2),
+        c in 1u64..=3,
+        d in 1u64..=15,
+        background in prop::collection::vec(arb_small_task(), 0..=2),
+    ) {
+        let pieces: Vec<AffineSegment> = segments
+            .iter()
+            .map(|&(b, dist)| AffineSegment::new(b, Time::new(dist)))
+            .collect();
+        let curve = ArrivalCurve::from_affine_segments(&pieces).expect("small bursts");
+        let exact = ArrivalCurveTask::new(curve, Time::new(c), Time::new(d)).unwrap();
+        let conservative = exact.clone().conservative();
+
+        let background = TaskSet::from_tasks(background);
+        let mut exact_components = Workload::demand_components(&background);
+        exact_components.extend(Workload::demand_components(&exact));
+        let mut conservative_components = Workload::demand_components(&background);
+        conservative_components.extend(Workload::demand_components(&conservative));
+        let exact = PreparedWorkload::from_components(exact_components);
+        let conservative = PreparedWorkload::from_components(conservative_components);
+
+        for i in (0..400u64).step_by(9) {
+            let i = Time::new(i);
+            prop_assert!(
+                conservative.dbf(i) >= exact.dbf(i),
+                "conservative demand below exact at {}", i
+            );
+        }
+        for test in [
+            Box::new(ProcessorDemandTest::new()) as Box<dyn FeasibilityTest>,
+            Box::new(QpaTest::new()),
+        ] {
+            let pessimistic = test.analyze_prepared(&conservative).verdict;
+            let reference = test.analyze_prepared(&exact).verdict;
+            if pessimistic.is_feasible() {
+                prop_assert!(
+                    reference.is_feasible(),
+                    "{} accepted conservatively but rejects the exact form", test.name()
+                );
+            }
+        }
+    }
+
+    /// Candidate-exact transaction verdicts match the exhaustive oracle;
+    /// the synchronous conservative decomposition never over-accepts.
+    #[test]
+    fn transaction_analysis_matches_the_exhaustive_oracle(
+        system in arb_transaction_system(),
+    ) {
+        let oracle = exhaustive_transaction_check(&system);
+        prop_assert!(
+            oracle.verdict.is_decisive(),
+            "small cycles keep the oracle horizon exact"
+        );
+        for test in [
+            Box::new(ProcessorDemandTest::new()) as Box<dyn FeasibilityTest>,
+            Box::new(QpaTest::new()),
+        ] {
+            prop_assert_eq!(
+                analyze_transaction_system(test.as_ref(), &system).verdict,
+                oracle.verdict,
+                "{} disagrees with the exhaustive oracle on {}", test.name(), &system
+            );
+        }
+        // Synchronous over-approximation: sound, possibly pessimistic.
+        let sync_verdict = ProcessorDemandTest::new().analyze_workload(&system).verdict;
+        if sync_verdict.is_feasible() {
+            prop_assert!(oracle.verdict.is_feasible(), "unsound synchronous acceptance");
+        }
+    }
+}
+
+/// Generator-driven smoke pass: every random arrival-curve task and
+/// transaction system from `edf-gen` flows through the full registered
+/// suite without panics, and exact tests agree among themselves.
+#[test]
+fn generated_zoo_workloads_flow_through_the_full_suite() {
+    let curve_tasks = ArrivalCurveConfig::new()
+        .task_count(6..=6)
+        .distance(30..=120)
+        .deadline(5..=60)
+        .seed(2_005)
+        .generate();
+    let prepared = PreparedWorkload::new(&curve_tasks);
+    let suite = all_tests();
+    let reference = ProcessorDemandTest::new().analyze_prepared(&prepared);
+    for test in &suite {
+        let analysis = test.analyze_prepared(&prepared);
+        if test.is_exact() {
+            assert_eq!(
+                analysis.verdict,
+                reference.verdict,
+                "{} diverges from the processor-demand baseline",
+                test.name()
+            );
+        } else if analysis.verdict == Verdict::Feasible {
+            assert!(
+                reference.verdict.is_feasible(),
+                "{} over-accepts",
+                test.name()
+            );
+        }
+    }
+
+    let system = TransactionConfig::new()
+        .transaction_count(2..=2)
+        .part_count(1..=3)
+        .period(10..=40)
+        .seed(2_005)
+        .generate_system(TaskSet::new());
+    let exact = analyze_transaction_system(&ProcessorDemandTest::new(), &system);
+    let qpa = analyze_transaction_system(&QpaTest::new(), &system);
+    assert_eq!(exact.verdict, qpa.verdict);
+}

@@ -9,8 +9,9 @@
 //!
 //! This facade crate re-exports the workspace members under one roof:
 //!
-//! * [`model`] (`edf-model`) — the sporadic task and event-stream models,
-//!   plus the literature example task sets;
+//! * [`model`] (`edf-model`) — the workload model zoo: sporadic tasks,
+//!   Gresser event streams, real-time-calculus arrival curves and
+//!   offset-based transactions, plus the literature example task sets;
 //! * [`analysis`] (`edf-analysis`) — the feasibility tests (Liu & Layland,
 //!   density, Devi, processor demand, QPA, `SuperPos(x)`, and the paper's
 //!   two new exact tests) behind the [`Workload`] demand abstraction: every
@@ -21,9 +22,11 @@
 //!   utilization, deadline order) is computed once per suite rather than
 //!   once per test;
 //! * [`analysis::batch`] — the parallel batch front end:
-//!   [`batch::analyze_many`](analysis::batch::analyze_many) fans a workload
+//!   [`batch::analyze_many`] fans a workload
 //!   batch out across the CPU cores with one shared preparation per
 //!   workload (the experiment harness and benchmarks run on it);
+//! * [`analysis::transactions`] — exact critical-instant-candidate
+//!   analysis of offset-transaction systems;
 //! * [`sim`] (`edf-sim`) — a discrete-event EDF / fixed-priority scheduler
 //!   simulator used as an independent oracle;
 //! * [`gen`] (`edf-gen`) — reproducible random task-set generation
@@ -98,13 +101,18 @@ pub use edf_analysis::tests::{
     AllApproximatedTest, BoundSelection, DensityTest, DeviTest, DynamicErrorTest, LevelGrowth,
     LiuLaylandTest, ProcessorDemandTest, QpaTest, RevisionOrder, SuperpositionTest,
 };
+pub use edf_analysis::transactions::{analyze_transaction_system, exhaustive_transaction_check};
 pub use edf_analysis::workload::{DemandComponent, DemandEvent, DemandEventIter};
 pub use edf_analysis::{
     all_tests, registered_tests, Analysis, BoxedTest, DemandOverload, FeasibilityTest, MixedSystem,
     PreparedWorkload, Verdict, Workload,
 };
-pub use edf_gen::{PeriodDistribution, TaskSetConfig};
-pub use edf_model::{EventStream, EventStreamTask, Task, TaskBuilder, TaskError, TaskSet, Time};
+pub use edf_gen::{ArrivalCurveConfig, PeriodDistribution, TaskSetConfig, TransactionConfig};
+pub use edf_model::{
+    AffineSegment, ArrivalCurve, ArrivalCurveTask, CurveDecomposition, EventStream,
+    EventStreamTask, Task, TaskBuilder, TaskError, TaskSet, Time, Transaction, TransactionPart,
+    TransactionSystem,
+};
 pub use edf_sim::{simulate_edf_feasibility, OracleVerdict, SchedulingPolicy, Simulator};
 
 #[cfg(test)]

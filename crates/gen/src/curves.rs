@@ -1,0 +1,245 @@
+//! Random arrival-curve task generation.
+
+use edf_model::{AffineSegment, ArrivalCurve, ArrivalCurveTask, Time, MAX_PREFIX_STEPS};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for random [`ArrivalCurveTask`] generation: each task's
+/// curve is the staircase of a small piecewise-linear concave specification
+/// (random affine pieces), mirroring how stimuli are specified in
+/// real-time-calculus tools.
+///
+/// # Examples
+///
+/// ```
+/// use edf_gen::ArrivalCurveConfig;
+///
+/// let tasks = ArrivalCurveConfig::new().task_count(4..=4).seed(7).generate();
+/// assert_eq!(tasks.len(), 4);
+/// assert!(tasks.iter().all(|t| t.utilization() > 0.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrivalCurveConfig {
+    task_count: (usize, usize),
+    segment_count: (usize, usize),
+    burst: (u64, u64),
+    distance: (u64, u64),
+    wcet: (u64, u64),
+    deadline: (u64, u64),
+    seed: u64,
+}
+
+impl Default for ArrivalCurveConfig {
+    fn default() -> Self {
+        ArrivalCurveConfig::new()
+    }
+}
+
+impl ArrivalCurveConfig {
+    /// The default configuration: 1–10 tasks, 1–3 affine pieces per curve,
+    /// bursts 1–4, distances 20–200, WCETs 1–5, deadlines 5–100, seed 0.
+    #[must_use]
+    pub fn new() -> Self {
+        ArrivalCurveConfig {
+            task_count: (1, 10),
+            segment_count: (1, 3),
+            burst: (1, 4),
+            distance: (20, 200),
+            wcet: (1, 5),
+            deadline: (5, 100),
+            seed: 0,
+        }
+    }
+
+    /// Sets the (inclusive) range of generated task counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    #[must_use]
+    pub fn task_count(mut self, range: std::ops::RangeInclusive<usize>) -> Self {
+        assert!(!range.is_empty(), "task count range must not be empty");
+        self.task_count = (*range.start(), *range.end());
+        self
+    }
+
+    /// Sets the (inclusive) range of affine pieces per curve.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or starts at zero.
+    #[must_use]
+    pub fn segment_count(mut self, range: std::ops::RangeInclusive<usize>) -> Self {
+        assert!(
+            !range.is_empty() && *range.start() >= 1,
+            "segment count range must start at 1"
+        );
+        self.segment_count = (*range.start(), *range.end());
+        self
+    }
+
+    /// Sets the (inclusive) burst range of the affine pieces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty, starts at zero, or ends above
+    /// [`MAX_PREFIX_STEPS`] (a burst that large could not be converted to
+    /// a staircase by [`ArrivalCurve::from_affine_segments`]).
+    #[must_use]
+    pub fn burst(mut self, range: std::ops::RangeInclusive<u64>) -> Self {
+        assert!(
+            !range.is_empty() && *range.start() >= 1,
+            "burst range must start at 1"
+        );
+        assert!(
+            *range.end() <= MAX_PREFIX_STEPS as u64,
+            "burst range must stay within MAX_PREFIX_STEPS ({MAX_PREFIX_STEPS})"
+        );
+        self.burst = (*range.start(), *range.end());
+        self
+    }
+
+    /// Sets the (inclusive) inter-event distance range of the pieces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or starts at zero.
+    #[must_use]
+    pub fn distance(mut self, range: std::ops::RangeInclusive<u64>) -> Self {
+        assert!(
+            !range.is_empty() && *range.start() >= 1,
+            "distance range must start at 1"
+        );
+        self.distance = (*range.start(), *range.end());
+        self
+    }
+
+    /// Sets the (inclusive) per-event execution time range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or starts at zero.
+    #[must_use]
+    pub fn wcet(mut self, range: std::ops::RangeInclusive<u64>) -> Self {
+        assert!(
+            !range.is_empty() && *range.start() >= 1,
+            "wcet range must start at 1"
+        );
+        self.wcet = (*range.start(), *range.end());
+        self
+    }
+
+    /// Sets the (inclusive) relative deadline range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or starts at zero.
+    #[must_use]
+    pub fn deadline(mut self, range: std::ops::RangeInclusive<u64>) -> Self {
+        assert!(
+            !range.is_empty() && *range.start() >= 1,
+            "deadline range must start at 1"
+        );
+        self.deadline = (*range.start(), *range.end());
+        self
+    }
+
+    /// Sets the RNG seed, making generation fully reproducible.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generates one batch of tasks using the configured seed.
+    #[must_use]
+    pub fn generate(&self) -> Vec<ArrivalCurveTask> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        self.generate_with(&mut rng)
+    }
+
+    /// Generates a batch of tasks from a caller-supplied random source.
+    #[must_use]
+    pub fn generate_with<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<ArrivalCurveTask> {
+        let count = rng.gen_range(self.task_count.0 as u64..=self.task_count.1 as u64) as usize;
+        (0..count).map(|_| self.build_task(rng)).collect()
+    }
+
+    fn build_task<R: Rng + ?Sized>(&self, rng: &mut R) -> ArrivalCurveTask {
+        let pieces =
+            rng.gen_range(self.segment_count.0 as u64..=self.segment_count.1 as u64) as usize;
+        let segments: Vec<AffineSegment> = (0..pieces)
+            .map(|_| {
+                AffineSegment::new(
+                    rng.gen_range(self.burst.0..=self.burst.1),
+                    Time::new(rng.gen_range(self.distance.0..=self.distance.1)),
+                )
+            })
+            .collect();
+        // Near-equal distances can stretch the staircase prefix past
+        // MAX_PREFIX_STEPS even for small bursts; fall back to the
+        // long-run piece alone, which always converts thanks to the
+        // burst() bound.
+        let curve = ArrivalCurve::from_affine_segments(&segments).unwrap_or_else(|_| {
+            let dominant = segments
+                .iter()
+                .max_by_key(|s| (s.distance, core::cmp::Reverse(s.burst)))
+                .copied()
+                .expect("at least one segment is generated");
+            ArrivalCurve::from_affine_segments(&[dominant])
+                .expect("a single bounded-burst segment always converts")
+        });
+        ArrivalCurveTask::new(
+            curve,
+            Time::new(rng.gen_range(self.wcet.0..=self.wcet.1)),
+            Time::new(rng.gen_range(self.deadline.0..=self.deadline.1)),
+        )
+        .expect("generated parameters are positive")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_reproducible_and_in_range() {
+        let config = ArrivalCurveConfig::new()
+            .task_count(3..=8)
+            .segment_count(1..=2)
+            .burst(1..=3)
+            .distance(10..=40)
+            .wcet(1..=2)
+            .deadline(4..=20)
+            .seed(11);
+        let a = config.generate();
+        let b = config.generate();
+        assert_eq!(a, b);
+        assert!(a.len() >= 3 && a.len() <= 8);
+        for task in &a {
+            assert!(task.wcet() >= Time::ONE && task.wcet() <= Time::new(2));
+            assert!(task.deadline() >= Time::new(4) && task.deadline() <= Time::new(20));
+            assert!(!task.curve().steps().is_empty());
+        }
+        let other = config.clone().seed(12).generate();
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn default_configuration_is_usable() {
+        let tasks = ArrivalCurveConfig::default().generate();
+        assert!(!tasks.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_burst_panics() {
+        let _ = ArrivalCurveConfig::new().burst(0..=3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_burst_panics_at_configuration_time() {
+        let _ = ArrivalCurveConfig::new().burst(1..=5_000);
+    }
+}

@@ -2,9 +2,11 @@
 //!
 //! Reproduces the workload generation of §5 of Albers & Slomka (DATE 2005):
 //! task utilizations drawn with UUniFast (the unbiased simplex sampling of
-//! Bini & Buttazzo, the paper's ref. [4]), configurable period
+//! Bini & Buttazzo, the paper's ref. \[4\]), configurable period
 //! distributions (including the `Tmax/Tmin` ratio control of Figure 9) and
-//! a controllable average deadline gap.
+//! a controllable average deadline gap.  The workload model zoo is covered
+//! by [`ArrivalCurveConfig`] (random piecewise-linear arrival-curve tasks)
+//! and [`TransactionConfig`] (random offset transactions).
 //!
 //! All generation is seeded and fully reproducible.
 //!
@@ -29,11 +31,15 @@
 #![warn(missing_debug_implementations)]
 
 mod config;
+mod curves;
 mod periods;
 mod sweep;
+mod transactions;
 mod uunifast;
 
 pub use config::TaskSetConfig;
+pub use curves::ArrivalCurveConfig;
 pub use periods::PeriodDistribution;
 pub use sweep::{period_ratio_sweep, utilization_sweep, SweepPoint};
+pub use transactions::TransactionConfig;
 pub use uunifast::uunifast;

@@ -1,0 +1,213 @@
+//! Random offset-transaction generation.
+
+use edf_model::{TaskSet, Time, Transaction, TransactionPart, TransactionSystem};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for random [`Transaction`] generation: each transaction
+/// draws a period, a part count, distinct-ish offsets below the period,
+/// and per-part execution times and deadlines.
+///
+/// # Examples
+///
+/// ```
+/// use edf_gen::TransactionConfig;
+///
+/// let transactions = TransactionConfig::new()
+///     .transaction_count(3..=3)
+///     .seed(5)
+///     .generate();
+/// assert_eq!(transactions.len(), 3);
+/// assert!(transactions.iter().all(|t| t.utilization() <= 1.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransactionConfig {
+    transaction_count: (usize, usize),
+    part_count: (usize, usize),
+    period: (u64, u64),
+    wcet: (u64, u64),
+    seed: u64,
+}
+
+impl Default for TransactionConfig {
+    fn default() -> Self {
+        TransactionConfig::new()
+    }
+}
+
+impl TransactionConfig {
+    /// The default configuration: 1–5 transactions with 1–4 parts each,
+    /// periods 20–200, part WCETs 1–5, seed 0.
+    #[must_use]
+    pub fn new() -> Self {
+        TransactionConfig {
+            transaction_count: (1, 5),
+            part_count: (1, 4),
+            period: (20, 200),
+            wcet: (1, 5),
+            seed: 0,
+        }
+    }
+
+    /// Sets the (inclusive) range of generated transaction counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    #[must_use]
+    pub fn transaction_count(mut self, range: std::ops::RangeInclusive<usize>) -> Self {
+        assert!(
+            !range.is_empty(),
+            "transaction count range must not be empty"
+        );
+        self.transaction_count = (*range.start(), *range.end());
+        self
+    }
+
+    /// Sets the (inclusive) range of parts per transaction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or starts at zero.
+    #[must_use]
+    pub fn part_count(mut self, range: std::ops::RangeInclusive<usize>) -> Self {
+        assert!(
+            !range.is_empty() && *range.start() >= 1,
+            "part count range must start at 1"
+        );
+        self.part_count = (*range.start(), *range.end());
+        self
+    }
+
+    /// Sets the (inclusive) transaction period range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or starts below 2.
+    #[must_use]
+    pub fn period(mut self, range: std::ops::RangeInclusive<u64>) -> Self {
+        assert!(
+            !range.is_empty() && *range.start() >= 2,
+            "period range must start at 2"
+        );
+        self.period = (*range.start(), *range.end());
+        self
+    }
+
+    /// Sets the (inclusive) per-part execution time range (clamped to the
+    /// drawn period).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or starts at zero.
+    #[must_use]
+    pub fn wcet(mut self, range: std::ops::RangeInclusive<u64>) -> Self {
+        assert!(
+            !range.is_empty() && *range.start() >= 1,
+            "wcet range must start at 1"
+        );
+        self.wcet = (*range.start(), *range.end());
+        self
+    }
+
+    /// Sets the RNG seed, making generation fully reproducible.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generates one batch of transactions using the configured seed.
+    #[must_use]
+    pub fn generate(&self) -> Vec<Transaction> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        self.generate_with(&mut rng)
+    }
+
+    /// Generates a whole [`TransactionSystem`] around a sporadic
+    /// background load.
+    #[must_use]
+    pub fn generate_system(&self, sporadic: TaskSet) -> TransactionSystem {
+        TransactionSystem::new(sporadic, self.generate())
+    }
+
+    /// Generates a batch of transactions from a caller-supplied random
+    /// source.
+    #[must_use]
+    pub fn generate_with<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<Transaction> {
+        let count =
+            rng.gen_range(self.transaction_count.0 as u64..=self.transaction_count.1 as u64);
+        (0..count).map(|_| self.build_transaction(rng)).collect()
+    }
+
+    fn build_transaction<R: Rng + ?Sized>(&self, rng: &mut R) -> Transaction {
+        let period = rng.gen_range(self.period.0..=self.period.1);
+        let parts = rng.gen_range(self.part_count.0 as u64..=self.part_count.1 as u64);
+        // Spread the parts over the period: a random offset in each part's
+        // own slice keeps offsets below the period and loosely ordered.
+        let slice = period / parts.max(1);
+        let parts = (0..parts)
+            .map(|i| {
+                let base = i * slice;
+                let offset = if slice > 1 {
+                    base + rng.gen_range(0..slice)
+                } else {
+                    base
+                };
+                let wcet = rng.gen_range(self.wcet.0..=self.wcet.1).min(period);
+                let deadline = rng.gen_range(wcet..=period);
+                TransactionPart::new(
+                    Time::new(offset.min(period - 1)),
+                    Time::new(wcet),
+                    Time::new(deadline),
+                )
+            })
+            .collect();
+        Transaction::new(Time::new(period), parts)
+            .expect("generated parameters are valid by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_reproducible_and_valid() {
+        let config = TransactionConfig::new()
+            .transaction_count(2..=6)
+            .part_count(1..=3)
+            .period(10..=50)
+            .wcet(1..=3)
+            .seed(21);
+        let a = config.generate();
+        assert_eq!(a, config.generate());
+        assert!(a.len() >= 2 && a.len() <= 6);
+        for transaction in &a {
+            assert!(!transaction.is_empty() && transaction.len() <= 3);
+            for part in transaction.parts() {
+                assert!(part.offset() < transaction.period());
+                assert!(part.wcet() >= Time::ONE);
+                assert!(part.deadline() >= part.wcet());
+                assert!(part.deadline() <= transaction.period());
+            }
+        }
+        assert_ne!(a, config.clone().seed(22).generate());
+    }
+
+    #[test]
+    fn system_wraps_the_sporadic_background() {
+        let system = TransactionConfig::new()
+            .transaction_count(2..=2)
+            .seed(3)
+            .generate_system(TaskSet::new());
+        assert_eq!(system.transactions().len(), 2);
+        assert!(system.sporadic().is_empty());
+        assert!(system.candidate_count() >= 1);
+    }
+
+    #[test]
+    fn default_configuration_is_usable() {
+        assert!(!TransactionConfig::default().generate().is_empty());
+    }
+}

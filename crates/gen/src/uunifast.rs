@@ -1,7 +1,7 @@
 //! The UUniFast utilization generator (Bini & Buttazzo).
 //!
 //! The experiments of the paper generate random task sets "following the
-//! uniform distribution proposed by Bini" (ref. [4]): task utilizations
+//! uniform distribution proposed by Bini" (ref. \[4\]): task utilizations
 //! must be drawn uniformly from the simplex `Σ Uᵢ = U` to avoid the biasing
 //! effects of naive generation.  UUniFast is the standard algorithm that
 //! achieves exactly that in `O(n)`.

@@ -1,0 +1,707 @@
+//! Arrival curves from real-time calculus.
+//!
+//! An *upper arrival curve* `η⁺(Δ)` bounds the number of events a stimulus
+//! can produce in any time window of length `Δ`.  Real-time calculus
+//! describes stimuli by piecewise-linear concave curves — the minimum of
+//! affine pieces `b + Δ/d` ("after a burst of `b` events, at most one
+//! event per `d` time units") — while implementations evaluate the integer
+//! *staircase* `⌊η⁺(Δ)⌋`.
+//!
+//! This module represents arrival curves directly as staircases: a sum of
+//! unit steps (re-using [`EventTuple`] as the step type), each contributing
+//! `1 + ⌊(Δ − a)/z⌋` events.  The representation is closed under the two
+//! conversions the analysis needs:
+//!
+//! * [`ArrivalCurve::from_affine_segments`] — the **exact** staircase of a
+//!   piecewise-linear concave curve: events are enumerated until the
+//!   long-run (largest-distance) piece dominates, after which the staircase
+//!   is exactly periodic.  Because event counts are integral, flooring the
+//!   concave curve loses nothing — the conversion is exact on staircases,
+//!   not an approximation;
+//! * [`ArrivalCurve::from_event_stream`] / [`ArrivalCurve::to_event_stream`]
+//!   — a Gresser event stream *is* a staircase curve, so the round trip is
+//!   exact and step-for-step structure preserving.
+//!
+//! [`ArrivalCurve::leaky_bucket_envelope`] computes the tightest single
+//! affine piece `(b, d)` dominating the curve — the classical conservative
+//! leaky-bucket abstraction used when the exact staircase has too many
+//! steps to analyze cheaply.
+//!
+//! [`ArrivalCurveTask`] pairs a curve with a per-event execution demand and
+//! relative deadline, exactly like [`EventStreamTask`]; its demand bound
+//! function is `dbf(I) = C·η⁺(I − D)`.
+//!
+//! # Examples
+//!
+//! A leaky-bucket stimulus — at most 3 events at once, then one event per
+//! 10 time units:
+//!
+//! ```
+//! use edf_model::{AffineSegment, ArrivalCurve, Time};
+//!
+//! let curve = ArrivalCurve::from_affine_segments(&[AffineSegment::new(3, Time::new(10))])
+//!     .expect("valid segments");
+//! assert_eq!(curve.eta(Time::new(0)), 3);
+//! assert_eq!(curve.eta(Time::new(9)), 3);
+//! assert_eq!(curve.eta(Time::new(10)), 4);
+//! ```
+//!
+//! A two-piece curve: a short-term rate of one event per 2 time units,
+//! capped long-term at 4 events per 7 time units:
+//!
+//! ```
+//! use edf_model::{AffineSegment, ArrivalCurve, Time};
+//!
+//! let curve = ArrivalCurve::from_affine_segments(&[
+//!     AffineSegment::new(1, Time::new(2)),
+//!     AffineSegment::new(4, Time::new(7)),
+//! ])
+//! .expect("valid segments");
+//! // The curve is the pointwise minimum of the two pieces.
+//! assert_eq!(curve.eta(Time::new(4)), 3); // 1 + ⌊4/2⌋
+//! assert_eq!(curve.eta(Time::new(14)), 6); // 4 + ⌊14/7⌋
+//! ```
+
+use core::fmt;
+
+use crate::event_stream::{EventStream, EventStreamError, EventStreamTask, EventTuple};
+use crate::time::Time;
+
+/// Hard cap on the number of staircase steps
+/// [`ArrivalCurve::from_affine_segments`] will enumerate before the
+/// long-run piece takes over.  Curves needing more steps would also need
+/// that many demand components per task, so the constructor refuses them.
+pub const MAX_PREFIX_STEPS: usize = 4_096;
+
+/// Cap on the number of events enumerated while fitting the
+/// [`ArrivalCurve::leaky_bucket_envelope`]; curves whose verification
+/// window contains more events report no envelope.
+const MAX_ENVELOPE_EVENTS: u128 = 1 << 16;
+
+/// One affine piece `Δ ↦ burst + ⌊Δ/distance⌋` of a piecewise-linear upper
+/// arrival curve ("`burst` events at once, then one per `distance`").
+///
+/// # Examples
+///
+/// ```
+/// use edf_model::{AffineSegment, Time};
+///
+/// let piece = AffineSegment::new(2, Time::new(5));
+/// assert_eq!(piece.bound(Time::new(0)), 2);
+/// assert_eq!(piece.bound(Time::new(14)), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct AffineSegment {
+    /// Instantaneous burst allowance `b`.
+    pub burst: u64,
+    /// Long-run inter-event distance `d` of this piece.
+    pub distance: Time,
+}
+
+impl AffineSegment {
+    /// Creates the piece `Δ ↦ burst + ⌊Δ/distance⌋`.
+    #[must_use]
+    pub fn new(burst: u64, distance: Time) -> Self {
+        AffineSegment { burst, distance }
+    }
+
+    /// The event bound of this piece alone at window length `interval`.
+    #[must_use]
+    pub fn bound(&self, interval: Time) -> u64 {
+        self.burst.saturating_add(interval.div_floor(self.distance))
+    }
+
+    /// The earliest window length whose bound reaches `k` events (the
+    /// `k`-th event offset of this piece's staircase), saturating.
+    #[must_use]
+    fn kth_event_offset(&self, k: u64) -> Time {
+        if k <= self.burst {
+            Time::ZERO
+        } else {
+            self.distance.saturating_mul(k - self.burst)
+        }
+    }
+}
+
+impl fmt::Display for AffineSegment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} + Δ/{}", self.burst, self.distance)
+    }
+}
+
+/// Errors produced when constructing arrival curves or arrival-curve tasks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ArrivalCurveError {
+    /// The curve has no steps / no affine segments.
+    EmptyCurve,
+    /// An affine segment has a zero distance (infinite rate).
+    ZeroDistance,
+    /// A repeating step has a zero cycle.
+    ZeroCycle,
+    /// The staircase prefix exceeds [`MAX_PREFIX_STEPS`] before the
+    /// long-run segment takes over.
+    PrefixTooLong,
+    /// The per-event execution time is zero.
+    ZeroWcet,
+    /// The relative deadline is zero.
+    ZeroDeadline,
+}
+
+impl fmt::Display for ArrivalCurveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArrivalCurveError::EmptyCurve => {
+                write!(f, "arrival curve must contain at least one step or segment")
+            }
+            ArrivalCurveError::ZeroDistance => {
+                write!(f, "affine segment must have a positive distance")
+            }
+            ArrivalCurveError::ZeroCycle => {
+                write!(f, "repeating curve step must have a positive cycle")
+            }
+            ArrivalCurveError::PrefixTooLong => write!(
+                f,
+                "staircase prefix exceeds {MAX_PREFIX_STEPS} steps before the long-run \
+                 segment dominates"
+            ),
+            ArrivalCurveError::ZeroWcet => write!(f, "per-event execution time must be positive"),
+            ArrivalCurveError::ZeroDeadline => write!(f, "relative deadline must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for ArrivalCurveError {}
+
+/// A staircase upper arrival curve `η⁺(Δ)`: the sum of unit steps, each an
+/// [`EventTuple`] `(z, a)` contributing `1 + ⌊(Δ − a)/z⌋` events (or a
+/// single event for one-shot steps).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ArrivalCurve {
+    steps: Vec<EventTuple>,
+}
+
+impl ArrivalCurve {
+    /// Creates a staircase curve directly from its steps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArrivalCurveError::EmptyCurve`] if `steps` is empty and
+    /// [`ArrivalCurveError::ZeroCycle`] if a repeating step has cycle 0.
+    pub fn new(steps: Vec<EventTuple>) -> Result<Self, ArrivalCurveError> {
+        if steps.is_empty() {
+            return Err(ArrivalCurveError::EmptyCurve);
+        }
+        if steps
+            .iter()
+            .any(|s| matches!(s.cycle, Some(z) if z.is_zero()))
+        {
+            return Err(ArrivalCurveError::ZeroCycle);
+        }
+        Ok(ArrivalCurve { steps })
+    }
+
+    /// The curve of a strictly periodic stimulus: `η⁺(Δ) = 1 + ⌊Δ/period⌋`.
+    #[must_use]
+    pub fn periodic(period: Time) -> Self {
+        ArrivalCurve {
+            steps: vec![EventTuple::periodic(period, Time::ZERO)],
+        }
+    }
+
+    /// The **exact** staircase of the piecewise-linear concave curve
+    /// `η⁺(Δ) = minᵢ (bᵢ + ⌊Δ/dᵢ⌋)`.
+    ///
+    /// The `k`-th event of the staircase occurs at
+    /// `tₖ = maxᵢ (k − bᵢ)⁺·dᵢ`; events are enumerated until the
+    /// largest-distance (smallest-rate) piece supplies the maximum with its
+    /// burst exhausted — from then on the staircase is exactly periodic
+    /// with that piece's distance, so the enumeration terminates with one
+    /// repeating step.  Because `minᵢ ⌊fᵢ⌋ = ⌊minᵢ fᵢ⌋` for non-decreasing
+    /// pieces, the result reproduces the segment minimum exactly at every
+    /// integer window length — no approximation is involved.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArrivalCurveError::EmptyCurve`] for an empty segment list,
+    /// [`ArrivalCurveError::ZeroDistance`] if a segment has distance 0, and
+    /// [`ArrivalCurveError::PrefixTooLong`] if more than
+    /// [`MAX_PREFIX_STEPS`] events precede the periodic tail.
+    pub fn from_affine_segments(segments: &[AffineSegment]) -> Result<Self, ArrivalCurveError> {
+        if segments.is_empty() {
+            return Err(ArrivalCurveError::EmptyCurve);
+        }
+        if segments.iter().any(|s| s.distance.is_zero()) {
+            return Err(ArrivalCurveError::ZeroDistance);
+        }
+        // The long-run winner: largest distance, ties broken by smallest
+        // burst (the pointwise-smaller piece).
+        let dominant = *segments
+            .iter()
+            .max_by(|a, b| a.distance.cmp(&b.distance).then(b.burst.cmp(&a.burst)))
+            .expect("segments are non-empty");
+
+        let mut steps = Vec::new();
+        let mut k: u64 = 1;
+        loop {
+            let offset = segments
+                .iter()
+                .map(|s| s.kth_event_offset(k))
+                .max()
+                .expect("segments are non-empty");
+            // Once the dominant piece's burst is exhausted it grows by the
+            // largest per-event distance, so supplying the maximum now
+            // means supplying it for every later event as well: the
+            // staircase is periodic from here on.
+            if k > dominant.burst && dominant.kth_event_offset(k) == offset {
+                steps.push(EventTuple::periodic(dominant.distance, offset));
+                return ArrivalCurve::new(steps);
+            }
+            if steps.len() >= MAX_PREFIX_STEPS {
+                return Err(ArrivalCurveError::PrefixTooLong);
+            }
+            steps.push(EventTuple::single(offset));
+            k += 1;
+        }
+    }
+
+    /// The arrival curve of a Gresser [`EventStream`] — exact and
+    /// step-for-step structure preserving (a stream tuple *is* a staircase
+    /// step).
+    #[must_use]
+    pub fn from_event_stream(stream: &EventStream) -> Self {
+        ArrivalCurve {
+            steps: stream.tuples().to_vec(),
+        }
+    }
+
+    /// The inverse of [`ArrivalCurve::from_event_stream`].
+    #[must_use]
+    pub fn to_event_stream(&self) -> EventStream {
+        EventStream::new(self.steps.clone()).expect("curve steps are valid stream tuples")
+    }
+
+    /// The staircase steps of this curve.
+    #[must_use]
+    pub fn steps(&self) -> &[EventTuple] {
+        &self.steps
+    }
+
+    /// The event bound `η⁺(Δ)` at window length `interval`.
+    #[must_use]
+    pub fn eta(&self, interval: Time) -> u64 {
+        self.steps.iter().map(|s| s.events_in(interval)).sum()
+    }
+
+    /// The long-run event rate contributed by the repeating steps.
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        self.steps
+            .iter()
+            .filter_map(|s| s.cycle)
+            .map(|z| 1.0 / z.as_f64())
+            .sum()
+    }
+
+    /// The tightest single affine piece `(b, d)` with
+    /// `b + ⌊Δ/d⌋ ≥ η⁺(Δ)` for every `Δ` — the classical conservative
+    /// leaky-bucket abstraction of the curve.
+    ///
+    /// `d` is the largest integer distance not slower than the curve's
+    /// long-run rate (`d = ⌊L/E⌋` for `L` the cycle hyperperiod and `E` the
+    /// events per hyperperiod); `b` is fitted over one verification window
+    /// `[0, max offset + L]`, which suffices because beyond it both sides
+    /// repeat with `η⁺` gaining `E ≤ ⌊L/d⌋` events per `L`.
+    ///
+    /// Returns `None` when no conservative bucket exists or is practical:
+    /// the curve has no repeating step, its rate is at least one event per
+    /// time unit (`d` would be 0), the hyperperiod overflows, or the
+    /// verification window holds too many events to enumerate.
+    #[must_use]
+    pub fn leaky_bucket_envelope(&self) -> Option<AffineSegment> {
+        let cycles: Vec<Time> = self.steps.iter().filter_map(|s| s.cycle).collect();
+        if cycles.is_empty() {
+            return None;
+        }
+        let hyperperiod = cycles.iter().try_fold(Time::ONE, |acc, &z| acc.lcm(z))?;
+        let events_per_l: u128 = cycles
+            .iter()
+            .map(|z| hyperperiod.as_u128() / z.as_u128())
+            .sum();
+        let distance = hyperperiod.as_u128() / events_per_l;
+        if distance == 0 {
+            return None;
+        }
+        let distance = Time::new(u64::try_from(distance).ok()?);
+
+        let max_offset = self
+            .steps
+            .iter()
+            .map(|s| s.offset)
+            .max()
+            .expect("curve is non-empty");
+        let window = max_offset.checked_add(hyperperiod)?;
+        let total_events: u128 = self
+            .steps
+            .iter()
+            .map(|s| u128::from(s.events_in(window)))
+            .sum();
+        if total_events > MAX_ENVELOPE_EVENTS {
+            return None;
+        }
+
+        let mut offsets: Vec<Time> = Vec::with_capacity(total_events as usize);
+        for step in &self.steps {
+            let mut at = step.offset;
+            loop {
+                if at > window {
+                    break;
+                }
+                offsets.push(at);
+                match step.cycle {
+                    Some(z) => match at.checked_add(z) {
+                        Some(next) => at = next,
+                        None => break,
+                    },
+                    None => break,
+                }
+            }
+        }
+        offsets.sort_unstable();
+        let mut burst: u64 = 0;
+        for (index, at) in offsets.iter().enumerate() {
+            let events = index as u64 + 1;
+            burst = burst.max(events.saturating_sub(at.div_floor(distance)));
+        }
+        Some(AffineSegment::new(burst, distance))
+    }
+}
+
+impl fmt::Display for ArrivalCurve {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "arrival curve with {} step(s)", self.steps.len())
+    }
+}
+
+/// How an [`ArrivalCurveTask`] is decomposed for analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum CurveDecomposition {
+    /// One demand component per staircase step — demand is reproduced
+    /// exactly, so exact feasibility tests stay exact.
+    #[default]
+    Exact,
+    /// Decompose the [`ArrivalCurve::leaky_bucket_envelope`] instead —
+    /// `O(burst)` components regardless of the staircase size.  Demand is
+    /// over-approximated, so *feasible* verdicts remain sound while
+    /// rejections are demoted to *unknown* by the analysis (the exact
+    /// tests turn into sufficient ones).  Falls back to the exact
+    /// decomposition when no envelope exists.
+    Conservative,
+}
+
+/// A task activated by an [`ArrivalCurve`]: every event requires `wcet`
+/// execution time and must finish within `deadline` of its occurrence —
+/// the arrival-curve counterpart of [`EventStreamTask`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ArrivalCurveTask {
+    curve: ArrivalCurve,
+    wcet: Time,
+    deadline: Time,
+    decomposition: CurveDecomposition,
+    name: Option<String>,
+}
+
+impl ArrivalCurveTask {
+    /// Creates an arrival-curve task with the exact decomposition.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ArrivalCurveError`] if `wcet` or `deadline` is zero.
+    pub fn new(curve: ArrivalCurve, wcet: Time, deadline: Time) -> Result<Self, ArrivalCurveError> {
+        if wcet.is_zero() {
+            return Err(ArrivalCurveError::ZeroWcet);
+        }
+        if deadline.is_zero() {
+            return Err(ArrivalCurveError::ZeroDeadline);
+        }
+        Ok(ArrivalCurveTask {
+            curve,
+            wcet,
+            deadline,
+            decomposition: CurveDecomposition::Exact,
+            name: None,
+        })
+    }
+
+    /// Switches the task to the conservative leaky-bucket decomposition.
+    #[must_use]
+    pub fn conservative(mut self) -> Self {
+        self.decomposition = CurveDecomposition::Conservative;
+        self
+    }
+
+    /// Gives the task a human-readable name.
+    #[must_use]
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = Some(name.into());
+        self
+    }
+
+    /// The task equivalent to an [`EventStreamTask`] — same demand, same
+    /// decomposition structure, so every analysis gives the same answer.
+    #[must_use]
+    pub fn from_event_stream_task(task: &EventStreamTask) -> Self {
+        let converted = ArrivalCurveTask {
+            curve: ArrivalCurve::from_event_stream(task.stream()),
+            wcet: task.wcet(),
+            deadline: task.deadline(),
+            decomposition: CurveDecomposition::Exact,
+            name: task.name().map(str::to_owned),
+        };
+        debug_assert!(!converted.wcet.is_zero() && !converted.deadline.is_zero());
+        converted
+    }
+
+    /// The inverse of [`ArrivalCurveTask::from_event_stream_task`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EventStreamError`] if the parameters are rejected by
+    /// the stream constructor (cannot happen for validated tasks).
+    pub fn to_event_stream_task(&self) -> Result<EventStreamTask, EventStreamError> {
+        let task = EventStreamTask::new(self.curve.to_event_stream(), self.wcet, self.deadline)?;
+        Ok(match &self.name {
+            Some(name) => task.named(name.clone()),
+            None => task,
+        })
+    }
+
+    /// The activating arrival curve.
+    #[must_use]
+    pub fn curve(&self) -> &ArrivalCurve {
+        &self.curve
+    }
+
+    /// Execution demand per event.
+    #[must_use]
+    pub fn wcet(&self) -> Time {
+        self.wcet
+    }
+
+    /// Relative deadline per event.
+    #[must_use]
+    pub fn deadline(&self) -> Time {
+        self.deadline
+    }
+
+    /// The configured decomposition mode.
+    #[must_use]
+    pub fn decomposition(&self) -> CurveDecomposition {
+        self.decomposition
+    }
+
+    /// Optional name.
+    #[must_use]
+    pub fn name(&self) -> Option<&str> {
+        self.name.as_deref()
+    }
+
+    /// Long-run processor utilization of this task.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        self.curve.rate() * self.wcet.as_f64()
+    }
+
+    /// Demand bound function `dbf(I) = C·η⁺(I − D)` for `I ≥ D`, 0 below.
+    #[must_use]
+    pub fn dbf(&self, interval: Time) -> Time {
+        if interval < self.deadline {
+            return Time::ZERO;
+        }
+        let events = self.curve.eta(interval - self.deadline);
+        self.wcet.saturating_mul(events)
+    }
+}
+
+impl fmt::Display for ArrivalCurveTask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let label = self.name.as_deref().unwrap_or("curve-task");
+        write!(
+            f,
+            "{label}(C={}, D={}, {})",
+            self.wcet, self.deadline, self.curve
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve(segments: &[(u64, u64)]) -> ArrivalCurve {
+        let segments: Vec<AffineSegment> = segments
+            .iter()
+            .map(|&(b, d)| AffineSegment::new(b, Time::new(d)))
+            .collect();
+        ArrivalCurve::from_affine_segments(&segments).expect("valid segments")
+    }
+
+    #[test]
+    fn single_segment_staircase_is_exact() {
+        let c = curve(&[(3, 10)]);
+        for i in 0..100u64 {
+            assert_eq!(c.eta(Time::new(i)), 3 + i / 10, "at {i}");
+        }
+        // 3 burst one-shots at 0, one periodic step.
+        assert_eq!(c.steps().len(), 4);
+        assert_eq!(c.steps().iter().filter(|s| s.cycle.is_some()).count(), 1);
+    }
+
+    #[test]
+    fn multi_segment_staircase_matches_the_minimum() {
+        for segments in [
+            vec![(1u64, 2u64), (4, 7)],
+            vec![(5, 2), (1, 6)],
+            vec![(2, 3), (3, 5), (6, 11)],
+            vec![(0, 4), (2, 9)],
+            vec![(1, 10), (2, 10)],
+        ] {
+            let c = curve(&segments);
+            for i in 0..200u64 {
+                let expected = segments
+                    .iter()
+                    .map(|&(b, d)| b + i / d)
+                    .min()
+                    .expect("non-empty");
+                assert_eq!(c.eta(Time::new(i)), expected, "at {i} for {segments:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn construction_errors() {
+        assert_eq!(
+            ArrivalCurve::from_affine_segments(&[]),
+            Err(ArrivalCurveError::EmptyCurve)
+        );
+        assert_eq!(
+            ArrivalCurve::from_affine_segments(&[AffineSegment::new(1, Time::ZERO)]),
+            Err(ArrivalCurveError::ZeroDistance)
+        );
+        assert_eq!(
+            ArrivalCurve::from_affine_segments(&[AffineSegment::new(1_000_000, Time::new(2))]),
+            Err(ArrivalCurveError::PrefixTooLong)
+        );
+        assert_eq!(
+            ArrivalCurve::new(vec![]),
+            Err(ArrivalCurveError::EmptyCurve)
+        );
+        assert_eq!(
+            ArrivalCurve::new(vec![EventTuple::periodic(Time::ZERO, Time::ZERO)]),
+            Err(ArrivalCurveError::ZeroCycle)
+        );
+        let c = ArrivalCurve::periodic(Time::new(10));
+        assert_eq!(
+            ArrivalCurveTask::new(c.clone(), Time::ZERO, Time::ONE),
+            Err(ArrivalCurveError::ZeroWcet)
+        );
+        assert_eq!(
+            ArrivalCurveTask::new(c, Time::ONE, Time::ZERO),
+            Err(ArrivalCurveError::ZeroDeadline)
+        );
+        assert!(!ArrivalCurveError::PrefixTooLong.to_string().is_empty());
+    }
+
+    #[test]
+    fn event_stream_round_trip_is_exact() {
+        let stream = EventStream::bursty(3, Time::new(5), Time::new(100));
+        let c = ArrivalCurve::from_event_stream(&stream);
+        for i in 0..300u64 {
+            assert_eq!(c.eta(Time::new(i)), stream.eta(Time::new(i)), "at {i}");
+        }
+        assert_eq!(c.to_event_stream(), stream);
+        assert!((c.rate() - stream.rate()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn leaky_bucket_envelope_dominates_the_curve() {
+        for c in [
+            ArrivalCurve::from_event_stream(&EventStream::bursty(3, Time::new(2), Time::new(20))),
+            curve(&[(1, 2), (4, 7)]),
+            ArrivalCurve::periodic(Time::new(9)),
+            ArrivalCurve::new(vec![
+                EventTuple::periodic(Time::new(6), Time::new(1)),
+                EventTuple::periodic(Time::new(15), Time::new(4)),
+                EventTuple::single(Time::new(3)),
+            ])
+            .unwrap(),
+        ] {
+            let envelope = c.leaky_bucket_envelope().expect("envelope exists");
+            for i in 0..400u64 {
+                let i = Time::new(i);
+                assert!(
+                    envelope.bound(i) >= c.eta(i),
+                    "envelope {envelope} below curve at {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn envelope_absent_without_repeating_steps_or_at_full_rate() {
+        let one_shot = ArrivalCurve::new(vec![EventTuple::single(Time::new(4))]).unwrap();
+        assert_eq!(one_shot.leaky_bucket_envelope(), None);
+        // Two events per time unit: no integer distance can keep up.
+        let dense = ArrivalCurve::new(vec![
+            EventTuple::periodic(Time::ONE, Time::ZERO),
+            EventTuple::periodic(Time::ONE, Time::ZERO),
+        ])
+        .unwrap();
+        assert_eq!(dense.leaky_bucket_envelope(), None);
+    }
+
+    #[test]
+    fn task_dbf_shifts_by_deadline_and_matches_stream_twin() {
+        let stream = EventStream::bursty(2, Time::new(3), Time::new(30));
+        let stream_task = EventStreamTask::new(stream, Time::new(2), Time::new(8))
+            .unwrap()
+            .named("rx");
+        let curve_task = ArrivalCurveTask::from_event_stream_task(&stream_task);
+        assert_eq!(curve_task.name(), Some("rx"));
+        for i in 0..150u64 {
+            let i = Time::new(i);
+            assert_eq!(curve_task.dbf(i), stream_task.dbf(i), "at {i}");
+        }
+        assert!((curve_task.utilization() - stream_task.utilization()).abs() < 1e-12);
+        let back = curve_task.to_event_stream_task().unwrap();
+        assert_eq!(back, stream_task);
+    }
+
+    #[test]
+    fn decomposition_mode_and_display() {
+        let task = ArrivalCurveTask::new(
+            ArrivalCurve::periodic(Time::new(12)),
+            Time::new(2),
+            Time::new(6),
+        )
+        .unwrap();
+        assert_eq!(task.decomposition(), CurveDecomposition::Exact);
+        let conservative = task.clone().conservative().named("bucketed");
+        assert_eq!(
+            conservative.decomposition(),
+            CurveDecomposition::Conservative
+        );
+        assert!(conservative.to_string().contains("bucketed"));
+        assert!(task.to_string().contains("curve-task"));
+        assert!(ArrivalCurve::periodic(Time::new(3))
+            .to_string()
+            .contains("1 step"));
+        assert!(AffineSegment::new(2, Time::new(5))
+            .to_string()
+            .contains('2'));
+    }
+}

@@ -14,6 +14,11 @@
 //!   (utilization, density, hyperperiod, deadline gap);
 //! * [`EventStream`] / [`EventStreamTask`] — Gresser's event stream model,
 //!   the "advanced task model" extension the paper refers to;
+//! * [`ArrivalCurve`] / [`ArrivalCurveTask`] — staircase upper arrival
+//!   curves per real-time calculus, with exact piecewise-linear
+//!   construction and exact event-stream round trips;
+//! * [`Transaction`] / [`TransactionSystem`] — offset-based transactions:
+//!   tasks sharing a period with fixed intra-transaction offsets;
 //! * [`literature`] — reconstructions of the Table 1 example task sets
 //!   (Burns, Ma & Shin, GAP, Gresser 1/2).
 //!
@@ -39,13 +44,20 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod arrival_curve;
 mod event_stream;
 pub mod literature;
 mod task;
 mod task_set;
 mod time;
+mod transaction;
 
+pub use arrival_curve::{
+    AffineSegment, ArrivalCurve, ArrivalCurveError, ArrivalCurveTask, CurveDecomposition,
+    MAX_PREFIX_STEPS,
+};
 pub use event_stream::{EventStream, EventStreamError, EventStreamTask, EventTuple};
 pub use task::{Task, TaskBuilder, TaskError};
 pub use task_set::TaskSet;
 pub use time::Time;
+pub use transaction::{Transaction, TransactionError, TransactionPart, TransactionSystem};

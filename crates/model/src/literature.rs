@@ -4,7 +4,7 @@
 //! sets "coming from real examples": Burns, a modified Ma & Shin set, the
 //! Generic Avionics Platform (GAP), and two sets from Gresser's dissertation.
 //! The paper itself does not list the task parameters; they come from the
-//! cited literature ([1] Albers & Slomka 2004, [11] Gresser 1993, [14]
+//! cited literature (\[1\] Albers & Slomka 2004, \[11\] Gresser 1993, \[14\]
 //! Stankovic et al. 1998), most of which is not freely available.
 //!
 //! This module therefore ships **documented reconstructions**: task sets of
@@ -39,7 +39,7 @@ fn task(name: &str, c: u64, d: u64, t: u64) -> Task {
 /// The "Burns" task set (14 tasks).
 ///
 /// Reconstruction of an avionics-style application set in the spirit of the
-/// examples published by Burns et al. and used in [1]: 14 tasks, mostly
+/// examples published by Burns et al. and used in \[1\]: 14 tasks, mostly
 /// implicit deadlines with a few mildly constrained ones, total utilization
 /// ≈ 0.84.  Devi's sufficient test accepts this set (as in Table 1, where it
 /// needs exactly one iteration per task).
@@ -65,7 +65,7 @@ pub fn burns() -> TaskSet {
 
 /// The modified "Ma & Shin" task set (8 tasks).
 ///
-/// Reconstruction of the modified Ma & Shin example from [1]: a small set
+/// Reconstruction of the modified Ma & Shin example from \[1\]: a small set
 /// whose deadlines are far shorter than its periods, with a high utilization
 /// background load.  The set is feasible under EDF, but Devi's sufficient
 /// test rejects it (`FAILED` in Table 1), which is exactly the situation the
@@ -87,7 +87,7 @@ pub fn ma_shin() -> TaskSet {
 /// The Generic Avionics Platform (GAP) task set (18 tasks).
 ///
 /// Reconstruction following the well-known avionics workload of Locke,
-/// Vogel & Mesler (1991) as reprinted in [14]: periods between 1 ms and 1 s,
+/// Vogel & Mesler (1991) as reprinted in \[14\]: periods between 1 ms and 1 s,
 /// implicit deadlines, total utilization ≈ 0.87.  Devi's test accepts the
 /// set (Table 1: 18 iterations, one per task).
 #[must_use]
@@ -118,7 +118,7 @@ pub fn gap() -> TaskSet {
 /// The first Gresser example (7 tasks).
 ///
 /// Reconstruction of an event-driven automation example in the style of
-/// Gresser's dissertation [11]: a mix of fast tasks with tight deadlines and
+/// Gresser's dissertation \[11\]: a mix of fast tasks with tight deadlines and
 /// slow tasks with deadlines well below their periods.  The set is feasible
 /// under EDF but rejected by Devi's test (`FAILED` in Table 1).
 #[must_use]

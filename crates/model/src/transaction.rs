@@ -1,0 +1,410 @@
+//! Offset-based transactions: tasks sharing a period with fixed offsets.
+//!
+//! A *transaction* models a group of activities triggered by one recurring
+//! event — a message sequence, a multi-stage control loop — where every
+//! part executes a fixed time after the transaction's release.  All parts
+//! share the transaction period `T`; part `j` is released `oⱼ` time units
+//! after the transaction and must finish within its own relative deadline.
+//!
+//! Under EDF the worst-case demand of an offset transaction is **not** the
+//! synchronous release of all parts (offsets forbid that alignment).  The
+//! standard critical-instant argument applies instead: the demand of a
+//! window is maximized when the window starts at the release of *some*
+//! part `c`, which shifts part `j` to the phase `(oⱼ − o_c) mod T`.  Each
+//! choice of `c` is a *critical-instant candidate*; exact analysis checks
+//! every candidate, while dropping the offsets (all parts synchronous)
+//! yields a cheap conservative over-approximation.  The decompositions and
+//! candidate analysis live in `edf-analysis` (`workload` and
+//! `transactions` modules); this module provides the validated data model.
+//!
+//! # Examples
+//!
+//! ```
+//! use edf_model::{Time, Transaction, TransactionPart};
+//!
+//! # fn main() -> Result<(), edf_model::TransactionError> {
+//! let transaction = Transaction::new(
+//!     Time::new(20),
+//!     vec![
+//!         TransactionPart::new(Time::new(0), Time::new(2), Time::new(5)),
+//!         TransactionPart::new(Time::new(8), Time::new(3), Time::new(6)),
+//!     ],
+//! )?;
+//! assert_eq!(transaction.len(), 2);
+//! assert!((transaction.utilization() - 0.25).abs() < 1e-12);
+//! // Candidate 1 re-phases part 0 to offset (0 − 8) mod 20 = 12.
+//! assert_eq!(transaction.candidate_phase(1, 0), Time::new(12));
+//! # Ok(())
+//! # }
+//! ```
+
+use core::fmt;
+
+use crate::task_set::TaskSet;
+use crate::time::Time;
+
+/// Errors produced when constructing transactions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TransactionError {
+    /// The transaction period is zero.
+    ZeroPeriod,
+    /// The transaction contains no parts.
+    EmptyTransaction,
+    /// A part's execution time is zero.
+    ZeroWcet,
+    /// A part's relative deadline is zero.
+    ZeroDeadline,
+    /// A part's offset is not strictly below the transaction period.
+    OffsetOutOfRange,
+}
+
+impl fmt::Display for TransactionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransactionError::ZeroPeriod => write!(f, "transaction period must be positive"),
+            TransactionError::EmptyTransaction => {
+                write!(f, "transaction must contain at least one part")
+            }
+            TransactionError::ZeroWcet => write!(f, "part execution time must be positive"),
+            TransactionError::ZeroDeadline => write!(f, "part relative deadline must be positive"),
+            TransactionError::OffsetOutOfRange => {
+                write!(
+                    f,
+                    "part offset must be strictly below the transaction period"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransactionError {}
+
+/// One task of a [`Transaction`]: released `offset` time units after the
+/// transaction, with its own execution time and relative deadline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TransactionPart {
+    offset: Time,
+    wcet: Time,
+    deadline: Time,
+    name: Option<String>,
+}
+
+impl TransactionPart {
+    /// Creates a part (validated when the owning [`Transaction`] is built).
+    #[must_use]
+    pub fn new(offset: Time, wcet: Time, deadline: Time) -> Self {
+        TransactionPart {
+            offset,
+            wcet,
+            deadline,
+            name: None,
+        }
+    }
+
+    /// Gives the part a human-readable name.
+    #[must_use]
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = Some(name.into());
+        self
+    }
+
+    /// Release offset within the transaction.
+    #[must_use]
+    pub fn offset(&self) -> Time {
+        self.offset
+    }
+
+    /// Execution time per instance.
+    #[must_use]
+    pub fn wcet(&self) -> Time {
+        self.wcet
+    }
+
+    /// Relative deadline, measured from the part's own release.
+    #[must_use]
+    pub fn deadline(&self) -> Time {
+        self.deadline
+    }
+
+    /// Optional name.
+    #[must_use]
+    pub fn name(&self) -> Option<&str> {
+        self.name.as_deref()
+    }
+}
+
+impl fmt::Display for TransactionPart {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let label = self.name.as_deref().unwrap_or("part");
+        write!(
+            f,
+            "{label}(o={}, C={}, D={})",
+            self.offset, self.wcet, self.deadline
+        )
+    }
+}
+
+/// A group of tasks sharing one period, each released at a fixed offset
+/// after the transaction — recurring sporadically with minimal
+/// inter-arrival `period` (the periodic pattern is the worst case).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Transaction {
+    period: Time,
+    parts: Vec<TransactionPart>,
+}
+
+impl Transaction {
+    /// Creates a transaction from its period and parts.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TransactionError`] if the period is zero, the part list
+    /// is empty, or any part has a zero execution time, a zero deadline, or
+    /// an offset not strictly below the period.
+    pub fn new(period: Time, parts: Vec<TransactionPart>) -> Result<Self, TransactionError> {
+        if period.is_zero() {
+            return Err(TransactionError::ZeroPeriod);
+        }
+        if parts.is_empty() {
+            return Err(TransactionError::EmptyTransaction);
+        }
+        for part in &parts {
+            if part.wcet.is_zero() {
+                return Err(TransactionError::ZeroWcet);
+            }
+            if part.deadline.is_zero() {
+                return Err(TransactionError::ZeroDeadline);
+            }
+            if part.offset >= period {
+                return Err(TransactionError::OffsetOutOfRange);
+            }
+        }
+        Ok(Transaction { period, parts })
+    }
+
+    /// The transaction period (minimal inter-arrival of instances).
+    #[must_use]
+    pub fn period(&self) -> Time {
+        self.period
+    }
+
+    /// The parts, in construction order.
+    #[must_use]
+    pub fn parts(&self) -> &[TransactionPart] {
+        &self.parts
+    }
+
+    /// Number of parts.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// `true` if the transaction has no parts (never holds for validated
+    /// transactions; present for API symmetry).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.parts.is_empty()
+    }
+
+    /// Long-run processor utilization `Σ Cⱼ / T`.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        self.parts
+            .iter()
+            .map(|p| p.wcet.as_f64() / self.period.as_f64())
+            .sum()
+    }
+
+    /// Number of critical-instant candidates (one per part).
+    #[must_use]
+    pub fn candidate_count(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// The phase of part `part` when the analysis window starts at the
+    /// release of part `candidate`: `(o_part − o_candidate) mod T`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    #[must_use]
+    pub fn candidate_phase(&self, candidate: usize, part: usize) -> Time {
+        let anchor = self.parts[candidate].offset;
+        let offset = self.parts[part].offset;
+        if offset >= anchor {
+            offset - anchor
+        } else {
+            self.period - (anchor - offset)
+        }
+    }
+}
+
+impl fmt::Display for Transaction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "transaction(T={}, {} part(s))", self.period, self.len())
+    }
+}
+
+/// A system combining independent sporadic tasks with offset transactions —
+/// the transactional counterpart of a mixed system.
+///
+/// Transactions release independently of each other, so the worst-case
+/// alignment picks one critical-instant candidate *per transaction*; the
+/// exact analysis therefore enumerates the product of the per-transaction
+/// candidates (see `edf-analysis`'s `transactions` module).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransactionSystem {
+    sporadic: TaskSet,
+    transactions: Vec<Transaction>,
+}
+
+impl TransactionSystem {
+    /// Creates a system from its sporadic and transactional parts.
+    #[must_use]
+    pub fn new(sporadic: TaskSet, transactions: Vec<Transaction>) -> Self {
+        TransactionSystem {
+            sporadic,
+            transactions,
+        }
+    }
+
+    /// The sporadic part.
+    #[must_use]
+    pub fn sporadic(&self) -> &TaskSet {
+        &self.sporadic
+    }
+
+    /// The transactions.
+    #[must_use]
+    pub fn transactions(&self) -> &[Transaction] {
+        &self.transactions
+    }
+
+    /// Long-run processor utilization of the whole system.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        self.sporadic.utilization()
+            + self
+                .transactions
+                .iter()
+                .map(Transaction::utilization)
+                .sum::<f64>()
+    }
+
+    /// Number of critical-instant candidate combinations (the product over
+    /// the transactions), saturating at `usize::MAX`.
+    #[must_use]
+    pub fn candidate_count(&self) -> usize {
+        self.transactions
+            .iter()
+            .fold(1usize, |acc, t| acc.saturating_mul(t.candidate_count()))
+    }
+}
+
+impl fmt::Display for TransactionSystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "transaction system ({} sporadic task(s), {} transaction(s))",
+            self.sporadic.len(),
+            self.transactions.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::Task;
+
+    fn part(o: u64, c: u64, d: u64) -> TransactionPart {
+        TransactionPart::new(Time::new(o), Time::new(c), Time::new(d))
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let tr = Transaction::new(Time::new(20), vec![part(0, 2, 5), part(8, 3, 6)]).unwrap();
+        assert_eq!(tr.period(), Time::new(20));
+        assert_eq!(tr.len(), 2);
+        assert!(!tr.is_empty());
+        assert_eq!(tr.candidate_count(), 2);
+        assert!((tr.utilization() - 0.25).abs() < 1e-12);
+        assert_eq!(tr.parts()[1].offset(), Time::new(8));
+        assert!(tr.to_string().contains("T=20"));
+    }
+
+    #[test]
+    fn construction_errors() {
+        assert_eq!(
+            Transaction::new(Time::ZERO, vec![part(0, 1, 1)]),
+            Err(TransactionError::ZeroPeriod)
+        );
+        assert_eq!(
+            Transaction::new(Time::new(10), vec![]),
+            Err(TransactionError::EmptyTransaction)
+        );
+        assert_eq!(
+            Transaction::new(Time::new(10), vec![part(0, 0, 1)]),
+            Err(TransactionError::ZeroWcet)
+        );
+        assert_eq!(
+            Transaction::new(Time::new(10), vec![part(0, 1, 0)]),
+            Err(TransactionError::ZeroDeadline)
+        );
+        assert_eq!(
+            Transaction::new(Time::new(10), vec![part(10, 1, 1)]),
+            Err(TransactionError::OffsetOutOfRange)
+        );
+        assert!(!TransactionError::OffsetOutOfRange.to_string().is_empty());
+    }
+
+    #[test]
+    fn candidate_phases_wrap_modulo_the_period() {
+        let tr = Transaction::new(
+            Time::new(20),
+            vec![part(0, 1, 4), part(8, 1, 4), part(15, 1, 4)],
+        )
+        .unwrap();
+        // Window anchored at part 0: phases are the offsets themselves.
+        assert_eq!(tr.candidate_phase(0, 0), Time::ZERO);
+        assert_eq!(tr.candidate_phase(0, 1), Time::new(8));
+        assert_eq!(tr.candidate_phase(0, 2), Time::new(15));
+        // Anchored at part 1: part 0 wraps to 20 − 8 = 12.
+        assert_eq!(tr.candidate_phase(1, 0), Time::new(12));
+        assert_eq!(tr.candidate_phase(1, 1), Time::ZERO);
+        assert_eq!(tr.candidate_phase(1, 2), Time::new(7));
+        // Anchored at part 2: part 1 wraps to 20 − 7 = 13.
+        assert_eq!(tr.candidate_phase(2, 1), Time::new(13));
+    }
+
+    #[test]
+    fn part_naming_and_display() {
+        let p = part(3, 1, 2).named("ignition");
+        assert_eq!(p.name(), Some("ignition"));
+        assert!(p.to_string().contains("ignition"));
+        assert!(part(0, 1, 2).to_string().contains("part"));
+    }
+
+    #[test]
+    fn system_utilization_and_candidates() {
+        let sporadic = TaskSet::from_tasks(vec![Task::from_ticks(1, 4, 10).unwrap()]);
+        let t1 = Transaction::new(Time::new(20), vec![part(0, 2, 5), part(8, 2, 5)]).unwrap();
+        let t2 = Transaction::new(
+            Time::new(10),
+            vec![part(0, 1, 3), part(2, 1, 3), part(5, 1, 3)],
+        )
+        .unwrap();
+        let system = TransactionSystem::new(sporadic, vec![t1, t2]);
+        assert_eq!(system.candidate_count(), 6);
+        assert!((system.utilization() - (0.1 + 0.2 + 0.3)).abs() < 1e-12);
+        assert_eq!(system.sporadic().len(), 1);
+        assert_eq!(system.transactions().len(), 2);
+        assert!(system.to_string().contains("2 transaction"));
+        let empty = TransactionSystem::new(TaskSet::new(), vec![]);
+        assert_eq!(empty.candidate_count(), 1);
+    }
+}

@@ -10,9 +10,21 @@
 //! wall-clock times are printed to stdout in a criterion-like format.
 //! There is no statistical analysis, no HTML report and no baseline
 //! comparison — just honest wall-clock numbers.
+//!
+//! Two environment variables support the CI smoke run:
+//!
+//! * `EDF_BENCH_FAST` (set and not `0`) — clamps every benchmark to a tiny
+//!   iteration budget (2 samples, ≤ 10 ms warm-up, ≤ 40 ms measurement),
+//!   overriding per-group settings, so a whole bench binary finishes in
+//!   seconds; the numbers are smoke-level only;
+//! * `EDF_BENCH_JSON=<path>` — appends one JSON object per benchmark
+//!   (group, id, min/mean/max nanoseconds, sample and iteration counts) to
+//!   `<path>`, one per line, for the `BENCH_smoke.json` CI artifact.
 
 use std::fmt;
+use std::fs::OpenOptions;
 use std::hint;
+use std::io::Write as _;
 use std::time::{Duration, Instant};
 
 /// Opaque-to-the-optimizer identity function.
@@ -74,13 +86,15 @@ pub struct Bencher<'a> {
 }
 
 impl Bencher<'_> {
-    /// Runs `routine` under the group's timing settings.
+    /// Runs `routine` under the group's timing settings (clamped in fast
+    /// mode, see the crate docs).
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let settings = self.settings.effective();
         // Warm-up: run until the warm-up budget is spent, measuring the
         // per-call cost to size the samples.
         let warm_up_start = Instant::now();
         let mut warm_up_calls: u64 = 0;
-        while warm_up_start.elapsed() < self.settings.warm_up_time || warm_up_calls == 0 {
+        while warm_up_start.elapsed() < settings.warm_up_time || warm_up_calls == 0 {
             black_box(routine());
             warm_up_calls += 1;
             if warm_up_calls >= 1_000_000 {
@@ -90,8 +104,7 @@ impl Bencher<'_> {
         let per_call = warm_up_start.elapsed() / warm_up_calls.max(1) as u32;
 
         // Size each sample so the whole measurement roughly fits the budget.
-        let sample_budget =
-            self.settings.measurement_time / self.settings.sample_size.max(1) as u32;
+        let sample_budget = settings.measurement_time / settings.sample_size.max(1) as u32;
         let iters = if per_call.is_zero() {
             1_000
         } else {
@@ -100,7 +113,7 @@ impl Bencher<'_> {
 
         self.iters_per_sample = iters;
         self.samples.clear();
-        for _ in 0..self.settings.sample_size {
+        for _ in 0..settings.sample_size {
             let start = Instant::now();
             for _ in 0..iters {
                 black_box(routine());
@@ -125,6 +138,26 @@ impl Default for Settings {
             measurement_time: Duration::from_secs(1),
         }
     }
+}
+
+impl Settings {
+    /// The settings actually used: in fast mode (`EDF_BENCH_FAST`) the
+    /// configured budgets are clamped down so a smoke run stays cheap no
+    /// matter what the individual benches request.
+    fn effective(&self) -> Settings {
+        if !fast_mode() {
+            return self.clone();
+        }
+        Settings {
+            sample_size: self.sample_size.min(2),
+            warm_up_time: self.warm_up_time.min(Duration::from_millis(10)),
+            measurement_time: self.measurement_time.min(Duration::from_millis(40)),
+        }
+    }
+}
+
+fn fast_mode() -> bool {
+    std::env::var("EDF_BENCH_FAST").is_ok_and(|v| !v.is_empty() && v != "0")
 }
 
 /// A named collection of related benchmarks sharing timing settings.
@@ -212,6 +245,55 @@ fn report(group: &str, id: &BenchmarkId, bencher: &Bencher<'_>) {
         bencher.samples.len(),
         bencher.iters_per_sample,
     );
+    if let Ok(path) = std::env::var("EDF_BENCH_JSON") {
+        if !path.is_empty() {
+            append_json_record(&path, group, id, min, mean, max, bencher);
+        }
+    }
+}
+
+/// Appends one JSON object (on its own line) describing a finished
+/// benchmark to `path`; errors are reported to stderr but never fail the
+/// bench run.
+fn append_json_record(
+    path: &str,
+    group: &str,
+    id: &BenchmarkId,
+    min: Duration,
+    mean: Duration,
+    max: Duration,
+    bencher: &Bencher<'_>,
+) {
+    let record = format!(
+        "{{\"group\":\"{}\",\"id\":\"{}\",\"min_ns\":{},\"mean_ns\":{},\"max_ns\":{},\
+         \"samples\":{},\"iters_per_sample\":{}}}\n",
+        json_escape(group),
+        json_escape(&id.to_string()),
+        min.as_nanos(),
+        mean.as_nanos(),
+        max.as_nanos(),
+        bencher.samples.len(),
+        bencher.iters_per_sample,
+    );
+    let written = OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut file| file.write_all(record.as_bytes()));
+    if let Err(error) = written {
+        eprintln!("EDF_BENCH_JSON: cannot append to {path}: {error}");
+    }
+}
+
+fn json_escape(text: &str) -> String {
+    text.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if c.is_control() => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
 }
 
 fn fmt_duration(d: Duration) -> String {
@@ -290,7 +372,19 @@ mod tests {
     }
 
     #[test]
-    fn bench_runs_routine_and_reports() {
+    fn json_escape_handles_special_characters() {
+        assert_eq!(json_escape("plain/3"), "plain/3");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ny"), "x\\u000ay");
+    }
+
+    /// One test covers every bench-running scenario: the harness reads
+    /// `EDF_BENCH_FAST` / `EDF_BENCH_JSON` on every run, so the phase that
+    /// mutates the process environment must not execute concurrently with
+    /// any other benchmark-running test.
+    #[test]
+    fn bench_runs_report_clamp_and_append_json() {
+        // Phase 1 (environment untouched): the routine runs and reports.
         let mut c = Criterion::default();
         let mut group = c.benchmark_group("shim-self-test");
         group
@@ -306,5 +400,34 @@ mod tests {
         });
         group.finish();
         assert!(calls > 0);
+
+        // Phase 2: fast mode clamps oversized budgets and JSON records are
+        // appended to the artifact path.
+        let path =
+            std::env::temp_dir().join(format!("edf_bench_smoke_{}.jsonl", std::process::id()));
+        std::env::set_var("EDF_BENCH_FAST", "1");
+        std::env::set_var("EDF_BENCH_JSON", &path);
+
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim-json-test");
+        // Deliberately large budgets: fast mode must clamp them away.
+        group
+            .sample_size(50)
+            .measurement_time(Duration::from_secs(30));
+        group.bench_function("fast", |b| b.iter(|| 1 + 1));
+        group.finish();
+
+        std::env::remove_var("EDF_BENCH_FAST");
+        std::env::remove_var("EDF_BENCH_JSON");
+        let contents = std::fs::read_to_string(&path).expect("artifact written");
+        std::fs::remove_file(&path).ok();
+        let line = contents
+            .lines()
+            .find(|l| l.contains("shim-json-test"))
+            .expect("record for this benchmark");
+        assert!(line.contains("\"id\":\"fast\""));
+        assert!(line.contains("\"mean_ns\":"));
+        // The 50-sample request was clamped to the smoke budget.
+        assert!(line.contains("\"samples\":2"));
     }
 }

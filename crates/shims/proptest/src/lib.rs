@@ -1,10 +1,12 @@
 //! Offline stand-in for the subset of `proptest` 1.x used by this
-//! workspace: the [`proptest!`] macro, `prop_assert*`, a [`Strategy`]
-//! trait with `prop_map` / `prop_filter_map` / `prop_filter`, range and
+//! workspace: the [`proptest!`] macro, `prop_assert*`, a
+//! [`Strategy`](strategy::Strategy) trait with `prop_map` /
+//! `prop_filter_map` / `prop_filter`, range and
 //! tuple strategies, and `prop::collection::vec`.
 //!
 //! Semantics: each `proptest!` test runs its body for
-//! [`ProptestConfig::cases`] deterministically generated inputs (seeded
+//! [`ProptestConfig::cases`](test_runner::ProptestConfig::cases)
+//! deterministically generated inputs (seeded
 //! from the test name, so failures are reproducible).  Unlike the real
 //! crate there is **no shrinking** — a failing case panics with the
 //! sampled values left to the assertion message.
@@ -118,6 +120,7 @@ pub mod strategy {
     /// # Panics
     ///
     /// Panics if the strategy rejects [`MAX_REJECTS`] candidates in a row.
+    #[allow(rustdoc::private_intra_doc_links)]
     pub fn sample<S: Strategy>(strategy: &S, rng: &mut TestRng) -> S::Value {
         for _ in 0..MAX_REJECTS {
             if let Some(value) = strategy.new_value(rng) {
@@ -227,7 +230,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use rand::Rng;
 
-    /// Length specification for [`vec`] (mirrors `proptest::collection::SizeRange`).
+    /// Length specification for [`vec()`] (mirrors `proptest::collection::SizeRange`).
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         min: usize,

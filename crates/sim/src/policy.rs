@@ -6,7 +6,7 @@ use crate::job::Job;
 
 /// Preemptive uniprocessor scheduling policies supported by the simulator.
 ///
-/// EDF is optimal on a uniprocessor (Liu & Layland, ref. [12] of the
+/// EDF is optimal on a uniprocessor (Liu & Layland, ref. \[12\] of the
 /// paper): if any policy can schedule a task set, EDF can.  The
 /// fixed-priority policies are provided so examples and tests can
 /// demonstrate exactly that gap.
