@@ -49,6 +49,24 @@ pub fn acceptance_fixture(percent: u32, count: usize) -> Vec<TaskSet> {
         .generate_many(count)
 }
 
+/// Task sets for the WCET-slack sensitivity benchmark: ratio-10 periods
+/// at a moderate fixed utilization (the robustness-budgeting regime —
+/// probing a heavily loaded set is dominated by the exact test itself,
+/// see the `sensitivity` bench).
+#[must_use]
+pub fn slack_fixture(percent: u32, count: usize) -> Vec<TaskSet> {
+    TaskSetConfig::new()
+        .task_count(5..=50)
+        .fixed_utilization(f64::from(percent) / 100.0)
+        .average_gap(0.3)
+        .periods(PeriodDistribution::RatioControlled {
+            min: 100,
+            ratio: 10,
+        })
+        .seed(7_000 + u64::from(percent))
+        .generate_many(count)
+}
+
 /// Bursty event-stream workloads for the model-zoo benchmark: `count`
 /// tasks, each a 3-event burst with task-dependent spacing and cost.
 #[must_use]

@@ -220,6 +220,14 @@ pub trait FeasibilityTest {
     fn analyze_workload(&self, workload: &dyn Workload) -> Analysis {
         self.analyze_prepared(&PreparedWorkload::new(workload))
     }
+
+    /// Runs the test on the current probe of an incremental
+    /// [`ScaledView`](crate::incremental::ScaledView) — the entry point of
+    /// the sensitivity search loops, equivalent to
+    /// [`FeasibilityTest::analyze_prepared`] on the view's prepared state.
+    fn analyze_view(&self, view: &crate::incremental::ScaledView<'_>) -> Analysis {
+        self.analyze_prepared(view.prepared())
+    }
 }
 
 /// Mutable counter for the effort metric, shared by the test

@@ -355,13 +355,31 @@ impl FracSum {
 /// ```
 #[must_use]
 pub fn fracs_le_integer(terms: &[(u128, u128)], bound: u128) -> bool {
+    fracs_le_integer_iter(terms.iter().copied(), bound)
+}
+
+/// Iterator form of [`fracs_le_integer`]: decides `Σ numᵢ/denᵢ ≤ bound`
+/// without materializing the terms in a slice first (and without any heap
+/// allocation), which is what the hot bound-refresh paths of
+/// [`crate::bounds`] rely on — a feasibility-bound binary search evaluates
+/// this comparison dozens of times per probe.  The iterator must be
+/// `Clone`: the exact rational accumulation over the remainders is only
+/// performed (on a second pass) when the first pass cannot already decide
+/// the comparison from the integer parts alone.
+///
+/// # Panics
+///
+/// Panics if any denominator is zero.
+#[must_use]
+pub fn fracs_le_integer_iter(
+    terms: impl Iterator<Item = (u128, u128)> + Clone,
+    bound: u128,
+) -> bool {
     let mut integer_total: u128 = 0;
-    let mut remainders: Vec<(u128, u128)> = Vec::new();
-    for &(num, den) in terms {
+    let mut remainder_count: u128 = 0;
+    for (num, den) in terms.clone() {
         assert!(den != 0, "fraction denominator must be positive");
-        let q = num / den;
-        let r = num % den;
-        match integer_total.checked_add(q) {
+        match integer_total.checked_add(num / den) {
             Some(total) => integer_total = total,
             // Astronomically large sum: certainly exceeds any realistic bound.
             None => return false,
@@ -369,21 +387,23 @@ pub fn fracs_le_integer(terms: &[(u128, u128)], bound: u128) -> bool {
         if integer_total > bound {
             return false;
         }
-        if r != 0 {
-            remainders.push((r, den));
+        if num % den != 0 {
+            remainder_count += 1;
         }
     }
     let slack = bound - integer_total;
-    if remainders.is_empty() {
-        return true;
-    }
-    // Each remainder is strictly below 1, so the sum is below the count.
-    if slack >= remainders.len() as u128 {
+    // Each remainder is strictly below 1, so the sum is below the count and
+    // the exact accumulated comparison is only needed when the slack is
+    // smaller than that.
+    if slack >= remainder_count {
         return true;
     }
     let mut sum = FracSum::new();
-    for (r, den) in &remainders {
-        sum.add(*r, *den);
+    for (num, den) in terms {
+        let r = num % den;
+        if r != 0 {
+            sum.add(r, den);
+        }
     }
     match sum.cmp_integer(slack) {
         BoundCheck::WithinBound => true,

@@ -15,7 +15,9 @@
 //!
 //! [`analyze_many`] combines both; [`analyze_many_serial`] is the
 //! single-threaded reference (used by the benchmarks to measure the
-//! speedup).
+//! speedup).  The same fan-out serves the sensitivity searches:
+//! [`crate::sensitivity::sensitivity_sweep`] runs breakdown-scaling and
+//! WCET-slack searches over a workload batch through [`parallel_map`].
 //!
 //! # Examples
 //!

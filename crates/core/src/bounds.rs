@@ -30,6 +30,15 @@
 //! All bounds are rounded **up** to the next integer so that using them as
 //! a search horizon can never cut off a violating deadline.
 //!
+//! For search loops that re-derive the bounds of the *same* workload under
+//! WCET perturbations (breakdown scaling, slack probing — see
+//! [`crate::sensitivity`]), [`BoundRefresher`] caches the scale-invariant
+//! half of the computation (the hyperperiod bound is WCET-free; Baruah's
+//! `max(T − D)` aggregate, George's degeneracy and the applicability flags
+//! are structural) and seeds the remaining binary searches with the
+//! previous probe's results, while staying bit-identical to the cold
+//! [`FeasibilityBounds::for_components`] computation.
+//!
 //! # Examples
 //!
 //! ```
@@ -83,6 +92,17 @@ impl FeasibilityBounds {
     /// Computes every bound for an arbitrary component decomposition.
     #[must_use]
     pub fn for_components(components: &[DemandComponent]) -> Self {
+        BoundRefresher::new(components).refresh(components)
+    }
+
+    /// [`FeasibilityBounds::for_components`] without the estimate-seeded
+    /// searches: every bound is derived by the plain cold binary search of
+    /// its standalone function (the pre-refresher behaviour).  Produces
+    /// identical values — kept as the from-scratch baseline the
+    /// `sensitivity` benchmark (and [`crate::sensitivity::reference`])
+    /// measures the incremental engine against.
+    #[must_use]
+    pub fn for_components_cold(components: &[DemandComponent]) -> Self {
         FeasibilityBounds {
             baruah: baruah_components(components),
             george: george_components(components),
@@ -110,13 +130,298 @@ impl FeasibilityBounds {
     }
 }
 
+/// The scale-invariant half of the §4.3 bound computation, cached once so a
+/// sensitivity search can re-derive the bounds of a WCET-perturbed
+/// component list in (near) linear time instead of from cold.
+///
+/// Under any pure WCET change (uniform breakdown scaling, a single-component
+/// slack probe) the periods, deadlines and offsets of a workload do not
+/// move, and with them a surprising amount of the bound machinery is fixed:
+/// the hyperperiod bound is WCET-free, Baruah's `max(Tᵢ − Dᵢ)` aggregate,
+/// George's degeneracy test and the `Dmax` term of the superposition bound
+/// depend only on the timing parameters, and the applicability of the busy
+/// period argument is structural.  [`BoundRefresher::new`] computes all of
+/// that once; [`BoundRefresher::refresh`] then rebuilds a full
+/// [`FeasibilityBounds`] for a re-costed component list, seeding the two
+/// remaining binary searches with the previous probe's results (galloping
+/// brackets), so consecutive probes of a search loop typically pay a
+/// handful of predicate evaluations instead of the cold 62-step searches.
+///
+/// `refresh` is **exact**: for every component list it returns bit-identical
+/// values to [`FeasibilityBounds::for_components`] (which is, in fact,
+/// implemented on top of it).  The contract is that the refreshed list
+/// differs from the one given to `new` only in the component WCETs.
+///
+/// # Examples
+///
+/// ```
+/// use edf_analysis::bounds::{BoundRefresher, FeasibilityBounds};
+/// use edf_analysis::workload::Workload;
+/// use edf_model::{Task, TaskSet, Time};
+///
+/// # fn main() -> Result<(), edf_model::TaskError> {
+/// let ts = TaskSet::from_tasks(vec![
+///     Task::new(Time::new(2), Time::new(4), Time::new(10))?,
+///     Task::new(Time::new(3), Time::new(6), Time::new(15))?,
+/// ]);
+/// let components = ts.demand_components();
+/// let mut refresher = BoundRefresher::new(&components);
+/// assert_eq!(
+///     refresher.refresh(&components),
+///     FeasibilityBounds::for_components(&components)
+/// );
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct BoundRefresher {
+    component_count: usize,
+    /// Baruah's `max(Tᵢ − Dᵢ)`; `None` when the bound is structurally
+    /// inapplicable (empty list, one-shot component, or zero difference).
+    baruah_max_diff: Option<Time>,
+    /// `true` when every component is periodic with `D′ ≥ T` (the George
+    /// bound then degenerates to the smallest deadline).
+    george_degenerate: bool,
+    min_first_deadline: Option<Time>,
+    max_first_deadline: Option<Time>,
+    /// The synchronous busy-period argument applies: non-empty, purely
+    /// periodic, all released at the window start.
+    busy_applicable: bool,
+    /// The hyperperiod bound is WCET-free, hence computed exactly once.
+    hyperperiod: Option<Time>,
+    baruah_hint: Option<Time>,
+    george_hint: Option<Time>,
+}
+
+impl BoundRefresher {
+    /// Captures the scale-invariant aggregates of `components`.
+    #[must_use]
+    pub fn new(components: &[DemandComponent]) -> Self {
+        let any_one_shot = components.iter().any(|c| c.period().is_none());
+        let baruah_max_diff = if components.is_empty() || any_one_shot {
+            None
+        } else {
+            let max_diff = components.iter().fold(Time::ZERO, |acc, c| {
+                acc.max(
+                    c.period()
+                        .expect("checked periodic above")
+                        .saturating_sub(c.first_deadline()),
+                )
+            });
+            (!max_diff.is_zero()).then_some(max_diff)
+        };
+        let george_degenerate = components.iter().all(|c| match c.period() {
+            Some(period) => c.first_deadline() >= period,
+            None => false,
+        });
+        BoundRefresher {
+            component_count: components.len(),
+            baruah_max_diff,
+            george_degenerate,
+            min_first_deadline: components.iter().map(DemandComponent::first_deadline).min(),
+            max_first_deadline: components.iter().map(DemandComponent::first_deadline).max(),
+            busy_applicable: !components.is_empty()
+                && !components
+                    .iter()
+                    .any(|c| c.period().is_none() || !c.release_offset().is_zero()),
+            hyperperiod: hyperperiod_components(components),
+            baruah_hint: None,
+            george_hint: None,
+        }
+    }
+
+    /// Recomputes every bound for a WCET-perturbed copy of the component
+    /// list given to [`BoundRefresher::new`]; equal to
+    /// [`FeasibilityBounds::for_components`] on the same list.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug assertions) when the component count differs from the
+    /// list the refresher was built from.
+    #[must_use]
+    pub fn refresh(&mut self, components: &[DemandComponent]) -> FeasibilityBounds {
+        self.refresh_with_utilization(components, components_exceed_one(components))
+    }
+
+    /// [`BoundRefresher::refresh`] for callers that already know whether
+    /// the (exact) utilization exceeds one, sparing the rational check.
+    pub(crate) fn refresh_with_utilization(
+        &mut self,
+        components: &[DemandComponent],
+        exceeds_one: bool,
+    ) -> FeasibilityBounds {
+        debug_assert!(
+            self.invariants_match(components),
+            "refreshed component list must differ from the prepared one only in WCETs"
+        );
+        let utilization_bounds_apply = !components.is_empty() && !exceeds_one;
+        let baruah = if utilization_bounds_apply {
+            self.refresh_baruah(components)
+        } else {
+            None
+        };
+        let george = if utilization_bounds_apply {
+            self.refresh_george(components)
+        } else {
+            None
+        };
+        let superposition = match (george, self.max_first_deadline) {
+            (Some(g), Some(dmax)) => Some(g.max(dmax)),
+            _ => None,
+        };
+        FeasibilityBounds {
+            baruah,
+            george,
+            busy_period: if self.busy_applicable {
+                busy_period_fixpoint(components)
+            } else {
+                None
+            },
+            hyperperiod: self.hyperperiod,
+            superposition,
+        }
+    }
+
+    /// Debug-build contract check: re-derives every cached aggregate and
+    /// compares, catching callers that changed timing parameters (periods,
+    /// deadlines, offsets) between `new` and `refresh` — a violation that
+    /// would otherwise yield silently wrong bounds.
+    #[cfg(debug_assertions)]
+    fn invariants_match(&self, components: &[DemandComponent]) -> bool {
+        let fresh = BoundRefresher::new(components);
+        fresh.component_count == self.component_count
+            && fresh.baruah_max_diff == self.baruah_max_diff
+            && fresh.george_degenerate == self.george_degenerate
+            && fresh.min_first_deadline == self.min_first_deadline
+            && fresh.max_first_deadline == self.max_first_deadline
+            && fresh.busy_applicable == self.busy_applicable
+            && fresh.hyperperiod == self.hyperperiod
+    }
+
+    fn refresh_baruah(&mut self, components: &[DemandComponent]) -> Option<Time> {
+        let max_diff = self.baruah_max_diff?;
+        // Floating-point prediction of `U/(1−U)·max_diff` as the search
+        // seed: the galloping bracket makes the result exact no matter how
+        // far off the estimate is, but an estimate within a few ulps turns
+        // the search into a handful of predicate evaluations.
+        let utilization: f64 = components.iter().map(DemandComponent::utilization).sum();
+        let estimate = utilization / (1.0 - utilization) * max_diff.as_f64();
+        let hint = hint_from_estimate(estimate).or(self.baruah_hint);
+        let result =
+            smallest_satisfying_hinted(|l| baruah_predicate(components, max_diff, l), hint);
+        if result.is_some() {
+            self.baruah_hint = result;
+        }
+        result
+    }
+
+    fn refresh_george(&mut self, components: &[DemandComponent]) -> Option<Time> {
+        if self.george_degenerate {
+            // The numerator is zero: any positive horizon works; report the
+            // smallest deadline so the caller has a non-trivial bound.
+            return self.min_first_deadline;
+        }
+        // Floating-point prediction of `Σ(1 − Dᵢ/Tᵢ)·Cᵢ/(1−U)` as the
+        // search seed (see `refresh_baruah` for why this stays exact).
+        let mut numerator = 0.0f64;
+        let mut utilization = 0.0f64;
+        for c in components {
+            match c.period() {
+                Some(period) => {
+                    let period = period.as_f64();
+                    let slack = period - c.first_deadline().as_f64();
+                    utilization += c.wcet().as_f64() / period;
+                    if slack > 0.0 {
+                        numerator += c.wcet().as_f64() * slack / period;
+                    }
+                }
+                None => numerator += c.wcet().as_f64(),
+            }
+        }
+        let hint = hint_from_estimate(numerator / (1.0 - utilization)).or(self.george_hint);
+        let result = smallest_satisfying_hinted(|l| george_predicate(components, l), hint);
+        if result.is_some() {
+            self.george_hint = result;
+        }
+        result
+    }
+}
+
+/// Converts a floating-point bound estimate into a search hint; `None`
+/// when the estimate is useless (non-finite or outside the search range,
+/// e.g. because `U ≥ 1` crept into the prediction).
+fn hint_from_estimate(estimate: f64) -> Option<Time> {
+    if estimate.is_finite() && (1.0..=BOUND_SEARCH_CAP as f64).contains(&estimate) {
+        Some(Time::new(estimate.ceil() as u64))
+    } else {
+        None
+    }
+}
+
+/// The Baruah bound's defining inequality
+/// `Σ Cᵢ·(L + max(Tⱼ − Dⱼ))/Tᵢ ≤ L`, evaluated exactly and without
+/// allocation.
+fn baruah_predicate(components: &[DemandComponent], max_diff: Time, l: u64) -> bool {
+    crate::arith::fracs_le_integer_iter(
+        components.iter().map(|c| {
+            (
+                c.wcet().as_u128() * (u128::from(l) + max_diff.as_u128()),
+                c.period()
+                    .expect("Baruah applies to purely periodic workloads")
+                    .as_u128(),
+            )
+        }),
+        u128::from(l),
+    )
+}
+
+/// The George bound's defining inequality
+/// `Σᵢ Cᵢ·(L + slackᵢ)/Tᵢ + Σ_oneshot Cᵢ ≤ L`, evaluated exactly and
+/// without allocation.
+fn george_predicate(components: &[DemandComponent], l: u64) -> bool {
+    crate::arith::fracs_le_integer_iter(
+        components.iter().map(|c| match c.period() {
+            Some(period) => {
+                let slack = period.saturating_sub(c.first_deadline()).as_u128();
+                (
+                    c.wcet().as_u128() * (u128::from(l) + slack),
+                    period.as_u128(),
+                )
+            }
+            None => (c.wcet().as_u128(), 1),
+        }),
+        u128::from(l),
+    )
+}
+
+/// The busy-period fix-point iteration, shared by the cold and refreshed
+/// paths (applicability is checked by the callers).
+fn busy_period_fixpoint(components: &[DemandComponent]) -> Option<Time> {
+    let mut length = components
+        .iter()
+        .fold(Time::ZERO, |acc, c| acc.saturating_add(c.wcet()));
+    for _ in 0..BUSY_PERIOD_MAX_ITERATIONS {
+        let next = components
+            .iter()
+            .fold(Time::ZERO, |acc, c| acc.saturating_add(c.rbf(length)));
+        if next == length {
+            return Some(length);
+        }
+        if next == Time::MAX {
+            return None;
+        }
+        length = next;
+    }
+    None
+}
+
 /// Upper limit of the bound binary searches (far beyond any realistic
 /// feasibility bound; reaching it means the bound is undefined, e.g. U = 1).
 const BOUND_SEARCH_CAP: u64 = 1 << 62;
 
 /// Smallest `L ≥ 1` satisfying the monotone predicate, or `None` if even
 /// `BOUND_SEARCH_CAP` does not satisfy it.
-fn smallest_satisfying(predicate: impl Fn(u64) -> bool) -> Option<Time> {
+fn smallest_satisfying(mut predicate: impl FnMut(u64) -> bool) -> Option<Time> {
     if !predicate(BOUND_SEARCH_CAP) {
         return None;
     }
@@ -130,6 +435,71 @@ fn smallest_satisfying(predicate: impl Fn(u64) -> bool) -> Option<Time> {
         }
     }
     Some(Time::new(lo))
+}
+
+/// [`smallest_satisfying`] seeded with a hint (typically the result of the
+/// same search on a slightly perturbed workload): a bracket around the
+/// answer is found by galloping out from the hint, so a hint close to the
+/// answer replaces the 62-step cold binary search with a handful of
+/// predicate evaluations.  Returns the same value as
+/// [`smallest_satisfying`] for every monotone predicate.
+fn smallest_satisfying_hinted(
+    mut predicate: impl FnMut(u64) -> bool,
+    hint: Option<Time>,
+) -> Option<Time> {
+    let Some(hint) = hint else {
+        return smallest_satisfying(predicate);
+    };
+    let hint = hint.as_u64().clamp(1, BOUND_SEARCH_CAP);
+    let (lo, hi) = if predicate(hint) {
+        // The answer is in [1, hint]: gallop downward for an excluded point.
+        let mut hi = hint;
+        let mut lo = 0u64;
+        let mut width = 1u64;
+        loop {
+            let candidate = hint.saturating_sub(width).max(1);
+            if candidate >= hi {
+                break;
+            }
+            if predicate(candidate) {
+                hi = candidate;
+                width = width.saturating_mul(2);
+            } else {
+                lo = candidate;
+                break;
+            }
+        }
+        (lo, hi)
+    } else {
+        // The answer is above the hint: gallop upward for a satisfying one.
+        let mut lo = hint;
+        let mut width = 1u64;
+        let hi = loop {
+            let candidate = hint.saturating_add(width).min(BOUND_SEARCH_CAP);
+            if candidate <= lo {
+                return None; // saturated at the cap without satisfying
+            }
+            if predicate(candidate) {
+                break candidate;
+            }
+            if candidate == BOUND_SEARCH_CAP {
+                return None;
+            }
+            lo = candidate;
+            width = width.saturating_mul(2);
+        };
+        (lo, hi)
+    };
+    let (mut lo, mut hi) = (lo, hi);
+    while lo + 1 < hi {
+        let mid = lo + (hi - lo) / 2;
+        if predicate(mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Some(Time::new(hi))
 }
 
 /// Baruah et al. feasibility bound `U/(1−U) · max(Tᵢ − Dᵢ)` (Def. 3),
@@ -167,18 +537,7 @@ pub fn baruah_components(components: &[DemandComponent]) -> Option<Time> {
     if max_diff.is_zero() {
         return None;
     }
-    smallest_satisfying(|l| {
-        let terms: Vec<(u128, u128)> = components
-            .iter()
-            .map(|c| {
-                (
-                    c.wcet().as_u128() * (u128::from(l) + max_diff.as_u128()),
-                    c.period().expect("checked periodic above").as_u128(),
-                )
-            })
-            .collect();
-        crate::arith::fracs_le_integer(&terms, u128::from(l))
-    })
+    smallest_satisfying(|l| baruah_predicate(components, max_diff, l))
 }
 
 /// George et al. feasibility bound `Σ_{Dᵢ≤Tᵢ} (1 − Dᵢ/Tᵢ)·Cᵢ / (1 − U)`,
@@ -211,22 +570,7 @@ pub fn george_components(components: &[DemandComponent]) -> Option<Time> {
         // smallest deadline so the caller has a non-trivial bound.
         return components.iter().map(DemandComponent::first_deadline).min();
     }
-    smallest_satisfying(|l| {
-        let terms: Vec<(u128, u128)> = components
-            .iter()
-            .map(|c| match c.period() {
-                Some(period) => {
-                    let slack = period.saturating_sub(c.first_deadline()).as_u128();
-                    (
-                        c.wcet().as_u128() * (u128::from(l) + slack),
-                        period.as_u128(),
-                    )
-                }
-                None => (c.wcet().as_u128(), 1),
-            })
-            .collect();
-        crate::arith::fracs_le_integer(&terms, u128::from(l))
-    })
+    smallest_satisfying(|l| george_predicate(components, l))
 }
 
 /// Length of the synchronous processor busy period: the smallest fix-point
@@ -253,22 +597,7 @@ pub fn busy_period_components(components: &[DemandComponent]) -> Option<Time> {
     {
         return None;
     }
-    let mut length = components
-        .iter()
-        .fold(Time::ZERO, |acc, c| acc.saturating_add(c.wcet()));
-    for _ in 0..BUSY_PERIOD_MAX_ITERATIONS {
-        let next = components
-            .iter()
-            .fold(Time::ZERO, |acc, c| acc.saturating_add(c.rbf(length)));
-        if next == length {
-            return Some(length);
-        }
-        if next == Time::MAX {
-            return None;
-        }
-        length = next;
-    }
-    None
+    busy_period_fixpoint(components)
 }
 
 /// `lcm(Tᵢ) + max Dᵢ`: a bound that is always valid (violations of the
@@ -522,6 +851,119 @@ mod tests {
         assert_eq!(hyper, Time::new(100 + 30));
         for i in george.as_u64()..george.as_u64() + 200 {
             assert!(prepared.dbf(Time::new(i)) <= Time::new(i));
+        }
+    }
+
+    #[test]
+    fn cold_and_seeded_bound_computations_agree() {
+        let base = constrained_set().demand_components();
+        for (numer, denom) in [(1u64, 1u64), (2, 1), (1, 2), (3, 1), (1, 10)] {
+            let scaled: Vec<DemandComponent> = base
+                .iter()
+                .map(|c| {
+                    let mut c = *c;
+                    c.set_wcet(c.scaled_wcet(numer, denom));
+                    c
+                })
+                .collect();
+            assert_eq!(
+                FeasibilityBounds::for_components(&scaled),
+                FeasibilityBounds::for_components_cold(&scaled),
+                "scaling {numer}/{denom}"
+            );
+        }
+        let mixed = vec![
+            DemandComponent::periodic(Time::new(1), Time::new(4), Time::new(10)),
+            DemandComponent::one_shot(Time::new(2), Time::new(5), Time::ZERO),
+        ];
+        assert_eq!(
+            FeasibilityBounds::for_components(&mixed),
+            FeasibilityBounds::for_components_cold(&mixed)
+        );
+    }
+
+    #[test]
+    fn hinted_search_matches_cold_search_for_monotone_predicates() {
+        for threshold in [1u64, 2, 3, 10, 57, 1_000, 1 << 40, BOUND_SEARCH_CAP] {
+            let pred = |l: u64| l >= threshold;
+            let cold = smallest_satisfying(pred);
+            assert_eq!(cold, Some(Time::new(threshold)));
+            assert_eq!(smallest_satisfying_hinted(pred, None), cold);
+            for hint in [
+                1u64,
+                2,
+                threshold.saturating_sub(7).max(1),
+                threshold.saturating_sub(1).max(1),
+                threshold,
+                threshold.saturating_add(1),
+                threshold.saturating_add(123),
+                1 << 45,
+                BOUND_SEARCH_CAP,
+            ] {
+                assert_eq!(
+                    smallest_satisfying_hinted(pred, Some(Time::new(hint))),
+                    cold,
+                    "threshold {threshold}, hint {hint}"
+                );
+            }
+        }
+        // Unsatisfiable predicate: both searches report None.
+        let never = |_: u64| false;
+        assert_eq!(smallest_satisfying(never), None);
+        for hint in [1u64, 100, BOUND_SEARCH_CAP] {
+            assert_eq!(
+                smallest_satisfying_hinted(never, Some(Time::new(hint))),
+                None
+            );
+        }
+    }
+
+    #[test]
+    fn refresher_matches_cold_bounds_across_wcet_perturbations() {
+        let base = constrained_set().demand_components();
+        let mut refresher = BoundRefresher::new(&base);
+        // A sequence of perturbations, including overload (U > 1), reusing
+        // one refresher so the hint paths are exercised.
+        let scalings: [(u64, u64); 7] = [(1, 1), (2, 1), (1, 2), (3, 1), (7, 2), (1, 10), (1, 1)];
+        for (numer, denom) in scalings {
+            let scaled: Vec<DemandComponent> = base
+                .iter()
+                .map(|c| {
+                    let mut c = *c;
+                    c.set_wcet(c.scaled_wcet(numer, denom));
+                    c
+                })
+                .collect();
+            assert_eq!(
+                refresher.refresh(&scaled),
+                FeasibilityBounds::for_components(&scaled),
+                "scaling {numer}/{denom}"
+            );
+        }
+        // Single-component probes (the wcet_slack pattern).
+        for extra in [0u64, 1, 3, 5, 30] {
+            let mut perturbed = base.clone();
+            let inflated = perturbed[1].wcet() + Time::new(extra);
+            perturbed[1].set_wcet(inflated);
+            assert_eq!(
+                refresher.refresh(&perturbed),
+                FeasibilityBounds::for_components(&perturbed),
+                "extra {extra}"
+            );
+        }
+        // Mixed periodic/one-shot workloads go through the refresher too.
+        let mixed = vec![
+            DemandComponent::periodic(Time::new(1), Time::new(4), Time::new(10)),
+            DemandComponent::one_shot(Time::new(2), Time::new(5), Time::ZERO),
+        ];
+        let mut refresher = BoundRefresher::new(&mixed);
+        for wcet in [1u64, 2, 4, 9] {
+            let mut perturbed = mixed.clone();
+            perturbed[0].set_wcet(Time::new(wcet));
+            assert_eq!(
+                refresher.refresh(&perturbed),
+                FeasibilityBounds::for_components(&perturbed)
+            );
         }
     }
 

@@ -1,0 +1,287 @@
+//! Incremental re-analysis: scale-aware prepared-workload views.
+//!
+//! The point of the paper is an exact feasibility test cheap enough to run
+//! *inside a search loop* — and a search loop perturbs one workload over
+//! and over, changing nothing but the execution costs.  Re-running
+//! [`PreparedWorkload::new`] (or
+//! [`PreparedWorkload::with_scaled_wcets`]) per probe therefore throws
+//! away state that is valid for every probe:
+//!
+//! * the **component vector layout** — probes rewrite the cost column in
+//!   place instead of reallocating;
+//! * the **deadline order** — periods, deadlines and offsets do not move
+//!   under WCET changes, so the sorted order computed once for the base
+//!   workload is seeded into the view and shared by every probe;
+//! * the **scale-invariant half of the §4.3 feasibility bounds** — the
+//!   hyperperiod bound is WCET-free and the structural aggregates of the
+//!   Baruah/George/busy-period bounds are fixed, so a
+//!   [`BoundRefresher`] re-derives the bounds from cached aggregates and
+//!   hint-seeded searches instead of from cold (see [`crate::bounds`]).
+//!
+//! [`ScaledView`] packages all three behind two probe operations:
+//! [`ScaledView::scale_wcets`] (uniform scaling — breakdown searches) and
+//! [`ScaledView::with_component_wcet`] (a single perturbed component —
+//! slack searches).  Every probe returns an ordinary
+//! [`&PreparedWorkload`](PreparedWorkload) whose observable state is
+//! **bit-identical** to a from-scratch preparation of the same scaled
+//! components, so every [`FeasibilityTest`](crate::FeasibilityTest) —
+//! and any future consumer of prepared workloads — runs on a view
+//! unchanged.  [`crate::sensitivity`] is built on top of this module.
+//!
+//! # Examples
+//!
+//! ```
+//! use edf_analysis::incremental::ScaledView;
+//! use edf_analysis::tests::AllApproximatedTest;
+//! use edf_analysis::workload::PreparedWorkload;
+//! use edf_analysis::FeasibilityTest;
+//! use edf_model::{Task, TaskSet, Time};
+//!
+//! # fn main() -> Result<(), edf_model::TaskError> {
+//! let ts = TaskSet::from_tasks(vec![
+//!     Task::new(Time::new(2), Time::new(7), Time::new(10))?,
+//!     Task::new(Time::new(3), Time::new(9), Time::new(25))?,
+//! ]);
+//! let base = PreparedWorkload::new(&ts);
+//! let mut view = ScaledView::new(&base);
+//! let test = AllApproximatedTest::new();
+//! // Probe a range of uniform scalings without re-preparing anything.
+//! for numer in [500u64, 1_000, 2_000, 3_000] {
+//!     let scaled = view.scale_wcets(numer, 1_000);
+//!     let _ = test.analyze_prepared(scaled);
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+use edf_model::Time;
+
+use crate::bounds::BoundRefresher;
+use crate::workload::{components_exceed_one, DemandComponent, PreparedWorkload};
+
+/// A re-costable view of a [`PreparedWorkload`]: one scratch preparation,
+/// rewritten in place per probe, sharing everything that is invariant
+/// under WCET changes with the base workload.
+///
+/// See the [module documentation](self) for what is shared and why; see
+/// [`ScaledView::scale_wcets`] / [`ScaledView::with_component_wcet`] for
+/// the probe operations.
+#[derive(Debug)]
+pub struct ScaledView<'a> {
+    base: &'a PreparedWorkload,
+    scratch: PreparedWorkload,
+    refresher: BoundRefresher,
+}
+
+impl<'a> ScaledView<'a> {
+    /// Creates a view over `base`.  The scratch preparation starts as an
+    /// identical copy; the deadline order is computed once (on the base,
+    /// where it is cached for other users too) and shared.
+    #[must_use]
+    pub fn new(base: &'a PreparedWorkload) -> Self {
+        let mut scratch = PreparedWorkload::from_parts(
+            base.components().to_vec(),
+            base.task_count(),
+            base.demand_is_exact(),
+            base.utilization_is_exact(),
+        );
+        scratch.seed_deadline_order(base.deadline_order().to_vec());
+        ScaledView {
+            refresher: BoundRefresher::new(base.components()),
+            base,
+            scratch,
+        }
+    }
+
+    /// The base workload the view scales.
+    #[must_use]
+    pub fn base(&self) -> &PreparedWorkload {
+        self.base
+    }
+
+    /// The prepared state of the most recent probe (initially an identical
+    /// copy of the base).
+    #[must_use]
+    pub fn prepared(&self) -> &PreparedWorkload {
+        &self.scratch
+    }
+
+    /// Probes a uniform scaling: every **base** cost is scaled by
+    /// `numer/denom` (semantics of [`DemandComponent::scaled_wcet`] —
+    /// successive probes do not compound).  Returns the refreshed prepared
+    /// workload, observably identical to
+    /// `base.with_scaled_wcets(numer, denom)` but without re-preparation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `denom` is zero.
+    pub fn scale_wcets(&mut self, numer: u64, denom: u64) -> &PreparedWorkload {
+        assert!(denom > 0, "scaling denominator must be positive");
+        for (index, component) in self.base.components().iter().enumerate() {
+            self.scratch
+                .set_wcet_at(index, component.scaled_wcet(numer, denom));
+        }
+        self.refresh()
+    }
+
+    /// Probes a single-component perturbation: every component keeps its
+    /// **base** cost except `index`, which is set to `wcet` (clamped to
+    /// the component's period, mirroring [`DemandComponent::scaled_wcet`];
+    /// probes do not compound).  This is the `wcet_slack` workhorse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn with_component_wcet(&mut self, index: usize, wcet: Time) -> &PreparedWorkload {
+        let components = self.base.components();
+        assert!(index < components.len(), "component index out of range");
+        for (i, component) in components.iter().enumerate() {
+            self.scratch.set_wcet_at(i, component.wcet());
+        }
+        self.scratch
+            .set_wcet_at(index, components[index].clamp_wcet(wcet));
+        self.refresh()
+    }
+
+    /// Recomputes the cost-dependent aggregates of the scratch workload in
+    /// one linear pass plus the hint-seeded bound refresh.  When the probe
+    /// pushes the utilization above one the bounds are skipped entirely
+    /// (no test reads them behind the trivial `U > 1` rejection) and left
+    /// to the lazy cold path should anyone ask.
+    fn refresh(&mut self) -> &PreparedWorkload {
+        let components = self.scratch.components();
+        let utilization = components.iter().map(DemandComponent::utilization).sum();
+        let exceeds_one = components_exceed_one(components);
+        let bounds = if exceeds_one {
+            None
+        } else {
+            Some(self.refresher.refresh_with_utilization(components, false))
+        };
+        self.scratch
+            .install_refreshed_state(utilization, exceeds_one, bounds);
+        &self.scratch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::{AllApproximatedTest, ProcessorDemandTest, QpaTest};
+    use crate::workload::MixedSystem;
+    use crate::FeasibilityTest;
+    use edf_model::{EventStream, EventStreamTask, Task, TaskSet};
+
+    fn t(c: u64, d: u64, p: u64) -> Task {
+        Task::from_ticks(c, d, p).expect("valid task")
+    }
+
+    fn sample_system() -> MixedSystem {
+        MixedSystem::new(
+            TaskSet::from_tasks(vec![t(1, 2, 10), t(2, 3, 10), t(5, 9, 10)]),
+            vec![EventStreamTask::new(
+                EventStream::bursty(2, Time::new(4), Time::new(60)),
+                Time::new(1),
+                Time::new(12),
+            )
+            .expect("valid stream task")],
+        )
+    }
+
+    /// Full observable-state comparison between a view probe and a cold
+    /// re-preparation.
+    fn assert_matches_cold(view: &PreparedWorkload, cold: &PreparedWorkload) {
+        assert_eq!(view.components(), cold.components());
+        assert_eq!(view.task_count(), cold.task_count());
+        assert_eq!(view.utilization().to_bits(), cold.utilization().to_bits());
+        assert_eq!(
+            view.utilization_exceeds_one(),
+            cold.utilization_exceeds_one()
+        );
+        assert_eq!(view.demand_is_exact(), cold.demand_is_exact());
+        assert_eq!(view.utilization_is_exact(), cold.utilization_is_exact());
+        assert_eq!(view.bounds(), cold.bounds());
+        assert_eq!(view.deadline_order(), cold.deadline_order());
+        for test in [
+            Box::new(ProcessorDemandTest::new()) as Box<dyn FeasibilityTest>,
+            Box::new(QpaTest::new()),
+            Box::new(AllApproximatedTest::new()),
+        ] {
+            assert_eq!(
+                test.analyze_prepared(view),
+                test.analyze_prepared(cold),
+                "{} diverges between view and cold preparation",
+                test.name()
+            );
+        }
+    }
+
+    #[test]
+    fn scaling_probes_match_cold_preparation() {
+        let system = sample_system();
+        let base = PreparedWorkload::new(&system);
+        let mut view = ScaledView::new(&base);
+        // Includes overload scalings (bounds skipped) sandwiched between
+        // feasible ones, so stale-bound leakage would be caught.
+        for numer in [1_000u64, 500, 2_000, 1_250, 0, 1_000, 4_000, 900] {
+            let probed = view.scale_wcets(numer, 1_000);
+            let cold = base.with_scaled_wcets(numer, 1_000);
+            assert_matches_cold(probed, &cold);
+        }
+    }
+
+    #[test]
+    fn component_probes_match_cold_preparation() {
+        let base = PreparedWorkload::new(&sample_system());
+        let mut view = ScaledView::new(&base);
+        for index in 0..base.components().len() {
+            for wcet in [0u64, 1, 3, 7, 100] {
+                let probed = view.with_component_wcet(index, Time::new(wcet));
+                let mut components = base.components().to_vec();
+                let clamped = match components[index].period() {
+                    Some(period) => Time::new(wcet).min(period),
+                    None => Time::new(wcet),
+                };
+                components[index].set_wcet(clamped);
+                let cold = PreparedWorkload::from_parts(
+                    components,
+                    base.task_count(),
+                    base.demand_is_exact(),
+                    base.utilization_is_exact(),
+                );
+                assert_matches_cold(probed, &cold);
+            }
+        }
+    }
+
+    #[test]
+    fn probe_kinds_interleave_without_leakage() {
+        let base = PreparedWorkload::new(&sample_system());
+        let mut view = ScaledView::new(&base);
+        view.scale_wcets(3_000, 1_000);
+        // A component probe after a scaling probe starts from base costs,
+        // not from the scaled ones.
+        let probed = view.with_component_wcet(0, Time::new(2));
+        assert_eq!(probed.components()[1], base.components()[1]);
+        view.with_component_wcet(2, Time::new(6));
+        // And a scaling probe resets the component perturbation.
+        let rescaled = view.scale_wcets(1_000, 1_000);
+        assert_eq!(rescaled.components(), base.components());
+    }
+
+    #[test]
+    fn view_accessors_and_empty_workload() {
+        let base = PreparedWorkload::new(&TaskSet::new());
+        let mut view = ScaledView::new(&base);
+        assert!(view.base().is_empty());
+        assert!(view.prepared().is_empty());
+        assert!(view.scale_wcets(2_000, 1_000).is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_component_probe_panics() {
+        let base = PreparedWorkload::new(&TaskSet::from_tasks(vec![t(1, 4, 8)]));
+        let mut view = ScaledView::new(&base);
+        let _ = view.with_component_wcet(1, Time::new(2));
+    }
+}

@@ -40,7 +40,9 @@
 //! function ([`demand`]), the superposition approximation
 //! ([`superposition`]), the feasibility bounds of §4.3 ([`bounds`]) and
 //! exact rational helpers ([`arith`]).  On top of the exact tests,
-//! [`sensitivity`] answers breakdown-utilization and WCET-slack questions,
+//! [`sensitivity`] answers breakdown-utilization and WCET-slack questions
+//! through the [`incremental`] engine ([`ScaledView`] probes WCET
+//! perturbations of one prepared workload without re-preparation),
 //! [`batch`] fans a workload batch out across the CPU cores with one
 //! shared preparation per workload, [`transactions`] enumerates the
 //! critical-instant candidates of offset-transaction systems,
@@ -116,6 +118,7 @@ pub mod bounds;
 pub mod demand;
 pub mod event_stream_analysis;
 pub mod exhaustive;
+pub mod incremental;
 pub mod sensitivity;
 pub mod superposition;
 pub mod tests;
@@ -124,6 +127,7 @@ pub mod workload;
 
 pub use analysis::{Analysis, DemandOverload, FeasibilityTest, Verdict};
 pub use batch::BoxedTest;
+pub use incremental::ScaledView;
 pub use workload::{MixedSystem, PreparedWorkload, Workload};
 
 /// One entry of the test registry: the test's canonical name and its

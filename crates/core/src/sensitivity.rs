@@ -12,13 +12,25 @@
 //!   budget).
 //!
 //! Both searches are exact: they binary-search over integer scalings and
-//! re-run an exact feasibility test at every probe.
+//! re-run an exact feasibility test at every probe.  The probes run through
+//! the **incremental engine** of [`crate::incremental`]: one
+//! [`ScaledView`] per search rewrites the costs in place and refreshes the
+//! cached aggregates, instead of re-preparing the workload ~14 times per
+//! search (the [`mod@reference`] submodule keeps the from-scratch variants
+//! for validation and benchmarking).  Every entry point is workload-generic —
+//! event streams, arrival curves and mixed systems probe exactly like task
+//! sets, because the searches act on the component decomposition.
+//!
+//! For fleets of workloads, [`sensitivity_sweep`] runs both searches over
+//! a whole batch with the multi-core fan-out of [`crate::batch`].
 
-use edf_model::{Task, TaskSet, Time};
+use edf_model::{TaskSet, Time};
 
 use crate::analysis::FeasibilityTest;
+use crate::batch::parallel_map;
+use crate::incremental::ScaledView;
 use crate::tests::AllApproximatedTest;
-use crate::workload::{PreparedWorkload, Workload};
+use crate::workload::{DemandComponent, PreparedWorkload, Workload};
 
 /// Precision denominator used for scaling factors: factors are expressed in
 /// 1/1000 steps (per-mille).
@@ -99,17 +111,27 @@ pub fn breakdown_scaling_workload(
     workload: &(impl Workload + ?Sized),
     test: &dyn FeasibilityTest,
 ) -> Option<BreakdownScaling> {
-    let base = PreparedWorkload::new(workload);
-    if base.is_empty() {
-        return None;
-    }
-    let mut probes = 0u32;
-    let mut accepts = |numer: u64| {
-        probes += 1;
-        test.analyze_prepared(&base.with_scaled_wcets(numer, SCALE_DENOMINATOR))
-            .verdict
-            .is_feasible()
-    };
+    breakdown_scaling_prepared(&PreparedWorkload::new(workload), test)
+}
+
+/// [`breakdown_scaling_workload`] for callers that already hold a prepared
+/// workload (the view is created over it, so the caller's preparation is
+/// reused rather than repeated).
+#[must_use]
+pub fn breakdown_scaling_prepared(
+    base: &PreparedWorkload,
+    test: &dyn FeasibilityTest,
+) -> Option<BreakdownScaling> {
+    let mut view = ScaledView::new(base);
+    breakdown_with_view(&mut view, test)
+}
+
+/// The breakdown probe schedule (doubling to an upper bound, then binary
+/// search over per-mille numerators), shared by the incremental path and
+/// the [`mod@reference`] baseline so both run **identical** probe
+/// sequences — the property the benchmark comparison and the equivalence
+/// proptests rely on.  Returns the last accepted numerator.
+fn breakdown_search(mut accepts: impl FnMut(u64) -> bool) -> Option<u64> {
     if !accepts(SCALE_DENOMINATOR) {
         return None;
     }
@@ -131,10 +153,45 @@ pub fn breakdown_scaling_workload(
             hi = mid;
         }
     }
-    let breakdown_workload = base.with_scaled_wcets(lo, SCALE_DENOMINATOR);
+    Some(lo)
+}
+
+/// The binary search for the largest accepted extra cost in
+/// `[0, headroom]`, shared by the incremental and [`mod@reference`] slack
+/// searches (identical probe sequences, see [`breakdown_search`]).
+fn slack_search(headroom: u64, mut accepts: impl FnMut(u64) -> bool) -> u64 {
+    let (mut lo, mut hi) = (0u64, headroom);
+    while lo < hi {
+        let mid = lo + (hi - lo).div_ceil(2);
+        if accepts(mid) {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    lo
+}
+
+/// The breakdown search on an existing view (shared by the public entry
+/// points and [`sensitivity_sweep`], which runs several searches over one
+/// view).
+fn breakdown_with_view(
+    view: &mut ScaledView<'_>,
+    test: &dyn FeasibilityTest,
+) -> Option<BreakdownScaling> {
+    if view.base().is_empty() {
+        return None;
+    }
+    let mut probes = 0u32;
+    let lo = breakdown_search(|numer| {
+        probes += 1;
+        test.analyze_prepared(view.scale_wcets(numer, SCALE_DENOMINATOR))
+            .verdict
+            .is_feasible()
+    })?;
     Some(BreakdownScaling {
         factor: lo as f64 / SCALE_DENOMINATOR as f64,
-        utilization_at_breakdown: breakdown_workload.utilization(),
+        utilization_at_breakdown: view.base().scaled_utilization(lo, SCALE_DENOMINATOR),
         probes,
     })
 }
@@ -177,53 +234,269 @@ pub fn wcet_slack(
     task_index: usize,
     test: &dyn FeasibilityTest,
 ) -> Option<Time> {
-    let target = task_set.get(task_index)?;
-    let headroom = target.period() - target.wcet();
-    let with_extra = |extra: Time| -> TaskSet {
-        task_set
-            .iter()
-            .enumerate()
-            .map(|(i, task)| {
-                if i == task_index {
-                    inflate(task, extra)
-                } else {
-                    task.clone()
-                }
-            })
-            .collect()
-    };
-    if !test.analyze(task_set).verdict.is_feasible() {
-        return None;
-    }
-    if headroom.is_zero() {
-        return Some(Time::ZERO);
-    }
-    // Binary search the largest feasible extra in [0, headroom].
-    let (mut lo, mut hi) = (0u64, headroom.as_u64());
-    while lo < hi {
-        let mid = lo + (hi - lo).div_ceil(2);
-        if test
-            .analyze(&with_extra(Time::new(mid)))
-            .verdict
-            .is_feasible()
-        {
-            lo = mid;
-        } else {
-            hi = mid - 1;
-        }
-    }
-    Some(Time::new(lo))
+    wcet_slack_workload(task_set, task_index, test)
 }
 
-fn inflate(task: &Task, extra: Time) -> Task {
-    let wcet = (task.wcet() + extra).min(task.period());
-    Task::new(wcet, task.deadline(), task.period()).expect("inflated WCET stays within the period")
+/// [`wcet_slack`] for any demand-characterized workload: the slack of the
+/// demand component at `component_index` (for a [`TaskSet`] the component
+/// order is the task order, so this strictly generalizes the task entry
+/// point).  Periodic components are capped at their period; one-shot
+/// components at their relative deadline.
+///
+/// The probes perturb the single component in place through a
+/// [`ScaledView`] — no task-set rebuild, no re-preparation.
+///
+/// # Examples
+///
+/// ```
+/// use edf_analysis::sensitivity::wcet_slack_workload;
+/// use edf_analysis::tests::ProcessorDemandTest;
+/// use edf_model::{EventStream, EventStreamTask, Time};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let burst = EventStreamTask::new(
+///     EventStream::bursty(2, Time::new(10), Time::new(100)),
+///     Time::new(5),
+///     Time::new(40),
+/// )?;
+/// // How much the cost of the first burst event could grow: the slack of
+/// // component 0 of the stream's decomposition.
+/// let slack = wcet_slack_workload(&burst, 0, &ProcessorDemandTest::new());
+/// assert!(slack.expect("feasible stream") > Time::ZERO);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn wcet_slack_workload(
+    workload: &(impl Workload + ?Sized),
+    component_index: usize,
+    test: &dyn FeasibilityTest,
+) -> Option<Time> {
+    wcet_slack_prepared(&PreparedWorkload::new(workload), component_index, test)
+}
+
+/// [`wcet_slack_workload`] for callers that already hold a prepared
+/// workload.
+#[must_use]
+pub fn wcet_slack_prepared(
+    base: &PreparedWorkload,
+    component_index: usize,
+    test: &dyn FeasibilityTest,
+) -> Option<Time> {
+    if component_index >= base.components().len() {
+        return None;
+    }
+    if !test.analyze_prepared(base).verdict.is_feasible() {
+        return None;
+    }
+    let mut view = ScaledView::new(base);
+    Some(wcet_slack_with_view(&mut view, component_index, test))
+}
+
+/// The slack binary search on an existing view; the callers guarantee
+/// that the index is in range and the base workload is accepted by
+/// `test`.
+fn wcet_slack_with_view(
+    view: &mut ScaledView<'_>,
+    component_index: usize,
+    test: &dyn FeasibilityTest,
+) -> Time {
+    let component = view.base().components()[component_index];
+    let headroom = component_headroom(&component);
+    if headroom.is_zero() {
+        return Time::ZERO;
+    }
+    let slack = slack_search(headroom.as_u64(), |extra| {
+        let probed = view.with_component_wcet(component_index, component.wcet() + Time::new(extra));
+        test.analyze_prepared(probed).verdict.is_feasible()
+    });
+    Time::new(slack)
+}
+
+/// How far a component's cost can grow at all: up to the period for
+/// periodic components (beyond it even an otherwise empty processor is
+/// overloaded), up to the relative deadline for one-shots (a single job
+/// cannot finish past its own deadline).
+fn component_headroom(component: &DemandComponent) -> Time {
+    match component.period() {
+        Some(period) => period.saturating_sub(component.wcet()),
+        None => component
+            .first_deadline()
+            .saturating_sub(component.release_offset())
+            .saturating_sub(component.wcet()),
+    }
+}
+
+/// The full sensitivity picture of one workload: its breakdown scaling and
+/// the per-component WCET slacks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SensitivityReport {
+    /// Result of the breakdown-scaling search (`None` when the workload is
+    /// empty or not accepted by the test as given).
+    pub breakdown: Option<BreakdownScaling>,
+    /// [`wcet_slack_workload`] of every demand component, in component
+    /// order (all `None` when the unscaled workload is not accepted).
+    pub component_slack: Vec<Option<Time>>,
+}
+
+/// The sensitivity report of a single workload: breakdown scaling plus
+/// every component slack, all through **one** prepared base and **one**
+/// incremental view.
+#[must_use]
+pub fn sensitivity_report(
+    workload: &(impl Workload + ?Sized),
+    test: &dyn FeasibilityTest,
+) -> SensitivityReport {
+    let base = PreparedWorkload::new(workload);
+    if base.is_empty() {
+        return SensitivityReport {
+            breakdown: None,
+            component_slack: Vec::new(),
+        };
+    }
+    // The slack searches are gated on the *unscaled* base, not on the
+    // breakdown result: the breakdown's first probe clamps costs to the
+    // period, so for degenerate components (wcet > period) the two can
+    // differ and the per-component contract is the base acceptance.
+    let base_accepted = test.analyze_prepared(&base).verdict.is_feasible();
+    let mut view = ScaledView::new(&base);
+    let breakdown = breakdown_with_view(&mut view, test);
+    let component_slack = if base_accepted {
+        (0..base.components().len())
+            .map(|index| Some(wcet_slack_with_view(&mut view, index, test)))
+            .collect()
+    } else {
+        vec![None; base.components().len()]
+    };
+    SensitivityReport {
+        breakdown,
+        component_slack,
+    }
+}
+
+/// Batch sensitivity: [`sensitivity_report`] for every workload, fanned
+/// out across the CPU cores with the same parallel machinery as
+/// [`crate::batch::analyze_many`].  `results[i]` belongs to
+/// `workloads[i]`.
+///
+/// # Examples
+///
+/// ```
+/// use edf_analysis::sensitivity::sensitivity_sweep;
+/// use edf_analysis::tests::AllApproximatedTest;
+/// use edf_model::{Task, TaskSet, Time};
+///
+/// # fn main() -> Result<(), edf_model::TaskError> {
+/// let workloads = vec![
+///     TaskSet::from_tasks(vec![Task::new(Time::new(1), Time::new(4), Time::new(8))?]),
+///     TaskSet::from_tasks(vec![Task::new(Time::new(3), Time::new(5), Time::new(5))?]),
+/// ];
+/// let reports = sensitivity_sweep(&workloads, &AllApproximatedTest::new());
+/// assert_eq!(reports.len(), 2);
+/// assert!(reports[0].breakdown.expect("feasible").factor >= 1.0);
+/// assert_eq!(reports[0].component_slack.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn sensitivity_sweep<W: Workload + Sync>(
+    workloads: &[W],
+    test: &(dyn FeasibilityTest + Sync),
+) -> Vec<SensitivityReport> {
+    parallel_map(workloads, |workload| sensitivity_report(workload, test))
+}
+
+pub mod reference {
+    //! From-scratch reference implementations of the sensitivity searches.
+    //!
+    //! These reproduce the pre-incremental behaviour faithfully: the
+    //! workload is re-prepared at every probe and the §4.3 bounds are
+    //! derived by the cold (unseeded) searches of
+    //! [`FeasibilityBounds::for_components_cold`](crate::bounds::FeasibilityBounds::for_components_cold).
+    //! They exist for two reasons: the property tests prove the
+    //! incremental searches **bit-identical** to them
+    //! (`crates/core/tests/incremental_equivalence.rs`), and the
+    //! `sensitivity` benchmark measures the incremental engine's speedup
+    //! against them.  Use the functions of [`the parent
+    //! module`](crate::sensitivity) for real work.
+
+    use super::{
+        breakdown_search, component_headroom, slack_search, BreakdownScaling, DemandComponent,
+        FeasibilityTest, PreparedWorkload, Time, Workload, SCALE_DENOMINATOR,
+    };
+
+    /// Runs `test` on a freshly prepared probe, paying the pre-incremental
+    /// preparation cost (cold bounds whenever a test would read them).
+    fn analyze_cold(test: &dyn FeasibilityTest, prepared: &PreparedWorkload) -> bool {
+        if !prepared.is_empty() && !prepared.utilization_exceeds_one() {
+            prepared.prime_cold_bounds();
+        }
+        test.analyze_prepared(prepared).verdict.is_feasible()
+    }
+
+    /// [`breakdown_scaling_workload`](super::breakdown_scaling_workload),
+    /// re-preparing the scaled workload at every probe.
+    #[must_use]
+    pub fn breakdown_scaling_workload(
+        workload: &(impl Workload + ?Sized),
+        test: &dyn FeasibilityTest,
+    ) -> Option<BreakdownScaling> {
+        let base = PreparedWorkload::new(workload);
+        if base.is_empty() {
+            return None;
+        }
+        let mut probes = 0u32;
+        let lo = breakdown_search(|numer| {
+            probes += 1;
+            analyze_cold(test, &base.with_scaled_wcets(numer, SCALE_DENOMINATOR))
+        })?;
+        Some(BreakdownScaling {
+            factor: lo as f64 / SCALE_DENOMINATOR as f64,
+            utilization_at_breakdown: base.with_scaled_wcets(lo, SCALE_DENOMINATOR).utilization(),
+            probes,
+        })
+    }
+
+    /// [`wcet_slack_workload`](super::wcet_slack_workload), rebuilding and
+    /// re-preparing the perturbed component list at every probe.
+    #[must_use]
+    pub fn wcet_slack_workload(
+        workload: &(impl Workload + ?Sized),
+        component_index: usize,
+        test: &dyn FeasibilityTest,
+    ) -> Option<Time> {
+        let base = PreparedWorkload::new(workload);
+        let component = *base.components().get(component_index)?;
+        if !test.analyze_prepared(&base).verdict.is_feasible() {
+            return None;
+        }
+        let headroom = component_headroom(&component);
+        if headroom.is_zero() {
+            return Some(Time::ZERO);
+        }
+        let probe = |extra: Time| -> PreparedWorkload {
+            let mut components: Vec<DemandComponent> = base.components().to_vec();
+            components[component_index].set_wcet(component.clamp_wcet(component.wcet() + extra));
+            PreparedWorkload::from_parts(
+                components,
+                base.task_count(),
+                base.demand_is_exact(),
+                base.utilization_is_exact(),
+            )
+        };
+        let slack = slack_search(headroom.as_u64(), |extra| {
+            analyze_cold(test, &probe(Time::new(extra)))
+        });
+        Some(Time::new(slack))
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::tests::ProcessorDemandTest;
+    use crate::workload::MixedSystem;
+    use edf_model::{EventStream, EventStreamTask, Task};
 
     fn t(c: u64, d: u64, p: u64) -> Task {
         Task::from_ticks(c, d, p).expect("valid task")
@@ -317,5 +590,120 @@ mod tests {
             wcet_slack(&ts, 0, &ProcessorDemandTest::new()),
             Some(Time::ZERO)
         );
+    }
+
+    fn mixed_sample() -> MixedSystem {
+        MixedSystem::new(
+            TaskSet::from_tasks(vec![t(1, 5, 20)]),
+            vec![EventStreamTask::new(
+                EventStream::bursty(2, Time::new(3), Time::new(50)),
+                Time::new(2),
+                Time::new(10),
+            )
+            .expect("valid stream task")],
+        )
+    }
+
+    #[test]
+    fn incremental_searches_match_reference_implementations() {
+        let system = mixed_sample();
+        let test = AllApproximatedTest::new();
+        assert_eq!(
+            breakdown_scaling_workload(&system, &test),
+            reference::breakdown_scaling_workload(&system, &test)
+        );
+        let components = PreparedWorkload::new(&system).components().len();
+        for index in 0..components {
+            assert_eq!(
+                wcet_slack_workload(&system, index, &test),
+                reference::wcet_slack_workload(&system, index, &test),
+                "component {index}"
+            );
+        }
+    }
+
+    #[test]
+    fn wcet_slack_workload_generalizes_the_task_entry_point() {
+        let ts = TaskSet::from_tasks(vec![t(2, 10, 10), t(2, 20, 20)]);
+        let test = ProcessorDemandTest::new();
+        for index in 0..ts.len() {
+            assert_eq!(
+                wcet_slack(&ts, index, &test),
+                wcet_slack_workload(&ts, index, &test)
+            );
+        }
+    }
+
+    #[test]
+    fn one_shot_component_slack_is_capped_by_the_relative_deadline() {
+        // A single one-shot job of cost 2 due at 10: it can grow by 8.
+        let components = vec![DemandComponent::one_shot(
+            Time::new(2),
+            Time::new(10),
+            Time::ZERO,
+        )];
+        let base = PreparedWorkload::from_components(components);
+        assert_eq!(
+            wcet_slack_prepared(&base, 0, &ProcessorDemandTest::new()),
+            Some(Time::new(8))
+        );
+    }
+
+    #[test]
+    fn report_gates_slack_on_the_unscaled_base() {
+        // A degenerate component with wcet > period: the base is rejected
+        // (U > 1), but the breakdown's first probe clamps the cost to the
+        // period and is accepted — the slacks must still be gated on the
+        // base, matching the individual `wcet_slack_workload` calls.
+        struct Degenerate;
+        impl Workload for Degenerate {
+            fn demand_components(&self) -> Vec<DemandComponent> {
+                vec![DemandComponent::periodic(
+                    Time::new(15),
+                    Time::new(20),
+                    Time::new(10),
+                )]
+            }
+        }
+        let test = ProcessorDemandTest::new();
+        let report = sensitivity_report(&Degenerate, &test);
+        assert!(report.breakdown.is_some(), "clamped probe is accepted");
+        assert_eq!(report.component_slack, vec![None]);
+        assert_eq!(
+            report.component_slack[0],
+            wcet_slack_workload(&Degenerate, 0, &test)
+        );
+    }
+
+    #[test]
+    fn sensitivity_sweep_matches_individual_searches() {
+        let workloads = vec![
+            TaskSet::from_tasks(vec![t(1, 4, 8), t(2, 6, 12)]),
+            TaskSet::from_tasks(vec![t(1, 2, 10), t(2, 3, 10), t(5, 9, 10)]),
+            TaskSet::from_tasks(vec![t(5, 3, 10)]), // infeasible
+            TaskSet::new(),                         // empty
+        ];
+        let test = AllApproximatedTest::new();
+        let reports = sensitivity_sweep(&workloads, &test);
+        assert_eq!(reports.len(), workloads.len());
+        for (workload, report) in workloads.iter().zip(&reports) {
+            assert_eq!(
+                report.breakdown,
+                breakdown_scaling_workload(workload, &test)
+            );
+            assert_eq!(report.component_slack.len(), workload.len());
+            for (index, slack) in report.component_slack.iter().enumerate() {
+                assert_eq!(
+                    *slack,
+                    wcet_slack_workload(workload, index, &test),
+                    "component {index}"
+                );
+            }
+        }
+        // The infeasible and empty entries are all-None.
+        assert_eq!(reports[2].breakdown, None);
+        assert!(reports[2].component_slack.iter().all(Option::is_none));
+        assert_eq!(reports[3].breakdown, None);
+        assert!(reports[3].component_slack.is_empty());
     }
 }

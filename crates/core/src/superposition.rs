@@ -102,6 +102,50 @@ pub fn dbf_approx_set<'a>(
     })
 }
 
+/// The smallest approximation level whose relative demand error is bounded
+/// by `epsilon` — the §4 discussion's target-error knob.
+///
+/// A demand source approximated after its `k`-th examined job over-counts
+/// its demand by less than one job's cost, out of at least `k` exactly
+/// accounted jobs, so its relative error is below `1/k`.  The level
+/// guaranteeing a requested relative error `ε` is therefore `⌈1/ε⌉`
+/// (clamped to at least 1; any `ε ≥ 1` is satisfied by level 1).  This is
+/// the mapping behind the `from_target_error` constructors of
+/// [`SuperpositionTest`](crate::tests::SuperpositionTest),
+/// [`DynamicErrorTest`](crate::tests::DynamicErrorTest) and
+/// [`AllApproximatedTest`](crate::tests::AllApproximatedTest).
+///
+/// # Panics
+///
+/// Panics if `epsilon` is not a positive finite number.
+///
+/// # Examples
+///
+/// ```
+/// use edf_analysis::superposition::level_for_target_error;
+///
+/// assert_eq!(level_for_target_error(1.0), 1);
+/// assert_eq!(level_for_target_error(0.5), 2);
+/// assert_eq!(level_for_target_error(0.1), 10);
+/// assert_eq!(level_for_target_error(0.3), 4); // ⌈1/0.3⌉
+/// ```
+#[must_use]
+pub fn level_for_target_error(epsilon: f64) -> u64 {
+    assert!(
+        epsilon.is_finite() && epsilon > 0.0,
+        "target error must be a positive finite number"
+    );
+    if epsilon >= 1.0 {
+        return 1;
+    }
+    let level = (1.0 / epsilon).ceil();
+    if level >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        (level as u64).max(1)
+    }
+}
+
 /// One approximated demand source inside a demand comparison: the linear
 /// slope parameters (`C`, `T`) and the interval `Im` from which the demand
 /// is approximated linearly.
@@ -289,6 +333,40 @@ mod tests {
     fn level_zero_is_rejected() {
         let tau = t(1, 2, 3);
         let _ = max_test_interval(&tau, 0);
+    }
+
+    #[test]
+    fn target_error_level_mapping() {
+        for (epsilon, level) in [
+            (2.0, 1),
+            (1.0, 1),
+            (0.5, 2),
+            (0.34, 3),
+            (0.25, 4),
+            (0.2, 5),
+            (0.125, 8),
+            (0.1, 10),
+            (0.01, 100),
+        ] {
+            assert_eq!(level_for_target_error(epsilon), level, "epsilon {epsilon}");
+        }
+        // The derived level always meets the requested error: 1/level ≤ ε.
+        for epsilon in [0.9, 0.51, 0.3, 0.17, 0.003] {
+            let level = level_for_target_error(epsilon);
+            assert!(1.0 / level as f64 <= epsilon + 1e-12, "epsilon {epsilon}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_target_error_is_rejected() {
+        let _ = level_for_target_error(0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn nan_target_error_is_rejected() {
+        let _ = level_for_target_error(f64::NAN);
     }
 
     #[test]

@@ -69,6 +69,7 @@ pub enum RevisionOrder {
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct AllApproximatedTest {
     revision_order: RevisionOrder,
+    max_level: Option<u64>,
 }
 
 impl AllApproximatedTest {
@@ -77,19 +78,61 @@ impl AllApproximatedTest {
     pub fn new() -> Self {
         AllApproximatedTest {
             revision_order: RevisionOrder::Fifo,
+            max_level: None,
         }
     }
 
     /// Creates the test with an explicit revision order.
     #[must_use]
     pub fn with_revision_order(revision_order: RevisionOrder) -> Self {
-        AllApproximatedTest { revision_order }
+        AllApproximatedTest {
+            revision_order,
+            max_level: None,
+        }
     }
 
     /// The configured revision order.
     #[must_use]
     pub fn revision_order(&self) -> RevisionOrder {
         self.revision_order
+    }
+
+    /// Limits how far any single component may be refined: once
+    /// `max_level` of a component's jobs have been examined exactly, its
+    /// approximation can no longer be withdrawn (the analogue of
+    /// [`DynamicErrorTest::with_max_level`](crate::tests::DynamicErrorTest::with_max_level)
+    /// for this test).  A failing comparison whose remaining approximations
+    /// are all beyond the limit then answers
+    /// [`Verdict::Unknown`] instead of refining further, which bounds the
+    /// worst-case number of examined intervals by `max_level` per
+    /// component while keeping every *decisive* verdict correct.
+    #[must_use]
+    pub fn with_max_level(mut self, max_level: u64) -> Self {
+        self.max_level = Some(max_level.max(1));
+        self
+    }
+
+    /// The configured refinement limit, if any.
+    #[must_use]
+    pub fn max_level(&self) -> Option<u64> {
+        self.max_level
+    }
+
+    /// The bounded test at a requested relative demand error: the
+    /// refinement limit is derived as `⌈1/epsilon⌉` (see
+    /// [`level_for_target_error`](crate::superposition::level_for_target_error)).
+    /// Every approximation the test refuses to withdraw covers a component
+    /// with at least `⌈1/epsilon⌉` exactly examined jobs, so its
+    /// over-estimation stays below a factor `1 + epsilon` of the exact
+    /// demand — the target-error mode completing the §4 discussion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is not a positive finite number.
+    #[must_use]
+    pub fn from_target_error(epsilon: f64) -> Self {
+        AllApproximatedTest::new()
+            .with_max_level(crate::superposition::level_for_target_error(epsilon))
     }
 }
 
@@ -98,9 +141,25 @@ impl AllApproximatedTest {
 struct ComponentState {
     /// Exact demand of the examined deadlines of this component.
     examined_demand: Time,
+    /// Number of jobs of this component examined exactly so far (the
+    /// quantity [`AllApproximatedTest::with_max_level`] limits).
+    examined_jobs: u64,
     /// `Some((im, seq))` when approximated from `im`, with the sequence
     /// number of the approximation (for FIFO revision).
     approximated: Option<(Time, u64)>,
+}
+
+/// Number of jobs of `component` with deadlines inside an interval of
+/// length `interval` — how many jobs a withdrawal up to `interval` has
+/// examined exactly.
+fn jobs_within(component: &DemandComponent, interval: Time) -> u64 {
+    if interval < component.first_deadline() {
+        return 0;
+    }
+    match component.period() {
+        None => 1,
+        Some(period) => (interval - component.first_deadline()).div_floor(period) + 1,
+    }
 }
 
 impl FeasibilityTest for AllApproximatedTest {
@@ -109,7 +168,7 @@ impl FeasibilityTest for AllApproximatedTest {
     }
 
     fn is_exact(&self) -> bool {
-        true
+        self.max_level.is_none()
     }
 
     fn analyze_demand(&self, workload: &PreparedWorkload) -> Analysis {
@@ -128,6 +187,7 @@ impl FeasibilityTest for AllApproximatedTest {
         let mut states: Vec<ComponentState> = vec![
             ComponentState {
                 examined_demand: Time::ZERO,
+                examined_jobs: 0,
                 approximated: None,
             };
             components.len()
@@ -144,6 +204,7 @@ impl FeasibilityTest for AllApproximatedTest {
             states[idx].examined_demand = states[idx]
                 .examined_demand
                 .saturating_add(components[idx].wcet());
+            states[idx].examined_jobs += 1;
 
             loop {
                 counter.record(interval);
@@ -173,10 +234,17 @@ impl FeasibilityTest for AllApproximatedTest {
                     );
                 }
                 // Withdraw one approximation according to the configured
-                // revision order.
-                let revise = self.pick_revision(components, &states, interval);
+                // revision order; components refined up to the level limit
+                // are no longer candidates.
+                let Some(revise) = self.pick_revision(components, &states, interval) else {
+                    // Every remaining approximation is beyond the limit —
+                    // its over-estimation is within the target error, so
+                    // the failure is inconclusive (see `with_max_level`).
+                    return counter.finish(Verdict::Unknown, None);
+                };
                 states[revise].approximated = None;
                 states[revise].examined_demand = components[revise].dbf(interval);
+                states[revise].examined_jobs = jobs_within(&components[revise], interval);
                 if let Some(next) = components[revise].next_deadline_after(interval) {
                     if next <= horizon {
                         pending.push(Reverse((next, revise)));
@@ -199,22 +267,26 @@ impl FeasibilityTest for AllApproximatedTest {
 
 impl AllApproximatedTest {
     /// Picks the approximated component whose approximation is withdrawn
-    /// next.
+    /// next, or `None` when every approximated component has already been
+    /// refined up to the configured level limit.
     fn pick_revision(
         &self,
         components: &[DemandComponent],
         states: &[ComponentState],
         interval: Time,
-    ) -> usize {
-        let approximated = states
-            .iter()
-            .enumerate()
-            .filter_map(|(j, s)| s.approximated.map(|(im, seq)| (j, im, seq)));
+    ) -> Option<usize> {
+        let approximated = states.iter().enumerate().filter_map(|(j, s)| {
+            if let Some(limit) = self.max_level {
+                if s.examined_jobs >= limit {
+                    return None;
+                }
+            }
+            s.approximated.map(|(im, seq)| (j, im, seq))
+        });
         match self.revision_order {
             RevisionOrder::Fifo => approximated
                 .min_by_key(|&(_, _, seq)| seq)
-                .map(|(j, _, _)| j)
-                .expect("at least one approximated component"),
+                .map(|(j, _, _)| j),
             RevisionOrder::LargestError => approximated
                 .max_by_key(|&(j, im, seq)| {
                     (
@@ -222,8 +294,7 @@ impl AllApproximatedTest {
                         u64::MAX - seq,
                     )
                 })
-                .map(|(j, _, _)| j)
-                .expect("at least one approximated component"),
+                .map(|(j, _, _)| j),
             RevisionOrder::LargestUtilization => approximated
                 .max_by(|&(a, _, sa), &(b, _, sb)| {
                     components[a]
@@ -232,8 +303,7 @@ impl AllApproximatedTest {
                         .unwrap_or(core::cmp::Ordering::Equal)
                         .then(sb.cmp(&sa))
                 })
-                .map(|(j, _, _)| j)
-                .expect("at least one approximated component"),
+                .map(|(j, _, _)| j),
         }
     }
 }
@@ -369,6 +439,68 @@ mod tests {
         assert!(test.is_exact());
         assert_eq!(test.revision_order(), RevisionOrder::Fifo);
         assert_eq!(test, AllApproximatedTest::default());
+    }
+
+    #[test]
+    fn target_error_pins_the_refinement_level() {
+        assert_eq!(
+            AllApproximatedTest::from_target_error(1.0).max_level(),
+            Some(1)
+        );
+        assert_eq!(
+            AllApproximatedTest::from_target_error(0.5).max_level(),
+            Some(2)
+        );
+        assert_eq!(
+            AllApproximatedTest::from_target_error(0.25).max_level(),
+            Some(4)
+        );
+        assert_eq!(
+            AllApproximatedTest::from_target_error(0.1).max_level(),
+            Some(10)
+        );
+        assert!(!AllApproximatedTest::from_target_error(0.1).is_exact());
+        assert_eq!(AllApproximatedTest::new().max_level(), None);
+        assert_eq!(
+            AllApproximatedTest::new().with_max_level(0).max_level(),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn bounded_level_yields_unknown_not_wrong_answers() {
+        // Feasible, but needs refinement beyond the first job of each task:
+        // the coarsest target error must answer Unknown, a tight one
+        // Feasible.
+        let ts = TaskSet::from_tasks(vec![t(1, 2, 10), t(2, 3, 10), t(5, 9, 10)]);
+        let coarse = AllApproximatedTest::from_target_error(1.0).analyze(&ts);
+        assert_eq!(coarse.verdict, Verdict::Unknown);
+        let fine = AllApproximatedTest::from_target_error(1e-6).analyze(&ts);
+        assert_eq!(fine.verdict, Verdict::Feasible);
+        // Decisive verdicts of the bounded test always match the exact one.
+        let sets = vec![
+            TaskSet::from_tasks(vec![t(1, 2, 10), t(2, 3, 10), t(5, 9, 10)]),
+            TaskSet::from_tasks(vec![t(3, 4, 10), t(4, 6, 10), t(2, 5, 12)]),
+            TaskSet::from_tasks(vec![t(2, 5, 11), t(3, 9, 17), t(4, 16, 23)]),
+            TaskSet::from_tasks(vec![t(1, 2, 2), t(2, 4, 4)]),
+            TaskSet::from_tasks(vec![t(5, 3, 10)]),
+        ];
+        for ts in sets {
+            let exact = AllApproximatedTest::new().analyze(&ts).verdict;
+            for epsilon in [1.0, 0.5, 0.2, 0.05, 0.01] {
+                let bounded = AllApproximatedTest::from_target_error(epsilon)
+                    .analyze(&ts)
+                    .verdict;
+                if bounded.is_decisive() {
+                    assert_eq!(bounded, exact, "epsilon {epsilon} on {ts}");
+                }
+            }
+        }
+        // The bounded run examines at most max_level intervals per task.
+        let limited = AllApproximatedTest::from_target_error(0.5);
+        let ts = TaskSet::from_tasks(vec![t(1, 2, 10), t(2, 3, 10), t(5, 9, 10)]);
+        let analysis = limited.analyze(&ts);
+        assert!(analysis.iterations <= 2 * ts.len() as u64 * 2);
     }
 
     #[test]

@@ -122,6 +122,22 @@ impl DynamicErrorTest {
         self
     }
 
+    /// The bounded test at a requested relative demand error: the maximum
+    /// level is derived as `⌈1/epsilon⌉` (see
+    /// [`level_for_target_error`](crate::superposition::level_for_target_error)),
+    /// so every approximation the test is never allowed to withdraw
+    /// over-estimates its component's demand by less than a factor
+    /// `1 + epsilon` — the target-error mode completing the §4 discussion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is not a positive finite number.
+    #[must_use]
+    pub fn from_target_error(epsilon: f64) -> Self {
+        DynamicErrorTest::new()
+            .with_max_level(crate::superposition::level_for_target_error(epsilon))
+    }
+
     /// The configured maximum level, if any.
     #[must_use]
     pub fn max_level(&self) -> Option<u64> {
@@ -432,6 +448,46 @@ mod tests {
     #[should_panic]
     fn zero_initial_level_panics() {
         let _ = DynamicErrorTest::new().with_initial_level(0);
+    }
+
+    #[test]
+    fn target_error_pins_the_max_level() {
+        assert_eq!(
+            DynamicErrorTest::from_target_error(1.0).max_level(),
+            Some(1)
+        );
+        assert_eq!(
+            DynamicErrorTest::from_target_error(0.5).max_level(),
+            Some(2)
+        );
+        assert_eq!(
+            DynamicErrorTest::from_target_error(0.25).max_level(),
+            Some(4)
+        );
+        assert_eq!(
+            DynamicErrorTest::from_target_error(0.125).max_level(),
+            Some(8)
+        );
+        assert_eq!(
+            DynamicErrorTest::from_target_error(2.0).max_level(),
+            Some(1)
+        );
+        assert!(!DynamicErrorTest::from_target_error(0.25).is_exact());
+        // A fine target error behaves like the exact test on a set needing
+        // refinement; a coarse one stays sound (Unknown, never wrong).
+        let ts = TaskSet::from_tasks(vec![t(1, 2, 10), t(2, 3, 10), t(5, 9, 10)]);
+        assert_eq!(
+            DynamicErrorTest::from_target_error(1e-6)
+                .analyze(&ts)
+                .verdict,
+            Verdict::Feasible
+        );
+        assert_eq!(
+            DynamicErrorTest::from_target_error(1.0)
+                .analyze(&ts)
+                .verdict,
+            Verdict::Unknown
+        );
     }
 
     #[test]

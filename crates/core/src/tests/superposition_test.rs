@@ -33,6 +33,8 @@ use crate::workload::PreparedWorkload;
 /// // Devi (= SuperPos(1)) cannot accept this set, but SuperPos(3) can.
 /// assert_eq!(SuperpositionTest::new(1).analyze(&ts).verdict, Verdict::Unknown);
 /// assert_eq!(SuperpositionTest::new(3).analyze(&ts).verdict, Verdict::Feasible);
+/// // Levels can also be requested as a relative demand error.
+/// assert_eq!(SuperpositionTest::from_target_error(0.25).level(), 4);
 /// # Ok(())
 /// # }
 /// ```
@@ -62,6 +64,20 @@ impl SuperpositionTest {
     #[must_use]
     pub fn level(&self) -> u64 {
         self.level
+    }
+
+    /// The test at a requested relative demand error: the level is derived
+    /// as `⌈1/epsilon⌉` (see
+    /// [`level_for_target_error`](crate::superposition::level_for_target_error)),
+    /// so the approximated demand the test compares never over-estimates
+    /// the exact demand by more than a factor `1 + epsilon`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is not a positive finite number.
+    #[must_use]
+    pub fn from_target_error(epsilon: f64) -> Self {
+        SuperpositionTest::new(crate::superposition::level_for_target_error(epsilon))
     }
 }
 

@@ -60,7 +60,7 @@ use edf_model::{
     Transaction, TransactionSystem,
 };
 
-use crate::arith::fracs_le_integer;
+use crate::arith::fracs_le_integer_iter;
 use crate::bounds::FeasibilityBounds;
 
 /// The elementary demand generator behind every supported task model.
@@ -139,6 +139,44 @@ impl DemandComponent {
     #[must_use]
     pub fn wcet(&self) -> Time {
         self.wcet
+    }
+
+    /// The cost after scaling by `numer/denom`: rounded **up** (so a scaled
+    /// workload never under-estimates demand) and clamped to the period for
+    /// periodic components.  Zero is representable — scaling by `0/d` (or
+    /// scaling a zero-cost component) yields a zero-cost component rather
+    /// than silently inflating to one tick, so near-zero scalings report
+    /// undistorted breakdown utilizations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `denom` is zero.
+    #[must_use]
+    pub fn scaled_wcet(&self, numer: u64, denom: u64) -> Time {
+        assert!(denom > 0, "scaling denominator must be positive");
+        let scaled = (self.wcet.as_u128() * u128::from(numer)).div_ceil(u128::from(denom));
+        let mut wcet = Time::new(scaled.min(u128::from(u64::MAX)) as u64);
+        if let Some(period) = self.period {
+            wcet = wcet.min(period);
+        }
+        wcet
+    }
+
+    /// Replaces the execution cost (the only field a
+    /// [`ScaledView`](crate::incremental::ScaledView) probe rewrites —
+    /// deadlines, offsets and periods are scale-invariant).
+    pub(crate) fn set_wcet(&mut self, wcet: Time) {
+        self.wcet = wcet;
+    }
+
+    /// `wcet` clamped to the component's period (one-shots are
+    /// unclamped) — the invariant every probe path applies to inflated
+    /// costs, mirroring [`DemandComponent::scaled_wcet`].
+    pub(crate) fn clamp_wcet(&self, wcet: Time) -> Time {
+        match self.period {
+            Some(period) => wcet.min(period),
+            None => wcet,
+        }
     }
 
     /// Absolute deadline of the first job.
@@ -863,7 +901,7 @@ impl PreparedWorkload {
         PreparedWorkload::from_parts(components, task_count, true, true)
     }
 
-    fn from_parts(
+    pub(crate) fn from_parts(
         components: Vec<DemandComponent>,
         task_count: usize,
         demand_exact: bool,
@@ -954,6 +992,16 @@ impl PreparedWorkload {
             .get_or_init(|| FeasibilityBounds::for_components(&self.components))
     }
 
+    /// Populates the bound cache with the cold (unseeded) computation —
+    /// crate-internal, used by [`crate::sensitivity::reference`] so the
+    /// from-scratch baseline pays the pre-incremental preparation cost
+    /// (the values are identical either way).
+    pub(crate) fn prime_cold_bounds(&self) {
+        let _ = self
+            .bounds
+            .get_or_init(|| FeasibilityBounds::for_components_cold(&self.components));
+    }
+
     /// The tightest cached feasibility bound (see
     /// [`FeasibilityBounds::analysis_horizon`]).
     #[must_use]
@@ -1006,9 +1054,13 @@ impl PreparedWorkload {
             .max()
     }
 
-    /// A copy with every component's cost scaled by `numer/denom`
-    /// (rounded up, clamped to at least 1 and, for periodic components, to
-    /// at most the period) — the workhorse of the sensitivity searches.
+    /// A copy with every component's cost scaled by `numer/denom` (per
+    /// [`DemandComponent::scaled_wcet`]: rounded up, clamped to the period,
+    /// zero-cost components representable) — the from-scratch workhorse of
+    /// the sensitivity searches.  Search loops that probe many scalings of
+    /// one workload should prefer a
+    /// [`ScaledView`](crate::incremental::ScaledView), which produces the
+    /// same prepared state without re-preparing per probe.
     ///
     /// # Panics
     ///
@@ -1019,13 +1071,9 @@ impl PreparedWorkload {
         let components = self
             .components
             .iter()
-            .map(|c| {
-                let scaled = (c.wcet.as_u128() * u128::from(numer)).div_ceil(u128::from(denom));
-                let mut wcet = Time::new(scaled.min(u128::from(u64::MAX)) as u64).max(Time::ONE);
-                if let Some(period) = c.period {
-                    wcet = wcet.min(period);
-                }
-                DemandComponent { wcet, ..*c }
+            .map(|c| DemandComponent {
+                wcet: c.scaled_wcet(numer, denom),
+                ..*c
             })
             .collect();
         PreparedWorkload::from_parts(
@@ -1034,6 +1082,63 @@ impl PreparedWorkload {
             self.demand_exact,
             self.utilization_exact,
         )
+    }
+
+    /// The long-run utilization of the scaled copy
+    /// `with_scaled_wcets(numer, denom)` without building it (the
+    /// summation order matches a real preparation, so the value is
+    /// identical bit for bit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `denom` is zero.
+    #[must_use]
+    pub fn scaled_utilization(&self, numer: u64, denom: u64) -> f64 {
+        self.components
+            .iter()
+            .map(|c| match c.period {
+                Some(period) => c.scaled_wcet(numer, denom).as_f64() / period.as_f64(),
+                None => 0.0,
+            })
+            .sum()
+    }
+
+    /// Rewrites the cost of component `index` (crate-internal: only the
+    /// [`ScaledView`](crate::incremental::ScaledView) refresh path may
+    /// mutate a prepared workload, and it restores the cached aggregates
+    /// via [`PreparedWorkload::install_refreshed_state`] afterwards).
+    pub(crate) fn set_wcet_at(&mut self, index: usize, wcet: Time) {
+        self.components[index].set_wcet(wcet);
+    }
+
+    /// Installs the aggregates matching the current (mutated) component
+    /// list: utilization, the exact `U > 1` comparison and — when already
+    /// computed by the caller — the feasibility bounds.  Passing `None`
+    /// for `bounds` leaves the lazy [`OnceLock`] empty, so a later
+    /// [`PreparedWorkload::bounds`] call falls back to the cold
+    /// computation (used when a probe's utilization already exceeds one
+    /// and no test will read the bounds).  The deadline order is left
+    /// untouched: it only depends on the scale-invariant first deadlines.
+    pub(crate) fn install_refreshed_state(
+        &mut self,
+        utilization: f64,
+        exceeds_one: bool,
+        bounds: Option<FeasibilityBounds>,
+    ) {
+        self.utilization = utilization;
+        self.exceeds_one = exceeds_one;
+        self.bounds.take();
+        if let Some(bounds) = bounds {
+            let _ = self.bounds.set(bounds);
+        }
+    }
+
+    /// Seeds the cached deadline order (crate-internal: lets a
+    /// [`ScaledView`](crate::incremental::ScaledView) share the base
+    /// workload's sorted order instead of re-sorting, which is valid
+    /// because WCET changes never move a deadline).
+    pub(crate) fn seed_deadline_order(&mut self, order: Vec<usize>) {
+        let _ = self.deadline_order.set(order);
     }
 }
 
@@ -1072,13 +1177,15 @@ impl Workload for PreparedWorkload {
 }
 
 /// Exact `Σ Cᵢ/Tᵢ > 1` over the periodic components (one-shots have no
-/// long-run rate), evaluated with the crate's rational arithmetic.
+/// long-run rate), evaluated with the crate's rational arithmetic and
+/// without allocation (this runs once per sensitivity probe).
 pub(crate) fn components_exceed_one(components: &[DemandComponent]) -> bool {
-    let terms: Vec<(u128, u128)> = components
-        .iter()
-        .filter_map(|c| c.period.map(|p| (c.wcet.as_u128(), p.as_u128())))
-        .collect();
-    !fracs_le_integer(&terms, 1)
+    !fracs_le_integer_iter(
+        components
+            .iter()
+            .filter_map(|c| c.period.map(|p| (c.wcet.as_u128(), p.as_u128()))),
+        1,
+    )
 }
 
 #[cfg(test)]
@@ -1263,8 +1370,46 @@ mod tests {
         assert_eq!(doubled.components()[0].wcet(), Time::new(4));
         let huge = prepared.with_scaled_wcets(1_000_000, 1_000);
         assert_eq!(huge.components()[0].wcet(), Time::new(10));
+        // Ceiling rounding: any positive scaling of a positive cost stays
+        // at least one tick.
         let tiny = prepared.with_scaled_wcets(1, 1_000);
         assert_eq!(tiny.components()[0].wcet(), Time::ONE);
+    }
+
+    #[test]
+    fn scaled_wcets_keep_zero_costs_representable() {
+        // Regression test for the former `.max(Time::ONE)` floor, which
+        // silently inflated zero scalings (and zero-cost components) to one
+        // tick and thereby distorted reported breakdown utilizations.
+        let ts = TaskSet::from_tasks(vec![t(2, 8, 10), t(1, 4, 5)]);
+        let prepared = PreparedWorkload::new(&ts);
+        let zeroed = prepared.with_scaled_wcets(0, 1_000);
+        assert!(zeroed.components().iter().all(|c| c.wcet().is_zero()));
+        assert_eq!(zeroed.utilization(), 0.0);
+        assert!(!zeroed.utilization_exceeds_one());
+        assert_eq!(zeroed.dbf(Time::new(1_000)), Time::ZERO);
+        // Zero-cost components flow through every registered test.
+        for test in crate::all_tests() {
+            assert!(
+                !test.analyze_prepared(&zeroed).verdict.is_infeasible(),
+                "{} rejected a zero-demand workload",
+                test.name()
+            );
+        }
+        // A zero-cost component stays zero under any scaling instead of
+        // being inflated to a tick.
+        let with_zero = PreparedWorkload::from_components(vec![
+            DemandComponent::periodic(Time::ZERO, Time::new(4), Time::new(10)),
+            DemandComponent::periodic(Time::new(2), Time::new(8), Time::new(10)),
+        ]);
+        let scaled = with_zero.with_scaled_wcets(3_000, 1_000);
+        assert_eq!(scaled.components()[0].wcet(), Time::ZERO);
+        assert_eq!(scaled.components()[1].wcet(), Time::new(6));
+        // And the per-component helper agrees.
+        assert_eq!(
+            with_zero.components()[0].scaled_wcet(5_000, 1_000),
+            Time::ZERO
+        );
     }
 
     #[test]

@@ -25,6 +25,11 @@
 //!   [`batch::analyze_many`] fans a workload
 //!   batch out across the CPU cores with one shared preparation per
 //!   workload (the experiment harness and benchmarks run on it);
+//! * [`analysis::incremental`] — the incremental sensitivity engine:
+//!   [`ScaledView`] probes WCET perturbations of one prepared workload
+//!   without re-preparation (in-place cost rewrites, shared deadline
+//!   order, refreshed §4.3 bounds), behind the breakdown-scaling and
+//!   WCET-slack searches and the batch [`sensitivity_sweep`];
 //! * [`analysis::transactions`] — exact critical-instant-candidate
 //!   analysis of offset-transaction systems;
 //! * [`sim`] (`edf-sim`) — a discrete-event EDF / fixed-priority scheduler
@@ -94,8 +99,11 @@ pub use edf_sim as sim;
 
 pub use edf_analysis::batch;
 pub use edf_analysis::exhaustive::{exhaustive_check, exhaustive_check_workload};
+pub use edf_analysis::incremental::ScaledView;
 pub use edf_analysis::sensitivity::{
-    breakdown_scaling, breakdown_scaling_exact, breakdown_scaling_workload, wcet_slack,
+    breakdown_scaling, breakdown_scaling_exact, breakdown_scaling_prepared,
+    breakdown_scaling_workload, sensitivity_report, sensitivity_sweep, wcet_slack,
+    wcet_slack_prepared, wcet_slack_workload, BreakdownScaling, SensitivityReport,
 };
 pub use edf_analysis::tests::{
     AllApproximatedTest, BoundSelection, DensityTest, DeviTest, DynamicErrorTest, LevelGrowth,
