@@ -1,0 +1,232 @@
+//! Benchmark of the columnar demand kernel against the retained scalar
+//! reference path: `dbf`-evaluation throughput, event-merge throughput
+//! (loser tree vs. binary heap), and `analyze_many` workloads/sec with and
+//! without scratch reuse — the perf trajectory of the kernel rebuild.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use edf_analysis::batch::{analyze_many_serial, BoxedTest};
+use edf_analysis::kernel::{reference, AnalysisScratch};
+use edf_analysis::tests::{AllApproximatedTest, DynamicErrorTest, ProcessorDemandTest, QpaTest};
+use edf_analysis::workload::{MixedSystem, PreparedWorkload};
+use edf_bench::{ratio_fixture, stream_fixture, utilization_fixture};
+use edf_model::{TaskSet, Time};
+
+fn exact_suite() -> Vec<BoxedTest> {
+    vec![
+        Box::new(DynamicErrorTest::new()),
+        Box::new(AllApproximatedTest::new()),
+        Box::new(QpaTest::new()),
+        Box::new(ProcessorDemandTest::new()),
+    ]
+}
+
+/// Probe intervals spanning the workload's analysis horizon (the range the
+/// exact tests sweep).
+fn probe_intervals(prepared: &PreparedWorkload, count: u64) -> Vec<Time> {
+    let horizon = prepared
+        .analysis_horizon()
+        .unwrap_or(Time::new(1_000))
+        .as_u64()
+        .max(count);
+    (1..=count)
+        .map(|i| Time::new(i * horizon / count))
+        .collect()
+}
+
+/// dbf-evaluation throughput: the kernel's binary-search + prefix-sum +
+/// tight-loop evaluation vs. the scalar array-of-structs fold, over the
+/// same prepared workloads and probe intervals.
+fn bench_dbf_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    let sets = ratio_fixture(100, 8);
+    let prepared: Vec<PreparedWorkload> = sets.iter().map(PreparedWorkload::new).collect();
+    let scalar: Vec<PreparedWorkload> = prepared
+        .iter()
+        .map(PreparedWorkload::scalar_reference)
+        .collect();
+    let probes: Vec<Vec<Time>> = prepared.iter().map(|p| probe_intervals(p, 64)).collect();
+
+    group.bench_function(BenchmarkId::new("dbf", "columnar"), |b| {
+        b.iter(|| {
+            let mut acc = Time::ZERO;
+            for (p, probes) in prepared.iter().zip(&probes) {
+                for &t in probes {
+                    acc = acc.saturating_add(p.dbf(black_box(t)));
+                }
+            }
+            acc
+        })
+    });
+    group.bench_function(BenchmarkId::new("dbf", "scalar"), |b| {
+        b.iter(|| {
+            let mut acc = Time::ZERO;
+            for (p, probes) in scalar.iter().zip(&probes) {
+                for &t in probes {
+                    acc = acc.saturating_add(p.dbf(black_box(t)));
+                }
+            }
+            acc
+        })
+    });
+
+    // Large component counts (a 64-stream bursty mixed system): the regime
+    // where the contiguous columns separate most clearly from the
+    // array-of-structs fold.
+    let system = MixedSystem::new(TaskSet::new(), stream_fixture(64));
+    let large = PreparedWorkload::new(&system);
+    let large_scalar = large.scalar_reference();
+    let large_probes: Vec<Time> = (1..=256u64).map(|i| Time::new(i * 5_000 / 256)).collect();
+    group.bench_function(BenchmarkId::new("dbf_large", "columnar"), |b| {
+        b.iter(|| {
+            let mut acc = Time::ZERO;
+            for &t in &large_probes {
+                acc = acc.saturating_add(large.dbf(black_box(t)));
+            }
+            acc
+        })
+    });
+    group.bench_function(BenchmarkId::new("dbf_large", "scalar"), |b| {
+        b.iter(|| {
+            let mut acc = Time::ZERO;
+            for &t in &large_probes {
+                acc = acc.saturating_add(large_scalar.dbf(black_box(t)));
+            }
+            acc
+        })
+    });
+
+    // The QPA step function: combined kernel query vs. two scalar scans.
+    group.bench_function(BenchmarkId::new("qpa_step", "columnar"), |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for (p, probes) in prepared.iter().zip(&probes) {
+                for &t in probes {
+                    let (demand, prev) = p.demand_and_predecessor(black_box(t));
+                    acc = acc
+                        .wrapping_add(demand.as_u64())
+                        .wrapping_add(prev.map_or(0, Time::as_u64));
+                }
+            }
+            acc
+        })
+    });
+    group.bench_function(BenchmarkId::new("qpa_step", "scalar"), |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for (p, probes) in scalar.iter().zip(&probes) {
+                for &t in probes {
+                    let (demand, prev) = p.demand_and_predecessor(black_box(t));
+                    acc = acc
+                        .wrapping_add(demand.as_u64())
+                        .wrapping_add(prev.map_or(0, Time::as_u64));
+                }
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+/// Event-merge throughput: loser tree vs. the retained heap merge, walking
+/// every job deadline below a shared horizon.
+fn bench_event_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    let sets = ratio_fixture(1_000, 4);
+    let prepared: Vec<PreparedWorkload> = sets.iter().map(PreparedWorkload::new).collect();
+    let horizons: Vec<Time> = prepared
+        .iter()
+        .map(|p| p.analysis_horizon().unwrap_or(Time::new(10_000)))
+        .collect();
+
+    group.bench_function(BenchmarkId::new("merge", "loser_tree"), |b| {
+        b.iter(|| {
+            let mut events = 0usize;
+            for (p, &horizon) in prepared.iter().zip(&horizons) {
+                events += p.demand_events(black_box(horizon)).count();
+            }
+            events
+        })
+    });
+    group.bench_function(BenchmarkId::new("merge", "binary_heap"), |b| {
+        b.iter(|| {
+            let mut events = 0usize;
+            for (p, &horizon) in prepared.iter().zip(&horizons) {
+                events += reference::demand_events(p.components(), black_box(horizon)).count();
+            }
+            events
+        })
+    });
+    group.finish();
+}
+
+/// Batch throughput over the exact suite: the allocation-free path (one
+/// recycled preparation + one scratch arena) vs. fresh per-workload state
+/// vs. the scalar demand path — the headline `analyze_many` number.
+fn bench_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    for &batch_size in &[16usize, 32] {
+        let sets = utilization_fixture(95, batch_size);
+        let tests = exact_suite();
+        group.bench_with_input(
+            BenchmarkId::new("analyze_many/scratch_reuse", batch_size),
+            &sets,
+            |b, sets| b.iter(|| analyze_many_serial(sets, &tests).len()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("analyze_many/fresh_state", batch_size),
+            &sets,
+            |b, sets| {
+                b.iter(|| {
+                    sets.iter()
+                        .map(|ts| {
+                            let prepared = PreparedWorkload::new(ts);
+                            tests
+                                .iter()
+                                .map(|t| t.analyze_prepared(&prepared))
+                                .collect::<Vec<_>>()
+                        })
+                        .count()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("analyze_many/scalar_reference", batch_size),
+            &sets,
+            |b, sets| {
+                b.iter(|| {
+                    let mut scratch = AnalysisScratch::new();
+                    sets.iter()
+                        .map(|ts| {
+                            let prepared = PreparedWorkload::new(ts).scalar_reference();
+                            tests
+                                .iter()
+                                .map(|t| t.analyze_prepared_with(&prepared, &mut scratch))
+                                .collect::<Vec<_>>()
+                        })
+                        .count()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dbf_eval, bench_event_merge, bench_batch);
+criterion_main!(benches);

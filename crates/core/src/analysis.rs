@@ -10,6 +10,7 @@ use core::fmt;
 
 use edf_model::{TaskSet, Time};
 
+use crate::kernel::AnalysisScratch;
 use crate::workload::{PreparedWorkload, Workload};
 
 /// Outcome of a feasibility test.
@@ -178,11 +179,28 @@ pub trait FeasibilityTest {
 
     /// Runs the test treating the prepared component demand as the true
     /// demand of the workload (the per-test implementation; call
-    /// [`FeasibilityTest::analyze_prepared`] instead).
-    fn analyze_demand(&self, workload: &PreparedWorkload) -> Analysis;
+    /// [`FeasibilityTest::analyze_prepared`] or
+    /// [`FeasibilityTest::analyze_prepared_with`] instead).
+    ///
+    /// `scratch` provides the reusable transient buffers (merge state,
+    /// pending-interval heaps, approximation terms); a test may ignore it.
+    /// The analysis result never depends on the scratch contents.
+    fn analyze_demand(
+        &self,
+        workload: &PreparedWorkload,
+        scratch: &mut AnalysisScratch,
+    ) -> Analysis;
+
+    /// Runs the test on a prepared workload with a fresh scratch — see
+    /// [`FeasibilityTest::analyze_prepared_with`] for the
+    /// allocation-reusing batch entry point (results are identical).
+    fn analyze_prepared(&self, workload: &PreparedWorkload) -> Analysis {
+        self.analyze_prepared_with(workload, &mut AnalysisScratch::new())
+    }
 
     /// Runs the test on a prepared workload (the core entry point; the
-    /// prepared state is shared when several tests analyze one workload).
+    /// prepared state is shared when several tests analyze one workload,
+    /// and the scratch is reused across analyses by the batch front end).
     ///
     /// When the workload's decomposition **over-approximates** its demand
     /// (a conservative arrival-curve mode, the synchronous reduction of an
@@ -195,8 +213,12 @@ pub trait FeasibilityTest {
     /// either way, and so is a `U > 1` rejection whenever the
     /// decomposition preserves the long-run utilization
     /// ([`PreparedWorkload::utilization_is_exact`]) — that one is kept.
-    fn analyze_prepared(&self, workload: &PreparedWorkload) -> Analysis {
-        let analysis = self.analyze_demand(workload);
+    fn analyze_prepared_with(
+        &self,
+        workload: &PreparedWorkload,
+        scratch: &mut AnalysisScratch,
+    ) -> Analysis {
+        let analysis = self.analyze_demand(workload, scratch);
         if analysis.verdict == Verdict::Infeasible
             && !workload.demand_is_exact()
             && !(workload.utilization_exceeds_one() && workload.utilization_is_exact())

@@ -48,6 +48,85 @@ pub fn ceil_div_u128(a: u128, b: u128) -> u128 {
     a.div_ceil(b)
 }
 
+/// `(a / b, a % b)` with a fast path through hardware 64-bit division when
+/// both operands fit in `u64` — the overwhelmingly common case in the hot
+/// demand comparisons, where a full software `u128` division costs several
+/// times more.
+#[inline]
+pub(crate) fn divmod_u128(a: u128, b: u128) -> (u128, u128) {
+    match (u64::try_from(a), u64::try_from(b)) {
+        (Ok(a64), Ok(b64)) => (u128::from(a64 / b64), u128::from(a64 % b64)),
+        _ => (a / b, a % b),
+    }
+}
+
+/// Precomputed reciprocal for exact division by a fixed `u64` divisor
+/// (Granlund–Montgomery/Lemire): with `c = ⌈2¹²⁸ / d⌉`,
+/// `⌊n / d⌋ = ⌊c·n / 2¹²⁸⌋` holds for **every** `n < 2⁶⁴` and `d ≥ 2`
+/// (`F = 128 ≥ N + log₂ d` with `N = 64`).  Divisor 1 is the `hi == 0`
+/// sentinel (for every real `d ≥ 2`, `c ≥ 2⁶⁴` so `hi ≥ 1`).
+///
+/// The demand kernel stores one reciprocal per periodic column and the
+/// superposition machinery one per [`ApproxTerm`](crate::superposition::ApproxTerm)
+/// — periods never change under WCET rewrites, so every hot demand query
+/// replaces its hardware division with two widening multiplies.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct Reciprocal {
+    hi: u64,
+    lo: u64,
+}
+
+impl Reciprocal {
+    /// Builds the reciprocal of `divisor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero (a zero period is invalid input; the
+    /// plain division paths panic on such input too).
+    pub(crate) fn new(divisor: u64) -> Self {
+        assert!(divisor != 0, "divisor must be positive");
+        if divisor == 1 {
+            return Reciprocal { hi: 0, lo: 0 };
+        }
+        let c = u128::MAX / u128::from(divisor) + 1;
+        Reciprocal {
+            hi: (c >> 64) as u64,
+            lo: c as u64,
+        }
+    }
+
+    /// The pre-divided term `(⌊num/d⌋, num mod d, d)` for the divisor `d`
+    /// this reciprocal was built from — the input shape of
+    /// [`fracs_parts_le_integer_iter`] — going through the reciprocal
+    /// whenever the numerator fits `u64` (virtually always) and falling
+    /// back to plain `u128` division otherwise.  `den` must equal the
+    /// construction divisor.
+    #[inline]
+    pub(crate) fn divided_parts(self, num: u128, den: u64) -> (u128, u128, u128) {
+        if let Ok(n64) = u64::try_from(num) {
+            let q = self.divide(n64);
+            (u128::from(q), u128::from(n64 - q * den), u128::from(den))
+        } else {
+            let den = u128::from(den);
+            (num / den, num % den, den)
+        }
+    }
+
+    /// `⌊n / d⌋` for the divisor this reciprocal was built from.
+    #[inline]
+    pub(crate) fn divide(self, n: u64) -> u64 {
+        if self.hi == 0 {
+            // Divisor 1.
+            return n;
+        }
+        // High 128 bits of the 192-bit product c·n: the carries out of the
+        // low limb never overflow (hi·n ≤ 2¹²⁸ − 2⁶⁵ + 1, plus < 2⁶⁴).
+        let low_carry = (u128::from(self.lo) * u128::from(n)) >> 64;
+        let high = u128::from(self.hi) * u128::from(n);
+        ((high + low_carry) >> 64) as u64
+    }
+}
+
 /// A non-negative rational number `num/den` stored in `u128`.
 ///
 /// Construction reduces the fraction; arithmetic is checked and returns
@@ -375,11 +454,30 @@ pub fn fracs_le_integer_iter(
     terms: impl Iterator<Item = (u128, u128)> + Clone,
     bound: u128,
 ) -> bool {
+    fracs_parts_le_integer_iter(
+        terms.map(|(num, den)| {
+            assert!(den != 0, "fraction denominator must be positive");
+            let (quotient, remainder) = divmod_u128(num, den);
+            (quotient, remainder, den)
+        }),
+        bound,
+    )
+}
+
+/// [`fracs_le_integer_iter`] over **pre-divided** terms
+/// `(⌊numᵢ/denᵢ⌋, numᵢ mod denᵢ, denᵢ)` — the form the hot demand
+/// comparisons produce directly from precomputed period reciprocals
+/// ([`Reciprocal`]), skipping the per-term hardware division entirely.
+/// Decision logic and conservative-overflow behaviour are identical to the
+/// `(num, den)` form.
+pub(crate) fn fracs_parts_le_integer_iter(
+    parts: impl Iterator<Item = (u128, u128, u128)> + Clone,
+    bound: u128,
+) -> bool {
     let mut integer_total: u128 = 0;
     let mut remainder_count: u128 = 0;
-    for (num, den) in terms.clone() {
-        assert!(den != 0, "fraction denominator must be positive");
-        match integer_total.checked_add(num / den) {
+    for (quotient, remainder, _) in parts.clone() {
+        match integer_total.checked_add(quotient) {
             Some(total) => integer_total = total,
             // Astronomically large sum: certainly exceeds any realistic bound.
             None => return false,
@@ -387,7 +485,7 @@ pub fn fracs_le_integer_iter(
         if integer_total > bound {
             return false;
         }
-        if num % den != 0 {
+        if remainder != 0 {
             remainder_count += 1;
         }
     }
@@ -398,9 +496,34 @@ pub fn fracs_le_integer_iter(
     if slack >= remainder_count {
         return true;
     }
+    // Floating-point screen with a **proven** error margin before the
+    // expensive exact rational accumulation.  Each `r/den` lies in [0, 1)
+    // with relative division error ≤ 2⁻⁵³, and summing k ≤ 2²⁰ such terms
+    // accumulates at most k²·2⁻⁵² < 2⁻¹² absolute error — far below the
+    // 1e-3 margin — so any decision taken here is mathematically certain
+    // and only the (rare) comparisons within ±1e-3 of the integer slack
+    // fall through to `FracSum`.  The hot callers hit this constantly:
+    // every demand comparison of the refining tests and every `U > 1`
+    // check sits right at such a boundary.
+    const FLOAT_SCREEN_MARGIN: f64 = 1e-3;
+    if remainder_count <= 1 << 20 {
+        let mut float_sum = 0.0f64;
+        for (_, r, den) in parts.clone() {
+            if r != 0 {
+                float_sum += r as f64 / den as f64;
+            }
+        }
+        // `slack < remainder_count ≤ 2²⁰` is exactly representable.
+        let slack_f = slack as f64;
+        if float_sum + FLOAT_SCREEN_MARGIN <= slack_f {
+            return true;
+        }
+        if float_sum - FLOAT_SCREEN_MARGIN > slack_f {
+            return false;
+        }
+    }
     let mut sum = FracSum::new();
-    for (num, den) in terms {
-        let r = num % den;
+    for (_, r, den) in parts {
         if r != 0 {
             sum.add(r, den);
         }

@@ -43,6 +43,7 @@ use std::num::NonZeroUsize;
 use std::thread;
 
 use crate::analysis::{Analysis, FeasibilityTest};
+use crate::kernel::AnalysisScratch;
 use crate::workload::{PreparedWorkload, Workload};
 
 /// The boxed test type the batch front end consumes (also produced by
@@ -60,12 +61,29 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    parallel_map_with(items, || (), |(), item| f(item))
+}
+
+/// [`parallel_map`] with **per-worker mutable state**: `init` builds one
+/// state per worker thread (and one for the sequential fallback), and `f`
+/// receives it alongside each item.  This is how the analysis front ends
+/// thread one [`AnalysisScratch`] arena (and one recycled preparation)
+/// through each worker, so a batch of any size performs a constant number
+/// of allocations per worker instead of per workload.
+pub fn parallel_map_with<T, R, S, I, F>(items: &[T], init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> R + Sync,
+{
     let workers = thread::available_parallelism()
         .map(NonZeroUsize::get)
         .unwrap_or(1)
         .min(items.len().max(1));
     if workers <= 1 || items.len() < 4 {
-        return items.iter().map(&f).collect();
+        let mut state = init();
+        return items.iter().map(|item| f(&mut state, item)).collect();
     }
     let chunk_size = items.len().div_ceil(workers);
     let mut results: Vec<Option<R>> = Vec::with_capacity(items.len());
@@ -78,10 +96,12 @@ where
     let slots = std::sync::Mutex::new(&mut results);
     thread::scope(|scope| {
         for (offset, chunk) in chunks {
+            let init = &init;
             let f = &f;
             let slots = &slots;
             scope.spawn(move || {
-                let local: Vec<R> = chunk.iter().map(f).collect();
+                let mut state = init();
+                let local: Vec<R> = chunk.iter().map(|item| f(&mut state, item)).collect();
                 let mut guard = slots.lock().expect("no poisoned lock");
                 for (i, value) in local.into_iter().enumerate() {
                     guard[offset + i] = Some(value);
@@ -95,6 +115,36 @@ where
         .collect()
 }
 
+/// Per-worker reusable state of the analysis front ends: one scratch
+/// arena plus one recycled [`PreparedWorkload`] whose buffers serve every
+/// workload the worker processes.
+#[derive(Debug, Default)]
+struct WorkerState {
+    scratch: AnalysisScratch,
+    prepared: Option<PreparedWorkload>,
+}
+
+impl WorkerState {
+    /// Prepares `workload` (recycling the previous preparation's buffers)
+    /// and runs the whole suite over it with the reused scratch.
+    fn analyze<W: Workload + ?Sized>(
+        &mut self,
+        workload: &W,
+        tests: &[BoxedTest],
+    ) -> Vec<Analysis> {
+        let prepared = match self.prepared.take() {
+            Some(slot) => slot.recycled(workload),
+            None => PreparedWorkload::new(workload),
+        };
+        let results = tests
+            .iter()
+            .map(|test| test.analyze_prepared_with(&prepared, &mut self.scratch))
+            .collect();
+        self.prepared = Some(prepared);
+        results
+    }
+}
+
 /// Prepares every workload in parallel (decomposition, exact utilization,
 /// lazy bounds), preserving order.
 #[must_use]
@@ -105,52 +155,46 @@ pub fn prepare_many<W: Workload + Sync>(workloads: &[W]) -> Vec<PreparedWorkload
 /// Runs every test on every workload, fanning the workloads out across the
 /// CPU cores.  `results[i][j]` is the analysis of `workloads[i]` by
 /// `tests[j]`; each workload is prepared exactly once and shared by all
-/// tests.
+/// tests, and each worker reuses one scratch arena and one recycled
+/// preparation, so the steady state performs **zero transient allocations
+/// per workload**.
 #[must_use]
 pub fn analyze_many<W: Workload + Sync>(
     workloads: &[W],
     tests: &[BoxedTest],
 ) -> Vec<Vec<Analysis>> {
-    parallel_map(workloads, |workload| {
-        let prepared = PreparedWorkload::new(workload);
-        tests
-            .iter()
-            .map(|test| test.analyze_prepared(&prepared))
-            .collect()
+    parallel_map_with(workloads, WorkerState::default, |state, workload| {
+        state.analyze(workload, tests)
     })
 }
 
 /// Single-threaded [`analyze_many`] (the baseline the benchmarks compare
-/// the parallel fan-out against; prepared-state sharing still applies).
+/// the parallel fan-out against; prepared-state sharing and the
+/// allocation-free scratch reuse still apply).
 #[must_use]
 pub fn analyze_many_serial<W: Workload>(
     workloads: &[W],
     tests: &[BoxedTest],
 ) -> Vec<Vec<Analysis>> {
+    let mut state = WorkerState::default();
     workloads
         .iter()
-        .map(|workload| {
-            let prepared = PreparedWorkload::new(workload);
-            tests
-                .iter()
-                .map(|test| test.analyze_prepared(&prepared))
-                .collect()
-        })
+        .map(|workload| state.analyze(workload, tests))
         .collect()
 }
 
 /// Runs every prepared workload through every test, in parallel — the
 /// variant for callers that already hold prepared workloads (e.g. to run
-/// several suites over one preparation).
+/// several suites over one preparation).  One scratch arena per worker.
 #[must_use]
 pub fn analyze_many_prepared(
     workloads: &[PreparedWorkload],
     tests: &[BoxedTest],
 ) -> Vec<Vec<Analysis>> {
-    parallel_map(workloads, |prepared| {
+    parallel_map_with(workloads, AnalysisScratch::new, |scratch, prepared| {
         tests
             .iter()
-            .map(|test| test.analyze_prepared(prepared))
+            .map(|test| test.analyze_prepared_with(prepared, scratch))
             .collect()
     })
 }

@@ -58,6 +58,7 @@
 
 use edf_model::{TaskSet, Time};
 
+use crate::arith::{fracs_parts_le_integer_iter, Reciprocal};
 use crate::workload::{components_exceed_one, DemandComponent, Workload};
 
 /// Maximum number of fix-point iterations attempted by [`busy_period`].
@@ -189,6 +190,10 @@ pub struct BoundRefresher {
     busy_applicable: bool,
     /// The hyperperiod bound is WCET-free, hence computed exactly once.
     hyperperiod: Option<Time>,
+    /// One precomputed period reciprocal per component (one-shots get the
+    /// divisor-1 sentinel), so every search-predicate evaluation divides
+    /// by the scale-invariant periods via multiplies.
+    reciprocals: Vec<Reciprocal>,
     baruah_hint: Option<Time>,
     george_hint: Option<Time>,
 }
@@ -225,6 +230,10 @@ impl BoundRefresher {
                     .iter()
                     .any(|c| c.period().is_none() || !c.release_offset().is_zero()),
             hyperperiod: hyperperiod_components(components),
+            reciprocals: components
+                .iter()
+                .map(|c| Reciprocal::new(c.period().map_or(1, Time::as_u64)))
+                .collect(),
             baruah_hint: None,
             george_hint: None,
         }
@@ -285,8 +294,8 @@ impl BoundRefresher {
     /// Debug-build contract check: re-derives every cached aggregate and
     /// compares, catching callers that changed timing parameters (periods,
     /// deadlines, offsets) between `new` and `refresh` — a violation that
-    /// would otherwise yield silently wrong bounds.
-    #[cfg(debug_assertions)]
+    /// would otherwise yield silently wrong bounds.  (Not `cfg`-gated:
+    /// `debug_assert!` still type-checks its condition in release builds.)
     fn invariants_match(&self, components: &[DemandComponent]) -> bool {
         let fresh = BoundRefresher::new(components);
         fresh.component_count == self.component_count
@@ -307,8 +316,11 @@ impl BoundRefresher {
         let utilization: f64 = components.iter().map(DemandComponent::utilization).sum();
         let estimate = utilization / (1.0 - utilization) * max_diff.as_f64();
         let hint = hint_from_estimate(estimate).or(self.baruah_hint);
-        let result =
-            smallest_satisfying_hinted(|l| baruah_predicate(components, max_diff, l), hint);
+        let reciprocals = &self.reciprocals;
+        let result = smallest_satisfying_hinted(
+            |l| baruah_predicate_rcp(components, reciprocals, max_diff, l),
+            hint,
+        );
         if result.is_some() {
             self.baruah_hint = result;
         }
@@ -339,7 +351,9 @@ impl BoundRefresher {
             }
         }
         let hint = hint_from_estimate(numerator / (1.0 - utilization)).or(self.george_hint);
-        let result = smallest_satisfying_hinted(|l| george_predicate(components, l), hint);
+        let reciprocals = &self.reciprocals;
+        let result =
+            smallest_satisfying_hinted(|l| george_predicate_rcp(components, reciprocals, l), hint);
         if result.is_some() {
             self.george_hint = result;
         }
@@ -390,6 +404,50 @@ fn george_predicate(components: &[DemandComponent], l: u64) -> bool {
             }
             None => (c.wcet().as_u128(), 1),
         }),
+        u128::from(l),
+    )
+}
+
+/// [`baruah_predicate`] evaluated through the refresher's precomputed
+/// period reciprocals (identical decisions; the pre-divided parts are
+/// exact).
+fn baruah_predicate_rcp(
+    components: &[DemandComponent],
+    reciprocals: &[Reciprocal],
+    max_diff: Time,
+    l: u64,
+) -> bool {
+    fracs_parts_le_integer_iter(
+        components.iter().zip(reciprocals).map(|(c, &rcp)| {
+            let period = c
+                .period()
+                .expect("Baruah applies to purely periodic workloads");
+            let num = c.wcet().as_u128() * (u128::from(l) + max_diff.as_u128());
+            rcp.divided_parts(num, period.as_u64())
+        }),
+        u128::from(l),
+    )
+}
+
+/// [`george_predicate`] evaluated through the refresher's precomputed
+/// period reciprocals (identical decisions).
+fn george_predicate_rcp(
+    components: &[DemandComponent],
+    reciprocals: &[Reciprocal],
+    l: u64,
+) -> bool {
+    fracs_parts_le_integer_iter(
+        components
+            .iter()
+            .zip(reciprocals)
+            .map(|(c, &rcp)| match c.period() {
+                Some(period) => {
+                    let slack = period.saturating_sub(c.first_deadline()).as_u128();
+                    let num = c.wcet().as_u128() * (u128::from(l) + slack);
+                    rcp.divided_parts(num, period.as_u64())
+                }
+                None => (c.wcet().as_u128(), 0, 1),
+            }),
         u128::from(l),
     )
 }

@@ -17,10 +17,9 @@
 //! order (a lazy k-way merge), which is the backbone of the processor
 //! demand, dynamic-error and all-approximated tests.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
 use edf_model::{Task, TaskSet, Time};
+
+use crate::workload::{DemandComponent, DemandEventIter};
 
 /// Demand bound function of a single task for interval length `interval`
 /// (Def. 2, split per task).
@@ -154,6 +153,12 @@ pub struct DeadlineEvent {
 /// Ties between tasks are returned as separate events (one per job), which
 /// lets callers accumulate per-job demand incrementally.
 ///
+/// Since the columnar-kernel rebuild this is a thin wrapper over the
+/// component-based
+/// [`DemandEventIter`] (a task maps to
+/// one component, so task indices and component indices coincide); the
+/// former task-specific binary-heap merge is gone.
+///
 /// # Examples
 ///
 /// ```
@@ -173,44 +178,29 @@ pub struct DeadlineEvent {
 /// # }
 /// ```
 #[derive(Debug)]
-pub struct DeadlineIter<'a> {
-    task_set: &'a TaskSet,
-    heap: BinaryHeap<Reverse<(Time, usize)>>,
-    horizon: Time,
+pub struct DeadlineIter {
+    inner: DemandEventIter,
 }
 
-impl<'a> DeadlineIter<'a> {
+impl DeadlineIter {
     /// Creates an iterator over all absolute deadlines `≤ horizon`.
     #[must_use]
-    pub fn new(task_set: &'a TaskSet, horizon: Time) -> Self {
-        let mut heap = BinaryHeap::with_capacity(task_set.len());
-        for (idx, task) in task_set.iter().enumerate() {
-            if task.deadline() <= horizon {
-                heap.push(Reverse((task.deadline(), idx)));
-            }
-        }
+    pub fn new(task_set: &TaskSet, horizon: Time) -> Self {
+        let components: Vec<DemandComponent> =
+            task_set.iter().map(DemandComponent::from_task).collect();
         DeadlineIter {
-            task_set,
-            heap,
-            horizon,
+            inner: DemandEventIter::new(&components, horizon),
         }
     }
 }
 
-impl Iterator for DeadlineIter<'_> {
+impl Iterator for DeadlineIter {
     type Item = DeadlineEvent;
 
     fn next(&mut self) -> Option<DeadlineEvent> {
-        let Reverse((deadline, task_index)) = self.heap.pop()?;
-        let task = &self.task_set[task_index];
-        if let Some(next) = deadline.checked_add(task.period()) {
-            if next <= self.horizon {
-                self.heap.push(Reverse((next, task_index)));
-            }
-        }
-        Some(DeadlineEvent {
-            deadline,
-            task_index,
+        self.inner.next().map(|event| DeadlineEvent {
+            deadline: event.interval,
+            task_index: event.component,
         })
     }
 }

@@ -8,7 +8,10 @@
 //! away state that is valid for every probe:
 //!
 //! * the **component vector layout** — probes rewrite the cost column in
-//!   place instead of reallocating;
+//!   place instead of reallocating; since the columnar-kernel rebuild
+//!   this is literally a column write into the scratch preparation's
+//!   [`DemandKernel`](crate::kernel::DemandKernel) (deadline, period and
+//!   sort columns are scale-invariant and never move);
 //! * the **deadline order** — periods, deadlines and offsets do not move
 //!   under WCET changes, so the sorted order computed once for the base
 //!   workload is seeded into the view and shared by every probe;
@@ -86,6 +89,10 @@ impl<'a> ScaledView<'a> {
             base.utilization_is_exact(),
         );
         scratch.seed_deadline_order(base.deadline_order().to_vec());
+        // A view over the scalar-reference oracle probes through the
+        // scalar path too, so the kernel-equivalence tests can compare
+        // whole search runs.
+        scratch.scalar_demand = base.scalar_demand;
         ScaledView {
             refresher: BoundRefresher::new(base.components()),
             base,

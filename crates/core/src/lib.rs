@@ -119,6 +119,7 @@ pub mod demand;
 pub mod event_stream_analysis;
 pub mod exhaustive;
 pub mod incremental;
+pub mod kernel;
 pub mod sensitivity;
 pub mod superposition;
 pub mod tests;
@@ -128,6 +129,7 @@ pub mod workload;
 pub use analysis::{Analysis, DemandOverload, FeasibilityTest, Verdict};
 pub use batch::BoxedTest;
 pub use incremental::ScaledView;
+pub use kernel::AnalysisScratch;
 pub use workload::{MixedSystem, PreparedWorkload, Workload};
 
 /// One entry of the test registry: the test's canonical name and its

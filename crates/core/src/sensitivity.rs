@@ -29,6 +29,7 @@ use edf_model::{TaskSet, Time};
 use crate::analysis::FeasibilityTest;
 use crate::batch::parallel_map;
 use crate::incremental::ScaledView;
+use crate::kernel::AnalysisScratch;
 use crate::tests::AllApproximatedTest;
 use crate::workload::{DemandComponent, PreparedWorkload, Workload};
 
@@ -123,7 +124,7 @@ pub fn breakdown_scaling_prepared(
     test: &dyn FeasibilityTest,
 ) -> Option<BreakdownScaling> {
     let mut view = ScaledView::new(base);
-    breakdown_with_view(&mut view, test)
+    breakdown_with_view(&mut view, test, &mut AnalysisScratch::new())
 }
 
 /// The breakdown probe schedule (doubling to an upper bound, then binary
@@ -178,6 +179,7 @@ fn slack_search(headroom: u64, mut accepts: impl FnMut(u64) -> bool) -> u64 {
 fn breakdown_with_view(
     view: &mut ScaledView<'_>,
     test: &dyn FeasibilityTest,
+    scratch: &mut AnalysisScratch,
 ) -> Option<BreakdownScaling> {
     if view.base().is_empty() {
         return None;
@@ -185,7 +187,7 @@ fn breakdown_with_view(
     let mut probes = 0u32;
     let lo = breakdown_search(|numer| {
         probes += 1;
-        test.analyze_prepared(view.scale_wcets(numer, SCALE_DENOMINATOR))
+        test.analyze_prepared_with(view.scale_wcets(numer, SCALE_DENOMINATOR), scratch)
             .verdict
             .is_feasible()
     })?;
@@ -286,11 +288,21 @@ pub fn wcet_slack_prepared(
     if component_index >= base.components().len() {
         return None;
     }
-    if !test.analyze_prepared(base).verdict.is_feasible() {
+    let mut scratch = AnalysisScratch::new();
+    if !test
+        .analyze_prepared_with(base, &mut scratch)
+        .verdict
+        .is_feasible()
+    {
         return None;
     }
     let mut view = ScaledView::new(base);
-    Some(wcet_slack_with_view(&mut view, component_index, test))
+    Some(wcet_slack_with_view(
+        &mut view,
+        component_index,
+        test,
+        &mut scratch,
+    ))
 }
 
 /// The slack binary search on an existing view; the callers guarantee
@@ -300,6 +312,7 @@ fn wcet_slack_with_view(
     view: &mut ScaledView<'_>,
     component_index: usize,
     test: &dyn FeasibilityTest,
+    scratch: &mut AnalysisScratch,
 ) -> Time {
     let component = view.base().components()[component_index];
     let headroom = component_headroom(&component);
@@ -308,7 +321,9 @@ fn wcet_slack_with_view(
     }
     let slack = slack_search(headroom.as_u64(), |extra| {
         let probed = view.with_component_wcet(component_index, component.wcet() + Time::new(extra));
-        test.analyze_prepared(probed).verdict.is_feasible()
+        test.analyze_prepared_with(probed, scratch)
+            .verdict
+            .is_feasible()
     });
     Time::new(slack)
 }
@@ -358,12 +373,17 @@ pub fn sensitivity_report(
     // breakdown result: the breakdown's first probe clamps costs to the
     // period, so for degenerate components (wcet > period) the two can
     // differ and the per-component contract is the base acceptance.
-    let base_accepted = test.analyze_prepared(&base).verdict.is_feasible();
+    // One scratch arena serves the whole report.
+    let mut scratch = AnalysisScratch::new();
+    let base_accepted = test
+        .analyze_prepared_with(&base, &mut scratch)
+        .verdict
+        .is_feasible();
     let mut view = ScaledView::new(&base);
-    let breakdown = breakdown_with_view(&mut view, test);
+    let breakdown = breakdown_with_view(&mut view, test, &mut scratch);
     let component_slack = if base_accepted {
         (0..base.components().len())
-            .map(|index| Some(wcet_slack_with_view(&mut view, index, test)))
+            .map(|index| Some(wcet_slack_with_view(&mut view, index, test, &mut scratch)))
             .collect()
     } else {
         vec![None; base.components().len()]

@@ -19,7 +19,7 @@
 
 use edf_model::{Task, Time};
 
-use crate::arith::ceil_div_u128;
+use crate::arith::{ceil_div_u128, fracs_parts_le_integer_iter, Reciprocal};
 use crate::demand::dbf_task;
 use crate::workload::DemandComponent;
 
@@ -166,6 +166,10 @@ pub struct ApproxTerm {
     pub im: Time,
     /// Exact demand `dbf(Im, τ)` of the source at `Im`.
     pub dbf_at_im: Time,
+    /// Precomputed reciprocal of `period`: the refining tests keep terms
+    /// alive across many comparisons, so each comparison divides by the
+    /// period via two multiplies instead of a hardware division.
+    pub(crate) rcp: Reciprocal,
 }
 
 impl ApproxTerm {
@@ -177,6 +181,7 @@ impl ApproxTerm {
             period: task.period(),
             im,
             dbf_at_im,
+            rcp: Reciprocal::new(task.period().as_u64()),
         }
     }
 
@@ -188,14 +193,30 @@ impl ApproxTerm {
     /// and must stay exact.
     #[must_use]
     pub fn for_component(component: &DemandComponent, im: Time, dbf_at_im: Time) -> Self {
+        let period = component
+            .period()
+            .expect("one-shot components are never approximated");
         ApproxTerm {
             wcet: component.wcet(),
-            period: component
-                .period()
-                .expect("one-shot components are never approximated"),
+            period,
             im,
             dbf_at_im,
+            rcp: Reciprocal::new(period.as_u64()),
         }
+    }
+
+    /// The pre-divided linear part `(⌊C·δ/T⌋, C·δ mod T, T)` of this term
+    /// at `interval` (`δ = interval − Im`), or `None` when the linear part
+    /// is still zero — computed through the precomputed reciprocal
+    /// whenever the numerator fits `u64` (virtually always).
+    #[inline]
+    fn linear_parts(&self, interval: Time) -> Option<(u128, u128, u128)> {
+        let delta = interval.saturating_sub(self.im);
+        if delta.is_zero() {
+            return None;
+        }
+        let num = self.wcet.as_u128() * delta.as_u128();
+        Some(self.rcp.divided_parts(num, self.period.as_u64()))
     }
 }
 
@@ -217,23 +238,28 @@ pub fn approx_demand_within(
     interval: Time,
 ) -> bool {
     let mut base = exact_demand.as_u128();
-    let mut fractions: Vec<(u128, u128)> = Vec::with_capacity(approx_terms.len());
     for term in approx_terms {
         debug_assert!(
             interval >= term.im,
             "approximation queried before its start"
         );
         base += term.dbf_at_im.as_u128();
-        let delta = interval.saturating_sub(term.im);
-        if !delta.is_zero() {
-            fractions.push((term.wcet.as_u128() * delta.as_u128(), term.period.as_u128()));
-        }
     }
     let capacity = interval.as_u128();
     if base > capacity {
         return false;
     }
-    crate::arith::fracs_le_integer(&fractions, capacity - base)
+    // The linear parts go straight into the allocation-free, pre-divided
+    // iterator form of the comparison (this runs once per examined test
+    // interval of the refining tests — the hottest rational comparison in
+    // the crate — and every division runs through the terms' precomputed
+    // period reciprocals).
+    fracs_parts_le_integer_iter(
+        approx_terms
+            .iter()
+            .filter_map(|term| term.linear_parts(interval)),
+        capacity - base,
+    )
 }
 
 /// The over-estimation `app(I, τ)` of Lemma 6 in the ceiling-division

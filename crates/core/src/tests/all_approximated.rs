@@ -22,11 +22,11 @@
 //! changes a verdict).
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 use edf_model::Time;
 
 use crate::analysis::{Analysis, DemandOverload, FeasibilityTest, IterationCounter, Verdict};
+use crate::kernel::{AnalysisScratch, RefinementState};
 use crate::superposition::{approx_demand_within, approximation_error_component, ApproxTerm};
 use crate::workload::{DemandComponent, PreparedWorkload};
 
@@ -136,19 +136,6 @@ impl AllApproximatedTest {
     }
 }
 
-/// Per-component bookkeeping.
-#[derive(Debug, Clone, Copy)]
-struct ComponentState {
-    /// Exact demand of the examined deadlines of this component.
-    examined_demand: Time,
-    /// Number of jobs of this component examined exactly so far (the
-    /// quantity [`AllApproximatedTest::with_max_level`] limits).
-    examined_jobs: u64,
-    /// `Some((im, seq))` when approximated from `im`, with the sequence
-    /// number of the approximation (for FIFO revision).
-    approximated: Option<(Time, u64)>,
-}
-
 /// Number of jobs of `component` with deadlines inside an interval of
 /// length `interval` — how many jobs a withdrawal up to `interval` has
 /// examined exactly.
@@ -171,7 +158,11 @@ impl FeasibilityTest for AllApproximatedTest {
         self.max_level.is_none()
     }
 
-    fn analyze_demand(&self, workload: &PreparedWorkload) -> Analysis {
+    fn analyze_demand(
+        &self,
+        workload: &PreparedWorkload,
+        scratch: &mut AnalysisScratch,
+    ) -> Analysis {
         if workload.is_empty() {
             return Analysis::trivial(Verdict::Feasible);
         }
@@ -184,44 +175,50 @@ impl FeasibilityTest for AllApproximatedTest {
         let components = workload.components();
 
         let mut counter = IterationCounter::new();
-        let mut states: Vec<ComponentState> = vec![
-            ComponentState {
-                examined_demand: Time::ZERO,
-                examined_jobs: 0,
-                approximated: None,
-            };
-            components.len()
-        ];
+        // All transient buffers come from the scratch (see
+        // [`AnalysisScratch`]); a batch worker runs this test
+        // allocation-free after warm-up.  The exact part and the
+        // approximation-term list are maintained *incrementally* across
+        // comparisons — a comparison costs one pass over the live terms,
+        // not a rebuild of the whole state vector.
+        let states = &mut scratch.refine;
+        states.clear();
+        states.resize(components.len(), RefinementState::default());
         let mut approx_seq: u64 = 0;
-        let mut pending: BinaryHeap<Reverse<(Time, usize)>> = BinaryHeap::new();
+        let pending = &mut scratch.pending;
+        pending.clear();
         for (idx, component) in components.iter().enumerate() {
             if component.first_deadline() <= horizon {
                 pending.push(Reverse((component.first_deadline(), idx)));
             }
         }
+        let approx_terms = &mut scratch.approx_terms;
+        approx_terms.clear();
+        let term_owner = &mut scratch.term_owner;
+        term_owner.clear();
+        // Running Σ examined_demand over the *unapproximated* components,
+        // tracked exactly in u128 (clamping to `Time` range only at the
+        // comparison, which reproduces the former saturating fold bit for
+        // bit).
+        let mut exact_sum: u128 = 0;
 
         while let Some(Reverse((interval, idx))) = pending.pop() {
-            states[idx].examined_demand = states[idx]
+            // Popped components are never approximated: approximation
+            // happens right after a component's own interval is examined
+            // (without scheduling a next one), and only a withdrawal — which
+            // also clears the approximation — re-enters it into `pending`.
+            debug_assert!(states[idx].approximated_from.is_none());
+            let examined = states[idx]
                 .examined_demand
                 .saturating_add(components[idx].wcet());
+            exact_sum += u128::from((examined - states[idx].examined_demand).as_u64());
+            states[idx].examined_demand = examined;
             states[idx].examined_jobs += 1;
 
             loop {
                 counter.record(interval);
-                let exact_part: Time = states
-                    .iter()
-                    .filter(|s| s.approximated.is_none())
-                    .fold(Time::ZERO, |acc, s| acc.saturating_add(s.examined_demand));
-                let approx_terms: Vec<ApproxTerm> = states
-                    .iter()
-                    .enumerate()
-                    .filter_map(|(j, s)| {
-                        s.approximated.map(|(im, _)| {
-                            ApproxTerm::for_component(&components[j], im, s.examined_demand)
-                        })
-                    })
-                    .collect();
-                if approx_demand_within(exact_part, &approx_terms, interval) {
+                let exact_part = Time::new(exact_sum.min(u128::from(u64::MAX)) as u64);
+                if approx_demand_within(exact_part, approx_terms, interval) {
                     break;
                 }
                 if approx_terms.is_empty() {
@@ -236,15 +233,17 @@ impl FeasibilityTest for AllApproximatedTest {
                 // Withdraw one approximation according to the configured
                 // revision order; components refined up to the level limit
                 // are no longer candidates.
-                let Some(revise) = self.pick_revision(components, &states, interval) else {
+                let Some(revise) = self.pick_revision(components, states, interval) else {
                     // Every remaining approximation is beyond the limit —
                     // its over-estimation is within the target error, so
                     // the failure is inconclusive (see `with_max_level`).
                     return counter.finish(Verdict::Unknown, None);
                 };
-                states[revise].approximated = None;
+                remove_term(approx_terms, term_owner, states, revise);
+                states[revise].approximated_from = None;
                 states[revise].examined_demand = components[revise].dbf(interval);
                 states[revise].examined_jobs = jobs_within(&components[revise], interval);
+                exact_sum += u128::from(states[revise].examined_demand.as_u64());
                 if let Some(next) = components[revise].next_deadline_after(interval) {
                     if next <= horizon {
                         pending.push(Reverse((next, revise)));
@@ -256,12 +255,37 @@ impl FeasibilityTest for AllApproximatedTest {
             // on.  One-shot components have no future demand, so they stay
             // in the exact part instead.
             if components[idx].period().is_some() {
-                states[idx].approximated = Some((interval, approx_seq));
+                states[idx].approximated_from = Some(interval);
+                states[idx].approx_seq = approx_seq;
                 approx_seq += 1;
+                states[idx].term_slot = approx_terms.len() as u32;
+                approx_terms.push(ApproxTerm::for_component(
+                    &components[idx],
+                    interval,
+                    states[idx].examined_demand,
+                ));
+                term_owner.push(idx as u32);
+                exact_sum -= u128::from(states[idx].examined_demand.as_u64());
             }
         }
 
         counter.finish(Verdict::Feasible, None)
+    }
+}
+
+/// Swap-removes the approximation term of component `withdrawn`, patching
+/// the `term_slot` of the component whose term was moved into the gap.
+pub(crate) fn remove_term(
+    terms: &mut Vec<ApproxTerm>,
+    owners: &mut Vec<u32>,
+    states: &mut [RefinementState],
+    withdrawn: usize,
+) {
+    let slot = states[withdrawn].term_slot as usize;
+    terms.swap_remove(slot);
+    owners.swap_remove(slot);
+    if slot < terms.len() {
+        states[owners[slot] as usize].term_slot = slot as u32;
     }
 }
 
@@ -272,7 +296,7 @@ impl AllApproximatedTest {
     fn pick_revision(
         &self,
         components: &[DemandComponent],
-        states: &[ComponentState],
+        states: &[RefinementState],
         interval: Time,
     ) -> Option<usize> {
         let approximated = states.iter().enumerate().filter_map(|(j, s)| {
@@ -281,7 +305,7 @@ impl AllApproximatedTest {
                     return None;
                 }
             }
-            s.approximated.map(|(im, seq)| (j, im, seq))
+            s.approximated_from.map(|im| (j, im, s.approx_seq))
         });
         match self.revision_order {
             RevisionOrder::Fifo => approximated

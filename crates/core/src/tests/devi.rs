@@ -13,6 +13,7 @@
 
 use crate::analysis::{Analysis, FeasibilityTest, IterationCounter, Verdict};
 use crate::arith::fracs_le_integer;
+use crate::kernel::AnalysisScratch;
 use crate::workload::PreparedWorkload;
 
 /// Devi's sufficient test.
@@ -55,7 +56,11 @@ impl FeasibilityTest for DeviTest {
         false
     }
 
-    fn analyze_demand(&self, workload: &PreparedWorkload) -> Analysis {
+    fn analyze_demand(
+        &self,
+        workload: &PreparedWorkload,
+        scratch: &mut AnalysisScratch,
+    ) -> Analysis {
         if workload.is_empty() {
             return Analysis::trivial(Verdict::Feasible);
         }
@@ -64,29 +69,28 @@ impl FeasibilityTest for DeviTest {
         }
         let components = workload.components();
         let order = workload.deadline_order();
+        let terms = &mut scratch.devi_terms;
         let mut counter = IterationCounter::new();
         for k in 1..=order.len() {
             let dk = components[order[k - 1]].first_deadline();
             counter.record(dk);
             // Check Σ_{i<=k} Ci·(Dk + Ti − min(Ti, Di)) / Ti  <=  Dk exactly;
             // one-shot components contribute their constant cost.
-            let terms: Vec<(u128, u128)> = order[..k]
-                .iter()
-                .map(|&i| {
-                    let component = &components[i];
-                    match component.period() {
-                        Some(period) => {
-                            let slack = period.saturating_sub(component.first_deadline());
-                            (
-                                component.wcet().as_u128() * (dk.as_u128() + slack.as_u128()),
-                                period.as_u128(),
-                            )
-                        }
-                        None => (component.wcet().as_u128(), 1),
+            terms.clear();
+            terms.extend(order[..k].iter().map(|&i| {
+                let component = &components[i];
+                match component.period() {
+                    Some(period) => {
+                        let slack = period.saturating_sub(component.first_deadline());
+                        (
+                            component.wcet().as_u128() * (dk.as_u128() + slack.as_u128()),
+                            period.as_u128(),
+                        )
                     }
-                })
-                .collect();
-            if !fracs_le_integer(&terms, dk.as_u128()) {
+                    None => (component.wcet().as_u128(), 1),
+                }
+            }));
+            if !fracs_le_integer(terms, dk.as_u128()) {
                 return counter.finish(Verdict::Unknown, None);
             }
         }

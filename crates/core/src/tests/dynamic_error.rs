@@ -19,12 +19,13 @@
 //! strictly limited worst-case run time, as discussed at the end of §4.1.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 use edf_model::Time;
 
 use crate::analysis::{Analysis, DemandOverload, FeasibilityTest, IterationCounter, Verdict};
+use crate::kernel::{AnalysisScratch, RefinementState};
 use crate::superposition::{approx_demand_within, ApproxTerm};
+use crate::tests::all_approximated::remove_term;
 use crate::workload::PreparedWorkload;
 
 /// How the approximation level grows when the current level is too coarse.
@@ -145,15 +146,6 @@ impl DynamicErrorTest {
     }
 }
 
-/// Per-component bookkeeping of the sweep.
-#[derive(Debug, Clone, Copy)]
-struct ComponentState {
-    /// Exact demand of the deadlines of this component examined so far.
-    examined_demand: Time,
-    /// `Some(im)` when the component is currently approximated from `im` on.
-    approximated_from: Option<Time>,
-}
-
 impl FeasibilityTest for DynamicErrorTest {
     fn name(&self) -> &str {
         "dynamic-error"
@@ -163,7 +155,11 @@ impl FeasibilityTest for DynamicErrorTest {
         self.max_level.is_none()
     }
 
-    fn analyze_demand(&self, workload: &PreparedWorkload) -> Analysis {
+    fn analyze_demand(
+        &self,
+        workload: &PreparedWorkload,
+        scratch: &mut AnalysisScratch,
+    ) -> Analysis {
         if workload.is_empty() {
             return Analysis::trivial(Verdict::Feasible);
         }
@@ -177,46 +173,47 @@ impl FeasibilityTest for DynamicErrorTest {
 
         let mut level = self.initial_level;
         let mut counter = IterationCounter::new();
-        let mut states: Vec<ComponentState> = vec![
-            ComponentState {
-                examined_demand: Time::ZERO,
-                approximated_from: None,
-            };
-            components.len()
-        ];
-        // Pending exact test intervals: (absolute deadline, component index).
-        let mut pending: BinaryHeap<Reverse<(Time, usize)>> = BinaryHeap::new();
+        // All transient buffers — the state vector, the pending-interval
+        // heap and the approximation terms — come from the scratch, so a
+        // batch worker runs this test allocation-free after warm-up.  As in
+        // the all-approximated test, the exact part and the term list are
+        // maintained incrementally instead of being rebuilt per comparison.
+        let states = &mut scratch.refine;
+        states.clear();
+        states.resize(components.len(), RefinementState::default());
+        let pending = &mut scratch.pending;
+        pending.clear();
         for (idx, component) in components.iter().enumerate() {
             if component.first_deadline() <= horizon {
                 pending.push(Reverse((component.first_deadline(), idx)));
             }
         }
+        let approx_terms = &mut scratch.approx_terms;
+        approx_terms.clear();
+        let term_owner = &mut scratch.term_owner;
+        term_owner.clear();
+        // Running Σ examined_demand over the unapproximated components
+        // (exact in u128, clamped to `Time` range at each comparison —
+        // bit-identical to the former saturating fold).
+        let mut exact_sum: u128 = 0;
 
         while let Some(Reverse((interval, idx))) = pending.pop() {
-            // The popped interval is an exact deadline of component `idx`.
-            states[idx].examined_demand = states[idx]
+            // The popped interval is an exact deadline of component `idx`
+            // (which is never approximated while it has a pending entry).
+            debug_assert!(states[idx].approximated_from.is_none());
+            let examined = states[idx]
                 .examined_demand
                 .saturating_add(components[idx].wcet());
+            exact_sum += u128::from((examined - states[idx].examined_demand).as_u64());
+            states[idx].examined_demand = examined;
 
             // Compare the approximated demand against the capacity; refine
             // (raise the level, withdraw approximations) until it fits or
             // no approximation is left.
             loop {
                 counter.record(interval);
-                let exact_part: Time = states
-                    .iter()
-                    .filter(|s| s.approximated_from.is_none())
-                    .fold(Time::ZERO, |acc, s| acc.saturating_add(s.examined_demand));
-                let approx_terms: Vec<ApproxTerm> = states
-                    .iter()
-                    .enumerate()
-                    .filter_map(|(j, s)| {
-                        s.approximated_from.map(|im| {
-                            ApproxTerm::for_component(&components[j], im, s.examined_demand)
-                        })
-                    })
-                    .collect();
-                if approx_demand_within(exact_part, &approx_terms, interval) {
+                let exact_part = Time::new(exact_sum.min(u128::from(u64::MAX)) as u64);
+                if approx_demand_within(exact_part, approx_terms, interval) {
                     break;
                 }
                 if approx_terms.is_empty() {
@@ -247,8 +244,10 @@ impl FeasibilityTest for DynamicErrorTest {
                         // Withdraw the approximation of components that would
                         // not be approximated at `im` under the new level.
                         if components[j].max_test_interval(level) > im {
+                            remove_term(approx_terms, term_owner, states, j);
                             states[j].approximated_from = None;
                             states[j].examined_demand = components[j].dbf(interval);
+                            exact_sum += u128::from(states[j].examined_demand.as_u64());
                             if let Some(next) = components[j].next_deadline_after(interval) {
                                 if next <= horizon {
                                     pending.push(Reverse((next, j)));
@@ -286,6 +285,14 @@ impl FeasibilityTest for DynamicErrorTest {
                 }
             } else {
                 states[idx].approximated_from = Some(interval);
+                states[idx].term_slot = approx_terms.len() as u32;
+                approx_terms.push(ApproxTerm::for_component(
+                    &components[idx],
+                    interval,
+                    states[idx].examined_demand,
+                ));
+                term_owner.push(idx as u32);
+                exact_sum -= u128::from(states[idx].examined_demand.as_u64());
             }
         }
 

@@ -12,6 +12,7 @@ use edf_model::Time;
 
 use crate::analysis::{Analysis, DemandOverload, FeasibilityTest, IterationCounter, Verdict};
 use crate::bounds;
+use crate::kernel::AnalysisScratch;
 use crate::workload::PreparedWorkload;
 
 /// Which feasibility bound limits the search of the processor demand test.
@@ -110,7 +111,11 @@ impl FeasibilityTest for ProcessorDemandTest {
         !matches!(self.bound, BoundSelection::Fixed(_))
     }
 
-    fn analyze_demand(&self, workload: &PreparedWorkload) -> Analysis {
+    fn analyze_demand(
+        &self,
+        workload: &PreparedWorkload,
+        scratch: &mut AnalysisScratch,
+    ) -> Analysis {
         if workload.is_empty() {
             return Analysis::trivial(Verdict::Feasible);
         }
@@ -121,25 +126,18 @@ impl FeasibilityTest for ProcessorDemandTest {
             // U == 1 with an overflowing hyperperiod: no usable bound.
             return Analysis::trivial(Verdict::Unknown);
         };
-        let components = workload.components();
         let mut counter = IterationCounter::new();
         let mut demand = Time::ZERO;
-        let mut iter = workload.demand_events(horizon).peekable();
-        while let Some(event) = iter.next() {
-            demand = demand.saturating_add(components[event.component].wcet());
-            // Fold all jobs sharing this absolute deadline into one check.
-            while matches!(iter.peek(), Some(next) if next.interval == event.interval) {
-                let extra = iter.next().expect("peeked event exists");
-                demand = demand.saturating_add(components[extra.component].wcet());
-            }
-            counter.record(event.interval);
-            if demand > event.interval {
+        // The loser-tree merge hands equal-deadline runs over as one
+        // coalesced step, so the walk is exactly one comparison per
+        // distinct interval — no peek-and-fold loop.
+        for (interval, step) in workload.demand_steps(horizon, scratch) {
+            demand = demand.saturating_add(step);
+            counter.record(interval);
+            if demand > interval {
                 return counter.finish(
                     Verdict::Infeasible,
-                    Some(DemandOverload {
-                        interval: event.interval,
-                        demand,
-                    }),
+                    Some(DemandOverload { interval, demand }),
                 );
             }
         }

@@ -16,6 +16,7 @@
 use edf_model::Time;
 
 use crate::analysis::{Analysis, DemandOverload, FeasibilityTest, IterationCounter, Verdict};
+use crate::kernel::AnalysisScratch;
 use crate::workload::PreparedWorkload;
 
 /// The QPA exact feasibility test.
@@ -56,7 +57,11 @@ impl FeasibilityTest for QpaTest {
         true
     }
 
-    fn analyze_demand(&self, workload: &PreparedWorkload) -> Analysis {
+    fn analyze_demand(
+        &self,
+        workload: &PreparedWorkload,
+        _scratch: &mut AnalysisScratch,
+    ) -> Analysis {
         if workload.is_empty() {
             return Analysis::trivial(Verdict::Feasible);
         }
@@ -75,9 +80,21 @@ impl FeasibilityTest for QpaTest {
         let Some(mut t) = workload.last_deadline_below(start) else {
             return counter.finish(Verdict::Feasible, None);
         };
+        // `demand == t` steps need the predecessor deadline as well as the
+        // demand, and such plateau steps cluster: once one occurs, the next
+        // step usually needs both again.  Inside a plateau run the kernel's
+        // fused query delivers demand and predecessor in one pass over the
+        // columns (the former code paid a second full scan and discarded
+        // the already-computed demand); on ordinary descending steps —
+        // the overwhelmingly common case — only the demand is evaluated.
+        let mut on_plateau = false;
         loop {
             counter.record(t);
-            let demand = workload.dbf(t);
+            let (demand, predecessor) = if on_plateau {
+                workload.demand_and_predecessor(t)
+            } else {
+                (workload.dbf(t), None)
+            };
             if demand > t {
                 return counter.finish(
                     Verdict::Infeasible,
@@ -91,10 +108,13 @@ impl FeasibilityTest for QpaTest {
                 return counter.finish(Verdict::Feasible, None);
             }
             t = if demand < t {
+                on_plateau = false;
                 demand
             } else {
                 // demand == t: step down to the largest deadline below t.
-                match workload.last_deadline_below(t) {
+                let prev = predecessor.or_else(|| workload.last_deadline_below(t));
+                on_plateau = true;
+                match prev {
                     Some(prev) => prev,
                     None => return counter.finish(Verdict::Feasible, None),
                 }

@@ -8,11 +8,11 @@
 //! test.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 use edf_model::Time;
 
 use crate::analysis::{Analysis, DemandOverload, FeasibilityTest, IterationCounter, Verdict};
+use crate::kernel::AnalysisScratch;
 use crate::superposition::{approx_demand_within, dbf_approx_components, ApproxTerm};
 use crate::workload::PreparedWorkload;
 
@@ -90,7 +90,11 @@ impl FeasibilityTest for SuperpositionTest {
         false
     }
 
-    fn analyze_demand(&self, workload: &PreparedWorkload) -> Analysis {
+    fn analyze_demand(
+        &self,
+        workload: &PreparedWorkload,
+        scratch: &mut AnalysisScratch,
+    ) -> Analysis {
         if workload.is_empty() {
             return Analysis::trivial(Verdict::Feasible);
         }
@@ -99,11 +103,27 @@ impl FeasibilityTest for SuperpositionTest {
         }
         let components = workload.components();
         // Test intervals: deadlines of the first `level` jobs of each
-        // component, merged in ascending order, de-duplicated.
-        let mut heap: BinaryHeap<Reverse<(Time, usize, u64)>> = BinaryHeap::new();
+        // component, merged in ascending order, de-duplicated.  The heap
+        // and the approximation-term buffer live in the scratch so batch
+        // workers reuse them across workloads.
+        let heap = &mut scratch.level_heap;
+        heap.clear();
         for (idx, component) in components.iter().enumerate() {
             heap.push(Reverse((component.first_deadline(), idx, 1)));
         }
+        // The per-component approximation data — border `Im`, exact demand
+        // at the border and the period reciprocal — is invariant across
+        // test intervals at a fixed level, so the term prototypes are built
+        // exactly once (one-shots have no linear tail and get `None`).
+        let prototypes = &mut scratch.term_cache;
+        prototypes.clear();
+        prototypes.extend(components.iter().map(|component| {
+            component.period().is_some().then(|| {
+                let im = component.max_test_interval(self.level);
+                ApproxTerm::for_component(component, im, component.dbf(im))
+            })
+        }));
+        let approx_terms = &mut scratch.approx_terms;
         let mut counter = IterationCounter::new();
         let mut last_checked: Option<Time> = None;
         while let Some(Reverse((interval, idx, job))) = heap.pop() {
@@ -124,18 +144,16 @@ impl FeasibilityTest for SuperpositionTest {
             // Real-valued superposition comparison (Def. 5), evaluated with
             // exact rational arithmetic.
             let mut exact_part = Time::ZERO;
-            let mut approx_terms = Vec::new();
-            for component in components {
-                let im = component.max_test_interval(self.level);
-                if interval <= im || component.period().is_none() {
-                    // One-shot demand is constant beyond `im` — exact either
-                    // way.
-                    exact_part = exact_part.saturating_add(component.dbf(interval));
-                } else {
-                    approx_terms.push(ApproxTerm::for_component(component, im, component.dbf(im)));
+            approx_terms.clear();
+            for (component, prototype) in components.iter().zip(prototypes.iter()) {
+                match prototype {
+                    Some(term) if interval > term.im => approx_terms.push(*term),
+                    // Below the border, or a one-shot (whose demand is
+                    // constant beyond `im`) — exact either way.
+                    _ => exact_part = exact_part.saturating_add(component.dbf(interval)),
                 }
             }
-            if !approx_demand_within(exact_part, &approx_terms, interval) {
+            if !approx_demand_within(exact_part, approx_terms, interval) {
                 // Report the (slightly pessimistic) integer upper bound of
                 // the approximated demand as the witness.
                 let demand = dbf_approx_components(components, self.level, interval);

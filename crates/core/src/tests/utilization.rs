@@ -2,6 +2,7 @@
 
 use crate::analysis::{Analysis, FeasibilityTest, Verdict};
 use crate::arith::{BoundCheck, FracSum};
+use crate::kernel::AnalysisScratch;
 use crate::workload::PreparedWorkload;
 
 /// The Liu & Layland utilization test: for task sets whose deadlines are no
@@ -49,7 +50,11 @@ impl FeasibilityTest for LiuLaylandTest {
         false
     }
 
-    fn analyze_demand(&self, workload: &PreparedWorkload) -> Analysis {
+    fn analyze_demand(
+        &self,
+        workload: &PreparedWorkload,
+        _scratch: &mut AnalysisScratch,
+    ) -> Analysis {
         if workload.is_empty() {
             return Analysis::trivial(Verdict::Feasible);
         }
@@ -97,7 +102,11 @@ impl FeasibilityTest for DensityTest {
         false
     }
 
-    fn analyze_demand(&self, workload: &PreparedWorkload) -> Analysis {
+    fn analyze_demand(
+        &self,
+        workload: &PreparedWorkload,
+        _scratch: &mut AnalysisScratch,
+    ) -> Analysis {
         if workload.is_empty() {
             return Analysis::trivial(Verdict::Feasible);
         }

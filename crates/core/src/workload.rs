@@ -51,8 +51,6 @@
 //! # }
 //! ```
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::sync::OnceLock;
 
 use edf_model::{
@@ -62,6 +60,7 @@ use edf_model::{
 
 use crate::arith::fracs_le_integer_iter;
 use crate::bounds::FeasibilityBounds;
+use crate::kernel::{merge_pop, AnalysisScratch, DemandKernel, DemandSteps, MergeState};
 
 /// The elementary demand generator behind every supported task model.
 ///
@@ -306,45 +305,32 @@ pub struct DemandEvent {
 /// workloads).
 ///
 /// Ties are returned as separate events, one per job, so callers can
-/// accumulate per-job demand incrementally.
+/// accumulate per-job demand incrementally.  Since the columnar-kernel
+/// rebuild the merge runs on a flat loser tree
+/// ([`MergeState`]) that owns its stream state —
+/// the iterator no longer borrows the component list — and the heap-based
+/// original survives as [`crate::kernel::reference::demand_events`] for
+/// the equivalence tests.
 #[derive(Debug)]
-pub struct DemandEventIter<'a> {
-    components: &'a [DemandComponent],
-    heap: BinaryHeap<Reverse<(Time, usize)>>,
-    horizon: Time,
+pub struct DemandEventIter {
+    merge: MergeState,
 }
 
-impl<'a> DemandEventIter<'a> {
+impl DemandEventIter {
     /// Creates the iterator over all job deadlines `≤ horizon`.
     #[must_use]
-    pub fn new(components: &'a [DemandComponent], horizon: Time) -> Self {
-        let mut heap = BinaryHeap::with_capacity(components.len());
-        for (idx, component) in components.iter().enumerate() {
-            if component.first_deadline() <= horizon {
-                heap.push(Reverse((component.first_deadline(), idx)));
-            }
-        }
-        DemandEventIter {
-            components,
-            heap,
-            horizon,
-        }
+    pub fn new(components: &[DemandComponent], horizon: Time) -> Self {
+        let mut merge = MergeState::default();
+        merge.init(components, horizon);
+        DemandEventIter { merge }
     }
 }
 
-impl Iterator for DemandEventIter<'_> {
+impl Iterator for DemandEventIter {
     type Item = DemandEvent;
 
     fn next(&mut self) -> Option<DemandEvent> {
-        let Reverse((interval, component)) = self.heap.pop()?;
-        if let Some(period) = self.components[component].period() {
-            if let Some(next) = interval.checked_add(period) {
-                if next <= self.horizon {
-                    self.heap.push(Reverse((next, component)));
-                }
-            }
-        }
-        Some(DemandEvent {
+        merge_pop(&mut self.merge).map(|(interval, component)| DemandEvent {
             interval,
             component,
         })
@@ -363,6 +349,15 @@ impl Iterator for DemandEventIter<'_> {
 pub trait Workload {
     /// Decomposes the workload into elementary demand components.
     fn demand_components(&self) -> Vec<DemandComponent>;
+
+    /// Appends the decomposition to `out` without allocating a fresh
+    /// vector — the entry point of the allocation-free batch preparation
+    /// path ([`PreparedWorkload::recycled`]).  The default goes through
+    /// [`Workload::demand_components`]; the built-in models override it to
+    /// push components directly.
+    fn append_components(&self, out: &mut Vec<DemandComponent>) {
+        out.extend(self.demand_components());
+    }
 
     /// Number of user-visible tasks (for reporting; a bursty event stream
     /// is one task but several components).
@@ -434,6 +429,10 @@ impl Workload for TaskSet {
         self.iter().map(DemandComponent::from_task).collect()
     }
 
+    fn append_components(&self, out: &mut Vec<DemandComponent>) {
+        out.extend(self.iter().map(DemandComponent::from_task));
+    }
+
     fn task_count(&self) -> usize {
         self.len()
     }
@@ -452,6 +451,10 @@ impl Workload for Task {
         vec![DemandComponent::from_task(self)]
     }
 
+    fn append_components(&self, out: &mut Vec<DemandComponent>) {
+        out.push(DemandComponent::from_task(self));
+    }
+
     fn task_count(&self) -> usize {
         1
     }
@@ -460,6 +463,10 @@ impl Workload for Task {
 impl Workload for EventStreamTask {
     fn demand_components(&self) -> Vec<DemandComponent> {
         stream_task_components(self)
+    }
+
+    fn append_components(&self, out: &mut Vec<DemandComponent>) {
+        tuple_components_into(self.wcet(), self.deadline(), self.stream().tuples(), out);
     }
 
     fn task_count(&self) -> usize {
@@ -480,6 +487,12 @@ impl Workload for [EventStreamTask] {
         self.iter().flat_map(stream_task_components).collect()
     }
 
+    fn append_components(&self, out: &mut Vec<DemandComponent>) {
+        for task in self {
+            task.append_components(out);
+        }
+    }
+
     fn task_count(&self) -> usize {
         self.len()
     }
@@ -492,6 +505,10 @@ impl Workload for [EventStreamTask] {
 impl Workload for Vec<EventStreamTask> {
     fn demand_components(&self) -> Vec<DemandComponent> {
         self.as_slice().demand_components()
+    }
+
+    fn append_components(&self, out: &mut Vec<DemandComponent>) {
+        self.as_slice().append_components(out);
     }
 
     fn task_count(&self) -> usize {
@@ -519,18 +536,31 @@ fn stream_task_components(task: &EventStreamTask) -> Vec<DemandComponent> {
 /// one place is what makes a converted task *analysis-equivalent*, not
 /// just demand-equivalent.
 fn tuple_components(wcet: Time, deadline: Time, tuples: &[EventTuple]) -> Vec<DemandComponent> {
-    tuples
-        .iter()
-        .map(|tuple| match tuple.cycle {
-            Some(cycle) => DemandComponent::periodic_from(wcet, deadline, cycle, tuple.offset),
-            None => DemandComponent::one_shot(wcet, deadline, tuple.offset),
-        })
-        .collect()
+    let mut out = Vec::with_capacity(tuples.len());
+    tuple_components_into(wcet, deadline, tuples, &mut out);
+    out
+}
+
+/// [`tuple_components`], appending into a caller-provided buffer.
+fn tuple_components_into(
+    wcet: Time,
+    deadline: Time,
+    tuples: &[EventTuple],
+    out: &mut Vec<DemandComponent>,
+) {
+    out.extend(tuples.iter().map(|tuple| match tuple.cycle {
+        Some(cycle) => DemandComponent::periodic_from(wcet, deadline, cycle, tuple.offset),
+        None => DemandComponent::one_shot(wcet, deadline, tuple.offset),
+    }));
 }
 
 impl Workload for ArrivalCurveTask {
     fn demand_components(&self) -> Vec<DemandComponent> {
         curve_task_components(self)
+    }
+
+    fn append_components(&self, out: &mut Vec<DemandComponent>) {
+        curve_task_components_into(self, out);
     }
 
     fn task_count(&self) -> usize {
@@ -564,6 +594,12 @@ impl Workload for [ArrivalCurveTask] {
         self.iter().flat_map(curve_task_components).collect()
     }
 
+    fn append_components(&self, out: &mut Vec<DemandComponent>) {
+        for task in self {
+            curve_task_components_into(task, out);
+        }
+    }
+
     fn task_count(&self) -> usize {
         self.len()
     }
@@ -590,6 +626,10 @@ impl Workload for [ArrivalCurveTask] {
 impl Workload for Vec<ArrivalCurveTask> {
     fn demand_components(&self) -> Vec<DemandComponent> {
         self.as_slice().demand_components()
+    }
+
+    fn append_components(&self, out: &mut Vec<DemandComponent>) {
+        self.as_slice().append_components(out);
     }
 
     fn task_count(&self) -> usize {
@@ -626,26 +666,33 @@ impl Workload for Vec<ArrivalCurveTask> {
 /// components regardless of the staircase size.  Falls back to the exact
 /// decomposition when the curve has no envelope.
 fn curve_task_components(task: &ArrivalCurveTask) -> Vec<DemandComponent> {
+    let mut out = Vec::new();
+    curve_task_components_into(task, &mut out);
+    out
+}
+
+/// [`curve_task_components`], appending into a caller-provided buffer.
+fn curve_task_components_into(task: &ArrivalCurveTask, out: &mut Vec<DemandComponent>) {
     if task.decomposition() == CurveDecomposition::Conservative {
         if let Some(envelope) = task.curve().leaky_bucket_envelope() {
-            let mut components = Vec::with_capacity(envelope.burst as usize + 1);
+            out.reserve(envelope.burst as usize + 1);
             for _ in 0..envelope.burst {
-                components.push(DemandComponent::one_shot(
+                out.push(DemandComponent::one_shot(
                     task.wcet(),
                     task.deadline(),
                     Time::ZERO,
                 ));
             }
-            components.push(DemandComponent::periodic_from(
+            out.push(DemandComponent::periodic_from(
                 task.wcet(),
                 task.deadline(),
                 envelope.distance,
                 envelope.distance,
             ));
-            return components;
+            return;
         }
     }
-    tuple_components(task.wcet(), task.deadline(), task.curve().steps())
+    tuple_components_into(task.wcet(), task.deadline(), task.curve().steps(), out);
 }
 
 /// The **synchronous** decomposition of a transaction: all parts released
@@ -663,6 +710,14 @@ impl Workload for Transaction {
             .iter()
             .map(|part| DemandComponent::periodic(part.wcet(), part.deadline(), self.period()))
             .collect()
+    }
+
+    fn append_components(&self, out: &mut Vec<DemandComponent>) {
+        out.extend(
+            self.parts()
+                .iter()
+                .map(|part| DemandComponent::periodic(part.wcet(), part.deadline(), self.period())),
+        );
     }
 
     fn task_count(&self) -> usize {
@@ -691,11 +746,16 @@ impl Workload for Transaction {
 /// lives in [`crate::transactions`].
 impl Workload for TransactionSystem {
     fn demand_components(&self) -> Vec<DemandComponent> {
-        let mut components = Workload::demand_components(self.sporadic());
-        for transaction in self.transactions() {
-            components.extend(Workload::demand_components(transaction));
-        }
+        let mut components = Vec::new();
+        self.append_components(&mut components);
         components
+    }
+
+    fn append_components(&self, out: &mut Vec<DemandComponent>) {
+        Workload::append_components(self.sporadic(), out);
+        for transaction in self.transactions() {
+            Workload::append_components(transaction, out);
+        }
     }
 
     fn task_count(&self) -> usize {
@@ -726,6 +786,10 @@ impl Workload for TransactionSystem {
 impl Workload for Box<dyn Workload + Send + Sync> {
     fn demand_components(&self) -> Vec<DemandComponent> {
         (**self).demand_components()
+    }
+
+    fn append_components(&self, out: &mut Vec<DemandComponent>) {
+        (**self).append_components(out);
     }
 
     fn task_count(&self) -> usize {
@@ -834,9 +898,14 @@ impl MixedSystem {
 
 impl Workload for MixedSystem {
     fn demand_components(&self) -> Vec<DemandComponent> {
-        let mut components = Workload::demand_components(&self.sporadic);
-        components.extend(self.stream_tasks.as_slice().demand_components());
+        let mut components = Vec::new();
+        self.append_components(&mut components);
         components
+    }
+
+    fn append_components(&self, out: &mut Vec<DemandComponent>) {
+        Workload::append_components(&self.sporadic, out);
+        self.stream_tasks.as_slice().append_components(out);
     }
 
     fn task_count(&self) -> usize {
@@ -876,6 +945,13 @@ pub struct PreparedWorkload {
     utilization_exact: bool,
     bounds: OnceLock<FeasibilityBounds>,
     deadline_order: OnceLock<Vec<usize>>,
+    /// The columnar demand kernel (built lazily on the first demand
+    /// query; see [`crate::kernel`]).
+    kernel: OnceLock<DemandKernel>,
+    /// When set, every demand query runs through the retained scalar
+    /// array-of-structs path instead of the kernel — the equivalence
+    /// oracle, see [`PreparedWorkload::scalar_reference`].
+    pub(crate) scalar_demand: bool,
 }
 
 impl PreparedWorkload {
@@ -918,7 +994,73 @@ impl PreparedWorkload {
             utilization_exact,
             bounds: OnceLock::new(),
             deadline_order: OnceLock::new(),
+            kernel: OnceLock::new(),
+            scalar_demand: false,
         }
+    }
+
+    /// Rebuilds this preparation **in place** for a different workload,
+    /// reusing every buffer (component vector, deadline order, kernel
+    /// columns) — the allocation-free path behind
+    /// [`crate::batch::analyze_many`], where one recycled preparation per
+    /// worker serves the whole batch.  Observable state is identical to
+    /// `PreparedWorkload::new(workload)`.
+    #[must_use]
+    pub fn recycled<W: Workload + ?Sized>(mut self, workload: &W) -> PreparedWorkload {
+        self.components.clear();
+        workload.append_components(&mut self.components);
+        self.task_count = workload.task_count();
+        self.demand_exact = workload.demand_is_exact();
+        self.utilization_exact = workload.utilization_is_exact();
+        self.utilization = self
+            .components
+            .iter()
+            .map(DemandComponent::utilization)
+            .sum();
+        self.exceeds_one = components_exceed_one(&self.components);
+        self.scalar_demand = false;
+        self.bounds.take();
+        // The previous workload's cached order and kernel are stale either
+        // way; rebuild them into their existing allocations only when a
+        // demand query can actually run (every test rejects `U > 1`
+        // workloads before touching the demand, so eager work there would
+        // be pure waste — the lazy path handles the off-chance query).
+        let order = self.deadline_order.take();
+        let kernel = self.kernel.take();
+        if !self.exceeds_one {
+            let mut order = order.unwrap_or_default();
+            order.clear();
+            order.extend(0..self.components.len());
+            order.sort_by_key(|&i| self.components[i].first_deadline());
+            let mut kernel = kernel.unwrap_or_default();
+            kernel.rebuild(&self.components, &order);
+            let _ = self.deadline_order.set(order);
+            let _ = self.kernel.set(kernel);
+        }
+        self
+    }
+
+    /// A copy of this preparation that answers every demand query (`dbf`,
+    /// `last_deadline_below`, the event merge, the combined QPA step)
+    /// through the retained **scalar** array-of-structs path instead of
+    /// the columnar kernel.
+    ///
+    /// This is the reference oracle of the kernel rebuild: analyses of the
+    /// two preparations must be bit-identical — verdicts, iteration
+    /// counts, examined intervals and overload witnesses — which the
+    /// `kernel_equivalence` property tests assert across every workload
+    /// family.  Use the kernel path for real work; the oracle re-runs the
+    /// pre-kernel inner loops and exists for validation and benchmarking.
+    #[must_use]
+    pub fn scalar_reference(&self) -> PreparedWorkload {
+        let mut oracle = PreparedWorkload::from_parts(
+            self.components.clone(),
+            self.task_count,
+            self.demand_exact,
+            self.utilization_exact,
+        );
+        oracle.scalar_demand = true;
+        oracle
     }
 
     /// `false` when the component decomposition over-approximates the
@@ -970,12 +1112,30 @@ impl PreparedWorkload {
         self.exceeds_one
     }
 
-    /// Total demand bound function.
+    /// Total demand bound function — answered by the columnar kernel (one
+    /// binary search into the sorted deadline column, a one-shot
+    /// prefix-sum lookup, and a tight loop over the periodic columns; see
+    /// [`crate::kernel`]); the scalar fold survives behind
+    /// [`PreparedWorkload::scalar_reference`].
     #[must_use]
     pub fn dbf(&self, interval: Time) -> Time {
-        self.components
-            .iter()
-            .fold(Time::ZERO, |acc, c| acc.saturating_add(c.dbf(interval)))
+        if self.scalar_demand {
+            return self
+                .components
+                .iter()
+                .fold(Time::ZERO, |acc, c| acc.saturating_add(c.dbf(interval)));
+        }
+        self.kernel().dbf(interval)
+    }
+
+    /// The columnar demand kernel of this preparation, built on first use
+    /// from the cached deadline order and reused by every demand query.
+    pub fn kernel(&self) -> &DemandKernel {
+        self.kernel.get_or_init(|| {
+            let mut kernel = DemandKernel::default();
+            kernel.rebuild(&self.components, self.deadline_order());
+            kernel
+        })
     }
 
     /// Total request bound function.
@@ -1038,20 +1198,55 @@ impl PreparedWorkload {
         })
     }
 
-    /// Merged stream of all job deadlines `≤ horizon` in ascending order.
+    /// Merged stream of all job deadlines `≤ horizon` in ascending order
+    /// (per-job events; see [`PreparedWorkload::demand_steps`] for the
+    /// coalesced form the processor-demand walk consumes).
     #[must_use]
-    pub fn demand_events(&self, horizon: Time) -> DemandEventIter<'_> {
+    pub fn demand_events(&self, horizon: Time) -> DemandEventIter {
         DemandEventIter::new(&self.components, horizon)
     }
 
+    /// Coalesced demand steps `≤ horizon`: one `(interval, demand
+    /// increment)` pair per **distinct** job deadline, merged through the
+    /// scratch's reusable loser tree (or the scalar-oracle heap walk for a
+    /// [`PreparedWorkload::scalar_reference`] preparation).
+    #[must_use]
+    pub fn demand_steps<'a>(
+        &'a self,
+        horizon: Time,
+        scratch: &'a mut AnalysisScratch,
+    ) -> DemandSteps<'a> {
+        if self.scalar_demand {
+            return DemandSteps::scalar(&self.components, horizon);
+        }
+        scratch.merge.init(&self.components, horizon);
+        DemandSteps::from_tree(&mut scratch.merge)
+    }
+
     /// The largest job deadline (over all components) strictly below
-    /// `limit`, or `None` — the step function of the QPA test.
+    /// `limit`, or `None` — the step function of the QPA test, answered
+    /// from the kernel's sorted columns instead of a full component scan.
     #[must_use]
     pub fn last_deadline_below(&self, limit: Time) -> Option<Time> {
-        self.components
-            .iter()
-            .filter_map(|c| c.last_deadline_below(limit))
-            .max()
+        if self.scalar_demand {
+            return self
+                .components
+                .iter()
+                .filter_map(|c| c.last_deadline_below(limit))
+                .max();
+        }
+        self.kernel().last_deadline_below(limit)
+    }
+
+    /// The combined QPA step query: `dbf(interval)` and the largest job
+    /// deadline strictly below `interval`, in **one** pass over the
+    /// kernel columns (see [`DemandKernel::demand_and_predecessor`]).
+    #[must_use]
+    pub fn demand_and_predecessor(&self, interval: Time) -> (Time, Option<Time>) {
+        if self.scalar_demand {
+            return (self.dbf(interval), self.last_deadline_below(interval));
+        }
+        self.kernel().demand_and_predecessor(interval)
     }
 
     /// A copy with every component's cost scaled by `numer/denom` (per
@@ -1076,12 +1271,14 @@ impl PreparedWorkload {
                 ..*c
             })
             .collect();
-        PreparedWorkload::from_parts(
+        let mut scaled = PreparedWorkload::from_parts(
             components,
             self.task_count,
             self.demand_exact,
             self.utilization_exact,
-        )
+        );
+        scaled.scalar_demand = self.scalar_demand;
+        scaled
     }
 
     /// The long-run utilization of the scaled copy
@@ -1107,8 +1304,15 @@ impl PreparedWorkload {
     /// [`ScaledView`](crate::incremental::ScaledView) refresh path may
     /// mutate a prepared workload, and it restores the cached aggregates
     /// via [`PreparedWorkload::install_refreshed_state`] afterwards).
+    ///
+    /// When the kernel is already built the rewrite is **also** a plain
+    /// column write — deadlines, periods and the sort order are invariant
+    /// under WCET changes, so the columns stay valid across probes.
     pub(crate) fn set_wcet_at(&mut self, index: usize, wcet: Time) {
         self.components[index].set_wcet(wcet);
+        if let Some(kernel) = self.kernel.get_mut() {
+            kernel.set_wcet(index, wcet);
+        }
     }
 
     /// Installs the aggregates matching the current (mutated) component
@@ -1130,6 +1334,9 @@ impl PreparedWorkload {
         self.bounds.take();
         if let Some(bounds) = bounds {
             let _ = self.bounds.set(bounds);
+        }
+        if let Some(kernel) = self.kernel.get_mut() {
+            kernel.refresh_after_rewrite();
         }
     }
 

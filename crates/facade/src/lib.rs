@@ -21,10 +21,16 @@
 //!   exact analyses, and per-workload state (feasibility bounds, exact
 //!   utilization, deadline order) is computed once per suite rather than
 //!   once per test;
+//! * [`analysis::kernel`] — the columnar demand kernel behind every hot
+//!   demand query: structure-of-arrays columns with precomputed period
+//!   reciprocals, a flat loser-tree deadline merge, and the reusable
+//!   [`AnalysisScratch`] arena (the scalar path survives only as the
+//!   equivalence oracle [`PreparedWorkload::scalar_reference`]);
 //! * [`analysis::batch`] — the parallel batch front end:
 //!   [`batch::analyze_many`] fans a workload
-//!   batch out across the CPU cores with one shared preparation per
-//!   workload (the experiment harness and benchmarks run on it);
+//!   batch out across the CPU cores with one shared preparation and one
+//!   scratch arena per worker (the experiment harness and benchmarks run
+//!   on it — zero per-workload transient allocations after warm-up);
 //! * [`analysis::incremental`] — the incremental sensitivity engine:
 //!   [`ScaledView`] probes WCET perturbations of one prepared workload
 //!   without re-preparation (in-place cost rewrites, shared deadline
@@ -100,6 +106,7 @@ pub use edf_sim as sim;
 pub use edf_analysis::batch;
 pub use edf_analysis::exhaustive::{exhaustive_check, exhaustive_check_workload};
 pub use edf_analysis::incremental::ScaledView;
+pub use edf_analysis::kernel::{AnalysisScratch, DemandKernel};
 pub use edf_analysis::sensitivity::{
     breakdown_scaling, breakdown_scaling_exact, breakdown_scaling_prepared,
     breakdown_scaling_workload, sensitivity_report, sensitivity_sweep, wcet_slack,
