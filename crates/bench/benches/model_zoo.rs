@@ -9,10 +9,9 @@ use std::time::Duration;
 use edf_analysis::tests::{AllApproximatedTest, QpaTest};
 use edf_analysis::transactions::analyze_transaction_system;
 use edf_analysis::workload::PreparedWorkload;
-use edf_analysis::FeasibilityTest;
 use edf_bench::{curve_fixture, stream_fixture, transaction_fixture, utilization_fixture};
 
-fn exact_suite() -> Vec<Box<dyn FeasibilityTest>> {
+fn exact_suite() -> Vec<edf_analysis::BoxedTest> {
     vec![
         Box::new(QpaTest::new()),
         Box::new(AllApproximatedTest::new()),

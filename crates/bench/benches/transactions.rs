@@ -1,0 +1,146 @@
+//! Benchmark of the candidate-product transaction engine
+//! (`edf_analysis::candidates`) against the retained naive reference,
+//! across candidate-product sizes, utilizations and offset shapes.
+//!
+//! Lanes per fixture: `engine_serial` (dominance pruning, density screen
+//! and Gray-code incremental swaps, single-threaded — the apples-to-apples
+//! comparison against `naive` on the 1-CPU CI container), `engine` (the
+//! default configuration including the parallel early-exit sweep) and
+//! `naive` (`candidates::reference`: full lexicographic product, one cold
+//! preparation per combination).  Pruned-product and screened-combination
+//! counts are printed per fixture so every run records how much of the win
+//! comes from which layer.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use edf_analysis::candidates::{self, EngineConfig};
+use edf_analysis::tests::QpaTest;
+use edf_bench::transaction_product_fixture;
+use edf_model::TransactionSystem;
+
+/// The serial engine: every algorithmic layer on, the parallel fan-out off.
+const SERIAL: EngineConfig = EngineConfig {
+    prune: true,
+    screen: true,
+    parallel: false,
+};
+
+fn fixtures() -> Vec<(&'static str, TransactionSystem)> {
+    vec![
+        // The headline fixture of the acceptance criterion: product ≥ 10³
+        // at a moderate load.
+        (
+            "product_1024_util60",
+            transaction_product_fixture(&[4; 5], 60, 0, 42),
+        ),
+        // Heavy load: the screen decides little, the win must come from
+        // pruning and the incremental swaps.
+        (
+            "product_1024_util90",
+            transaction_product_fixture(&[4; 5], 90, 0, 44),
+        ),
+        // Duplicate release offsets: the dominance-pruning regime.
+        (
+            "product_1024_dup_offsets",
+            transaction_product_fixture(&[4; 5], 60, 2, 41),
+        ),
+        // A wider product, still naive-tractable in fast mode.
+        (
+            "product_4096_util75",
+            transaction_product_fixture(&[8, 8, 8, 8], 75, 0, 42),
+        ),
+    ]
+}
+
+fn bench_engine_vs_naive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transactions");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    let test = QpaTest::new();
+    for (name, system) in &fixtures() {
+        // Sanity check once per fixture, and record how much each layer
+        // removed (the numbers land in the bench log next to the timings).
+        let engine = candidates::analyze_with(&test, system, &SERIAL);
+        let naive = candidates::reference(&test, system);
+        assert_eq!(
+            engine.analysis.verdict, naive.analysis.verdict,
+            "engine and naive reference disagree on {name}"
+        );
+        eprintln!(
+            "transactions/{name}: verdict {}, product {} -> pruned {}, \
+             examined {}, screened {}",
+            engine.analysis.verdict,
+            engine.stats.candidate_product,
+            engine.stats.pruned_product,
+            engine.stats.combinations_examined,
+            engine.stats.combinations_screened,
+        );
+        group.bench_with_input(
+            BenchmarkId::new("engine_serial", name),
+            system,
+            |b, system| {
+                b.iter(|| {
+                    candidates::analyze_with(&test, black_box(system), &SERIAL)
+                        .analysis
+                        .iterations
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("engine", name), system, |b, system| {
+            b.iter(|| {
+                candidates::analyze(&test, black_box(system))
+                    .analysis
+                    .iterations
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("naive", name), system, |b, system| {
+            b.iter(|| {
+                candidates::reference(&test, black_box(system))
+                    .analysis
+                    .iterations
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Engine-only scaling lane: a 10⁵ product the naive path has no business
+/// enumerating (it would re-prepare a hundred thousand workloads per
+/// iteration).
+fn bench_engine_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transactions");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    let test = QpaTest::new();
+    let system = transaction_product_fixture(&[10; 5], 60, 0, 46);
+    let stats = candidates::analyze_with(&test, &system, &SERIAL).stats;
+    eprintln!(
+        "transactions/product_100000_util60: product {} -> pruned {}, examined {}, screened {}",
+        stats.candidate_product,
+        stats.pruned_product,
+        stats.combinations_examined,
+        stats.combinations_screened,
+    );
+    group.bench_with_input(
+        BenchmarkId::new("engine_serial", "product_100000_util60"),
+        &system,
+        |b, system| {
+            b.iter(|| {
+                candidates::analyze_with(&test, black_box(system), &SERIAL)
+                    .analysis
+                    .iterations
+            })
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_vs_naive, bench_engine_scaling);
+criterion_main!(benches);

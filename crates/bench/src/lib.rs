@@ -110,6 +110,28 @@ pub fn transaction_fixture(transactions: usize) -> TransactionSystem {
         .generate_system(TaskSet::new())
 }
 
+/// An offset-transaction system with a precisely dialed candidate product
+/// for the `transactions` benchmark: one transaction per entry of `shape`
+/// with exactly that many parts (product = the shape's product), WCETs
+/// sized for `util_percent` % total utilization, and — when
+/// `offset_choices > 0` — at most that many distinct release offsets per
+/// transaction (the dominance-pruning regime; `0` spreads the parts).
+#[must_use]
+pub fn transaction_product_fixture(
+    shape: &[usize],
+    util_percent: u32,
+    offset_choices: usize,
+    seed: u64,
+) -> TransactionSystem {
+    TransactionConfig::new()
+        .product_shape(shape.to_vec())
+        .period(100..=1_000)
+        .target_utilization(f64::from(util_percent) / 100.0)
+        .offset_choices(offset_choices)
+        .seed(seed)
+        .generate_system(TaskSet::new())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -70,7 +70,7 @@ pub(crate) fn divmod_u128(a: u128, b: u128) -> (u128, u128) {
 /// superposition machinery one per [`ApproxTerm`](crate::superposition::ApproxTerm)
 /// — periods never change under WCET rewrites, so every hot demand query
 /// replaces its hardware division with two widening multiplies.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub(crate) struct Reciprocal {
     hi: u64,
     lo: u64,

@@ -190,6 +190,11 @@ pub struct BoundRefresher {
     busy_applicable: bool,
     /// The hyperperiod bound is WCET-free, hence computed exactly once.
     hyperperiod: Option<Time>,
+    /// `lcm` of the periods (`None` when empty, one-shot components are
+    /// present, or the lcm overflows) — invariant even under **deadline**
+    /// perturbations, so [`BoundRefresher::refresh_retimed`] re-derives the
+    /// hyperperiod bound without re-running the lcm chain.
+    period_lcm: Option<Time>,
     /// One precomputed period reciprocal per component (one-shots get the
     /// divisor-1 sentinel), so every search-predicate evaluation divides
     /// by the scale-invariant periods via multiplies.
@@ -198,10 +203,21 @@ pub struct BoundRefresher {
     george_hint: Option<Time>,
 }
 
-impl BoundRefresher {
-    /// Captures the scale-invariant aggregates of `components`.
-    #[must_use]
-    pub fn new(components: &[DemandComponent]) -> Self {
+/// The timing-dependent (deadline/offset) aggregates of the §4.3 bound
+/// machinery — the half that stays fixed under WCET perturbations but
+/// moves under re-phasing.  One shared constructor serves both
+/// [`BoundRefresher::new`] and [`BoundRefresher::refresh_retimed`], so the
+/// per-aggregate rules cannot drift apart.
+struct TimingAggregates {
+    baruah_max_diff: Option<Time>,
+    george_degenerate: bool,
+    min_first_deadline: Option<Time>,
+    max_first_deadline: Option<Time>,
+    busy_applicable: bool,
+}
+
+impl TimingAggregates {
+    fn of(components: &[DemandComponent]) -> Self {
         let any_one_shot = components.iter().any(|c| c.period().is_none());
         let baruah_max_diff = if components.is_empty() || any_one_shot {
             None
@@ -215,21 +231,38 @@ impl BoundRefresher {
             });
             (!max_diff.is_zero()).then_some(max_diff)
         };
-        let george_degenerate = components.iter().all(|c| match c.period() {
-            Some(period) => c.first_deadline() >= period,
-            None => false,
-        });
-        BoundRefresher {
-            component_count: components.len(),
+        TimingAggregates {
             baruah_max_diff,
-            george_degenerate,
+            george_degenerate: components.iter().all(|c| match c.period() {
+                Some(period) => c.first_deadline() >= period,
+                None => false,
+            }),
             min_first_deadline: components.iter().map(DemandComponent::first_deadline).min(),
             max_first_deadline: components.iter().map(DemandComponent::first_deadline).max(),
             busy_applicable: !components.is_empty()
                 && !components
                     .iter()
                     .any(|c| c.period().is_none() || !c.release_offset().is_zero()),
-            hyperperiod: hyperperiod_components(components),
+        }
+    }
+}
+
+impl BoundRefresher {
+    /// Captures the scale-invariant aggregates of `components`.
+    #[must_use]
+    pub fn new(components: &[DemandComponent]) -> Self {
+        let timing = TimingAggregates::of(components);
+        let period_lcm = period_lcm(components);
+        let hyperperiod = hyperperiod_from(period_lcm, timing.max_first_deadline);
+        BoundRefresher {
+            component_count: components.len(),
+            baruah_max_diff: timing.baruah_max_diff,
+            george_degenerate: timing.george_degenerate,
+            min_first_deadline: timing.min_first_deadline,
+            max_first_deadline: timing.max_first_deadline,
+            busy_applicable: timing.busy_applicable,
+            hyperperiod,
+            period_lcm,
             reciprocals: components
                 .iter()
                 .map(|c| Reciprocal::new(c.period().map_or(1, Time::as_u64)))
@@ -237,6 +270,39 @@ impl BoundRefresher {
             baruah_hint: None,
             george_hint: None,
         }
+    }
+
+    /// Recomputes every bound for a copy of the component list given to
+    /// [`BoundRefresher::new`] whose **timing parameters** (offsets, hence
+    /// first deadlines) moved but whose periods and component count did not
+    /// — the candidate-swap contract of
+    /// [`CandidateView`](crate::candidates::CandidateView), where every
+    /// part keeps its cost and period but is re-phased within it.
+    ///
+    /// The deadline-dependent aggregates ([`TimingAggregates`], plus the
+    /// `max D'` half of the hyperperiod bound) are re-derived in one linear
+    /// pass; the period-only state (the lcm chain behind the hyperperiod
+    /// bound, the per-component reciprocals feeding every search predicate)
+    /// is reused, and the remaining searches run hint-seeded exactly as in
+    /// [`BoundRefresher::refresh`].  The result is bit-identical to
+    /// [`FeasibilityBounds::for_components`] on the same list.
+    ///
+    /// `exceeds_one` is the caller's (exact) `U > 1` verdict — invariant
+    /// under re-phasing, so candidate sweeps compute it once.
+    pub(crate) fn refresh_retimed(
+        &mut self,
+        components: &[DemandComponent],
+        exceeds_one: bool,
+    ) -> FeasibilityBounds {
+        debug_assert_eq!(self.component_count, components.len());
+        let timing = TimingAggregates::of(components);
+        self.baruah_max_diff = timing.baruah_max_diff;
+        self.george_degenerate = timing.george_degenerate;
+        self.min_first_deadline = timing.min_first_deadline;
+        self.max_first_deadline = timing.max_first_deadline;
+        self.busy_applicable = timing.busy_applicable;
+        self.hyperperiod = hyperperiod_from(self.period_lcm, timing.max_first_deadline);
+        self.refresh_with_utilization(components, exceeds_one)
     }
 
     /// Recomputes every bound for a WCET-perturbed copy of the component
@@ -359,6 +425,21 @@ impl BoundRefresher {
         }
         result
     }
+}
+
+/// `lcm` of the component periods — the WCET- **and** deadline-invariant
+/// half of the hyperperiod bound.  `None` when the list is empty, contains
+/// a one-shot component, or the lcm overflows (mirroring
+/// [`hyperperiod_components`], which equals `period_lcm + max D'`).
+fn period_lcm(components: &[DemandComponent]) -> Option<Time> {
+    if components.is_empty() {
+        return None;
+    }
+    let mut lcm = Time::ONE;
+    for component in components {
+        lcm = lcm.lcm(component.period()?)?;
+    }
+    Some(lcm)
 }
 
 /// Converts a floating-point bound estimate into a search hint; `None`
@@ -672,18 +753,16 @@ pub fn hyperperiod_bound(task_set: &TaskSet) -> Option<Time> {
 /// periodicity and yield `None`.
 #[must_use]
 pub fn hyperperiod_components(components: &[DemandComponent]) -> Option<Time> {
-    if components.is_empty() {
-        return None;
-    }
-    let mut lcm = Time::ONE;
-    for component in components {
-        lcm = lcm.lcm(component.period()?)?;
-    }
-    let max_deadline = components
-        .iter()
-        .map(DemandComponent::first_deadline)
-        .max()?;
-    lcm.checked_add(max_deadline)
+    hyperperiod_from(
+        period_lcm(components),
+        components.iter().map(DemandComponent::first_deadline).max(),
+    )
+}
+
+/// Combines the two halves of the hyperperiod bound (`None` when either is
+/// undefined or the sum overflows).
+fn hyperperiod_from(period_lcm: Option<Time>, max_first_deadline: Option<Time>) -> Option<Time> {
+    period_lcm?.checked_add(max_first_deadline?)
 }
 
 /// The superposition feasibility bound of §4.3: the interval from which on
@@ -1021,6 +1100,45 @@ mod tests {
             assert_eq!(
                 refresher.refresh(&perturbed),
                 FeasibilityBounds::for_components(&perturbed)
+            );
+        }
+    }
+
+    #[test]
+    fn retimed_refresh_matches_cold_bounds_across_deadline_perturbations() {
+        // The candidate-swap contract: costs and periods fixed, offsets and
+        // first deadlines move.  The retimed refresh must stay bit-identical
+        // to a cold computation for every re-phasing.
+        let base = vec![
+            DemandComponent::periodic_from(Time::new(2), Time::new(4), Time::new(10), Time::ZERO),
+            DemandComponent::periodic_from(Time::new(3), Time::new(6), Time::new(15), Time::new(2)),
+            DemandComponent::periodic_from(
+                Time::new(4),
+                Time::new(20),
+                Time::new(40),
+                Time::new(7),
+            ),
+        ];
+        let mut refresher = BoundRefresher::new(&base);
+        let exceeds = components_exceed_one(&base);
+        for offsets in [[0u64, 0, 0], [3, 9, 11], [9, 14, 39], [0, 14, 0], [5, 5, 5]] {
+            let retimed: Vec<DemandComponent> = base
+                .iter()
+                .zip(offsets)
+                .map(|(c, offset)| {
+                    let relative = c.first_deadline() - c.release_offset();
+                    DemandComponent::periodic_from(
+                        c.wcet(),
+                        relative,
+                        c.period().unwrap(),
+                        Time::new(offset),
+                    )
+                })
+                .collect();
+            assert_eq!(
+                refresher.refresh_retimed(&retimed, exceeds),
+                FeasibilityBounds::for_components(&retimed),
+                "offsets {offsets:?}"
             );
         }
     }

@@ -122,6 +122,30 @@ impl DemandKernel {
     /// (the indices sorted by ascending first deadline).  All column
     /// allocations are reused.
     pub(crate) fn rebuild(&mut self, components: &[DemandComponent], deadline_order: &[usize]) {
+        self.rebuild_impl(components, deadline_order, None);
+    }
+
+    /// [`DemandKernel::rebuild`] with the per-component period reciprocals
+    /// supplied by the caller (`reciprocals[i]` belongs to component `i`;
+    /// one-shot entries are ignored) — the candidate-swap path, where the
+    /// periods are invariant across arbitrarily many rebuilds and
+    /// re-deriving each [`Reciprocal`] (a 128-bit division) per rebuild
+    /// would dominate the repair cost.
+    pub(crate) fn rebuild_with_reciprocals(
+        &mut self,
+        components: &[DemandComponent],
+        deadline_order: &[usize],
+        reciprocals: &[Reciprocal],
+    ) {
+        self.rebuild_impl(components, deadline_order, Some(reciprocals));
+    }
+
+    fn rebuild_impl(
+        &mut self,
+        components: &[DemandComponent],
+        deadline_order: &[usize],
+        reciprocals: Option<&[Reciprocal]>,
+    ) {
         debug_assert_eq!(components.len(), deadline_order.len());
         self.p_deadline.clear();
         self.p_period.clear();
@@ -141,7 +165,14 @@ impl DemandKernel {
                     };
                     self.p_deadline.push(component.first_deadline().as_u64());
                     self.p_period.push(period.as_u64());
-                    self.p_rcp.push(Reciprocal::new(period.as_u64()));
+                    let rcp = match reciprocals {
+                        Some(cache) => {
+                            debug_assert_eq!(cache[idx], Reciprocal::new(period.as_u64()));
+                            cache[idx]
+                        }
+                        None => Reciprocal::new(period.as_u64()),
+                    };
+                    self.p_rcp.push(rcp);
                     self.p_wcet.push(component.wcet().as_u64());
                 }
                 None => {

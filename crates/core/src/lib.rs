@@ -44,8 +44,10 @@
 //! through the [`incremental`] engine ([`ScaledView`] probes WCET
 //! perturbations of one prepared workload without re-preparation),
 //! [`batch`] fans a workload batch out across the CPU cores with one
-//! shared preparation per workload, [`transactions`] enumerates the
-//! critical-instant candidates of offset-transaction systems,
+//! shared preparation per workload, [`transactions`] analyzes
+//! offset-transaction systems through the [`candidates`] engine
+//! (dominance-pruned critical-instant candidates, Gray-code incremental
+//! re-preparation, parallel early-exit sweep),
 //! [`event_stream_analysis`] keeps the compatibility surface of the former
 //! bespoke event-stream loop, and [`exhaustive`] provides a naive
 //! reference oracle for validation.
@@ -115,6 +117,7 @@ mod analysis;
 pub mod arith;
 pub mod batch;
 pub mod bounds;
+pub mod candidates;
 pub mod demand;
 pub mod event_stream_analysis;
 pub mod exhaustive;

@@ -17,12 +17,21 @@
 //! through [`FeasibilityTest::analyze_prepared`] — no per-test
 //! special-casing, which is the point of the [`Workload`] abstraction.
 //! The combination count is the product of the transaction sizes
-//! ([`TransactionSystem::candidate_count`]); [`analyze_transaction_system`]
-//! enumerates lazily and stops at the first violated combination.
+//! ([`TransactionSystem::candidate_count`]).
+//!
+//! [`analyze_transaction_system`] runs the product through the
+//! [`candidate engine`](crate::candidates): dominance-pruned candidate
+//! sets, a density screen, Gray-code incremental re-preparation and a
+//! parallel early-exit sweep — see that module for how each layer stays
+//! verdict-preserving.  The naive re-preparing enumeration survives as
+//! [`crate::candidates::reference`], and [`exhaustive_transaction_check`]
+//! pushes every combination through the naive exhaustive demand sweep as
+//! an independent oracle.
 //!
 //! The plain [`Workload`] impl of [`TransactionSystem`] is the synchronous
-//! conservative over-approximation (offsets dropped); use it when the
-//! candidate product is too large and a sufficient answer is enough.
+//! conservative over-approximation (offsets dropped); use it when even the
+//! pruned candidate product is too large and a sufficient answer is
+//! enough.
 //!
 //! # Examples
 //!
@@ -52,9 +61,12 @@
 //! # }
 //! ```
 
+use core::fmt;
+
 use edf_model::{Time, Transaction, TransactionSystem};
 
 use crate::analysis::{Analysis, FeasibilityTest, Verdict};
+use crate::candidates::{self, advance_lex};
 use crate::exhaustive::exhaustive_check_workload;
 use crate::workload::{DemandComponent, PreparedWorkload, Workload};
 
@@ -108,67 +120,152 @@ pub fn combination_components(
     components
 }
 
-/// All candidate combinations of `system`, each prepared for analysis.
-///
-/// The result has [`TransactionSystem::candidate_count`] entries — check it
-/// before materializing large products; [`analyze_transaction_system`]
-/// enumerates lazily instead.
-#[must_use]
-pub fn candidate_workloads(system: &TransactionSystem) -> Vec<PreparedWorkload> {
-    CombinationIter::new(system)
-        .map(|choice| PreparedWorkload::from_components(combination_components(system, &choice)))
-        .collect()
+/// Largest candidate product [`candidate_workloads`] will materialize:
+/// each combination costs a full prepared component vector, so products
+/// beyond this are an out-of-memory hazard, not a working set.
+pub const MAX_MATERIALIZED_COMBINATIONS: usize = 1 << 20;
+
+/// Error of [`candidate_workloads`]: the candidate product is too large to
+/// materialize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProductTooLarge {
+    /// The product, `None` when it overflows `usize` outright.
+    pub combinations: Option<usize>,
 }
 
-/// Mixed-radix counter over the per-transaction candidate counts.
-struct CombinationIter<'a> {
-    system: &'a TransactionSystem,
-    next: Option<Vec<usize>>,
-}
-
-impl<'a> CombinationIter<'a> {
-    fn new(system: &'a TransactionSystem) -> Self {
-        CombinationIter {
-            system,
-            next: Some(vec![0; system.transactions().len()]),
+impl fmt::Display for ProductTooLarge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.combinations {
+            Some(count) => write!(
+                f,
+                "candidate product of {count} combinations exceeds the \
+                 materialization cap of {MAX_MATERIALIZED_COMBINATIONS}; \
+                 enumerate lazily (analyze_transaction_system) instead"
+            ),
+            None => write!(
+                f,
+                "candidate product overflows usize; enumerate lazily \
+                 (analyze_transaction_system) instead"
+            ),
         }
     }
 }
 
-impl Iterator for CombinationIter<'_> {
+impl std::error::Error for ProductTooLarge {}
+
+/// All candidate combinations of `system`, each prepared for analysis.
+///
+/// The result has [`TransactionSystem::candidate_count`] entries — the
+/// product is exponential in the number of transactions, so products
+/// beyond [`MAX_MATERIALIZED_COMBINATIONS`] (or overflowing `usize`) are
+/// refused with a [`ProductTooLarge`] error instead of exhausting memory;
+/// [`analyze_transaction_system`] enumerates lazily and has no such limit.
+///
+/// # Errors
+///
+/// Returns [`ProductTooLarge`] when the candidate product exceeds the cap.
+pub fn candidate_workloads(
+    system: &TransactionSystem,
+) -> Result<Vec<PreparedWorkload>, ProductTooLarge> {
+    match system.candidate_count_checked() {
+        Some(count) if count <= MAX_MATERIALIZED_COMBINATIONS => Ok(CombinationIter::new(system)
+            .map(|choice| {
+                PreparedWorkload::from_components(combination_components(system, &choice))
+            })
+            .collect()),
+        combinations => Err(ProductTooLarge { combinations }),
+    }
+}
+
+/// Iterator over every candidate combination of a system in lexicographic
+/// order (the last transaction's candidate varies fastest).
+///
+/// Backed by the allocation-free mixed-radix core of
+/// [`crate::candidates`]: the counter advances one digit in place, and the
+/// only allocation per step is the `Vec` this iterator must hand out by
+/// its signature.  The engine and the naive reference never materialize
+/// choice vectors at all; this type exists for callers that want to drive
+/// the enumeration themselves.
+///
+/// # Examples
+///
+/// ```
+/// use edf_analysis::transactions::CombinationIter;
+/// use edf_model::{TaskSet, Time, Transaction, TransactionPart, TransactionSystem};
+///
+/// # fn main() -> Result<(), edf_model::TransactionError> {
+/// let tr = |offsets: &[u64]| {
+///     Transaction::new(
+///         Time::new(10),
+///         offsets
+///             .iter()
+///             .map(|&o| TransactionPart::new(Time::new(o), Time::new(1), Time::new(3)))
+///             .collect(),
+///     )
+/// };
+/// let system = TransactionSystem::new(TaskSet::new(), vec![tr(&[0, 4])?, tr(&[0, 3, 6])?]);
+/// assert_eq!(CombinationIter::new(&system).count(), 6);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct CombinationIter {
+    radices: Vec<usize>,
+    current: Vec<usize>,
+    done: bool,
+}
+
+impl CombinationIter {
+    /// Starts the enumeration at the all-zero combination.
+    #[must_use]
+    pub fn new(system: &TransactionSystem) -> Self {
+        let radices: Vec<usize> = system
+            .transactions()
+            .iter()
+            .map(Transaction::candidate_count)
+            .collect();
+        CombinationIter {
+            current: vec![0; radices.len()],
+            radices,
+            done: false,
+        }
+    }
+}
+
+impl Iterator for CombinationIter {
     type Item = Vec<usize>;
 
     fn next(&mut self) -> Option<Vec<usize>> {
-        let current = self.next.take()?;
-        let mut advanced = current.clone();
-        for (digit, transaction) in advanced.iter_mut().zip(self.system.transactions()).rev() {
-            *digit += 1;
-            if *digit < transaction.candidate_count() {
-                self.next = Some(advanced);
-                return Some(current);
-            }
-            *digit = 0;
+        if self.done {
+            return None;
         }
-        // All digits wrapped: `current` was the last combination.
-        Some(current)
+        let item = self.current.clone();
+        self.done = !advance_lex(&mut self.current, &self.radices);
+        Some(item)
     }
 }
 
 /// Runs `test` on every candidate combination of `system` and combines the
 /// verdicts: the system is feasible iff **every** combination is.
 ///
-/// The enumeration stops at the first infeasible combination (its overload
-/// witness is reported); an inconclusive combination demotes a feasible
-/// outcome to [`Verdict::Unknown`].  Iterations are summed over the
-/// combinations examined.  With an exact test the result is the exact
-/// verdict of the offset-transaction system; with a sufficient test it is
-/// sufficient.
+/// The sweep runs through the [`candidate engine`](crate::candidates):
+/// dominance-pruned candidate sets and a density screen (both engaged only
+/// for exact tests, where they are verdict-preserving), Gray-code
+/// incremental re-preparation, and a parallel early-exit fan-out for large
+/// pruned products.  The enumeration stops at the first infeasible
+/// combination (its overload witness is reported; use
+/// [`crate::candidates::analyze`] directly to also obtain the witnessing
+/// combination); an inconclusive combination demotes a feasible outcome to
+/// [`Verdict::Unknown`].  Iterations are summed over the combinations
+/// examined, counting a screen-decided combination as one.  With an exact
+/// test the result is the exact verdict of the offset-transaction system;
+/// with a sufficient test it is sufficient.
 #[must_use]
 pub fn analyze_transaction_system(
-    test: &(impl FeasibilityTest + ?Sized),
+    test: &(impl FeasibilityTest + Sync + ?Sized),
     system: &TransactionSystem,
 ) -> Analysis {
-    combine_combinations(system, |prepared| test.analyze_prepared(prepared))
+    candidates::analyze(test, system).analysis
 }
 
 /// The exhaustive reference oracle for transaction systems: every
@@ -177,19 +274,12 @@ pub fn analyze_transaction_system(
 /// cross-validate [`analyze_transaction_system`] on small systems.
 #[must_use]
 pub fn exhaustive_transaction_check(system: &TransactionSystem) -> Analysis {
-    combine_combinations(system, exhaustive_check_workload)
-}
-
-fn combine_combinations(
-    system: &TransactionSystem,
-    analyze: impl Fn(&PreparedWorkload) -> Analysis,
-) -> Analysis {
     let mut iterations: u64 = 0;
     let mut max_examined: Option<Time> = None;
     let mut all_decisive = true;
     for choice in CombinationIter::new(system) {
         let prepared = PreparedWorkload::from_components(combination_components(system, &choice));
-        let analysis = analyze(&prepared);
+        let analysis = exhaustive_check_workload(&prepared);
         iterations += analysis.iterations;
         max_examined = max_examined.max(analysis.max_examined_interval);
         match analysis.verdict {
@@ -220,6 +310,7 @@ fn combine_combinations(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::batch::BoxedTest;
     use crate::tests::{DeviTest, ProcessorDemandTest, QpaTest};
     use edf_model::{Task, TaskSet, TransactionPart};
 
@@ -259,7 +350,23 @@ mod tests {
         unique.sort_unstable();
         unique.dedup();
         assert_eq!(unique.len(), 6);
-        assert_eq!(candidate_workloads(&system).len(), 6);
+        assert_eq!(candidate_workloads(&system).unwrap().len(), 6);
+    }
+
+    #[test]
+    fn huge_products_are_refused_not_materialized() {
+        // 8 transactions of 12 candidates each: 12^8 ≈ 4.3·10^8 exceeds the
+        // cap by orders of magnitude but still fits in usize.
+        let wide = tr(24, (0..12).map(|o| part(2 * o, 1, 2)).collect());
+        let system = TransactionSystem::new(TaskSet::new(), vec![wide; 8]);
+        let error = candidate_workloads(&system).unwrap_err();
+        assert_eq!(error.combinations, Some(12usize.pow(8)));
+        assert!(error.to_string().contains("candidate product"));
+        // The lazy analysis is still available (and instant: U > 1 is
+        // combination-invariant, so the first combination rejects).
+        assert!(system.utilization() > 1.0);
+        let analysis = analyze_transaction_system(&QpaTest::new(), &system);
+        assert_eq!(analysis.verdict, Verdict::Infeasible);
     }
 
     #[test]
@@ -268,8 +375,8 @@ mod tests {
         let system = TransactionSystem::new(sporadic.clone(), vec![]);
         let test = ProcessorDemandTest::new();
         assert_eq!(
-            analyze_transaction_system(&test, &system),
-            test.analyze(&sporadic)
+            analyze_transaction_system(&test, &system).verdict,
+            test.analyze(&sporadic).verdict
         );
         let empty = TransactionSystem::new(TaskSet::new(), vec![]);
         assert_eq!(
@@ -361,7 +468,7 @@ mod tests {
             let oracle = exhaustive_transaction_check(&system);
             assert!(oracle.verdict.is_decisive(), "oracle decisive on {system}");
             for test in [
-                Box::new(ProcessorDemandTest::new()) as Box<dyn FeasibilityTest>,
+                Box::new(ProcessorDemandTest::new()) as BoxedTest,
                 Box::new(QpaTest::new()),
             ] {
                 assert_eq!(

@@ -1347,6 +1347,63 @@ impl PreparedWorkload {
     pub(crate) fn seed_deadline_order(&mut self, order: Vec<usize>) {
         let _ = self.deadline_order.set(order);
     }
+
+    /// Overwrites component `index` wholesale (crate-internal: the
+    /// [`CandidateView`](crate::candidates::CandidateView) block-patch
+    /// path).  The caller must preserve the component's cost and period —
+    /// only the timing (offset/first deadline) may move, which keeps the
+    /// cached utilization and the exact `U > 1` comparison valid — and must
+    /// call [`PreparedWorkload::install_retimed_state`] before the next
+    /// demand query (the deadline order, kernel columns and bounds are
+    /// stale until then).
+    pub(crate) fn write_component_at(&mut self, index: usize, component: DemandComponent) {
+        debug_assert_eq!(self.components[index].wcet(), component.wcet());
+        debug_assert_eq!(self.components[index].period(), component.period());
+        self.components[index] = component;
+    }
+
+    /// Takes the cached deadline order out of the preparation (empty when
+    /// never computed), so a retiming caller can repair it in place without
+    /// reallocating; pair with [`PreparedWorkload::install_retimed_state`].
+    pub(crate) fn take_deadline_order(&mut self) -> Vec<usize> {
+        self.deadline_order.take().unwrap_or_default()
+    }
+
+    /// Installs the state matching the current (re-timed) component list
+    /// after a batch of [`PreparedWorkload::write_component_at`] writes:
+    /// `order` must be the stable ascending-first-deadline index order of
+    /// the components, the kernel columns are rebuilt from it into their
+    /// existing allocations (re-using `reciprocals` — the per-component
+    /// period reciprocals, invariant under re-timing — when the caller
+    /// provides them), and the §4.3 bounds are replaced (`None` leaves the
+    /// lazy cold path to answer a later [`PreparedWorkload::bounds`]
+    /// call).  Utilization and the `U > 1` comparison are untouched —
+    /// re-phasing never moves a cost or period.
+    pub(crate) fn install_retimed_state(
+        &mut self,
+        order: Vec<usize>,
+        bounds: Option<FeasibilityBounds>,
+        reciprocals: Option<&[crate::arith::Reciprocal]>,
+    ) {
+        debug_assert!(order.len() == self.components.len());
+        debug_assert!(order.windows(2).all(|w| {
+            let (a, b) = (&self.components[w[0]], &self.components[w[1]]);
+            a.first_deadline() < b.first_deadline()
+                || (a.first_deadline() == b.first_deadline() && w[0] < w[1])
+        }));
+        let mut kernel = self.kernel.take().unwrap_or_default();
+        match reciprocals {
+            Some(cache) => kernel.rebuild_with_reciprocals(&self.components, &order, cache),
+            None => kernel.rebuild(&self.components, &order),
+        }
+        let _ = self.kernel.set(kernel);
+        self.deadline_order.take();
+        let _ = self.deadline_order.set(order);
+        self.bounds.take();
+        if let Some(bounds) = bounds {
+            let _ = self.bounds.set(bounds);
+        }
+    }
 }
 
 impl Workload for PreparedWorkload {

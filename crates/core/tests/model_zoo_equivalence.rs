@@ -210,7 +210,7 @@ proptest! {
             "small cycles keep the oracle horizon exact"
         );
         for test in [
-            Box::new(ProcessorDemandTest::new()) as Box<dyn FeasibilityTest>,
+            Box::new(ProcessorDemandTest::new()) as edf_analysis::BoxedTest,
             Box::new(QpaTest::new()),
         ] {
             prop_assert_eq!(

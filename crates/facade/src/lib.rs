@@ -104,6 +104,9 @@ pub use edf_model as model;
 pub use edf_sim as sim;
 
 pub use edf_analysis::batch;
+pub use edf_analysis::candidates::{
+    self, CandidateAnalysis, CandidateView, EngineConfig, EngineStats, MixedRadixGray,
+};
 pub use edf_analysis::exhaustive::{exhaustive_check, exhaustive_check_workload};
 pub use edf_analysis::incremental::ScaledView;
 pub use edf_analysis::kernel::{AnalysisScratch, DemandKernel};
@@ -116,7 +119,10 @@ pub use edf_analysis::tests::{
     AllApproximatedTest, BoundSelection, DensityTest, DeviTest, DynamicErrorTest, LevelGrowth,
     LiuLaylandTest, ProcessorDemandTest, QpaTest, RevisionOrder, SuperpositionTest,
 };
-pub use edf_analysis::transactions::{analyze_transaction_system, exhaustive_transaction_check};
+pub use edf_analysis::transactions::{
+    analyze_transaction_system, candidate_workloads, exhaustive_transaction_check, CombinationIter,
+    ProductTooLarge,
+};
 pub use edf_analysis::workload::{DemandComponent, DemandEvent, DemandEventIter};
 pub use edf_analysis::{
     all_tests, registered_tests, Analysis, BoxedTest, DemandOverload, FeasibilityTest, MixedSystem,

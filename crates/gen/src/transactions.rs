@@ -8,6 +8,17 @@ use rand::{Rng, SeedableRng};
 /// draws a period, a part count, distinct-ish offsets below the period,
 /// and per-part execution times and deadlines.
 ///
+/// Beyond the basic ranges, three knobs dial the *candidate product* of
+/// the generated system — the quantity the `candidates` engine's cost is
+/// exponential in — from 10² to 10⁶ and beyond:
+/// [`TransactionConfig::product_shape`] fixes the per-transaction part
+/// counts exactly (product = the shape's product),
+/// [`TransactionConfig::target_utilization`] sizes the execution times to
+/// hit a total long-run utilization, and
+/// [`TransactionConfig::offset_choices`] limits the distinct release
+/// offsets per transaction (duplicate offsets produce dominated
+/// candidates, exercising the engine's pruning).
+///
 /// # Examples
 ///
 /// ```
@@ -19,13 +30,28 @@ use rand::{Rng, SeedableRng};
 ///     .generate();
 /// assert_eq!(transactions.len(), 3);
 /// assert!(transactions.iter().all(|t| t.utilization() <= 1.0));
+///
+/// // A 4^5 = 1024-combination system at ~60 % load.
+/// let system = TransactionConfig::new()
+///     .product_shape(vec![4; 5])
+///     .target_utilization(0.6)
+///     .seed(7)
+///     .generate_system(edf_model::TaskSet::new());
+/// assert_eq!(system.candidate_count(), 1024);
+/// assert!((system.utilization() - 0.6).abs() < 0.1);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TransactionConfig {
     transaction_count: (usize, usize),
     part_count: (usize, usize),
     period: (u64, u64),
     wcet: (u64, u64),
+    /// Exact per-transaction part counts, overriding the two count ranges.
+    shape: Option<Vec<usize>>,
+    /// Total long-run utilization to size the WCETs for.
+    target_utilization: Option<f64>,
+    /// Distinct release offsets per transaction (0 = one slice per part).
+    offset_choices: usize,
     seed: u64,
 }
 
@@ -45,6 +71,9 @@ impl TransactionConfig {
             part_count: (1, 4),
             period: (20, 200),
             wcet: (1, 5),
+            shape: None,
+            target_utilization: None,
+            offset_choices: 0,
             seed: 0,
         }
     }
@@ -110,6 +139,59 @@ impl TransactionConfig {
         self
     }
 
+    /// Fixes the generated batch to exactly one transaction per entry of
+    /// `shape`, with exactly that many parts each — the candidate product
+    /// of the resulting system is the product of the entries, so benches
+    /// and property tests can dial product sizes precisely (`vec![4; 5]` →
+    /// 1024, `vec![10; 6]` → 10⁶).  Overrides
+    /// [`TransactionConfig::transaction_count`] and
+    /// [`TransactionConfig::part_count`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is empty or any entry is zero.
+    #[must_use]
+    pub fn product_shape(mut self, shape: Vec<usize>) -> Self {
+        assert!(
+            !shape.is_empty() && shape.iter().all(|&parts| parts >= 1),
+            "product shape entries must be positive"
+        );
+        self.shape = Some(shape);
+        self
+    }
+
+    /// Sizes the per-part execution times so the batch's total long-run
+    /// utilization lands near `utilization` (each transaction receives an
+    /// equal share, split evenly over its parts; integer rounding and the
+    /// one-tick minimum make the result approximate, tighter for larger
+    /// periods).  Overrides the [`TransactionConfig::wcet`] range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `utilization` is not positive and finite.
+    #[must_use]
+    pub fn target_utilization(mut self, utilization: f64) -> Self {
+        assert!(
+            utilization.is_finite() && utilization > 0.0,
+            "target utilization must be positive"
+        );
+        self.target_utilization = Some(utilization);
+        self
+    }
+
+    /// Limits each transaction to at most `choices` distinct release
+    /// offsets (spread evenly over the period, assigned round-robin to the
+    /// parts).  Parts sharing an offset anchor identical critical-instant
+    /// candidates, so a transaction with `p` parts contributes at most
+    /// `choices` candidates after dominance pruning — the knob for
+    /// exercising the candidate engine's pruning layer.  `0` (the default)
+    /// restores the one-slice-per-part offsets.
+    #[must_use]
+    pub fn offset_choices(mut self, choices: usize) -> Self {
+        self.offset_choices = choices;
+        self
+    }
+
     /// Sets the RNG seed, making generation fully reproducible.
     #[must_use]
     pub fn seed(mut self, seed: u64) -> Self {
@@ -135,26 +217,69 @@ impl TransactionConfig {
     /// source.
     #[must_use]
     pub fn generate_with<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<Transaction> {
-        let count =
-            rng.gen_range(self.transaction_count.0 as u64..=self.transaction_count.1 as u64);
-        (0..count).map(|_| self.build_transaction(rng)).collect()
+        let counts: Vec<usize> = match &self.shape {
+            Some(shape) => shape.clone(),
+            None => {
+                let count = rng
+                    .gen_range(self.transaction_count.0 as u64..=self.transaction_count.1 as u64);
+                (0..count)
+                    .map(|_| {
+                        rng.gen_range(self.part_count.0 as u64..=self.part_count.1 as u64) as usize
+                    })
+                    .collect()
+            }
+        };
+        let share = self
+            .target_utilization
+            .map(|utilization| utilization / counts.len().max(1) as f64);
+        counts
+            .iter()
+            .map(|&parts| self.build_transaction(rng, parts, share))
+            .collect()
     }
 
-    fn build_transaction<R: Rng + ?Sized>(&self, rng: &mut R) -> Transaction {
+    fn build_transaction<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        parts: usize,
+        utilization_share: Option<f64>,
+    ) -> Transaction {
         let period = rng.gen_range(self.period.0..=self.period.1);
-        let parts = rng.gen_range(self.part_count.0 as u64..=self.part_count.1 as u64);
-        // Spread the parts over the period: a random offset in each part's
-        // own slice keeps offsets below the period and loosely ordered.
-        let slice = period / parts.max(1);
-        let parts = (0..parts)
-            .map(|i| {
-                let base = i * slice;
-                let offset = if slice > 1 {
-                    base + rng.gen_range(0..slice)
-                } else {
-                    base
-                };
-                let wcet = rng.gen_range(self.wcet.0..=self.wcet.1).min(period);
+        let parts = parts as u64;
+        // A transaction-wide per-part cost when a utilization target is
+        // set; integer rounding and the one-tick floor keep it approximate.
+        let sized_wcet = utilization_share
+            .map(|share| ((share * period as f64 / parts as f64).round() as u64).clamp(1, period));
+        let offset_of: Vec<u64> = if self.offset_choices > 0 {
+            // A limited palette spread evenly over the period, assigned
+            // round-robin: parts sharing a palette slot anchor identical
+            // candidates (the dominance-pruning regime).
+            let choices = (self.offset_choices as u64).min(parts).max(1);
+            (0..parts)
+                .map(|i| (i % choices) * (period / choices))
+                .collect()
+        } else {
+            // Spread the parts over the period: a random offset in each
+            // part's own slice keeps offsets below the period and loosely
+            // ordered.
+            let slice = period / parts.max(1);
+            (0..parts)
+                .map(|i| {
+                    let base = i * slice;
+                    if slice > 1 {
+                        base + rng.gen_range(0..slice)
+                    } else {
+                        base
+                    }
+                })
+                .collect()
+        };
+        let parts = offset_of
+            .into_iter()
+            .map(|offset| {
+                let wcet = sized_wcet
+                    .unwrap_or_else(|| rng.gen_range(self.wcet.0..=self.wcet.1))
+                    .min(period);
                 let deadline = rng.gen_range(wcet..=period);
                 TransactionPart::new(
                     Time::new(offset.min(period - 1)),
@@ -209,5 +334,55 @@ mod tests {
     #[test]
     fn default_configuration_is_usable() {
         assert!(!TransactionConfig::default().generate().is_empty());
+    }
+
+    #[test]
+    fn product_shape_fixes_the_candidate_product() {
+        let system = TransactionConfig::new()
+            .product_shape(vec![4, 3, 5, 2])
+            .seed(11)
+            .generate_system(TaskSet::new());
+        assert_eq!(system.transactions().len(), 4);
+        let parts: Vec<usize> = system.transactions().iter().map(Transaction::len).collect();
+        assert_eq!(parts, vec![4, 3, 5, 2]);
+        assert_eq!(system.candidate_count(), 4 * 3 * 5 * 2);
+        // A six-digit product is reachable without materializing anything.
+        let big = TransactionConfig::new()
+            .product_shape(vec![10; 6])
+            .seed(12)
+            .generate_system(TaskSet::new());
+        assert_eq!(big.candidate_count(), 1_000_000);
+    }
+
+    #[test]
+    fn target_utilization_is_approximately_hit() {
+        for target in [0.3, 0.6, 0.9] {
+            let system = TransactionConfig::new()
+                .product_shape(vec![4; 5])
+                .period(200..=2_000)
+                .target_utilization(target)
+                .seed(13)
+                .generate_system(TaskSet::new());
+            assert!(
+                (system.utilization() - target).abs() < 0.08,
+                "target {target}, got {}",
+                system.utilization()
+            );
+        }
+    }
+
+    #[test]
+    fn offset_choices_limits_distinct_offsets() {
+        let transactions = TransactionConfig::new()
+            .product_shape(vec![6, 6])
+            .offset_choices(2)
+            .seed(14)
+            .generate();
+        for transaction in &transactions {
+            let mut offsets: Vec<Time> = transaction.parts().iter().map(|p| p.offset()).collect();
+            offsets.sort_unstable();
+            offsets.dedup();
+            assert!(offsets.len() <= 2, "more than two distinct offsets");
+        }
     }
 }

@@ -297,11 +297,23 @@ impl TransactionSystem {
 
     /// Number of critical-instant candidate combinations (the product over
     /// the transactions), saturating at `usize::MAX`.
+    ///
+    /// The product is exponential in the number of transactions, so it can
+    /// genuinely overflow; use [`TransactionSystem::candidate_count_checked`]
+    /// when the distinction between "huge" and "astronomical" matters (e.g.
+    /// before materializing anything proportional to the product).
     #[must_use]
     pub fn candidate_count(&self) -> usize {
+        self.candidate_count_checked().unwrap_or(usize::MAX)
+    }
+
+    /// [`TransactionSystem::candidate_count`] without the saturation: `None`
+    /// when the product overflows `usize`.
+    #[must_use]
+    pub fn candidate_count_checked(&self) -> Option<usize> {
         self.transactions
             .iter()
-            .fold(1usize, |acc, t| acc.saturating_mul(t.candidate_count()))
+            .try_fold(1usize, |acc, t| acc.checked_mul(t.candidate_count()))
     }
 }
 
@@ -406,5 +418,24 @@ mod tests {
         assert!(system.to_string().contains("2 transaction"));
         let empty = TransactionSystem::new(TaskSet::new(), vec![]);
         assert_eq!(empty.candidate_count(), 1);
+    }
+
+    #[test]
+    fn candidate_count_checked_detects_overflow() {
+        let wide = Transaction::new(
+            Time::new(1 << 14),
+            (0..1 << 13).map(|o| part(o, 1, 1)).collect(),
+        )
+        .unwrap();
+        // Five transactions of 2^13 candidates each: the product (2^65)
+        // overflows usize on 64-bit targets.
+        let system = TransactionSystem::new(TaskSet::new(), vec![wide; 5]);
+        assert_eq!(system.candidate_count_checked(), None);
+        assert_eq!(system.candidate_count(), usize::MAX);
+        let small = TransactionSystem::new(
+            TaskSet::new(),
+            vec![Transaction::new(Time::new(10), vec![part(0, 1, 2), part(5, 1, 2)]).unwrap()],
+        );
+        assert_eq!(small.candidate_count_checked(), Some(2));
     }
 }
