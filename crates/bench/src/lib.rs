@@ -9,7 +9,9 @@
 #![warn(missing_docs)]
 
 use edf_gen::{ArrivalCurveConfig, PeriodDistribution, TaskSetConfig, TransactionConfig};
-use edf_model::{ArrivalCurveTask, EventStream, EventStreamTask, TaskSet, Time, TransactionSystem};
+use edf_model::{
+    ArrivalCurveTask, EventStream, EventStreamTask, EventTuple, TaskSet, Time, TransactionSystem,
+};
 
 /// Task sets with the Figure 8 character: 5–50 tasks, the given target
 /// utilization (percent), periods uniform in `[1_000, 1_000_000]`, average
@@ -77,6 +79,52 @@ pub fn stream_fixture(count: usize) -> Vec<EventStreamTask> {
                 EventStream::bursty(3, Time::new(4 + i % 5), Time::new(120 + 30 * i)),
                 Time::new(1 + i % 3),
                 Time::new(10 + 5 * i),
+            )
+            .expect("positive parameters")
+        })
+        .collect()
+}
+
+/// Task sets with a heavily skewed period spread (`Tmax/Tmin = 100_000`)
+/// for the demand-kernel lane benchmarks: short probe intervals cut off
+/// most of the deadline-sorted columns while long ones sweep them whole,
+/// so the chunked lane loops see every mix of full 8-lane blocks and
+/// scalar tails instead of the steady full-width regime of
+/// [`ratio_fixture`].
+#[must_use]
+pub fn skewed_period_fixture(count: usize) -> Vec<TaskSet> {
+    TaskSetConfig::new()
+        .task_count(20..=50)
+        .utilization(0.90..=0.99)
+        .average_gap(0.3)
+        .periods(PeriodDistribution::RatioControlled {
+            min: 10,
+            ratio: 100_000,
+        })
+        .seed(6_500)
+        .generate_many(count)
+}
+
+/// Event-stream tasks mixing periodic tuples with one-shot start-up
+/// transients, for the demand-kernel lane benchmarks: the prepared
+/// workload carries both column families at once, so `dbf` pays the
+/// one-shot prefix lookup *and* the periodic lane loop on every probe —
+/// the regime where neither column family can be specialised away.
+#[must_use]
+pub fn mixed_mode_fixture(count: usize) -> Vec<EventStreamTask> {
+    (0..count as u64)
+        .map(|i| {
+            let mut tuples = vec![
+                EventTuple::periodic(Time::new(90 + 17 * i), Time::ZERO),
+                EventTuple::periodic(Time::new(140 + 23 * i), Time::new(6 + i % 9)),
+            ];
+            for k in 0..=(i % 3) {
+                tuples.push(EventTuple::single(Time::new(3 + 11 * k + i)));
+            }
+            EventStreamTask::new(
+                EventStream::new(tuples).expect("non-empty tuple list"),
+                Time::new(1 + i % 4),
+                Time::new(12 + 4 * i),
             )
             .expect("positive parameters")
         })
@@ -152,6 +200,20 @@ mod tests {
         assert_eq!(utilization_fixture(95, 4).len(), 4);
         assert_eq!(ratio_fixture(1_000, 3).len(), 3);
         assert_eq!(acceptance_fixture(85, 2).len(), 2);
+    }
+
+    #[test]
+    fn lane_fixtures_are_reproducible_and_mixed() {
+        assert_eq!(skewed_period_fixture(3), skewed_period_fixture(3));
+        assert_eq!(skewed_period_fixture(3).len(), 3);
+        let mixed = mixed_mode_fixture(8);
+        assert_eq!(mixed.len(), 8);
+        assert_eq!(mixed, mixed_mode_fixture(8));
+        // Every task carries at least one one-shot and one periodic tuple.
+        for task in &mixed {
+            assert!(task.stream().tuples().iter().any(|t| t.cycle.is_none()));
+            assert!(task.stream().tuples().iter().any(|t| t.cycle.is_some()));
+        }
     }
 
     #[test]

@@ -241,7 +241,10 @@ impl FeasibilityTest for AllApproximatedTest {
                 };
                 remove_term(approx_terms, term_owner, states, revise);
                 states[revise].approximated_from = None;
-                states[revise].examined_demand = components[revise].dbf(interval);
+                // Re-evaluating the withdrawn component's exact demand is a
+                // kernel column gather (reciprocal multiply, no hardware
+                // division) on the kernel path.
+                states[revise].examined_demand = workload.component_demand(revise, interval);
                 states[revise].examined_jobs = jobs_within(&components[revise], interval);
                 exact_sum += u128::from(states[revise].examined_demand.as_u64());
                 if let Some(next) = components[revise].next_deadline_after(interval) {

@@ -192,6 +192,8 @@ impl FeasibilityTest for DynamicErrorTest {
         approx_terms.clear();
         let term_owner = &mut scratch.term_owner;
         term_owner.clear();
+        let withdrawn = &mut scratch.withdrawn;
+        withdrawn.clear();
         // Running Σ examined_demand over the unapproximated components
         // (exact in u128, clamped to `Time` range at each comparison —
         // bit-identical to the former saturating fold).
@@ -237,24 +239,30 @@ impl FeasibilityTest for DynamicErrorTest {
                     } else {
                         level = next_level;
                     }
-                    for j in 0..states.len() {
-                        let Some(im) = states[j].approximated_from else {
-                            continue;
-                        };
-                        // Withdraw the approximation of components that would
-                        // not be approximated at `im` under the new level.
-                        if components[j].max_test_interval(level) > im {
-                            remove_term(approx_terms, term_owner, states, j);
-                            states[j].approximated_from = None;
-                            states[j].examined_demand = components[j].dbf(interval);
-                            exact_sum += u128::from(states[j].examined_demand.as_u64());
-                            if let Some(next) = components[j].next_deadline_after(interval) {
-                                if next <= horizon {
-                                    pending.push(Reverse((next, j)));
-                                }
+                    // Withdraw the approximation of components that would
+                    // not be approximated at `im` under the new level.
+                    // Collect the whole pass first, then evaluate every
+                    // withdrawn component's exact demand as one batch of
+                    // kernel column gathers; applying in ascending `j`
+                    // preserves the former interleaved loop's heap
+                    // insertion and term-removal order exactly.
+                    withdrawn.clear();
+                    withdrawn.extend((0..states.len()).filter_map(|j| {
+                        let im = states[j].approximated_from?;
+                        (components[j].max_test_interval(level) > im).then_some(j as u32)
+                    }));
+                    for &j in withdrawn.iter() {
+                        let j = j as usize;
+                        remove_term(approx_terms, term_owner, states, j);
+                        states[j].approximated_from = None;
+                        states[j].examined_demand = workload.component_demand(j, interval);
+                        exact_sum += u128::from(states[j].examined_demand.as_u64());
+                        if let Some(next) = components[j].next_deadline_after(interval) {
+                            if next <= horizon {
+                                pending.push(Reverse((next, j)));
                             }
-                            revised_any = true;
                         }
+                        revised_any = true;
                     }
                     if level == u64::MAX {
                         // Cannot grow further; every border has saturated.

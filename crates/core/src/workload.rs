@@ -1128,6 +1128,33 @@ impl PreparedWorkload {
         self.kernel().dbf(interval)
     }
 
+    /// Batched demand bound function: fills `out` with `dbf(interval)`
+    /// for every entry of `intervals`, in order — bit-identical to calling
+    /// [`PreparedWorkload::dbf`] once per interval, but evaluated
+    /// column-major in interval blocks so every kernel column load is
+    /// shared across the block (see [`DemandKernel::dbf_many`]).  `out` is
+    /// cleared first; callers reuse the buffer across batches.
+    pub fn dbf_many(&self, intervals: &[Time], out: &mut Vec<Time>) {
+        if self.scalar_demand {
+            out.clear();
+            out.extend(intervals.iter().map(|&interval| self.dbf(interval)));
+            return;
+        }
+        self.kernel().dbf_many(intervals, out);
+    }
+
+    /// The demand of a single component at `interval` — the refining
+    /// tests' withdrawal evaluation, answered by a kernel column gather
+    /// (reciprocal multiply instead of a hardware division) on the kernel
+    /// path and by [`DemandComponent::dbf`] on the scalar oracle.
+    #[must_use]
+    pub(crate) fn component_demand(&self, component: usize, interval: Time) -> Time {
+        if self.scalar_demand {
+            return self.components[component].dbf(interval);
+        }
+        self.kernel().component_demand(component, interval)
+    }
+
     /// The columnar demand kernel of this preparation, built on first use
     /// from the cached deadline order and reused by every demand query.
     pub fn kernel(&self) -> &DemandKernel {

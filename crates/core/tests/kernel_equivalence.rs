@@ -12,7 +12,7 @@
 use edf_analysis::batch::{analyze_many_serial, BoxedTest};
 use edf_analysis::incremental::ScaledView;
 use edf_analysis::kernel::{reference, AnalysisScratch};
-use edf_analysis::workload::{MixedSystem, PreparedWorkload, Workload};
+use edf_analysis::workload::{DemandComponent, MixedSystem, PreparedWorkload, Workload};
 use edf_analysis::{all_tests, FeasibilityTest};
 use edf_model::{
     AffineSegment, ArrivalCurve, ArrivalCurveTask, EventStream, EventStreamTask, Task, TaskSet,
@@ -66,6 +66,66 @@ fn arb_curve_task() -> impl Strategy<Value = ArrivalCurveTask> {
     )
 }
 
+/// Largest narrow-column value: the `u32` narrowing/promotion boundary.
+const NEAR_32: u64 = u32::MAX as u64;
+
+/// A parameter value either well inside the narrow (`u32`) range or
+/// straddling its upper boundary.
+fn arb_straddle_value() -> impl Strategy<Value = u64> {
+    prop_oneof![1u64..=120, (NEAR_32 - 40)..=(NEAR_32 + 40)]
+}
+
+/// Raw component lists whose deadlines, periods and costs straddle
+/// `u32::MAX` in every combination — the narrowing gate's boundary family
+/// (generator-backed workload models never reach these magnitudes).
+fn arb_straddle_components() -> impl Strategy<Value = Vec<DemandComponent>> {
+    prop::collection::vec(
+        (
+            arb_straddle_value(),
+            arb_straddle_value(),
+            arb_straddle_value(),
+            0u8..3,
+        ),
+        1..=6,
+    )
+    .prop_map(|specs| {
+        specs
+            .into_iter()
+            .map(|(wcet, deadline, period, kind)| match kind {
+                0 => DemandComponent::one_shot(Time::new(wcet), Time::new(deadline), Time::ZERO),
+                1 => DemandComponent::periodic(
+                    Time::new(wcet.min(period)),
+                    Time::new(deadline),
+                    Time::new(period),
+                ),
+                _ => DemandComponent::periodic_from(
+                    Time::new(wcet.min(period)),
+                    Time::new(deadline),
+                    Time::new(period),
+                    Time::new(wcet % 97),
+                ),
+            })
+            .collect()
+    })
+}
+
+/// Probe intervals for the straddle family: a dense low range, the
+/// `u32::MAX` neighbourhood (both sides of the narrow interval gate), and
+/// the neighbourhood of every component deadline and first period step.
+fn straddle_probes(prepared: &PreparedWorkload) -> Vec<Time> {
+    let mut probes: Vec<u64> = (0..=64).collect();
+    probes.extend([NEAR_32 - 1, NEAR_32, NEAR_32 + 1, 2 * NEAR_32 + 17]);
+    for component in prepared.components() {
+        let d = component.first_deadline().as_u64();
+        probes.extend([d.saturating_sub(1), d, d + 1, d.saturating_add(NEAR_32)]);
+        if let Some(p) = component.period() {
+            let p = p.as_u64();
+            probes.extend([d + p - 1, d + p, d + p + 1, d.saturating_add(3 * p)]);
+        }
+    }
+    probes.into_iter().map(Time::new).collect()
+}
+
 fn arb_transaction_system() -> impl Strategy<Value = TransactionSystem> {
     (
         prop::collection::vec(arb_task(), 0..=2),
@@ -89,7 +149,8 @@ fn arb_transaction_system() -> impl Strategy<Value = TransactionSystem> {
 
 /// Runs every registered test on the kernel-backed preparation and on the
 /// scalar-reference oracle, asserting bit-identical analyses (verdict,
-/// iteration count, max examined interval, overload witness).
+/// iteration count, max examined interval, overload witness), plus
+/// batched-vs-repeated `dbf` equality on both paths.
 fn assert_kernel_equals_scalar<W: Workload + ?Sized>(workload: &W) {
     let kernel = PreparedWorkload::new(workload);
     let scalar = kernel.scalar_reference();
@@ -101,6 +162,25 @@ fn assert_kernel_equals_scalar<W: Workload + ?Sized>(workload: &W) {
             test.name()
         );
     }
+    assert_dbf_many_equals_repeated(&kernel, &scalar);
+}
+
+/// Asserts `dbf_many` (column-major interval blocks) bit-identical to
+/// one-interval-at-a-time evaluation, on the kernel path and the scalar
+/// oracle alike, over a dense probe range.
+fn assert_dbf_many_equals_repeated(kernel: &PreparedWorkload, scalar: &PreparedWorkload) {
+    let horizon = kernel
+        .analysis_horizon()
+        .unwrap_or(Time::new(200))
+        .min(Time::new(300));
+    // +2 past the horizon leaves a non-full remainder block.
+    let probes: Vec<Time> = (0..=horizon.as_u64() + 2).map(Time::new).collect();
+    let repeated: Vec<Time> = probes.iter().map(|&i| scalar.dbf(i)).collect();
+    let mut batched = Vec::new();
+    kernel.dbf_many(&probes, &mut batched);
+    assert_eq!(batched, repeated, "kernel dbf_many vs repeated scalar dbf");
+    scalar.dbf_many(&probes, &mut batched);
+    assert_eq!(batched, repeated, "scalar dbf_many vs repeated scalar dbf");
 }
 
 /// Asserts the kernel primitives equal the scalar folds over a dense
@@ -259,6 +339,93 @@ proptest! {
                     test.analyze_prepared(probed),
                     test.analyze_prepared(&cold),
                     "{} diverges between view-over-kernel and cold preparation",
+                    test.name()
+                );
+            }
+        }
+    }
+
+    /// Columns straddling the `u32` narrowing boundary: every combination
+    /// of narrow/wide deadlines, periods and costs answers every primitive
+    /// — `dbf`, `last_deadline_below`, the fused QPA step, batched
+    /// `dbf_many` — bit-identically to the scalar oracle, on probe
+    /// intervals on both sides of the narrow interval gate.
+    #[test]
+    fn straddling_u32_columns_match_scalar(components in arb_straddle_components()) {
+        let prepared = PreparedWorkload::from_components(components);
+        let scalar = prepared.scalar_reference();
+        let probes = straddle_probes(&prepared);
+        for &i in &probes {
+            prop_assert_eq!(prepared.dbf(i), scalar.dbf(i), "dbf at {}", i);
+            prop_assert_eq!(
+                prepared.last_deadline_below(i),
+                scalar.last_deadline_below(i),
+                "predecessor at {}", i
+            );
+            let (demand, predecessor) = prepared.demand_and_predecessor(i);
+            prop_assert_eq!(demand, scalar.dbf(i), "combined demand at {}", i);
+            prop_assert_eq!(
+                predecessor,
+                scalar.last_deadline_below(i),
+                "combined predecessor at {}", i
+            );
+        }
+        let repeated: Vec<Time> = probes.iter().map(|&i| scalar.dbf(i)).collect();
+        let mut batched = Vec::new();
+        prepared.dbf_many(&probes, &mut batched);
+        prop_assert_eq!(batched, repeated);
+    }
+
+    /// Mid-`ScaledView` narrow demotion and promotion: probing a
+    /// wide-period component's cost across the `u32::MAX` boundary — above
+    /// (the kernel demotes to the wide columns in place), back below (the
+    /// probe-boundary refresh re-narrows) — always equals a cold
+    /// preparation of the same components, full analyses included.
+    #[test]
+    fn narrow_promotion_mid_scaled_view_matches_cold(
+        ts in arb_set(),
+        wcets in prop::collection::vec(
+            prop_oneof![1u64..=1_000, (NEAR_32 - 2)..=(NEAR_32 + 1_000)],
+            1..=5,
+        ),
+    ) {
+        let wide_period = 4 * NEAR_32;
+        let mut components = ts.demand_components();
+        components.push(DemandComponent::periodic(
+            Time::new(5),
+            Time::new(40),
+            Time::new(wide_period),
+        ));
+        let wide_idx = components.len() - 1;
+        let base = PreparedWorkload::from_components(components.clone());
+        // Touch the kernel so every probe rewrites live narrow columns.
+        let _ = base.dbf(Time::new(1));
+        let mut view = ScaledView::new(&base);
+        let suite = all_tests();
+        for wcet in wcets {
+            let probed = view.with_component_wcet(wide_idx, Time::new(wcet));
+            let mut cold_components = components.clone();
+            cold_components[wide_idx] = DemandComponent::periodic(
+                Time::new(wcet.min(wide_period)),
+                Time::new(40),
+                Time::new(wide_period),
+            );
+            let cold = PreparedWorkload::from_components(cold_components);
+            prop_assert_eq!(probed.components(), cold.components());
+            for i in (0..=120).chain([NEAR_32 - 1, NEAR_32, NEAR_32 + 40, NEAR_32 + 41]) {
+                let i = Time::new(i);
+                prop_assert_eq!(probed.dbf(i), cold.dbf(i), "dbf at {}", i);
+                prop_assert_eq!(
+                    probed.last_deadline_below(i),
+                    cold.last_deadline_below(i),
+                    "predecessor at {}", i
+                );
+            }
+            for test in &suite {
+                prop_assert_eq!(
+                    test.analyze_prepared(probed),
+                    test.analyze_prepared(&cold),
+                    "{} diverges between demoted/promoted view and cold preparation",
                     test.name()
                 );
             }

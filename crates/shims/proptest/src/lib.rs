@@ -172,6 +172,35 @@ pub mod strategy {
         }
     }
 
+    /// See [`crate::prop_oneof`]: draws uniformly from one of several
+    /// alternative strategies.  Unlike real proptest's heterogeneous
+    /// (boxing) union, the shim requires all alternatives to be the same
+    /// strategy type — sufficient for unions of literal ranges.
+    #[derive(Debug, Clone)]
+    pub struct Union<S> {
+        options: Vec<S>,
+    }
+
+    impl<S> Union<S> {
+        /// Creates the union; `options` must be non-empty.
+        #[must_use]
+        pub fn new(options: Vec<S>) -> Self {
+            assert!(
+                !options.is_empty(),
+                "prop_oneof! needs at least one alternative"
+            );
+            Union { options }
+        }
+    }
+
+    impl<S: Strategy> Strategy for Union<S> {
+        type Value = S::Value;
+        fn new_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+            let pick = rng.gen_range(0..self.options.len());
+            self.options[pick].new_value(rng)
+        }
+    }
+
     /// A strategy that always yields clones of one value.
     #[derive(Debug, Clone)]
     pub struct Just<T>(pub T);
@@ -330,6 +359,16 @@ macro_rules! __proptest_items {
     };
 }
 
+/// A uniform choice between alternative strategies (see
+/// [`strategy::Union`]; the shim form requires all alternatives to share
+/// one strategy type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($strategy),+])
+    };
+}
+
 /// `assert!` under the proptest spelling.
 #[macro_export]
 macro_rules! prop_assert {
@@ -355,7 +394,7 @@ macro_rules! prop_assert_ne {
 pub mod prelude {
     pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
 
     /// The `prop::` namespace (`prop::collection::vec`, ...).
     pub mod prop {
@@ -379,6 +418,11 @@ mod tests {
         fn ranges_in_bounds(x in 5u64..10, y in 1usize..=4) {
             prop_assert!((5..10).contains(&x));
             prop_assert!((1..=4).contains(&y), "y = {}", y);
+        }
+
+        #[test]
+        fn oneof_draws_from_every_alternative(x in prop_oneof![0u64..=4, 100u64..=104]) {
+            prop_assert!((0..=4).contains(&x) || (100..=104).contains(&x));
         }
 
         #[test]
