@@ -186,12 +186,19 @@ pub fn analyze_many_serial<W: Workload>(
 /// Runs every prepared workload through every test, in parallel — the
 /// variant for callers that already hold prepared workloads (e.g. to run
 /// several suites over one preparation).  One scratch arena per worker.
+///
+/// Generic over ownership: accepts owned preparations
+/// (`&[PreparedWorkload]`) as well as borrowed ones
+/// (`&[&PreparedWorkload]`) — the admission service batches what-if
+/// requests by collecting one borrowed preparation per tenant view
+/// without cloning any of them.
 #[must_use]
-pub fn analyze_many_prepared(
-    workloads: &[PreparedWorkload],
-    tests: &[BoxedTest],
-) -> Vec<Vec<Analysis>> {
+pub fn analyze_many_prepared<P>(workloads: &[P], tests: &[BoxedTest]) -> Vec<Vec<Analysis>>
+where
+    P: std::borrow::Borrow<PreparedWorkload> + Sync,
+{
     parallel_map_with(workloads, AnalysisScratch::new, |scratch, prepared| {
+        let prepared = prepared.borrow();
         tests
             .iter()
             .map(|test| test.analyze_prepared_with(prepared, scratch))

@@ -305,6 +305,42 @@ impl BoundRefresher {
         self.refresh_with_utilization(components, exceeds_one)
     }
 
+    /// Recomputes every bound after a **structural edit** — components
+    /// inserted, removed or replaced wholesale, the contract of
+    /// [`EditView`](crate::incremental::EditView).  Nothing captured by
+    /// [`BoundRefresher::new`] is guaranteed to survive such an edit, so
+    /// every aggregate (count, timing, the period-lcm chain behind the
+    /// hyperperiod bound) is re-derived in one linear pass; only the
+    /// search **hints** carry over — they merely seed the galloping
+    /// bracket, so the refreshed bounds stay exact while consecutive
+    /// edits of a live system (whose bounds barely move) converge in a
+    /// handful of predicate evaluations.  `reciprocals` is the caller's
+    /// maintained per-component reciprocal cache (see
+    /// [`EditView`](crate::incremental::EditView)), copied instead of
+    /// re-deriving one 128-bit division per component.  The result is
+    /// bit-identical to [`FeasibilityBounds::for_components`] on the same
+    /// list.
+    pub(crate) fn refresh_edited(
+        &mut self,
+        components: &[DemandComponent],
+        exceeds_one: bool,
+        reciprocals: &[Reciprocal],
+    ) -> FeasibilityBounds {
+        debug_assert_eq!(components.len(), reciprocals.len());
+        let timing = TimingAggregates::of(components);
+        self.component_count = components.len();
+        self.baruah_max_diff = timing.baruah_max_diff;
+        self.george_degenerate = timing.george_degenerate;
+        self.min_first_deadline = timing.min_first_deadline;
+        self.max_first_deadline = timing.max_first_deadline;
+        self.busy_applicable = timing.busy_applicable;
+        self.period_lcm = period_lcm(components);
+        self.hyperperiod = hyperperiod_from(self.period_lcm, timing.max_first_deadline);
+        self.reciprocals.clear();
+        self.reciprocals.extend_from_slice(reciprocals);
+        self.refresh_with_utilization(components, exceeds_one)
+    }
+
     /// Recomputes every bound for a WCET-perturbed copy of the component
     /// list given to [`BoundRefresher::new`]; equal to
     /// [`FeasibilityBounds::for_components`] on the same list.

@@ -105,6 +105,7 @@ use crate::analysis::{Analysis, FeasibilityTest, Verdict};
 use crate::arith::{fracs_parts_le_integer_iter, Reciprocal};
 use crate::batch::parallel_map_with;
 use crate::bounds::BoundRefresher;
+use crate::incremental::WorkloadView;
 use crate::kernel::AnalysisScratch;
 use crate::transactions::{candidate_components, combination_components};
 use crate::workload::{DemandComponent, PreparedWorkload};
@@ -495,6 +496,9 @@ pub struct CandidateView {
     /// column per swap.
     reciprocals: Vec<Reciprocal>,
     choice: Vec<usize>,
+    /// The choice at the last finalize — the state
+    /// [`WorkloadView::revert`] rolls pending swaps back to.
+    committed: Vec<usize>,
     /// Transactions patched since the last finalize.
     dirty: Vec<usize>,
     /// Reused repair buffers (previous order minus dirty blocks; the dirty
@@ -548,6 +552,7 @@ impl CandidateView {
             scratch,
             refresher,
             reciprocals,
+            committed: choice.clone(),
             choice,
             dirty: Vec::new(),
             order_rest: Vec::new(),
@@ -666,6 +671,33 @@ impl CandidateView {
         self.scratch
             .install_retimed_state(order, bounds, Some(&self.reciprocals));
         self.dirty.clear();
+        self.committed.clone_from(&self.choice);
+    }
+}
+
+impl WorkloadView for CandidateView {
+    fn finalize(&mut self) -> &PreparedWorkload {
+        self.prepared()
+    }
+
+    fn is_dirty(&self) -> bool {
+        !self.dirty.is_empty()
+    }
+
+    /// Rolls pending (unfinalized) swaps back to the last finalized
+    /// combination by re-patching the affected blocks; nothing to repair
+    /// afterwards — the scratch's derived state still matches.
+    fn revert(&mut self) {
+        while let Some(transaction) = self.dirty.pop() {
+            let candidate = self.committed[transaction];
+            self.choice[transaction] = candidate;
+            let slot = &self.slots[transaction];
+            let block = &slot.candidates[candidate];
+            for (position, component) in block.components.iter().enumerate() {
+                self.scratch
+                    .write_component_at(slot.start + position, *component);
+            }
+        }
     }
 }
 
@@ -782,7 +814,7 @@ impl<T: FeasibilityTest + ?Sized> Sweep<'_, T> {
                 out.screened += 1;
                 out.iterations = out.iterations.saturating_add(1);
             } else {
-                let analysis = self.test.analyze_prepared_with(view.prepared(), scratch);
+                let analysis = self.test.analyze_view_with(view, scratch);
                 out.iterations = out.iterations.saturating_add(analysis.iterations);
                 out.max_examined = out.max_examined.max(analysis.max_examined_interval);
                 match analysis.verdict {

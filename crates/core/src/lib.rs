@@ -131,7 +131,7 @@ pub mod workload;
 
 pub use analysis::{Analysis, DemandOverload, FeasibilityTest, Verdict};
 pub use batch::BoxedTest;
-pub use incremental::ScaledView;
+pub use incremental::{EditView, ScaledView, WorkloadView};
 pub use kernel::AnalysisScratch;
 pub use workload::{MixedSystem, PreparedWorkload, Workload};
 

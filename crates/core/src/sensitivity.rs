@@ -187,7 +187,8 @@ fn breakdown_with_view(
     let mut probes = 0u32;
     let lo = breakdown_search(|numer| {
         probes += 1;
-        test.analyze_prepared_with(view.scale_wcets(numer, SCALE_DENOMINATOR), scratch)
+        view.scale_wcets(numer, SCALE_DENOMINATOR);
+        test.analyze_view_with(&mut *view, scratch)
             .verdict
             .is_feasible()
     })?;
@@ -320,8 +321,8 @@ fn wcet_slack_with_view(
         return Time::ZERO;
     }
     let slack = slack_search(headroom.as_u64(), |extra| {
-        let probed = view.with_component_wcet(component_index, component.wcet() + Time::new(extra));
-        test.analyze_prepared_with(probed, scratch)
+        view.with_component_wcet(component_index, component.wcet() + Time::new(extra));
+        test.analyze_view_with(&mut *view, scratch)
             .verdict
             .is_feasible()
     });

@@ -1431,6 +1431,103 @@ impl PreparedWorkload {
             let _ = self.bounds.set(bounds);
         }
     }
+
+    /// Allocated capacity of the component column (crate-internal: the
+    /// buffer-reuse assertions of the edit tests).
+    #[cfg(test)]
+    pub(crate) fn component_capacity(&self) -> usize {
+        self.components.capacity()
+    }
+
+    /// Inserts `component` at `index`, shifting the suffix up
+    /// (crate-internal: the [`EditView`](crate::incremental::EditView)
+    /// structural-edit path).  Every derived state — utilization, the
+    /// `U > 1` comparison, order, kernel, bounds — is stale afterwards;
+    /// the caller must install it via
+    /// [`PreparedWorkload::install_edited_state`] before the next query.
+    pub(crate) fn insert_component_at(&mut self, index: usize, component: DemandComponent) {
+        self.components.insert(index, component);
+    }
+
+    /// Removes and returns the component at `index`, shifting the suffix
+    /// down (crate-internal, see
+    /// [`PreparedWorkload::insert_component_at`]).  Shrinking edits
+    /// **reuse** the column capacity — the debug assertion pins the
+    /// `recycled`-style buffer-reuse contract: an admission service
+    /// cycling through admit/evict sequences must not churn the
+    /// allocator.
+    pub(crate) fn remove_component_at(&mut self, index: usize) -> DemandComponent {
+        let capacity = self.components.capacity();
+        let removed = self.components.remove(index);
+        debug_assert_eq!(
+            self.components.capacity(),
+            capacity,
+            "a shrinking edit must reuse the component column's capacity"
+        );
+        removed
+    }
+
+    /// Replaces the component at `index` wholesale, returning the old one
+    /// (crate-internal, see [`PreparedWorkload::insert_component_at`];
+    /// unlike [`PreparedWorkload::write_component_at`] the cost and
+    /// period may change, which is why every derived aggregate is stale
+    /// until [`PreparedWorkload::install_edited_state`]).
+    pub(crate) fn replace_component_at(
+        &mut self,
+        index: usize,
+        component: DemandComponent,
+    ) -> DemandComponent {
+        let capacity = self.components.capacity();
+        let old = std::mem::replace(&mut self.components[index], component);
+        debug_assert_eq!(
+            self.components.capacity(),
+            capacity,
+            "an in-place replacement must not touch the component column's capacity"
+        );
+        old
+    }
+
+    /// Installs the state matching the current component list after a
+    /// batch of structural edits ([`PreparedWorkload::insert_component_at`]
+    /// / [`PreparedWorkload::remove_component_at`] /
+    /// [`PreparedWorkload::replace_component_at`]): the superset of
+    /// [`PreparedWorkload::install_refreshed_state`] (utilization and the
+    /// exact `U > 1` comparison moved) and
+    /// [`PreparedWorkload::install_retimed_state`] (order and kernel
+    /// layout moved), plus the task count.  `order` must be the stable
+    /// ascending-`(first deadline, index)` order of the components; the
+    /// kernel columns are rebuilt from it into their existing allocations
+    /// re-using the caller's per-component period `reciprocals`; `None`
+    /// bounds leave the lazy cold path to answer a later
+    /// [`PreparedWorkload::bounds`] call.
+    pub(crate) fn install_edited_state(
+        &mut self,
+        task_count: usize,
+        utilization: f64,
+        exceeds_one: bool,
+        order: Vec<usize>,
+        bounds: Option<FeasibilityBounds>,
+        reciprocals: &[crate::arith::Reciprocal],
+    ) {
+        debug_assert_eq!(order.len(), self.components.len());
+        debug_assert!(order.windows(2).all(|w| {
+            let (a, b) = (&self.components[w[0]], &self.components[w[1]]);
+            a.first_deadline() < b.first_deadline()
+                || (a.first_deadline() == b.first_deadline() && w[0] < w[1])
+        }));
+        self.task_count = task_count;
+        self.utilization = utilization;
+        self.exceeds_one = exceeds_one;
+        let mut kernel = self.kernel.take().unwrap_or_default();
+        kernel.rebuild_with_reciprocals(&self.components, &order, reciprocals);
+        let _ = self.kernel.set(kernel);
+        self.deadline_order.take();
+        let _ = self.deadline_order.set(order);
+        self.bounds.take();
+        if let Some(bounds) = bounds {
+            let _ = self.bounds.set(bounds);
+        }
+    }
 }
 
 impl Workload for PreparedWorkload {

@@ -38,6 +38,12 @@
 //!   WCET-slack searches and the batch [`sensitivity_sweep`];
 //! * [`analysis::transactions`] — exact critical-instant-candidate
 //!   analysis of offset-transaction systems;
+//! * [`serve`] (`edf-serve`) — the online admission-control service:
+//!   thousands of tenants, each a [`PreparedWorkload`] behind an
+//!   [`EditView`], answering admit / evict / what-if requests through
+//!   delta re-analysis (with an anytime budgeted mode that answers an
+//!   honest `Unknown` when its per-request deadline fires, and batched
+//!   entry points fanning independent tenants across the cores);
 //! * [`sim`] (`edf-sim`) — a discrete-event EDF / fixed-priority scheduler
 //!   simulator used as an independent oracle;
 //! * [`gen`] (`edf-gen`) — reproducible random task-set generation
@@ -101,6 +107,7 @@ pub use edf_analysis as analysis;
 pub use edf_experiments as experiments;
 pub use edf_gen as gen;
 pub use edf_model as model;
+pub use edf_serve as serve;
 pub use edf_sim as sim;
 
 pub use edf_analysis::batch;
@@ -108,7 +115,7 @@ pub use edf_analysis::candidates::{
     self, CandidateAnalysis, CandidateView, EngineConfig, EngineStats, MixedRadixGray,
 };
 pub use edf_analysis::exhaustive::{exhaustive_check, exhaustive_check_workload};
-pub use edf_analysis::incremental::ScaledView;
+pub use edf_analysis::incremental::{EditView, ScaledView, WorkloadView};
 pub use edf_analysis::kernel::{AnalysisScratch, DemandKernel};
 pub use edf_analysis::sensitivity::{
     breakdown_scaling, breakdown_scaling_exact, breakdown_scaling_prepared,
@@ -134,6 +141,7 @@ pub use edf_model::{
     EventStreamTask, Task, TaskBuilder, TaskError, TaskSet, Time, Transaction, TransactionPart,
     TransactionSystem,
 };
+pub use edf_serve::{AdmissionDecision, AdmissionService, SlaMode};
 pub use edf_sim::{simulate_edf_feasibility, OracleVerdict, SchedulingPolicy, Simulator};
 
 #[cfg(test)]

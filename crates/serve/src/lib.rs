@@ -1,0 +1,669 @@
+//! # `edf-serve` — online EDF admission control over the view family
+//!
+//! A long-running service answering **admit / evict / what-if** requests
+//! for thousands of independently prepared workloads ("tenants"), each
+//! held behind one [`EditView`]: every request is a structural edit of the
+//! tenant's [`PreparedWorkload`], re-analyzed in place through the delta
+//! path (deadline-order repair, bounds refresh, in-place kernel rebuild)
+//! instead of a cold re-preparation.
+//!
+//! The service commits an edit only when the paper's all-approximated
+//! exact test accepts the edited system; a rejected or hypothetical edit
+//! is rolled back through [`WorkloadView::revert`], so a tenant's
+//! committed state is always a feasibility-checked snapshot.
+//!
+//! Two service-level objectives are offered ([`SlaMode`]):
+//!
+//! * **Exact** — every request runs the uncapped exact test; verdicts are
+//!   always decisive.
+//! * **Budgeted** — an anytime escalation over the capped-level test
+//!   constructor ([`AllApproximatedTest::with_max_level`]): levels are
+//!   doubled until a decisive verdict lands or the per-request deadline
+//!   expires, at which point the service answers an **honest
+//!   [`Verdict::Unknown`]** (and declines the admission) rather than a
+//!   wrong verdict.  Decisive capped verdicts are exact, so budgeting
+//!   never trades correctness — only decisiveness.
+//!
+//! Concurrent request batches go through [`AdmissionService::admit_many`]
+//! / [`AdmissionService::what_if_many`], which fan independent tenants out
+//! across the CPU cores via [`batch::analyze_many_prepared`] with one
+//! [`AnalysisScratch`] arena per worker.
+//!
+//! The `edf-serve` binary (see `src/main.rs`) exposes the service over a
+//! line protocol on stdin/stdout.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use edf_analysis::batch::{self, BoxedTest};
+use edf_analysis::tests::AllApproximatedTest;
+use edf_analysis::workload::DemandComponent;
+use edf_analysis::{
+    Analysis, AnalysisScratch, EditView, FeasibilityTest, PreparedWorkload, Verdict, WorkloadView,
+};
+
+/// Service-level objective for analysis latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlaMode {
+    /// Run the uncapped exact test on every request.  Verdicts are always
+    /// decisive; latency is whatever exactness costs.
+    Exact,
+    /// Anytime mode: escalate capped-level tests (levels 2, 4, 8, …)
+    /// until a decisive verdict or the deadline, then answer an honest
+    /// [`Verdict::Unknown`].  A decisive answer under a cap is exact, so
+    /// this mode can return a *missing* verdict but never a *wrong* one.
+    Budgeted {
+        /// Per-request analysis deadline.  [`Duration::ZERO`] permits only
+        /// the free checks (the exact `U > 1` comparison).
+        deadline: Duration,
+    },
+}
+
+/// The service's decision on an [`AdmissionService::admit`] request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionDecision {
+    /// The edited system is feasible; the component was committed under
+    /// this service-assigned id (stable across later edits, usable with
+    /// [`AdmissionService::evict`]).
+    Admitted(u64),
+    /// The edited system provably misses a deadline; the edit was rolled
+    /// back.
+    Rejected,
+    /// The budget expired before a decisive verdict; the edit was rolled
+    /// back (never admitted on an unknown).
+    Undetermined,
+}
+
+/// Outcome of an admit or what-if request: the decision plus the analysis
+/// that produced it (iteration counts make the §5 effort metric visible
+/// per request).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdmissionResponse {
+    /// What the service decided (and, for admissions, the component id).
+    pub decision: AdmissionDecision,
+    /// The deciding analysis.
+    pub analysis: Analysis,
+}
+
+/// A point-in-time summary of one tenant's committed system.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantStat {
+    /// Number of committed demand components.
+    pub components: usize,
+    /// Total utilization of the committed system.
+    pub utilization: f64,
+}
+
+/// One tenant: the edit view over its committed system plus the stable
+/// component ids, parallel to the view's component indices.
+#[derive(Debug)]
+struct Tenant {
+    view: EditView,
+    ids: Vec<u64>,
+}
+
+impl Tenant {
+    fn empty() -> Self {
+        Tenant {
+            view: EditView::new(&PreparedWorkload::from_components(Vec::new())),
+            ids: Vec::new(),
+        }
+    }
+}
+
+/// The admission-control service: a map of tenants, the active
+/// [`SlaMode`], and one reusable [`AnalysisScratch`] for the
+/// single-request path.
+///
+/// # Examples
+///
+/// ```
+/// use edf_analysis::workload::DemandComponent;
+/// use edf_model::Time;
+/// use edf_serve::{AdmissionDecision, AdmissionService};
+///
+/// let mut service = AdmissionService::new();
+/// let heavy = DemandComponent::periodic(Time::new(6), Time::new(8), Time::new(10));
+/// let id = match service.admit("tenant-a", heavy).decision {
+///     AdmissionDecision::Admitted(id) => id,
+///     other => panic!("feasible component declined: {other:?}"),
+/// };
+///
+/// // A second heavy component would push utilization past one: rejected,
+/// // and the tenant's committed state is untouched.
+/// let response = service.admit("tenant-a", heavy);
+/// assert_eq!(response.decision, AdmissionDecision::Rejected);
+/// assert_eq!(service.stat("tenant-a").unwrap().components, 1);
+///
+/// assert!(service.evict("tenant-a", id));
+/// assert_eq!(service.stat("tenant-a").unwrap().components, 0);
+/// ```
+#[derive(Debug)]
+pub struct AdmissionService {
+    tenants: HashMap<String, Tenant>,
+    mode: SlaMode,
+    scratch: AnalysisScratch,
+    next_id: u64,
+}
+
+impl Default for AdmissionService {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AdmissionService {
+    /// A fresh service in [`SlaMode::Exact`] with no tenants.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_mode(SlaMode::Exact)
+    }
+
+    /// A fresh service in the given mode.
+    #[must_use]
+    pub fn with_mode(mode: SlaMode) -> Self {
+        AdmissionService {
+            tenants: HashMap::new(),
+            mode,
+            scratch: AnalysisScratch::new(),
+            next_id: 0,
+        }
+    }
+
+    /// The active service-level objective.
+    #[must_use]
+    pub fn mode(&self) -> SlaMode {
+        self.mode
+    }
+
+    /// Switches the service-level objective for subsequent requests.
+    pub fn set_mode(&mut self, mode: SlaMode) {
+        self.mode = mode;
+    }
+
+    /// Number of known tenants (admitting to a new name creates it).
+    #[must_use]
+    pub fn tenant_count(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Registers `tenant` with `base` as its initial committed system
+    /// (unchecked: the base is the operator's prior, not an admission).
+    /// Replaces any existing tenant of that name; returns the component
+    /// ids assigned to the base components, in component order.
+    pub fn register_tenant(&mut self, tenant: &str, base: &PreparedWorkload) -> Vec<u64> {
+        let ids: Vec<u64> = base
+            .components()
+            .iter()
+            .map(|_| {
+                let id = self.next_id;
+                self.next_id += 1;
+                id
+            })
+            .collect();
+        self.tenants.insert(
+            tenant.to_owned(),
+            Tenant {
+                view: EditView::new(base),
+                ids: ids.clone(),
+            },
+        );
+        ids
+    }
+
+    /// Admits `component` into `tenant`'s system if the edited system
+    /// passes the active mode's analysis; otherwise rolls the edit back.
+    /// Unknown tenants start from an empty system.
+    pub fn admit(&mut self, tenant: &str, component: DemandComponent) -> AdmissionResponse {
+        let mode = self.mode;
+        let entry = self
+            .tenants
+            .entry(tenant.to_owned())
+            .or_insert_with(Tenant::empty);
+        entry.view.insert_component(component);
+        let analysis = analyze_one(mode, entry.view.prepared(), &mut self.scratch);
+        let decision = if analysis.verdict.is_feasible() {
+            entry.view.commit();
+            let id = self.next_id;
+            self.next_id += 1;
+            entry.ids.push(id);
+            AdmissionDecision::Admitted(id)
+        } else {
+            // The rollback leaves the view dirty on purpose: the refresh
+            // is paid lazily by whoever next needs the finalized state
+            // (usually the next request's own finalize), keeping the
+            // steady-state cost at one refresh per request.
+            entry.view.revert();
+            decline(analysis.verdict)
+        };
+        AdmissionResponse { decision, analysis }
+    }
+
+    /// Answers "would this component be admitted?" without changing the
+    /// tenant's committed state: the edit is applied, analyzed, and
+    /// reverted.  Unknown tenants are evaluated against an empty system
+    /// (and stay unregistered).
+    pub fn what_if(&mut self, tenant: &str, component: DemandComponent) -> AdmissionResponse {
+        let mode = self.mode;
+        match self.tenants.get_mut(tenant) {
+            Some(entry) => {
+                entry.view.insert_component(component);
+                let analysis = analyze_one(mode, entry.view.prepared(), &mut self.scratch);
+                // Lazy rollback, as in `admit`: the next finalize pays one
+                // refresh for the revert and its own edit together.
+                entry.view.revert();
+                AdmissionResponse {
+                    decision: hypothetical(&analysis),
+                    analysis,
+                }
+            }
+            None => {
+                let mut probe = Tenant::empty();
+                probe.view.insert_component(component);
+                let analysis = analyze_one(mode, probe.view.prepared(), &mut self.scratch);
+                AdmissionResponse {
+                    decision: hypothetical(&analysis),
+                    analysis,
+                }
+            }
+        }
+    }
+
+    /// Removes the component with the given service-assigned id from
+    /// `tenant` and commits the shrunk system (removal only reduces
+    /// demand, so no re-admission test is needed).  Returns `false` when
+    /// the tenant or id is unknown.
+    pub fn evict(&mut self, tenant: &str, id: u64) -> bool {
+        let Some(entry) = self.tenants.get_mut(tenant) else {
+            return false;
+        };
+        let Some(index) = entry.ids.iter().position(|&existing| existing == id) else {
+            return false;
+        };
+        entry.ids.remove(index);
+        entry.view.remove_component(index);
+        entry.view.commit();
+        true
+    }
+
+    /// A summary of `tenant`'s committed system, or `None` if unknown.
+    /// Finalizes any pending lazy rollback first (hence `&mut self`).
+    pub fn stat(&mut self, tenant: &str) -> Option<TenantStat> {
+        let entry = self.tenants.get_mut(tenant)?;
+        let prepared = entry.view.prepared();
+        Some(TenantStat {
+            components: prepared.components().len(),
+            utilization: prepared.utilization(),
+        })
+    }
+
+    /// Batched [`AdmissionService::admit`]: requests for *distinct*
+    /// tenants are analyzed concurrently via
+    /// [`batch::analyze_many_prepared`] (one scratch arena per worker);
+    /// requests hitting the same tenant are serialized into successive
+    /// waves, each wave seeing the commits of the previous one.  Responses
+    /// are in request order.
+    pub fn admit_many(&mut self, requests: &[(&str, DemandComponent)]) -> Vec<AdmissionResponse> {
+        self.run_waves(requests, true)
+    }
+
+    /// Batched [`AdmissionService::what_if`]: same wave scheduling as
+    /// [`AdmissionService::admit_many`], but every edit is reverted, so no
+    /// committed state changes (unknown tenants are registered empty, to
+    /// keep the wave engine uniform).  Responses are in request order.
+    pub fn what_if_many(&mut self, requests: &[(&str, DemandComponent)]) -> Vec<AdmissionResponse> {
+        self.run_waves(requests, false)
+    }
+
+    /// Shared wave engine behind the batched entry points.  Per wave:
+    /// apply one edit per distinct tenant and finalize (phase 1), analyze
+    /// all finalized views in parallel (phase 2), then commit or revert by
+    /// verdict (phase 3).
+    fn run_waves(
+        &mut self,
+        requests: &[(&str, DemandComponent)],
+        commit_admissions: bool,
+    ) -> Vec<AdmissionResponse> {
+        let mode = self.mode;
+        let mut responses: Vec<Option<AdmissionResponse>> = vec![None; requests.len()];
+        let mut remaining: Vec<usize> = (0..requests.len()).collect();
+        while !remaining.is_empty() {
+            // Phase 0: pick at most one pending request per tenant.
+            let mut wave: Vec<usize> = Vec::with_capacity(remaining.len());
+            let mut deferred: Vec<usize> = Vec::new();
+            for request in remaining.drain(..) {
+                let tenant = requests[request].0;
+                if wave
+                    .iter()
+                    .any(|&scheduled| requests[scheduled].0 == tenant)
+                {
+                    deferred.push(request);
+                } else {
+                    wave.push(request);
+                }
+            }
+            remaining = deferred;
+
+            // Phase 1: apply each wave edit and finalize its view.
+            for &request in &wave {
+                let (tenant, component) = requests[request];
+                let entry = self
+                    .tenants
+                    .entry(tenant.to_owned())
+                    .or_insert_with(Tenant::empty);
+                entry.view.insert_component(component);
+                entry.view.prepared();
+            }
+
+            // Phase 2: analyze the finalized views of the wave in
+            // parallel.  The views are clean, so the shared-borrow
+            // accessor hands out plain `&PreparedWorkload`s.
+            let analyses = {
+                let prepared: Vec<&PreparedWorkload> = wave
+                    .iter()
+                    .map(|&request| self.tenants[requests[request].0].view.finalized())
+                    .collect();
+                analyze_wave(mode, &prepared)
+            };
+
+            // Phase 3: commit admissions, revert everything else.
+            for (&request, analysis) in wave.iter().zip(analyses) {
+                let tenant = requests[request].0;
+                let entry = self.tenants.get_mut(tenant).expect("tenant seen in wave");
+                let decision = if commit_admissions && analysis.verdict.is_feasible() {
+                    entry.view.commit();
+                    let id = self.next_id;
+                    self.next_id += 1;
+                    entry.ids.push(id);
+                    AdmissionDecision::Admitted(id)
+                } else {
+                    entry.view.revert();
+                    if commit_admissions {
+                        decline(analysis.verdict)
+                    } else {
+                        hypothetical(&analysis)
+                    }
+                };
+                responses[request] = Some(AdmissionResponse { decision, analysis });
+            }
+        }
+        responses
+            .into_iter()
+            .map(|response| response.expect("every request answered"))
+            .collect()
+    }
+}
+
+/// Maps a non-feasible verdict to the matching declined decision.
+fn decline(verdict: Verdict) -> AdmissionDecision {
+    if verdict.is_infeasible() {
+        AdmissionDecision::Rejected
+    } else {
+        AdmissionDecision::Undetermined
+    }
+}
+
+/// Maps a what-if analysis to the decision an admit *would* have made.
+fn hypothetical(analysis: &Analysis) -> AdmissionDecision {
+    match analysis.verdict {
+        // The id an admission would assign is not reserved by a what-if;
+        // `u64::MAX` marks the hypothetical.
+        Verdict::Feasible => AdmissionDecision::Admitted(u64::MAX),
+        Verdict::Infeasible => AdmissionDecision::Rejected,
+        Verdict::Unknown => AdmissionDecision::Undetermined,
+    }
+}
+
+/// Analyzes one prepared system under the given mode.
+fn analyze_one(
+    mode: SlaMode,
+    prepared: &PreparedWorkload,
+    scratch: &mut AnalysisScratch,
+) -> Analysis {
+    match mode {
+        SlaMode::Exact => AllApproximatedTest::new().analyze_prepared_with(prepared, scratch),
+        SlaMode::Budgeted { deadline } => {
+            let start = Instant::now();
+            if let Some(free) = free_verdict(prepared) {
+                return free;
+            }
+            let mut last = Analysis::trivial(Verdict::Unknown);
+            let mut level = 2u64;
+            while start.elapsed() < deadline {
+                let test = AllApproximatedTest::new().with_max_level(level);
+                let analysis = test.analyze_prepared_with(prepared, scratch);
+                if analysis.verdict.is_decisive() {
+                    return analysis;
+                }
+                last = analysis;
+                level = level.saturating_mul(2);
+            }
+            last
+        }
+    }
+}
+
+/// Analyzes a wave of prepared systems under the given mode, fanning out
+/// across the CPU cores.  In budgeted mode the whole wave shares one
+/// deadline: each escalation level runs only the still-undecided systems,
+/// and systems left undecided at the deadline answer
+/// [`Verdict::Unknown`].
+fn analyze_wave(mode: SlaMode, prepared: &[&PreparedWorkload]) -> Vec<Analysis> {
+    match mode {
+        SlaMode::Exact => {
+            let tests: Vec<BoxedTest> = vec![Box::new(AllApproximatedTest::new())];
+            batch::analyze_many_prepared(prepared, &tests)
+                .into_iter()
+                .map(|mut analyses| analyses.pop().expect("one test registered"))
+                .collect()
+        }
+        SlaMode::Budgeted { deadline } => {
+            let start = Instant::now();
+            let mut results: Vec<Analysis> = prepared
+                .iter()
+                .map(|system| {
+                    free_verdict(system).unwrap_or_else(|| Analysis::trivial(Verdict::Unknown))
+                })
+                .collect();
+            let mut level = 2u64;
+            while start.elapsed() < deadline {
+                let undecided: Vec<usize> = results
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, analysis)| !analysis.verdict.is_decisive())
+                    .map(|(index, _)| index)
+                    .collect();
+                if undecided.is_empty() {
+                    break;
+                }
+                let subset: Vec<&PreparedWorkload> =
+                    undecided.iter().map(|&index| prepared[index]).collect();
+                let tests: Vec<BoxedTest> =
+                    vec![Box::new(AllApproximatedTest::new().with_max_level(level))];
+                for (&index, mut analyses) in undecided
+                    .iter()
+                    .zip(batch::analyze_many_prepared(&subset, &tests))
+                {
+                    results[index] = analyses.pop().expect("one test registered");
+                }
+                level = level.saturating_mul(2);
+            }
+            results
+        }
+    }
+}
+
+/// The checks that cost nothing even under a zero budget: the prepared
+/// snapshot's exact `U > 1` comparison is a sound infeasibility proof.
+fn free_verdict(prepared: &PreparedWorkload) -> Option<Analysis> {
+    (prepared.utilization_is_exact() && prepared.utilization_exceeds_one())
+        .then(|| Analysis::trivial(Verdict::Infeasible))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edf_model::Time;
+
+    fn light(cost: u64, deadline: u64, period: u64) -> DemandComponent {
+        DemandComponent::periodic(Time::new(cost), Time::new(deadline), Time::new(period))
+    }
+
+    #[test]
+    fn admit_commits_feasible_and_rolls_back_infeasible() {
+        let mut service = AdmissionService::new();
+        let first = service.admit("a", light(4, 9, 10));
+        assert!(matches!(first.decision, AdmissionDecision::Admitted(_)));
+        let second = service.admit("a", light(9, 9, 10));
+        assert_eq!(second.decision, AdmissionDecision::Rejected);
+        let stat = service.stat("a").unwrap();
+        assert_eq!(stat.components, 1);
+        assert!(stat.utilization < 0.5);
+    }
+
+    #[test]
+    fn what_if_never_mutates_committed_state() {
+        let mut service = AdmissionService::new();
+        service.admit("a", light(2, 8, 10));
+        let before = service.stat("a").unwrap();
+        let yes = service.what_if("a", light(1, 9, 10));
+        assert_eq!(yes.decision, AdmissionDecision::Admitted(u64::MAX));
+        let no = service.what_if("a", light(9, 9, 10));
+        assert_eq!(no.decision, AdmissionDecision::Rejected);
+        assert_eq!(service.stat("a").unwrap(), before);
+        // A what-if against an unknown tenant does not register it.
+        service.what_if("ghost", light(1, 5, 10));
+        assert!(service.stat("ghost").is_none());
+    }
+
+    #[test]
+    fn evict_removes_exactly_the_identified_component() {
+        let mut service = AdmissionService::new();
+        let AdmissionDecision::Admitted(first) = service.admit("a", light(1, 5, 10)).decision
+        else {
+            panic!("expected admission")
+        };
+        let AdmissionDecision::Admitted(second) = service.admit("a", light(2, 7, 20)).decision
+        else {
+            panic!("expected admission")
+        };
+        assert!(service.evict("a", first));
+        assert!(!service.evict("a", first), "ids are single-use");
+        assert!(!service.evict("missing", second));
+        let stat = service.stat("a").unwrap();
+        assert_eq!(stat.components, 1);
+        assert!(service.evict("a", second));
+        assert_eq!(service.stat("a").unwrap().components, 0);
+    }
+
+    #[test]
+    fn register_tenant_seeds_the_committed_system() {
+        let mut service = AdmissionService::new();
+        let base = PreparedWorkload::from_components(vec![light(2, 8, 10), light(1, 6, 20)]);
+        let ids = service.register_tenant("seeded", &base);
+        assert_eq!(ids.len(), 2);
+        assert_eq!(service.stat("seeded").unwrap().components, 2);
+        assert!(service.evict("seeded", ids[0]));
+        assert_eq!(service.stat("seeded").unwrap().components, 1);
+    }
+
+    #[test]
+    fn zero_budget_answers_unknown_and_declines() {
+        let mut service = AdmissionService::with_mode(SlaMode::Budgeted {
+            deadline: Duration::ZERO,
+        });
+        let response = service.admit("a", light(4, 9, 10));
+        assert_eq!(response.analysis.verdict, Verdict::Unknown);
+        assert_eq!(response.decision, AdmissionDecision::Undetermined);
+        assert_eq!(
+            service.stat("a").unwrap().components,
+            0,
+            "an unknown verdict must never admit"
+        );
+    }
+
+    #[test]
+    fn zero_budget_still_proves_overload_infeasible() {
+        let mut service = AdmissionService::with_mode(SlaMode::Budgeted {
+            deadline: Duration::ZERO,
+        });
+        service.set_mode(SlaMode::Budgeted {
+            deadline: Duration::ZERO,
+        });
+        // U = 6/10 + 6/10 > 1: the exact rational comparison fires with
+        // zero analysis budget.
+        assert!(matches!(
+            service.admit("a", light(6, 8, 10)).decision,
+            AdmissionDecision::Undetermined
+        ));
+        // Force the overload into one request: a single component with
+        // utilization above one.
+        let response = service.admit("b", light(11, 12, 10));
+        assert_eq!(response.analysis.verdict, Verdict::Infeasible);
+        assert_eq!(response.decision, AdmissionDecision::Rejected);
+    }
+
+    #[test]
+    fn generous_budget_matches_exact_mode() {
+        let mut exact = AdmissionService::new();
+        let mut budgeted = AdmissionService::with_mode(SlaMode::Budgeted {
+            deadline: Duration::from_secs(5),
+        });
+        for component in [light(4, 9, 10), light(3, 14, 20), light(9, 9, 10)] {
+            let exact_verdict = exact.admit("a", component).analysis.verdict;
+            let budget_verdict = budgeted.admit("a", component).analysis.verdict;
+            assert_eq!(exact_verdict, budget_verdict);
+        }
+        assert_eq!(exact.stat("a").unwrap().components, 2);
+        assert_eq!(budgeted.stat("a").unwrap().components, 2);
+    }
+
+    #[test]
+    fn admit_many_matches_sequential_admits() {
+        let requests: Vec<(&str, DemandComponent)> = vec![
+            ("a", light(4, 9, 10)),
+            ("b", light(2, 6, 8)),
+            ("a", light(9, 9, 10)),
+            ("c", light(1, 3, 4)),
+            ("a", light(3, 18, 20)),
+        ];
+        let mut batched = AdmissionService::new();
+        let batched_responses = batched.admit_many(&requests);
+        let mut sequential = AdmissionService::new();
+        for (index, &(tenant, component)) in requests.iter().enumerate() {
+            let response = sequential.admit(tenant, component);
+            assert_eq!(
+                response.analysis, batched_responses[index].analysis,
+                "request {index} diverges between batched and sequential"
+            );
+        }
+        for tenant in ["a", "b", "c"] {
+            assert_eq!(batched.stat(tenant), sequential.stat(tenant));
+        }
+    }
+
+    #[test]
+    fn what_if_many_is_read_only_and_ordered() {
+        let mut service = AdmissionService::new();
+        service.admit("a", light(4, 9, 10));
+        let before = service.stat("a").unwrap();
+        let responses = service.what_if_many(&[
+            ("a", light(1, 9, 10)),
+            ("a", light(9, 9, 10)),
+            ("fresh", light(1, 4, 5)),
+        ]);
+        assert_eq!(responses[0].decision, AdmissionDecision::Admitted(u64::MAX));
+        assert_eq!(responses[1].decision, AdmissionDecision::Rejected);
+        assert_eq!(responses[2].decision, AdmissionDecision::Admitted(u64::MAX));
+        assert_eq!(service.stat("a").unwrap(), before);
+        assert_eq!(
+            service.stat("fresh").unwrap().components,
+            0,
+            "what-if registered the tenant but committed nothing"
+        );
+    }
+}
