@@ -74,14 +74,22 @@ fn bench_admission_paths(c: &mut Criterion) {
     ];
     for (ratio, base) in bases {
         let mut service = AdmissionService::new();
-        service.register_tenant("tenant", &PreparedWorkload::from_components(base.clone()));
+        service
+            .register_tenant("tenant", &PreparedWorkload::from_components(base.clone()))
+            .expect("valid fixture base");
         // Warm the view's lazy state once so the loop measures steady
         // service operation, not first-touch preparation.
-        service.what_if("tenant", probe());
+        service.what_if("tenant", probe()).expect("valid probe");
         group.bench_with_input(
             BenchmarkId::new("whatif_editview", ratio),
             &base,
-            |b, _base| b.iter(|| black_box(service.what_if("tenant", probe())).analysis),
+            |b, _base| {
+                b.iter(|| {
+                    black_box(service.what_if("tenant", probe()))
+                        .expect("valid probe")
+                        .analysis
+                })
+            },
         );
 
         let mut scratch = AnalysisScratch::new();
@@ -120,8 +128,10 @@ fn bench_batched_throughput(c: &mut Criterion) {
     let mut service = AdmissionService::new();
     for (index, name) in names.iter().enumerate() {
         let base = tenant_base(100, index % 4);
-        service.register_tenant(name, &PreparedWorkload::from_components(base));
-        service.what_if(name, probe());
+        service
+            .register_tenant(name, &PreparedWorkload::from_components(base))
+            .expect("valid fixture base");
+        service.what_if(name, probe()).expect("valid probe");
     }
     let requests: Vec<(&str, DemandComponent)> =
         names.iter().map(|name| (name.as_str(), probe())).collect();
@@ -152,8 +162,10 @@ fn bench_budgeted(c: &mut Criterion) {
 
     let base = tenant_base(100, 0);
     let mut service = AdmissionService::new();
-    service.register_tenant("tenant", &PreparedWorkload::from_components(base));
-    service.what_if("tenant", probe());
+    service
+        .register_tenant("tenant", &PreparedWorkload::from_components(base))
+        .expect("valid fixture base");
+    service.what_if("tenant", probe()).expect("valid probe");
 
     for (label, mode) in [
         ("exact", SlaMode::Exact),
@@ -170,9 +182,13 @@ fn bench_budgeted(c: &mut Criterion) {
             },
         ),
     ] {
-        service.set_mode(mode);
+        service.set_mode(mode).expect("no journal attached");
         group.bench_function(BenchmarkId::new(label, 100u64), |b| {
-            b.iter(|| black_box(service.what_if("tenant", probe())).analysis)
+            b.iter(|| {
+                black_box(service.what_if("tenant", probe()))
+                    .expect("valid probe")
+                    .analysis
+            })
         });
     }
     group.finish();

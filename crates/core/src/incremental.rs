@@ -114,6 +114,27 @@ pub trait WorkloadView {
     /// [`CandidateView`](crate::candidates::CandidateView), the last
     /// [`EditView::commit`] point for an [`EditView`].
     fn revert(&mut self);
+
+    /// `true` once the view has been [poisoned](WorkloadView::mark_poisoned):
+    /// a panic unwound through a mutation or an analysis of this view, so
+    /// its scratch state can no longer be trusted and must be rebuilt from
+    /// a known-good source before further use.  The default is `false` —
+    /// borrow-based views ([`ScaledView`],
+    /// [`CandidateView`](crate::candidates::CandidateView)) live inside
+    /// one search call and are simply dropped when a panic unwinds, so
+    /// they never observe poisoning.
+    fn is_poisoned(&self) -> bool {
+        false
+    }
+
+    /// Marks the view poisoned (see [`WorkloadView::is_poisoned`]).  A
+    /// fault-isolating caller ([`catch_unwind`](std::panic::catch_unwind)
+    /// around per-request analysis) calls this when a panic unwinds while
+    /// the view's scratch state may be mid-mutation; the owner then
+    /// rebuilds the view cold ([`EditView::rebuild_from`]) from its last
+    /// committed source of truth.  No-op for views that do not support
+    /// poisoning.
+    fn mark_poisoned(&mut self) {}
 }
 
 /// A re-costable view of a [`PreparedWorkload`]: one scratch preparation,
@@ -358,6 +379,10 @@ pub struct EditView {
     /// Inverses of the edits since the last [`EditView::commit`], newest
     /// last.
     undo: Vec<EditOp>,
+    /// Set by [`WorkloadView::mark_poisoned`] after a panic unwound
+    /// through a mutation or analysis of this view; cleared only by
+    /// [`EditView::rebuild_from`].
+    poisoned: bool,
 }
 
 impl EditView {
@@ -383,8 +408,19 @@ impl EditView {
             task_count: base.task_count(),
             dirty: false,
             undo: Vec::new(),
+            poisoned: false,
             scratch,
         }
+    }
+
+    /// Rebuilds the view cold from `base`, discarding every bit of scratch
+    /// state (components, order, undo log, bound caches) and clearing any
+    /// [poison](WorkloadView::is_poisoned).  This is the recovery hook a
+    /// fault-isolating service uses after a panic unwound through this
+    /// view: the base is the tenant's last committed (journal-backed)
+    /// state, so one bad request can never leave a corrupted view behind.
+    pub fn rebuild_from(&mut self, base: &PreparedWorkload) {
+        *self = EditView::new(base);
     }
 
     /// The current component vector — always up to date, even between an
@@ -461,7 +497,17 @@ impl EditView {
     /// pending repair (aggregate recomputation, order hand-back, in-place
     /// kernel rebuild, hinted bound refresh).  Observably identical to a
     /// cold [`PreparedWorkload`] of the same components.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the view is [poisoned](WorkloadView::is_poisoned) — a
+    /// poisoned scratch must be rebuilt via [`EditView::rebuild_from`]
+    /// before it can be trusted again.
     pub fn prepared(&mut self) -> &PreparedWorkload {
+        assert!(
+            !self.poisoned,
+            "EditView is poisoned (a panic unwound mid-mutation); rebuild_from a committed base"
+        );
         if self.dirty {
             self.refresh();
         }
@@ -563,6 +609,14 @@ impl WorkloadView for EditView {
 
     fn is_dirty(&self) -> bool {
         self.dirty
+    }
+
+    fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    fn mark_poisoned(&mut self) {
+        self.poisoned = true;
     }
 
     /// Rolls back every edit since the last [`EditView::commit`] by
@@ -901,6 +955,36 @@ mod tests {
         let cold = cold_of(&mut view);
         assert_matches_cold(view.prepared(), &cold);
         assert_eq!(view.prepared().task_count(), 1);
+    }
+
+    #[test]
+    fn poisoned_view_rebuilds_from_committed_base() {
+        let base = PreparedWorkload::new(&sample_system());
+        let mut view = EditView::new(&base);
+        assert!(!view.is_poisoned());
+        // Simulate a panic unwinding mid-edit: the component vector has
+        // been mutated but the poison forbids trusting any repair of it.
+        view.insert_component(DemandComponent::periodic(
+            Time::new(1),
+            Time::new(2),
+            Time::new(4),
+        ));
+        view.mark_poisoned();
+        assert!(view.is_poisoned());
+        view.rebuild_from(&base);
+        assert!(!view.is_poisoned());
+        let cold = cold_of(&mut view);
+        assert_matches_cold(view.prepared(), &cold);
+        assert_eq!(view.components(), base.components());
+    }
+
+    #[test]
+    #[should_panic]
+    fn prepared_on_poisoned_view_panics() {
+        let base = PreparedWorkload::from_components(Vec::new());
+        let mut view = EditView::new(&base);
+        view.mark_poisoned();
+        let _ = view.prepared();
     }
 
     #[test]

@@ -141,7 +141,9 @@ pub use edf_model::{
     EventStreamTask, Task, TaskBuilder, TaskError, TaskSet, Time, Transaction, TransactionPart,
     TransactionSystem,
 };
-pub use edf_serve::{AdmissionDecision, AdmissionService, SlaMode};
+pub use edf_serve::{
+    AdmissionDecision, AdmissionService, RequestError, ServiceLimits, SlaMode, WatchdogConfig,
+};
 pub use edf_sim::{simulate_edf_feasibility, OracleVerdict, SchedulingPolicy, Simulator};
 
 #[cfg(test)]

@@ -1,0 +1,220 @@
+//! Deterministic fault injection: a seeded [`FaultPlan`] the service
+//! consults at its fault points, plus the report of what was injected.
+//!
+//! The plan drives three kinds of faults:
+//!
+//! * **analysis panics** — the per-request analysis closure panics
+//!   (inside the service's `catch_unwind` isolation), modelling a bug in
+//!   the analysis reached by one pathological request;
+//! * **guard fires** — the request watchdog is treated as already
+//!   expired, modelling a request whose analysis would have stalled;
+//! * **journal write faults** — one append is torn
+//!   ([`WriteFault::ShortWrite`]) or bit-flipped
+//!   ([`WriteFault::BitFlip`]), modelling a crash mid-write or media
+//!   corruption.
+//!
+//! Everything is derived from one seed through the same offline
+//! `rand::StdRng` the proptest shim uses, so a failing case replays
+//! exactly from its seed.  The plan records every injection in a
+//! [`FaultReport`] (which request panicked, which append was corrupted),
+//! letting the harness compute the exact state a recovery must reproduce:
+//! the journal's valid prefix ends at the first faulted append.
+//!
+//! The injection points live in the service proper (not in test code), so
+//! the harness exercises the *production* isolation paths: the same
+//! `catch_unwind`, poisoning, rebuild and truncate-at-corruption code
+//! runs whether the fault is injected or real.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub use crate::journal::WriteFault;
+
+/// Faults chosen for one request (see [`FaultPlan::next_request`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RequestFaults {
+    /// Panic inside the analysis closure.
+    pub analysis_panic: bool,
+    /// Treat the watchdog guard as already fired (honest `Unknown`).
+    pub guard_fire: bool,
+}
+
+/// One injected fault, with the index of the request (or journal append)
+/// it hit — the harness's ground truth for computing expected post-crash
+/// state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectedFault {
+    /// The `request`-th analyzed request panicked.
+    AnalysisPanic {
+        /// Zero-based analyzed-request index.
+        request: u64,
+    },
+    /// The `request`-th analyzed request's guard fired.
+    GuardFire {
+        /// Zero-based analyzed-request index.
+        request: u64,
+    },
+    /// The `append`-th journal append was corrupted.
+    Write {
+        /// Zero-based journal append index.
+        append: u64,
+        /// How the frame was corrupted.
+        fault: WriteFault,
+    },
+}
+
+/// Everything a [`FaultPlan`] injected, in injection order.
+#[derive(Debug, Clone, Default)]
+pub struct FaultReport {
+    /// Injections in the order they happened.
+    pub injected: Vec<InjectedFault>,
+    /// Total analyzed requests the plan saw.
+    pub requests: u64,
+    /// Total journal appends the plan saw.
+    pub appends: u64,
+}
+
+impl FaultReport {
+    /// Index of the first corrupted journal append, if any: replaying the
+    /// journal must yield exactly the records before it (prefix
+    /// semantics).
+    #[must_use]
+    pub fn first_faulty_append(&self) -> Option<u64> {
+        self.injected.iter().find_map(|fault| match fault {
+            InjectedFault::Write { append, .. } => Some(*append),
+            _ => None,
+        })
+    }
+}
+
+/// A seeded, deterministic schedule of faults (see the [module
+/// documentation](self)).  Rates are per-mille probabilities drawn
+/// independently at each fault point.
+#[derive(Debug)]
+pub struct FaultPlan {
+    rng: StdRng,
+    panic_per_mille: u32,
+    guard_fire_per_mille: u32,
+    write_fault_per_mille: u32,
+    report: FaultReport,
+}
+
+impl FaultPlan {
+    /// A plan injecting nothing (useful as a baseline in A/B harnesses).
+    #[must_use]
+    pub fn quiet(seed: u64) -> Self {
+        Self::from_seed(seed, 0, 0, 0)
+    }
+
+    /// A plan drawing each fault kind independently with the given
+    /// per-mille rates at every fault point, all derived from `seed`.
+    #[must_use]
+    pub fn from_seed(
+        seed: u64,
+        panic_per_mille: u32,
+        guard_fire_per_mille: u32,
+        write_fault_per_mille: u32,
+    ) -> Self {
+        FaultPlan {
+            rng: StdRng::seed_from_u64(seed),
+            panic_per_mille,
+            guard_fire_per_mille,
+            write_fault_per_mille,
+            report: FaultReport::default(),
+        }
+    }
+
+    /// Draws the faults for the next analyzed request.
+    pub fn next_request(&mut self) -> RequestFaults {
+        let request = self.report.requests;
+        self.report.requests += 1;
+        let faults = RequestFaults {
+            analysis_panic: self.rng.gen_range(0u32..1000) < self.panic_per_mille,
+            guard_fire: self.rng.gen_range(0u32..1000) < self.guard_fire_per_mille,
+        };
+        if faults.analysis_panic {
+            self.report
+                .injected
+                .push(InjectedFault::AnalysisPanic { request });
+        }
+        if faults.guard_fire {
+            self.report
+                .injected
+                .push(InjectedFault::GuardFire { request });
+        }
+        faults
+    }
+
+    /// Draws the fault (if any) for the next journal append.
+    pub fn next_append(&mut self) -> Option<WriteFault> {
+        let append = self.report.appends;
+        self.report.appends += 1;
+        if self.rng.gen_range(0u32..1000) >= self.write_fault_per_mille {
+            return None;
+        }
+        // Torn writes and bit flips in equal measure; the exact shape is
+        // drawn from the seeded stream so replays reproduce it.  A short
+        // write keeps at least one but fewer than the 12 header bytes of
+        // a frame, so every injected tear is guaranteed *visible* to the
+        // reader — the harness's recovery-boundary ground truth depends
+        // on the first faulted append really ending the valid prefix.
+        // (`keep = 0` — a record lost without a trace — is deliberately
+        // never drawn: with later appends following it, the journal stays
+        // fully parseable and the loss boundary would be unobservable.)
+        let fault = if self.rng.gen_range(0u32..2) == 0 {
+            WriteFault::ShortWrite {
+                keep: self.rng.gen_range(1u64..12) as usize,
+            }
+        } else {
+            WriteFault::BitFlip {
+                bit: self.rng.gen_range(0u64..1024),
+            }
+        };
+        self.report
+            .injected
+            .push(InjectedFault::Write { append, fault });
+        Some(fault)
+    }
+
+    /// What has been injected so far.
+    #[must_use]
+    pub fn report(&self) -> &FaultReport {
+        &self.report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let mut a = FaultPlan::from_seed(42, 300, 200, 400);
+        let mut b = FaultPlan::from_seed(42, 300, 200, 400);
+        for _ in 0..200 {
+            assert_eq!(a.next_request(), b.next_request());
+            assert_eq!(a.next_append(), b.next_append());
+        }
+        assert_eq!(a.report().injected, b.report().injected);
+        assert!(!a.report().injected.is_empty(), "rates high enough to fire");
+    }
+
+    #[test]
+    fn quiet_plan_injects_nothing() {
+        let mut plan = FaultPlan::quiet(7);
+        for _ in 0..100 {
+            assert_eq!(plan.next_request(), RequestFaults::default());
+            assert_eq!(plan.next_append(), None);
+        }
+        assert!(plan.report().injected.is_empty());
+        assert_eq!(plan.report().first_faulty_append(), None);
+    }
+
+    #[test]
+    fn first_faulty_append_is_the_recovery_boundary() {
+        let mut plan = FaultPlan::from_seed(3, 0, 0, 1000);
+        let fault = plan.next_append();
+        assert!(fault.is_some(), "rate 1000/1000 always fires");
+        assert_eq!(plan.report().first_faulty_append(), Some(0));
+    }
+}

@@ -1,12 +1,31 @@
 //! The `edf-serve` binary: the admission-control service behind a line
 //! protocol on stdin/stdout, one request per line, one reply per request.
 //!
+//! # Usage
+//!
+//! ```text
+//! edf-serve [--journal <path>] [--watchdog <micros>]
+//! ```
+//!
+//! * `--journal <path>` — attach the durable journal at `path`: the
+//!   service first **recovers** (replays the journal's valid prefix,
+//!   rebuilding every tenant's committed state bit-identically), then
+//!   appends every mutation before applying it.
+//! * `--watchdog <micros>` — guard every request with a `micros`
+//!   wall-clock deadline (default hysteresis: degrade to budgeted mode
+//!   after 3 consecutive trips, recover after 8 clean requests).
+//!
+//! # Requests
+//!
 //! ```text
 //! ADMIT  <tenant> <cost> <deadline> [period]   admit a component
 //! WHATIF <tenant> <cost> <deadline> [period]   hypothetical admit
 //! EVICT  <tenant> <id>                         remove a committed component
 //! STAT   <tenant>                              committed-system summary
 //! MODE   exact | budget <micros>               switch the SLA mode
+//! SYNC                                         fsync the journal
+//! SNAPSHOT                                     compact the journal
+//! HEALTH                                       service health summary
 //! QUIT                                         shut down
 //! ```
 //!
@@ -18,200 +37,101 @@
 //! REJECTED verdict=<v> iters=<n> us=<elapsed>
 //! UNDETERMINED verdict=<v> iters=<n> us=<elapsed>
 //! WHATIF <admit|reject|unknown> verdict=<v> iters=<n> us=<elapsed>
-//! EVICTED id=<id>                  | ERR <message>
+//! EVICTED id=<id>
 //! STAT tenant=<t> components=<n> utilization=<u>
 //! MODE exact | MODE budget us=<micros>
+//! SYNCED | SNAPSHOTTED records=<n>
+//! HEALTH tenants=<n> degraded=<bool> guard_trips=<n> panics_isolated=<n>
 //! BYE
+//! ERR code=<code> <detail>
 //! ```
+//!
+//! # Error taxonomy
+//!
+//! Every failed request answers exactly one `ERR code=<code> <detail>`
+//! line; the codes are stable protocol contract:
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | `bad-line` | non-UTF-8 bytes or line over the 4096-byte cap |
+//! | `unknown-command` | unrecognized verb |
+//! | `usage` | recognized verb, malformed arguments |
+//! | `invalid-component` | zero cost, zero relative deadline or zero period |
+//! | `tenant-limit` / `component-limit` / `tenant-name` | resource caps |
+//! | `unknown-tenant` / `unknown-component` | target does not exist |
+//! | `analysis-panic` | analysis panicked; tenant view rebuilt, no verdict fabricated |
+//! | `journal` | journal I/O failed; the mutation was rolled back |
+//! | `no-journal` | `SYNC`/`SNAPSHOT` without `--journal` |
+//!
+//! # Durability and recovery
+//!
+//! With `--journal`, every committed mutation (tenant creation,
+//! admission, eviction, mode change) is appended — checksummed — to the
+//! journal *before* it takes effect, and the append is handed to the OS
+//! (`write_all`) before the reply is sent: a committed mutation survives
+//! **process death** (`kill -9`) unconditionally.  Surviving **machine
+//! death** (power loss) additionally requires `SYNC` (`fsync`).  On
+//! restart, the journal's valid prefix is replayed; a torn tail from a
+//! crash mid-append is truncated at the first corrupt record, losing at
+//! most the unacknowledged suffix — never the committed prefix.
+//! `SNAPSHOT` compacts the log to the minimal record sequence for the
+//! current state (written beside the journal, synced and renamed into
+//! place, so a crash mid-compaction leaves either the old or the new
+//! journal intact).
 
-use std::io::{self, BufRead, Write};
-use std::time::{Duration, Instant};
+use std::io;
+use std::process::ExitCode;
+use std::time::Duration;
 
-use edf_analysis::workload::DemandComponent;
-use edf_model::Time;
-use edf_serve::{AdmissionDecision, AdmissionService, SlaMode};
+use edf_serve::{protocol, AdmissionService, WatchdogConfig};
 
-fn main() -> io::Result<()> {
+fn main() -> ExitCode {
+    let mut journal_path: Option<String> = None;
+    let mut watchdog_micros: Option<u64> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--journal" => match args.next() {
+                Some(path) => journal_path = Some(path),
+                None => return usage("--journal needs a path"),
+            },
+            "--watchdog" => match args.next().map(|word| word.parse::<u64>()) {
+                Some(Ok(micros)) => watchdog_micros = Some(micros),
+                _ => return usage("--watchdog needs a micros value"),
+            },
+            other => return usage(&format!("unknown flag {other}")),
+        }
+    }
+
+    let mut service = match journal_path {
+        Some(path) => match AdmissionService::recover(&path) {
+            Ok(service) => service,
+            Err(error) => {
+                eprintln!("edf-serve: cannot recover journal {path}: {error}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => AdmissionService::new(),
+    };
+    if let Some(micros) = watchdog_micros {
+        service.set_watchdog(Some(WatchdogConfig::with_guard(Duration::from_micros(
+            micros,
+        ))));
+    }
+
     let stdin = io::stdin();
     let stdout = io::stdout();
-    serve(stdin.lock(), stdout.lock())
-}
-
-/// Drives the service over any line-oriented transport (the binary uses
-/// stdin/stdout; the tests use in-memory buffers).
-fn serve(input: impl BufRead, mut output: impl Write) -> io::Result<()> {
-    let mut service = AdmissionService::new();
-    for line in input.lines() {
-        let line = line?;
-        let request = line.trim();
-        if request.is_empty() {
-            continue;
-        }
-        let reply = dispatch(&mut service, request);
-        let done = reply == "BYE";
-        writeln!(output, "{reply}")?;
-        output.flush()?;
-        if done {
-            break;
+    match protocol::serve(&mut service, stdin.lock(), stdout.lock()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(error) => {
+            eprintln!("edf-serve: transport error: {error}");
+            ExitCode::FAILURE
         }
     }
-    Ok(())
 }
 
-/// Parses one request line and runs it against the service.
-fn dispatch(service: &mut AdmissionService, request: &str) -> String {
-    let mut words = request.split_whitespace();
-    let verb = words.next().expect("request is non-empty");
-    let rest: Vec<&str> = words.collect();
-    match verb.to_ascii_uppercase().as_str() {
-        "ADMIT" => admission(service, &rest, true),
-        "WHATIF" => admission(service, &rest, false),
-        "EVICT" => evict(service, &rest),
-        "STAT" => stat(service, &rest),
-        "MODE" => mode(service, &rest),
-        "QUIT" => "BYE".to_owned(),
-        other => format!("ERR unknown command {other}"),
-    }
-}
-
-/// `ADMIT`/`WHATIF <tenant> <cost> <deadline> [period]`.
-fn admission(service: &mut AdmissionService, args: &[&str], commit: bool) -> String {
-    let (Some(&tenant), Some(component)) = (args.first(), parse_component(&args[1..])) else {
-        return "ERR usage: ADMIT|WHATIF <tenant> <cost> <deadline> [period]".to_owned();
-    };
-    let start = Instant::now();
-    let response = if commit {
-        service.admit(tenant, component)
-    } else {
-        service.what_if(tenant, component)
-    };
-    let elapsed = start.elapsed().as_micros();
-    let verdict = response.analysis.verdict;
-    let iterations = response.analysis.iterations;
-    let tail = format!("verdict={verdict} iters={iterations} us={elapsed}");
-    if commit {
-        match response.decision {
-            AdmissionDecision::Admitted(id) => format!("ADMITTED id={id} {tail}"),
-            AdmissionDecision::Rejected => format!("REJECTED {tail}"),
-            AdmissionDecision::Undetermined => format!("UNDETERMINED {tail}"),
-        }
-    } else {
-        let outcome = match response.decision {
-            AdmissionDecision::Admitted(_) => "admit",
-            AdmissionDecision::Rejected => "reject",
-            AdmissionDecision::Undetermined => "unknown",
-        };
-        format!("WHATIF {outcome} {tail}")
-    }
-}
-
-/// `EVICT <tenant> <id>`.
-fn evict(service: &mut AdmissionService, args: &[&str]) -> String {
-    let (Some(&tenant), Some(id)) = (
-        args.first(),
-        args.get(1).and_then(|word| word.parse::<u64>().ok()),
-    ) else {
-        return "ERR usage: EVICT <tenant> <id>".to_owned();
-    };
-    if service.evict(tenant, id) {
-        format!("EVICTED id={id}")
-    } else {
-        format!("ERR no component {id} for tenant {tenant}")
-    }
-}
-
-/// `STAT <tenant>`.
-fn stat(service: &mut AdmissionService, args: &[&str]) -> String {
-    let Some(&tenant) = args.first() else {
-        return "ERR usage: STAT <tenant>".to_owned();
-    };
-    match service.stat(tenant) {
-        Some(stat) => format!(
-            "STAT tenant={tenant} components={} utilization={:.6}",
-            stat.components, stat.utilization
-        ),
-        None => format!("ERR unknown tenant {tenant}"),
-    }
-}
-
-/// `MODE exact` or `MODE budget <micros>`.
-fn mode(service: &mut AdmissionService, args: &[&str]) -> String {
-    match args {
-        ["exact"] => {
-            service.set_mode(SlaMode::Exact);
-            "MODE exact".to_owned()
-        }
-        ["budget", micros] => match micros.parse::<u64>() {
-            Ok(micros) => {
-                service.set_mode(SlaMode::Budgeted {
-                    deadline: Duration::from_micros(micros),
-                });
-                format!("MODE budget us={micros}")
-            }
-            Err(_) => "ERR usage: MODE exact | MODE budget <micros>".to_owned(),
-        },
-        _ => "ERR usage: MODE exact | MODE budget <micros>".to_owned(),
-    }
-}
-
-/// Parses `<cost> <deadline> [period]` into a demand component.
-fn parse_component(args: &[&str]) -> Option<DemandComponent> {
-    let parse = |word: &&str| word.parse::<u64>().ok();
-    match args {
-        [cost, deadline] => Some(DemandComponent::one_shot(
-            Time::new(parse(cost)?),
-            Time::new(parse(deadline)?),
-            Time::new(0),
-        )),
-        [cost, deadline, period] => Some(DemandComponent::periodic(
-            Time::new(parse(cost)?),
-            Time::new(parse(deadline)?),
-            Time::new(parse(period)?),
-        )),
-        _ => None,
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn drive(script: &str) -> Vec<String> {
-        let mut output = Vec::new();
-        serve(script.as_bytes(), &mut output).expect("in-memory transport");
-        String::from_utf8(output)
-            .expect("utf-8 replies")
-            .lines()
-            .map(str::to_owned)
-            .collect()
-    }
-
-    #[test]
-    fn protocol_round_trip() {
-        let replies = drive(
-            "ADMIT a 4 9 10\nWHATIF a 9 9 10\nSTAT a\nEVICT a 0\nSTAT a\nMODE budget 0\nADMIT a 4 9 10\nMODE exact\nQUIT\n",
-        );
-        assert!(replies[0].starts_with("ADMITTED id=0 verdict=feasible"));
-        assert!(replies[1].starts_with("WHATIF reject verdict=infeasible"));
-        assert!(replies[2].starts_with("STAT tenant=a components=1"));
-        assert_eq!(replies[3], "EVICTED id=0");
-        assert!(replies[4].starts_with("STAT tenant=a components=0"));
-        assert_eq!(replies[5], "MODE budget us=0");
-        assert!(replies[6].starts_with("UNDETERMINED verdict=unknown"));
-        assert_eq!(replies[7], "MODE exact");
-        assert_eq!(replies[8], "BYE");
-        assert_eq!(replies.len(), 9);
-    }
-
-    #[test]
-    fn malformed_requests_answer_err_and_keep_serving() {
-        let replies =
-            drive("ADMIT a one 9 10\nEVICT a\nFROB x\nSTAT ghost\nADMIT b 1 5 10\nQUIT\n");
-        assert!(replies[0].starts_with("ERR usage: ADMIT"));
-        assert!(replies[1].starts_with("ERR usage: EVICT"));
-        assert!(replies[2].starts_with("ERR unknown command"));
-        assert!(replies[3].starts_with("ERR unknown tenant"));
-        assert!(replies[4].starts_with("ADMITTED id=0"));
-        assert_eq!(replies[5], "BYE");
-    }
+fn usage(problem: &str) -> ExitCode {
+    eprintln!("edf-serve: {problem}");
+    eprintln!("usage: edf-serve [--journal <path>] [--watchdog <micros>]");
+    ExitCode::FAILURE
 }

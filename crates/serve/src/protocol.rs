@@ -1,0 +1,466 @@
+//! The `edf-serve` line protocol: capped raw-byte line reading, request
+//! classification, dispatch and reply formatting.
+//!
+//! The binary (`src/main.rs`) is a thin wrapper over [`serve`]; keeping
+//! the protocol here lets the fuzz and fault-injection tests drive the
+//! *exact* production serve loop over in-memory transports.
+//!
+//! # Robustness contract
+//!
+//! * **One reply per line, always.**  Every non-empty input line —
+//!   well-formed or not — produces exactly one reply line; blank lines
+//!   produce none.  The loop never panics and never exits on bad input
+//!   (only on `QUIT`, end of input, or a real transport I/O error).
+//! * **Raw bytes in.**  Lines are read as bytes and decoded lossily:
+//!   non-UTF-8 input answers `ERR code=bad-line` instead of killing the
+//!   process (the pre-hardening loop died on the first invalid byte).
+//! * **Length cap.**  A line longer than [`MAX_LINE_BYTES`] answers
+//!   `ERR code=bad-line` and the remainder of the oversized line is
+//!   drained without buffering it, so unbounded input cannot exhaust
+//!   memory.
+//! * **Stable error codes.**  Every error reply is
+//!   `ERR code=<code> <detail>`; the codes come from
+//!   [`RequestError::code`] and never change meaning.
+
+use std::io::{self, BufRead, Write};
+use std::time::{Duration, Instant};
+
+use edf_analysis::workload::DemandComponent;
+use edf_model::Time;
+
+use crate::{
+    validate_component, AdmissionDecision, AdmissionService, ComponentFault, RequestError, SlaMode,
+};
+
+/// Longest accepted request line in bytes (excluding the newline).
+/// Longer lines answer `ERR code=bad-line` and are drained, not buffered.
+pub const MAX_LINE_BYTES: usize = 4096;
+
+/// What one raw input line turned out to be (see [`classify_line`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LineClass {
+    /// Whitespace only: skipped, no reply.
+    Blank,
+    /// Over [`MAX_LINE_BYTES`]: one `ERR code=bad-line` reply.
+    TooLong,
+    /// Contains invalid UTF-8: one `ERR code=bad-line` reply.
+    BadUtf8,
+    /// A well-formed candidate request (trimmed).
+    Request(String),
+}
+
+/// Classifies one raw line (without its newline).  `truncated` reports
+/// that the reader hit the length cap before the newline — the rest of
+/// the physical line was discarded.  Shared between the serve loop and
+/// the protocol fuzz tests so both agree on what counts as a request.
+#[must_use]
+pub fn classify_line(bytes: &[u8], truncated: bool) -> LineClass {
+    if truncated {
+        return LineClass::TooLong;
+    }
+    match std::str::from_utf8(bytes) {
+        Err(_) => LineClass::BadUtf8,
+        Ok(text) => {
+            let trimmed = text.trim();
+            if trimmed.is_empty() {
+                LineClass::Blank
+            } else {
+                LineClass::Request(trimmed.to_owned())
+            }
+        }
+    }
+}
+
+/// Reads one line as raw bytes, capped at [`MAX_LINE_BYTES`]; the
+/// oversized remainder is drained without buffering.  Returns
+/// `Ok(None)` at end of input, otherwise the line bytes (newline
+/// stripped) and whether the cap truncated it.
+///
+/// # Errors
+///
+/// Real transport I/O errors only — malformed *content* never errors.
+pub fn read_raw_line(input: &mut impl BufRead) -> io::Result<Option<(Vec<u8>, bool)>> {
+    let mut line = Vec::new();
+    let mut truncated = false;
+    loop {
+        let available = input.fill_buf()?;
+        if available.is_empty() {
+            // End of input: the final unterminated line still counts.
+            return Ok((!line.is_empty() || truncated).then_some((line, truncated)));
+        }
+        let (chunk, found_newline) = match available.iter().position(|&byte| byte == b'\n') {
+            Some(position) => (&available[..position], true),
+            None => (available, false),
+        };
+        if !truncated {
+            let room = MAX_LINE_BYTES - line.len();
+            if chunk.len() > room {
+                line.extend_from_slice(&chunk[..room]);
+                truncated = true;
+            } else {
+                line.extend_from_slice(chunk);
+            }
+        }
+        let consumed = chunk.len() + usize::from(found_newline);
+        input.consume(consumed);
+        if found_newline {
+            // Strip a trailing '\r' so CRLF transports behave like LF.
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            return Ok(Some((line, truncated)));
+        }
+    }
+}
+
+/// Drives the service over any line-oriented transport (the binary uses
+/// stdin/stdout; the tests use in-memory buffers).  See the [module
+/// docs](self) for the robustness contract.
+///
+/// # Errors
+///
+/// Real transport I/O errors only.
+pub fn serve(
+    service: &mut AdmissionService,
+    mut input: impl BufRead,
+    mut output: impl Write,
+) -> io::Result<()> {
+    while let Some((bytes, truncated)) = read_raw_line(&mut input)? {
+        let request = match classify_line(&bytes, truncated) {
+            LineClass::Blank => continue,
+            LineClass::TooLong => {
+                let error = RequestError::BadLine {
+                    reason: "line over length cap",
+                };
+                writeln!(output, "ERR {error}")?;
+                output.flush()?;
+                continue;
+            }
+            LineClass::BadUtf8 => {
+                let error = RequestError::BadLine {
+                    reason: "invalid utf-8",
+                };
+                writeln!(output, "ERR {error}")?;
+                output.flush()?;
+                continue;
+            }
+            LineClass::Request(request) => request,
+        };
+        let reply = dispatch(service, &request);
+        let done = reply == "BYE";
+        writeln!(output, "{reply}")?;
+        output.flush()?;
+        if done {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Parses one request line and runs it against the service.  Always
+/// returns exactly one reply line; errors render as
+/// `ERR code=<code> <detail>`.
+#[must_use]
+pub fn dispatch(service: &mut AdmissionService, request: &str) -> String {
+    let mut words = request.split_whitespace();
+    let Some(verb) = words.next() else {
+        return format!(
+            "ERR {}",
+            RequestError::BadLine {
+                reason: "empty request"
+            }
+        );
+    };
+    let rest: Vec<&str> = words.collect();
+    let result = match verb.to_ascii_uppercase().as_str() {
+        "ADMIT" => admission(service, &rest, true),
+        "WHATIF" => admission(service, &rest, false),
+        "EVICT" => evict(service, &rest),
+        "STAT" => stat(service, &rest),
+        "MODE" => mode(service, &rest),
+        "SYNC" => sync(service),
+        "SNAPSHOT" => snapshot(service),
+        "HEALTH" => Ok(health(service)),
+        "QUIT" => Ok("BYE".to_owned()),
+        other => Err(RequestError::UnknownCommand {
+            verb: other.to_owned(),
+        }),
+    };
+    match result {
+        Ok(reply) => reply,
+        Err(error) => format!("ERR {error}"),
+    }
+}
+
+/// `ADMIT`/`WHATIF <tenant> <cost> <deadline> [period]`.
+fn admission(
+    service: &mut AdmissionService,
+    args: &[&str],
+    commit: bool,
+) -> Result<String, RequestError> {
+    let usage = "ADMIT|WHATIF <tenant> <cost> <deadline> [period]";
+    let component_args = args.get(1..).unwrap_or(&[]);
+    let (Some(&tenant), Some(component)) = (args.first(), parse_component(component_args)?) else {
+        return Err(RequestError::Usage { usage });
+    };
+    let start = Instant::now();
+    let response = if commit {
+        service.admit(tenant, component)?
+    } else {
+        service.what_if(tenant, component)?
+    };
+    let elapsed = start.elapsed().as_micros();
+    let verdict = response.analysis.verdict;
+    let iterations = response.analysis.iterations;
+    let tail = format!("verdict={verdict} iters={iterations} us={elapsed}");
+    Ok(if commit {
+        match response.decision {
+            AdmissionDecision::Admitted(id) => format!("ADMITTED id={id} {tail}"),
+            AdmissionDecision::Rejected => format!("REJECTED {tail}"),
+            AdmissionDecision::Undetermined => format!("UNDETERMINED {tail}"),
+        }
+    } else {
+        let outcome = match response.decision {
+            AdmissionDecision::Admitted(_) => "admit",
+            AdmissionDecision::Rejected => "reject",
+            AdmissionDecision::Undetermined => "unknown",
+        };
+        format!("WHATIF {outcome} {tail}")
+    })
+}
+
+/// `EVICT <tenant> <id>`.
+fn evict(service: &mut AdmissionService, args: &[&str]) -> Result<String, RequestError> {
+    let (Some(&tenant), Some(id)) = (
+        args.first(),
+        args.get(1).and_then(|word| word.parse::<u64>().ok()),
+    ) else {
+        return Err(RequestError::Usage {
+            usage: "EVICT <tenant> <id>",
+        });
+    };
+    service.evict(tenant, id)?;
+    Ok(format!("EVICTED id={id}"))
+}
+
+/// `STAT <tenant>`.
+fn stat(service: &mut AdmissionService, args: &[&str]) -> Result<String, RequestError> {
+    let Some(&tenant) = args.first() else {
+        return Err(RequestError::Usage {
+            usage: "STAT <tenant>",
+        });
+    };
+    match service.stat(tenant) {
+        Some(stat) => Ok(format!(
+            "STAT tenant={tenant} components={} utilization={:.6}",
+            stat.components, stat.utilization
+        )),
+        None => Err(RequestError::UnknownTenant {
+            tenant: tenant.to_owned(),
+        }),
+    }
+}
+
+/// `MODE exact` or `MODE budget <micros>`.
+fn mode(service: &mut AdmissionService, args: &[&str]) -> Result<String, RequestError> {
+    let usage = "MODE exact | MODE budget <micros>";
+    match args {
+        ["exact"] => {
+            service.set_mode(SlaMode::Exact)?;
+            Ok("MODE exact".to_owned())
+        }
+        ["budget", micros] => match micros.parse::<u64>() {
+            Ok(micros) => {
+                service.set_mode(SlaMode::Budgeted {
+                    deadline: Duration::from_micros(micros),
+                })?;
+                Ok(format!("MODE budget us={micros}"))
+            }
+            Err(_) => Err(RequestError::Usage { usage }),
+        },
+        _ => Err(RequestError::Usage { usage }),
+    }
+}
+
+/// `SYNC`: fsync the journal (machine-death durability for everything
+/// committed so far).
+fn sync(service: &mut AdmissionService) -> Result<String, RequestError> {
+    service.sync()?;
+    Ok("SYNCED".to_owned())
+}
+
+/// `SNAPSHOT`: compact the journal to the current committed state.
+fn snapshot(service: &mut AdmissionService) -> Result<String, RequestError> {
+    let records = service.snapshot()?;
+    Ok(format!("SNAPSHOTTED records={records}"))
+}
+
+/// `HEALTH`: one-line service health summary.
+fn health(service: &AdmissionService) -> String {
+    format!(
+        "HEALTH tenants={} degraded={} guard_trips={} panics_isolated={}",
+        service.tenant_count(),
+        service.is_degraded(),
+        service.guard_trips(),
+        service.panics_isolated()
+    )
+}
+
+/// Parses `<cost> <deadline> [period]` into a validated demand component.
+/// Unparsable words are a usage problem (`Ok(None)` bubbles into the
+/// caller's usage error); parsable-but-invalid values are a component
+/// fault with its own code.
+fn parse_component(args: &[&str]) -> Result<Option<DemandComponent>, RequestError> {
+    let parse = |word: &&str| word.parse::<u64>().ok();
+    let component = match args {
+        [cost, deadline] => match (parse(cost), parse(deadline)) {
+            (Some(cost), Some(deadline)) => Some(DemandComponent::one_shot(
+                Time::new(cost),
+                Time::new(deadline),
+                Time::new(0),
+            )),
+            _ => None,
+        },
+        [cost, deadline, period] => match (parse(cost), parse(deadline), parse(period)) {
+            (Some(cost), Some(deadline), Some(period)) => Some(DemandComponent::periodic(
+                Time::new(cost),
+                Time::new(deadline),
+                Time::new(period),
+            )),
+            _ => None,
+        },
+        _ => None,
+    };
+    match component {
+        None => Ok(None),
+        Some(component) => {
+            validate_component(&component)
+                .map_err(|fault: ComponentFault| RequestError::InvalidComponent { fault })?;
+            Ok(Some(component))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(script: &str) -> Vec<String> {
+        drive_bytes(script.as_bytes())
+    }
+
+    fn drive_bytes(script: &[u8]) -> Vec<String> {
+        let mut service = AdmissionService::new();
+        let mut output = Vec::new();
+        serve(&mut service, script, &mut output).expect("in-memory transport");
+        String::from_utf8(output)
+            .expect("utf-8 replies")
+            .lines()
+            .map(str::to_owned)
+            .collect()
+    }
+
+    #[test]
+    fn protocol_round_trip() {
+        let replies = drive(
+            "ADMIT a 4 9 10\nWHATIF a 9 9 10\nSTAT a\nEVICT a 0\nSTAT a\nMODE budget 0\nADMIT a 4 9 10\nMODE exact\nQUIT\n",
+        );
+        assert!(replies[0].starts_with("ADMITTED id=0 verdict=feasible"));
+        assert!(replies[1].starts_with("WHATIF reject verdict=infeasible"));
+        assert!(replies[2].starts_with("STAT tenant=a components=1"));
+        assert_eq!(replies[3], "EVICTED id=0");
+        assert!(replies[4].starts_with("STAT tenant=a components=0"));
+        assert_eq!(replies[5], "MODE budget us=0");
+        assert!(replies[6].starts_with("UNDETERMINED verdict=unknown"));
+        assert_eq!(replies[7], "MODE exact");
+        assert_eq!(replies[8], "BYE");
+        assert_eq!(replies.len(), 9);
+    }
+
+    #[test]
+    fn malformed_requests_answer_coded_errors_and_keep_serving() {
+        let replies =
+            drive("ADMIT a one 9 10\nEVICT a\nFROB x\nSTAT ghost\nADMIT b 1 5 10\nQUIT\n");
+        assert!(replies[0].starts_with("ERR code=usage"));
+        assert!(replies[1].starts_with("ERR code=usage"));
+        assert!(replies[2].starts_with("ERR code=unknown-command"));
+        assert!(replies[3].starts_with("ERR code=unknown-tenant"));
+        assert!(replies[4].starts_with("ADMITTED id=0"));
+        assert_eq!(replies[5], "BYE");
+    }
+
+    #[test]
+    fn invalid_components_answer_their_fault_code() {
+        let replies = drive("ADMIT a 0 9 10\nADMIT a 1 0 10\nADMIT a 1 9 0\nSTAT a\nQUIT\n");
+        assert!(replies[0].starts_with("ERR code=invalid-component zero cost"));
+        assert!(replies[1].starts_with("ERR code=invalid-component zero relative deadline"));
+        assert!(replies[2].starts_with("ERR code=invalid-component zero period"));
+        assert!(
+            replies[3].starts_with("ERR code=unknown-tenant"),
+            "invalid admissions never create the tenant: {}",
+            replies[3]
+        );
+        assert_eq!(replies[4], "BYE");
+    }
+
+    #[test]
+    fn non_utf8_lines_answer_bad_line_and_keep_serving() {
+        let mut script: Vec<u8> = Vec::new();
+        script.extend_from_slice(b"ADMIT a 4 9 10\n");
+        script.extend_from_slice(&[0xff, 0xfe, 0x80, b'\n']);
+        script.extend_from_slice(b"STAT a\nQUIT\n");
+        let replies = drive_bytes(&script);
+        assert!(replies[0].starts_with("ADMITTED id=0"));
+        assert!(replies[1].starts_with("ERR code=bad-line invalid utf-8"));
+        assert!(replies[2].starts_with("STAT tenant=a components=1"));
+        assert_eq!(replies[3], "BYE");
+        assert_eq!(replies.len(), 4);
+    }
+
+    #[test]
+    fn oversized_lines_answer_bad_line_without_buffering() {
+        let mut script: Vec<u8> = Vec::new();
+        script.extend_from_slice(b"ADMIT ");
+        script.extend(std::iter::repeat_n(b'x', MAX_LINE_BYTES * 4));
+        script.push(b'\n');
+        script.extend_from_slice(b"ADMIT a 4 9 10\nQUIT\n");
+        let replies = drive_bytes(&script);
+        assert!(replies[0].starts_with("ERR code=bad-line line over length cap"));
+        assert!(replies[1].starts_with("ADMITTED id=0"));
+        assert_eq!(replies[2], "BYE");
+        assert_eq!(replies.len(), 3);
+    }
+
+    #[test]
+    fn sync_and_snapshot_without_a_journal_answer_no_journal() {
+        let replies = drive("SYNC\nSNAPSHOT\nHEALTH\nQUIT\n");
+        assert!(replies[0].starts_with("ERR code=no-journal"));
+        assert!(replies[1].starts_with("ERR code=no-journal"));
+        assert!(replies[2].starts_with("HEALTH tenants=0 degraded=false"));
+        assert_eq!(replies[3], "BYE");
+    }
+
+    #[test]
+    fn classify_line_agrees_with_the_serve_loop() {
+        assert_eq!(classify_line(b"", false), LineClass::Blank);
+        assert_eq!(classify_line(b"   \t ", false), LineClass::Blank);
+        assert_eq!(classify_line(b"anything", true), LineClass::TooLong);
+        assert_eq!(classify_line(&[0xff, 0x00], false), LineClass::BadUtf8);
+        assert_eq!(
+            classify_line(b"  STAT a  ", false),
+            LineClass::Request("STAT a".to_owned())
+        );
+    }
+
+    #[test]
+    fn read_raw_line_caps_and_drains() {
+        let mut input: &[u8] = b"short\r\nlong line\n";
+        let (line, truncated) = read_raw_line(&mut input).unwrap().unwrap();
+        assert_eq!(line, b"short");
+        assert!(!truncated, "CR stripped, under the cap");
+        let (line, truncated) = read_raw_line(&mut input).unwrap().unwrap();
+        assert_eq!(line, b"long line");
+        assert!(!truncated);
+        assert!(read_raw_line(&mut input).unwrap().is_none(), "end of input");
+    }
+}

@@ -1,0 +1,121 @@
+//! Protocol fuzz property tests: arbitrary byte streams into the
+//! production serve loop never panic, never kill the loop, produce
+//! exactly one reply per non-blank line, and leave the service answering
+//! correctly afterwards.
+//!
+//! The expected reply count is computed with the same
+//! [`protocol::classify_line`] the serve loop uses, so the test and the
+//! loop cannot disagree about what counts as a request.
+
+use edf_serve::protocol::{self, LineClass, MAX_LINE_BYTES};
+use edf_serve::AdmissionService;
+use proptest::prelude::*;
+
+/// Splits a raw script the way the capped line reader does: on `\n`,
+/// with lines over [`MAX_LINE_BYTES`] marked truncated.  Returns the
+/// number of replies the contract demands (one per non-blank line).
+fn expected_replies(script: &[u8]) -> (usize, bool) {
+    let mut replies = 0usize;
+    let mut saw_quit = false;
+    for line in script.split(|&byte| byte == b'\n') {
+        if saw_quit {
+            break;
+        }
+        // The reader decides truncation on the raw bytes before the
+        // newline, and strips one trailing '\r' only from lines that
+        // survived the cap (an unterminated final empty "line" after the
+        // last '\n' is not a line at all).
+        let truncated = line.len() > MAX_LINE_BYTES;
+        let line = match line.last() {
+            Some(b'\r') if !truncated => &line[..line.len() - 1],
+            _ => line,
+        };
+        match protocol::classify_line(&line[..line.len().min(MAX_LINE_BYTES)], truncated) {
+            LineClass::Blank => {}
+            LineClass::TooLong | LineClass::BadUtf8 => replies += 1,
+            LineClass::Request(request) => {
+                replies += 1;
+                let verb = request
+                    .split_whitespace()
+                    .next()
+                    .expect("request is non-blank");
+                if verb.eq_ignore_ascii_case("QUIT") {
+                    saw_quit = true;
+                }
+            }
+        }
+    }
+    (replies, saw_quit)
+}
+
+/// Raw fuzz bytes biased toward protocol-shaped traffic: interleaves
+/// fully arbitrary bytes with fragments of real verbs, numbers and
+/// separators so the fuzzer reaches deep parse paths, not just the
+/// "unknown command" front door.
+fn arb_script() -> impl Strategy<Value = Vec<u8>> {
+    let fragment =
+        (0u8..=7, prop::collection::vec(0u8..=255u8, 0..24)).prop_map(|(kind, raw)| -> Vec<u8> {
+            match kind {
+                0 => raw,
+                1 => b"ADMIT a 4 9 10\n".to_vec(),
+                2 => b"WHATIF tenant 1 ".to_vec(),
+                3 => b"EVICT a 184467440737095516150\n".to_vec(),
+                4 => b"MODE budget ".to_vec(),
+                5 => b"STAT \xc3\x28\n".to_vec(),
+                6 => b"\n".to_vec(),
+                _ => b"ADMIT b 0 0 0\n".to_vec(),
+            }
+        });
+    prop::collection::vec(fragment, 0..12).prop_map(|fragments| fragments.concat())
+}
+
+proptest! {
+    /// The core fuzz invariant: one reply per non-blank line, no panics,
+    /// no early exit, and the service still answers after the noise.
+    #[test]
+    fn arbitrary_bytes_one_reply_per_line(script in arb_script()) {
+        let mut service = AdmissionService::new();
+        let mut output = Vec::new();
+        protocol::serve(&mut service, script.as_slice(), &mut output)
+            .expect("in-memory transport never errors");
+        let replies = output.split(|&byte| byte == b'\n').filter(|line| !line.is_empty()).count();
+        let (expected, _saw_quit) = expected_replies(&script);
+        prop_assert_eq!(replies, expected, "script {:?}", script);
+        // Every reply is valid single-line UTF-8 (errors carry their code).
+        let text = String::from_utf8(output).expect("replies are utf-8");
+        for line in text.lines() {
+            prop_assert!(!line.is_empty());
+            if line.starts_with("ERR") {
+                prop_assert!(line.starts_with("ERR code="), "uncoded error: {line}");
+            }
+        }
+        // The service survived: a fresh session still round-trips.
+        let mut after = Vec::new();
+        protocol::serve(&mut service, &b"ADMIT survivor 4 9 10\nSTAT survivor\n"[..], &mut after)
+            .expect("in-memory transport");
+        let after = String::from_utf8(after).expect("utf-8 replies");
+        let mut lines = after.lines();
+        prop_assert!(lines.next().expect("admit reply").starts_with("ADMITTED id="));
+        prop_assert!(lines.next().expect("stat reply").starts_with("STAT tenant=survivor components=1"));
+    }
+
+    /// Oversized lines (beyond the cap) answer exactly one bad-line error
+    /// regardless of content, and never buffer the payload.
+    #[test]
+    fn oversized_lines_answer_once(filler in 0u8..=255u8, extra in 1usize..=3 * MAX_LINE_BYTES) {
+        // A newline filler would dissolve the oversized line into blanks.
+        let filler = if filler == b'\n' { b'#' } else { filler };
+        let mut script = vec![filler; MAX_LINE_BYTES + extra];
+        script.push(b'\n');
+        script.extend_from_slice(b"STAT ghost\n");
+        let mut service = AdmissionService::new();
+        let mut output = Vec::new();
+        protocol::serve(&mut service, script.as_slice(), &mut output)
+            .expect("in-memory transport");
+        let text = String::from_utf8(output).expect("utf-8 replies");
+        let lines: Vec<&str> = text.lines().collect();
+        prop_assert_eq!(lines.len(), 2);
+        prop_assert!(lines[0].starts_with("ERR code=bad-line"), "{}", lines[0]);
+        prop_assert!(lines[1].starts_with("ERR code=unknown-tenant"), "{}", lines[1]);
+    }
+}

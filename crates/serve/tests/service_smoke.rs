@@ -118,7 +118,7 @@ fn admit_whatif_evict_session() {
     assert_eq!(service.roundtrip("EVICT alpha 0"), "EVICTED id=0");
     assert!(service
         .roundtrip("EVICT alpha 0")
-        .starts_with("ERR no component 0"));
+        .starts_with("ERR code=unknown-component no component 0"));
     let readmitted = service.roundtrip("ADMIT alpha 9 11 12");
     assert!(
         readmitted.starts_with("ADMITTED id=3 verdict=feasible"),
