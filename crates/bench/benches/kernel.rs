@@ -8,10 +8,13 @@ use std::time::Duration;
 
 use edf_analysis::batch::{analyze_many_serial, BoxedTest};
 use edf_analysis::kernel::{reference, AnalysisScratch};
+use edf_analysis::refine;
 use edf_analysis::tests::{AllApproximatedTest, DynamicErrorTest, ProcessorDemandTest, QpaTest};
 use edf_analysis::workload::{MixedSystem, PreparedWorkload};
+use edf_analysis::FeasibilityTest;
 use edf_bench::{
     mixed_mode_fixture, ratio_fixture, skewed_period_fixture, stream_fixture, utilization_fixture,
+    withdrawal_storm_fixture,
 };
 use edf_model::{TaskSet, Time};
 
@@ -262,24 +265,81 @@ fn bench_event_merge(c: &mut Criterion) {
     group.finish();
 }
 
+/// Refining-test engine throughput: the shared `refine` engine (flat
+/// frontier queue, incremental comparison aggregates with the f64
+/// proven-margin screen, batched withdrawal passes) against the retained
+/// pre-engine reference loops (`refine::reference`), on the two fixtures
+/// where the bookkeeping dominates — the hot ratio-100 high-utilization
+/// sets of the Figure 9 regime and the withdrawal-storm sets whose
+/// narrow period band makes every level increase cross many exactness
+/// thresholds at once.  Both sides produce bit-identical analyses (the
+/// `refine_equivalence` proptests pin this), so any delta here is pure
+/// bookkeeping cost.
+fn bench_refine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    let lanes = [
+        ("ratio100", ratio_fixture(100, 8)),
+        ("storm", withdrawal_storm_fixture(8)),
+    ];
+    for (lane, sets) in &lanes {
+        let prepared: Vec<PreparedWorkload> = sets.iter().map(PreparedWorkload::new).collect();
+        let dynamic = DynamicErrorTest::new();
+        let all = AllApproximatedTest::new();
+
+        let mut scratch = AnalysisScratch::new();
+        group.bench_function(BenchmarkId::new(format!("refine_{lane}"), "engine"), |b| {
+            b.iter(|| {
+                let mut iterations = 0u64;
+                for p in &prepared {
+                    iterations += dynamic.analyze_demand(p, &mut scratch).iterations;
+                    iterations += all.analyze_demand(p, &mut scratch).iterations;
+                }
+                iterations
+            })
+        });
+        let mut scratch = AnalysisScratch::new();
+        group.bench_function(
+            BenchmarkId::new(format!("refine_{lane}"), "reference"),
+            |b| {
+                b.iter(|| {
+                    let mut iterations = 0u64;
+                    for p in &prepared {
+                        iterations +=
+                            refine::reference::dynamic_error(&dynamic, p, &mut scratch).iterations;
+                        iterations +=
+                            refine::reference::all_approximated(&all, p, &mut scratch).iterations;
+                    }
+                    iterations
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 /// Batch throughput over the exact suite: the allocation-free path (one
 /// recycled preparation + one scratch arena) vs. fresh per-workload state
 /// vs. the scalar demand path — the headline `analyze_many` number.
 ///
-/// **Why this series tracks far behind the raw `dbf` speedups** (and why
-/// `scratch_reuse/16` once sat at parity with `scalar_reference/16`,
-/// 819 µs vs 795 µs): a per-test profile of this fixture shows ~60 % of
-/// the suite's wall clock inside the two refining tests (dynamic-error,
-/// all-approximated), whose inner loops are approximation *bookkeeping* —
-/// per-interval heap maintenance and error-threshold comparisons —
-/// identical code on both preparations; the kernel's column scans are a
-/// minority share here, and `scalar_reference` additionally skips kernel
-/// construction (~5 µs/batch of refunded prepare time).  The demand-side
-/// work this PR moved onto the narrow lanes (the QPA/PDT walks and the
-/// batched component-demand withdrawals) is what tips the balance back:
-/// `scratch_reuse/16` now runs ~7 % ahead of `scalar_reference/16`.  A
-/// larger gap on this fixture would have to come from restructuring the
-/// refining tests' bookkeeping, not from faster demand evaluation.
+/// **History of this series:** before the refinement engine it tracked
+/// far behind the raw `dbf` speedups (`scratch_reuse/16` once sat at
+/// parity with `scalar_reference/16`, 819 µs vs 795 µs) because a
+/// per-test profile showed ~60 % of the suite's wall clock inside the
+/// two refining tests (dynamic-error, all-approximated), whose inner
+/// loops were approximation *bookkeeping* — per-interval heap
+/// maintenance and exact-rational error-threshold comparisons —
+/// identical code on both preparations.  Moving the demand-side work
+/// onto the narrow lanes (QPA/PDT walks, batched component-demand
+/// withdrawals) first pushed `scratch_reuse/16` ~7 % ahead; the shared
+/// `refine` engine (flat frontier queue, incremental aggregates,
+/// screened comparisons — see `bench_refine` above for the isolated
+/// series) now attacks the bookkeeping share itself, which is exactly
+/// the restructuring that note called for.
 fn bench_batch(c: &mut Criterion) {
     let mut group = c.benchmark_group("kernel");
     group
@@ -334,5 +394,11 @@ fn bench_batch(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_dbf_eval, bench_event_merge, bench_batch);
+criterion_group!(
+    benches,
+    bench_dbf_eval,
+    bench_event_merge,
+    bench_refine,
+    bench_batch
+);
 criterion_main!(benches);

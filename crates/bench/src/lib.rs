@@ -131,6 +131,28 @@ pub fn mixed_mode_fixture(count: usize) -> Vec<EventStreamTask> {
         .collect()
 }
 
+/// Task sets engineered to stress the refining tests' withdrawal
+/// bookkeeping: many tasks (30–50) in a *narrow* period band
+/// (`Tmax/Tmin = 4`) at near-critical utilization.  The tight band makes
+/// the approximated deadlines `Im = level · T` cluster, so each level
+/// increase of the dynamic-error test crosses many terms' exactness
+/// thresholds at once — batched withdrawal passes over a long-lived live
+/// list — while the near-critical utilization keeps refinement deep
+/// before the §4.3 bound cuts the analysis off.
+#[must_use]
+pub fn withdrawal_storm_fixture(count: usize) -> Vec<TaskSet> {
+    TaskSetConfig::new()
+        .task_count(30..=50)
+        .utilization(0.97..=0.995)
+        .average_gap(0.3)
+        .periods(PeriodDistribution::RatioControlled {
+            min: 1_000,
+            ratio: 4,
+        })
+        .seed(6_600)
+        .generate_many(count)
+}
+
 /// Arrival-curve workloads for the model-zoo benchmark (reproducible
 /// piecewise-linear specifications via `edf-gen`).
 #[must_use]
@@ -213,6 +235,18 @@ mod tests {
         for task in &mixed {
             assert!(task.stream().tuples().iter().any(|t| t.cycle.is_none()));
             assert!(task.stream().tuples().iter().any(|t| t.cycle.is_some()));
+        }
+    }
+
+    #[test]
+    fn withdrawal_storm_fixture_is_reproducible_and_tight() {
+        let storm = withdrawal_storm_fixture(3);
+        assert_eq!(storm, withdrawal_storm_fixture(3));
+        assert_eq!(storm.len(), 3);
+        for ts in &storm {
+            assert!(ts.len() >= 30);
+            assert!(ts.period_ratio().unwrap() <= 4.0);
+            assert!(ts.utilization() > 0.9);
         }
     }
 

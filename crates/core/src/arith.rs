@@ -112,6 +112,27 @@ impl Reciprocal {
         }
     }
 
+    /// `⌈num / d⌉` for the divisor `d` this reciprocal was built from,
+    /// computed through the reciprocal whenever `num` fits `u64`
+    /// (virtually always) and through plain `u128` division otherwise —
+    /// bit-identical to [`ceil_div_u128`]`(num, d)` for every input.
+    ///
+    /// This is the ceiling counterpart of [`Reciprocal::divided_parts`]:
+    /// the superposition helpers evaluate the linear approximation part
+    /// `⌈C·δ/T⌉` once per live term of a failing comparison (the
+    /// `LargestError` revision scan), and the cached reciprocal turns that
+    /// per-term hardware `u128` division into two widening multiplies.
+    /// `den` must equal the construction divisor.
+    #[inline]
+    pub(crate) fn ceil_divide(self, num: u128, den: u64) -> u128 {
+        if let Ok(n64) = u64::try_from(num) {
+            let q = self.divide(n64);
+            u128::from(q) + u128::from(q * den != n64)
+        } else {
+            ceil_div_u128(num, u128::from(den))
+        }
+    }
+
     /// `⌊n / d⌋` for the divisor this reciprocal was built from.
     #[inline]
     pub(crate) fn divide(self, n: u64) -> u64 {
@@ -672,6 +693,39 @@ mod tests {
                 Reciprocal32::new(d),
                 "narrowed({d})"
             );
+        }
+    }
+
+    #[test]
+    fn reciprocal_ceil_divide_matches_plain_ceiling_at_the_u64_boundary() {
+        // Numerators straddling the `u64::MAX` fast-path gate in every
+        // combination with exact-multiple and off-by-one remainders: the
+        // reciprocal route and the plain `u128` ceiling must agree bit for
+        // bit on both sides of the boundary.
+        let ds = [1u64, 2, 3, 7, 10, 255, 1 << 20, u32::MAX as u64, u64::MAX];
+        let boundary = u128::from(u64::MAX);
+        for &d in &ds {
+            let rcp = Reciprocal::new(d);
+            let ns = [
+                0u128,
+                1,
+                u128::from(d),
+                u128::from(d) + 1,
+                3 * u128::from(d) + u128::from(d / 2),
+                boundary - 1,
+                boundary,
+                boundary + 1,
+                boundary + u128::from(d),
+                boundary * u128::from(d.max(2)),
+                u128::MAX,
+            ];
+            for &n in &ns {
+                assert_eq!(
+                    rcp.ceil_divide(n, d),
+                    ceil_div_u128(n, u128::from(d)),
+                    "⌈{n} / {d}⌉ through the reciprocal"
+                );
+            }
         }
     }
 

@@ -713,6 +713,17 @@ impl DemandKernel {
         }
     }
 
+    /// The cached period reciprocal of a periodic component, gathered from
+    /// its column slot (`None` for one-shot components).  The refining
+    /// tests pull these once per analysis so every deadline step and
+    /// withdrawal evaluation divides by the period through two widening
+    /// multiplies instead of a hardware division (see [`crate::refine`]).
+    #[must_use]
+    pub(crate) fn period_reciprocal(&self, component: usize) -> Option<Reciprocal> {
+        let slot = self.slot_of[component];
+        slot.periodic.then(|| self.p_rcp[slot.index as usize])
+    }
+
     /// Number of periodic columns (for the benchmarks and tests).
     #[must_use]
     pub fn periodic_len(&self) -> usize {
@@ -859,6 +870,133 @@ impl MergeState {
         }
         self.tree[0] = winner;
         Some((deadline, component, self.wcet[stream]))
+    }
+}
+
+/// A flat winner (tournament) tree over **one pending test interval per
+/// component** — the refining tests' replacement for their former
+/// `BinaryHeap<Reverse<(Time, usize)>>` pending queue (see
+/// [`crate::refine`]).
+///
+/// The refining tests maintain the invariant that a component has at most
+/// one outstanding exact test interval (its next unexamined deadline), so
+/// the queue is a fixed frontier of `n` slots keyed by [`merge_key`]
+/// (`(deadline, component)` lexicographically — the exact pop order of the
+/// heap it replaces; keys are unique because the component index is part
+/// of the key).  Empty slots hold the [`EXHAUSTED`] sentinel.
+///
+/// Unlike [`MergeState`]'s loser tree — whose single-path replay is only
+/// valid when the *winning* leaf advances — this tree stores the **winning
+/// leaf of every subtree** in its internal nodes, so an arbitrary slot
+/// update (a withdrawal re-entering a component mid-frontier) replays one
+/// leaf-to-root path of `⌈log₂ n⌉` two-child comparisons and stays
+/// correct.  Both pop and push are a slot write plus one such replay; no
+/// sift with data-dependent branching, no per-pop allocation.
+///
+/// Layout: `k = n` leaves are the virtual nodes `k..2k` (leaf `j` is node
+/// `k + j`), internal nodes `1..k` hold the winning slot index of their
+/// subtree, and the overall winner is the winner of node 1 (for `k = 1`
+/// node 1 *is* the single leaf).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct FrontierQueue {
+    /// Current key per component slot ([`merge_key`], or [`EXHAUSTED`]).
+    key: Vec<u128>,
+    /// `tree[node]` = slot index winning the subtree rooted at `node`.
+    tree: Vec<u32>,
+}
+
+impl FrontierQueue {
+    /// Clears the queue to `n` exhausted slots.  Callers [`seed`] the
+    /// initial frontier and then [`rebuild`] once — `O(n)` total, versus
+    /// `O(n log n)` for heapifying by repeated pushes.
+    ///
+    /// [`seed`]: FrontierQueue::seed
+    /// [`rebuild`]: FrontierQueue::rebuild
+    pub(crate) fn reset(&mut self, n: usize) {
+        self.key.clear();
+        self.key.resize(n, EXHAUSTED);
+    }
+
+    /// Sets slot `component`'s pending interval without replaying the
+    /// tree; call [`FrontierQueue::rebuild`] once after seeding.
+    pub(crate) fn seed(&mut self, component: usize, deadline: Time) {
+        self.key[component] = merge_key(deadline.as_u64(), component as u32);
+    }
+
+    /// Rebuilds the whole tournament in `O(n)` (children before parents).
+    pub(crate) fn rebuild(&mut self) {
+        let k = self.key.len();
+        self.tree.clear();
+        self.tree.resize(k.max(1), 0);
+        for node in (1..k).rev() {
+            self.tree[node] = self.winner_of(node);
+        }
+    }
+
+    /// The winning slot of the subtree rooted at `node`, reading its two
+    /// children (which must already be up to date).
+    #[inline]
+    fn winner_of(&self, node: usize) -> u32 {
+        let left = self.child_winner(2 * node);
+        let right = self.child_winner(2 * node + 1);
+        if self.key[left as usize] <= self.key[right as usize] {
+            left
+        } else {
+            right
+        }
+    }
+
+    /// The winning slot stored at `node`, resolving virtual leaf nodes.
+    #[inline]
+    fn child_winner(&self, node: usize) -> u32 {
+        let k = self.key.len();
+        if node >= k {
+            (node - k) as u32
+        } else {
+            self.tree[node]
+        }
+    }
+
+    /// Replays the leaf-to-root path of slot `component` after its key
+    /// changed (in either direction — the two-child recomputation per
+    /// level is what makes arbitrary-slot updates sound).
+    #[inline]
+    fn replay(&mut self, component: usize) {
+        let k = self.key.len();
+        let mut node = (component + k) / 2;
+        while node >= 1 {
+            self.tree[node] = self.winner_of(node);
+            node /= 2;
+        }
+    }
+
+    /// Pops the minimum `(interval, component)` entry, or `None` when
+    /// every slot is exhausted — the exact pop order of the
+    /// `BinaryHeap<Reverse<(Time, usize)>>` it replaces.
+    pub(crate) fn pop(&mut self) -> Option<(Time, usize)> {
+        if self.key.is_empty() {
+            return None;
+        }
+        let slot = self.child_winner(1) as usize;
+        let key = self.key[slot];
+        if key == EXHAUSTED {
+            return None;
+        }
+        self.key[slot] = EXHAUSTED;
+        self.replay(slot);
+        Some((Time::new((key >> 32) as u64), slot))
+    }
+
+    /// Schedules `deadline` as slot `component`'s pending interval.  The
+    /// slot must currently be empty (the refining tests' one-outstanding-
+    /// interval-per-component invariant).
+    pub(crate) fn push(&mut self, component: usize, deadline: Time) {
+        debug_assert_eq!(
+            self.key[component], EXHAUSTED,
+            "component {component} already has a pending interval"
+        );
+        self.key[component] = merge_key(deadline.as_u64(), component as u32);
+        self.replay(component);
     }
 }
 
@@ -1017,8 +1155,16 @@ pub(crate) struct RefinementState {
 pub struct AnalysisScratch {
     /// The loser-tree merge (processor-demand walk).
     pub(crate) merge: MergeState,
-    /// Pending exact test intervals of the refining tests.
+    /// Pending exact test intervals of the retained refining-test
+    /// reference bookkeeping ([`crate::refine::reference`]).
     pub(crate) pending: BinaryHeap<Reverse<(Time, usize)>>,
+    /// The refining tests' flat frontier of pending exact test intervals
+    /// (one slot per component; see [`FrontierQueue`] and
+    /// [`crate::refine`]).
+    pub(crate) frontier: FrontierQueue,
+    /// Per-component period reciprocals of the refining tests, gathered
+    /// once per analysis from the kernel columns (`None` for one-shots).
+    pub(crate) refine_rcp: Vec<Option<Reciprocal>>,
     /// Per-component refinement states of the refining tests.
     pub(crate) refine: Vec<RefinementState>,
     /// Approximated demand terms — maintained incrementally by the
@@ -1471,5 +1617,94 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn period_reciprocal_exists_exactly_for_periodic_components() {
+        let components = sample_components();
+        let kernel = kernel_of(&components);
+        for (idx, component) in components.iter().enumerate() {
+            let rcp = kernel.period_reciprocal(idx);
+            match component.period() {
+                Some(period) => {
+                    assert_eq!(
+                        rcp,
+                        Some(Reciprocal::new(period.as_u64())),
+                        "component {idx}"
+                    );
+                }
+                None => assert_eq!(rcp, None, "component {idx}"),
+            }
+        }
+    }
+
+    /// Drives a [`FrontierQueue`] and a `BinaryHeap<Reverse<(Time, usize)>>`
+    /// through the same deterministic seed / pop / re-push schedule and
+    /// asserts identical pop order. The refining tests keep at most one
+    /// pending interval per component, which both structures model here.
+    fn assert_frontier_matches_heap(n: usize, seeds: &[(usize, u64)], steps: u32) {
+        let mut frontier = FrontierQueue::default();
+        frontier.reset(n);
+        let mut heap: BinaryHeap<Reverse<(Time, usize)>> = BinaryHeap::new();
+        for &(component, deadline) in seeds {
+            frontier.seed(component, Time::new(deadline));
+            heap.push(Reverse((Time::new(deadline), component)));
+        }
+        frontier.rebuild();
+        let mut tick = 0u64;
+        for step in 0..steps {
+            let expected = heap.pop().map(|Reverse(pair)| pair);
+            let got = frontier.pop();
+            assert_eq!(got, expected, "step {step} of n={n}");
+            let Some((deadline, component)) = got else {
+                break;
+            };
+            // A deterministic mix of "advance this component" and "let it
+            // drop out, then re-enter later" keeps arbitrary slots cycling
+            // between live and exhausted.
+            tick += 1;
+            if !tick.is_multiple_of(3) {
+                let next = deadline.saturating_add(Time::new(1 + (tick % 7)));
+                frontier.push(component, next);
+                heap.push(Reverse((next, component)));
+            } else if tick.is_multiple_of(6) {
+                let revived = (component + 1) % n;
+                let next = deadline.saturating_add(Time::new(tick % 11));
+                if frontier.key[revived] == EXHAUSTED {
+                    frontier.push(revived, next);
+                    heap.push(Reverse((next, revived)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn frontier_queue_matches_binary_heap_pop_order() {
+        assert_frontier_matches_heap(1, &[(0, 9)], 40);
+        assert_frontier_matches_heap(2, &[(0, 5), (1, 5)], 64);
+        assert_frontier_matches_heap(5, &[(0, 40), (2, 3), (4, 3)], 200);
+        assert_frontier_matches_heap(8, &[(7, 1), (3, 2), (0, 2), (5, 9), (1, 100)], 300);
+        // Odd widths exercise the half-leaf tree levels.
+        assert_frontier_matches_heap(7, &[(6, 2), (5, 2), (4, 2), (3, 2), (2, 2)], 250);
+    }
+
+    #[test]
+    fn frontier_queue_handles_empty_and_exhausted_states() {
+        let mut frontier = FrontierQueue::default();
+        frontier.reset(0);
+        frontier.rebuild();
+        assert_eq!(frontier.pop(), None);
+
+        frontier.reset(3);
+        frontier.rebuild();
+        assert_eq!(frontier.pop(), None, "all slots exhausted");
+
+        frontier.seed(1, Time::new(17));
+        frontier.rebuild();
+        assert_eq!(frontier.pop(), Some((Time::new(17), 1)));
+        assert_eq!(frontier.pop(), None);
+        frontier.push(2, Time::new(4));
+        assert_eq!(frontier.pop(), Some((Time::new(4), 2)));
+        assert_eq!(frontier.pop(), None);
     }
 }

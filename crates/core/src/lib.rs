@@ -123,6 +123,7 @@ pub mod event_stream_analysis;
 pub mod exhaustive;
 pub mod incremental;
 pub mod kernel;
+pub mod refine;
 pub mod sensitivity;
 pub mod superposition;
 pub mod tests;

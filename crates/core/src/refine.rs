@@ -1,0 +1,1072 @@
+//! The shared refinement engine of the two refining feasibility tests —
+//! the dynamic-error test (§4.1) and the all-approximated test (§4.2).
+//!
+//! Both tests share the same skeleton: pop the next pending exact test
+//! interval, account the owning component's newly examined job, compare
+//! the approximated demand against the interval's capacity, and refine
+//! (withdraw approximations) until the comparison succeeds or turns fully
+//! exact.  The PR 6 profile showed that this *bookkeeping* — not demand
+//! evaluation — dominates the exact suite's wall clock, so the engine
+//! restructures it three ways while keeping every observable output
+//! **bit-identical** to the retained [`mod@reference`] implementation
+//! (verdict, overload witness and iteration counts, pinned by the
+//! `refine_equivalence` proptests):
+//!
+//! 1. **Incremental comparison aggregates.**  The running `Σ dbf(Imⱼ)` of
+//!    live approximation terms is maintained exactly in `u128` on term
+//!    push / swap-remove (like `exact_sum` already was), so a comparison
+//!    no longer re-sums every term's base.  On top of it, incrementally
+//!    maintained `f64` slope/offset aggregates give a proven-margin
+//!    *screen* (below) that answers clearly-within / clearly-violating
+//!    comparisons without walking the terms at all.
+//! 2. **Flat frontier queue.**  The `BinaryHeap` of pending intervals is
+//!    replaced by `kernel::FrontierQueue`, a tournament tree in the
+//!    scratch arena with one slot per component (the refining tests keep
+//!    at most one pending interval per component).  Next deadlines are
+//!    stepped with the kernel's cached period `arith::Reciprocal`s
+//!    instead of `next_deadline_after`'s per-pop hardware division.
+//! 3. **Batched withdrawal passes.**  The dynamic-error level-raise scan
+//!    runs over the engine's compact live-term list instead of all
+//!    component states, collects the whole pass, and then applies it in
+//!    ascending component order (reproducing the reference's interleaved
+//!    loop bit for bit) with one `component_demand` gather per withdrawal.
+//!
+//! # Soundness of the screened comparison
+//!
+//! After the integer base comparison, the exact decision is whether the
+//! rational sum `V = Σⱼ Cⱼ·(I − Imⱼ)/Tⱼ` over the live terms satisfies
+//! `V ≤ slack` (with `slack = I − base ≤ I ≤ H`, the analysis horizon).
+//! The screen estimates `V` as `est = S·I − K` from two running `f64`
+//! aggregates
+//!
+//! ```text
+//! S = Σⱼ rate(j)          rate(j) = wcet(j) / period(j)   (one f64 division)
+//! K = Σⱼ rate(j)·Im(j)
+//! ```
+//!
+//! and answers `Some(true)` iff `est + margin ≤ slack`, `Some(false)` iff
+//! `est − margin > slack`, and `None` (fall through to the exact rational
+//! walk) otherwise.  The margin is `(16·ops + 64)·2⁻⁵³·H`, where `ops`
+//! counts every aggregate update (term push or removal) since the
+//! analysis started.  It dominates the accumulated floating-point error:
+//!
+//! * The engine only runs after the exact rational utilization check, so
+//!   `Σ rate(j) ≤ 1` over **all** components, hence each `rate(j) ≤ 1`
+//!   and `S ≤ 1` up to rounding.  Each computed `rate(j)` carries at most
+//!   three roundings (two `u64 → f64` conversions and one division), i.e.
+//!   a relative error `≤ 4·2⁻⁵³`.
+//! * Terms are compared only at `I ≥ Im(j)`, and `Im(j) ≤ H`, so every
+//!   product `rate(j)·Im(j) ≤ H` and the true `K ≤ (Σ rate(j))·H ≤ H`.
+//!   One push adds `≤ 6·2⁻⁵³·H` of absolute error to `K` (rate error,
+//!   `Im` conversion, product and accumulation roundings) and `≤ 5·2⁻⁵³`
+//!   to `S`.
+//! * A removal recomputes the *identical* `f64` contribution from the
+//!   same inputs (floating-point arithmetic is deterministic), so the
+//!   incremental subtraction cancels the pushed value exactly, leaving
+//!   only the subtraction rounding: `≤ 2⁻⁵³·H` per removal for `K`,
+//!   `≤ 2⁻⁵³` for `S`.
+//! * At the comparison, `est = S·I − K` adds the `I` conversion, one
+//!   product and one subtraction (each `≤ 2⁻⁵³·H` absolute, using
+//!   `S ≤ 1 + ε` and `I ≤ H`), and `slack` converts to `f64` with
+//!   `≤ 2⁻⁵³·H` absolute error.
+//!
+//! Summing: `|est − V| ≤ (6·ops + 8)·2⁻⁵³·H` — the margin keeps more than
+//! a 2× headroom on every term.  A `Some(true)`/`Some(false)` answer is
+//! therefore mathematically certain, and an uncertain comparison falls
+//! through to the exact walk — the screen can skip work, never flip a
+//! comparison.
+//!
+//! One documented corner keeps the screen from being *literally* the
+//! reference decision procedure: [`fracs_parts_le_integer_iter`]'s exact
+//! accumulator can overflow `u128` when the live terms' periods are
+//! coprime with a product beyond `2¹²⁸`, in which case the reference
+//! answers conservatively (`false` unless the value is at least `1e-6`
+//! below the slack).  A screen answer of `Some(true)` in that corner
+//! would diverge.  Reaching it needs both the astronomical periods *and*
+//! a value within the screen margin of the capacity; no finite workload
+//! family in the test generators (periods far below `2⁶⁴`) can construct
+//! it, and the ±1e-3 float screen inside the exact walk has carried the
+//! same corner since it was introduced.
+//!
+//! [`fracs_parts_le_integer_iter`]: crate::arith
+
+use edf_model::Time;
+
+use crate::analysis::{Analysis, DemandOverload, IterationCounter, Verdict};
+use crate::arith::{fracs_parts_le_integer_iter, Reciprocal};
+use crate::kernel::{AnalysisScratch, FrontierQueue, RefinementState};
+use crate::superposition::ApproxTerm;
+use crate::tests::{AllApproximatedTest, DynamicErrorTest, RevisionOrder};
+use crate::workload::{DemandComponent, PreparedWorkload};
+
+/// One unit in the last place of the `f64` mantissa: `2⁻⁵³`.
+const EPS: f64 = 1.0 / 9_007_199_254_740_992.0;
+
+/// The `f64` contribution of one approximation term to the screen
+/// aggregates: `(rate, rate·Im)` with `rate = C/T`.
+///
+/// Push and removal both call this helper on the same stored term, so the
+/// computed values are bit-identical and the incremental subtraction
+/// cancels the addition exactly (up to one rounding, covered by the
+/// margin).
+#[inline]
+fn term_rates(term: &ApproxTerm) -> (f64, f64) {
+    let rate = term.wcet.as_f64() / term.period.as_f64();
+    (rate, rate * term.im.as_f64())
+}
+
+/// The shared mutable state of one refining analysis, borrowed from the
+/// [`AnalysisScratch`] arena — both drivers run allocation-free after
+/// warm-up.
+struct Engine<'a> {
+    workload: &'a PreparedWorkload,
+    components: &'a [DemandComponent],
+    horizon: Time,
+    states: &'a mut Vec<RefinementState>,
+    frontier: &'a mut FrontierQueue,
+    terms: &'a mut Vec<ApproxTerm>,
+    owners: &'a mut Vec<u32>,
+    withdrawn: &'a mut Vec<u32>,
+    rcp: &'a mut Vec<Option<Reciprocal>>,
+    /// Running `Σ examined_demand` over the unapproximated components,
+    /// exact in `u128` (clamped to the `Time` range only at comparisons).
+    exact_sum: u128,
+    /// Running `Σ dbf(Imⱼ)` over the live approximation terms, exact in
+    /// `u128` — the incremental replacement of the per-comparison base
+    /// re-summation.
+    base_sum: u128,
+    /// Screen aggregate `S = Σ rate(j)` (see the module docs).
+    slope: f64,
+    /// Screen aggregate `K = Σ rate(j)·Im(j)`.
+    offset: f64,
+    /// Number of aggregate updates so far — the screen margin grows with
+    /// it so the accumulated rounding error always stays covered.
+    screen_ops: u64,
+    /// `horizon.as_f64()`, the absolute scale of every margin term.
+    scale: f64,
+}
+
+impl<'a> Engine<'a> {
+    fn new(
+        workload: &'a PreparedWorkload,
+        horizon: Time,
+        scratch: &'a mut AnalysisScratch,
+    ) -> Self {
+        let components = workload.components();
+        let AnalysisScratch {
+            frontier,
+            refine,
+            approx_terms,
+            term_owner,
+            withdrawn,
+            refine_rcp,
+            ..
+        } = scratch;
+        refine.clear();
+        refine.resize(components.len(), RefinementState::default());
+        approx_terms.clear();
+        term_owner.clear();
+        withdrawn.clear();
+        refine_rcp.clear();
+        refine_rcp.extend((0..components.len()).map(|j| workload.component_reciprocal(j)));
+        frontier.reset(components.len());
+        for (idx, component) in components.iter().enumerate() {
+            if component.first_deadline() <= horizon {
+                frontier.seed(idx, component.first_deadline());
+            }
+        }
+        frontier.rebuild();
+        Engine {
+            workload,
+            components,
+            horizon,
+            states: refine,
+            frontier,
+            terms: approx_terms,
+            owners: term_owner,
+            withdrawn,
+            rcp: refine_rcp,
+            exact_sum: 0,
+            base_sum: 0,
+            slope: 0.0,
+            offset: 0.0,
+            screen_ops: 0,
+            scale: horizon.as_f64(),
+        }
+    }
+
+    /// The exact part clamped to the `Time` range — the overload-witness
+    /// demand of a fully exact failing comparison, bit-identical to the
+    /// reference's per-comparison clamp.
+    fn exact_part(&self) -> Time {
+        Time::new(self.exact_sum.min(u128::from(u64::MAX)) as u64)
+    }
+
+    /// Accounts the newly examined job of component `idx` at one of its
+    /// exact deadlines (every popped frontier entry is one).
+    fn examine(&mut self, idx: usize) {
+        let examined = self.states[idx]
+            .examined_demand
+            .saturating_add(self.components[idx].wcet());
+        self.exact_sum += u128::from((examined - self.states[idx].examined_demand).as_u64());
+        self.states[idx].examined_demand = examined;
+    }
+
+    /// The screened `demand ≤ capacity` comparison — the decision
+    /// `approx_demand_within` makes, restructured around the incremental
+    /// aggregates (see the module docs for the bit-identity argument).
+    fn demand_within(&self, interval: Time) -> bool {
+        #[cfg(debug_assertions)]
+        for term in self.terms.iter() {
+            debug_assert!(
+                interval >= term.im,
+                "approximation queried before its start"
+            );
+        }
+        let base = self.exact_sum.min(u128::from(u64::MAX)) + self.base_sum;
+        let capacity = interval.as_u128();
+        if base > capacity {
+            return false;
+        }
+        if self.terms.is_empty() {
+            return true;
+        }
+        let slack = capacity - base;
+        if let Some(answer) = self.screen(interval, slack) {
+            return answer;
+        }
+        fracs_parts_le_integer_iter(
+            self.terms.iter().filter_map(|t| t.linear_parts(interval)),
+            slack,
+        )
+    }
+
+    /// The proven-margin fast path: `Some(answer)` when the `f64`
+    /// estimate of the terms' rational sum is farther from the slack than
+    /// the accumulated-rounding margin, `None` when the comparison is
+    /// marginal and needs the exact walk.
+    #[inline]
+    fn screen(&self, interval: Time, slack: u128) -> Option<bool> {
+        let est = self.slope * interval.as_f64() - self.offset;
+        let margin = (16.0 * self.screen_ops as f64 + 64.0) * EPS * self.scale;
+        let slack_f = slack as f64;
+        if est + margin <= slack_f {
+            Some(true)
+        } else if est - margin > slack_f {
+            Some(false)
+        } else {
+            None
+        }
+    }
+
+    /// Swap-removes the approximation term of component `withdrawn`,
+    /// patching the moved term's owner slot and downdating every
+    /// incremental aggregate.
+    fn remove_term(&mut self, withdrawn: usize) {
+        let slot = self.states[withdrawn].term_slot as usize;
+        let term = self.terms[slot];
+        self.base_sum -= u128::from(term.dbf_at_im.as_u64());
+        let (rate, off) = term_rates(&term);
+        self.slope -= rate;
+        self.offset -= off;
+        self.screen_ops += 1;
+        self.terms.swap_remove(slot);
+        self.owners.swap_remove(slot);
+        if slot < self.terms.len() {
+            self.states[self.owners[slot] as usize].term_slot = slot as u32;
+        }
+    }
+
+    /// (Re-)approximates component `idx` from `interval` on: pushes its
+    /// term (reusing the cached period reciprocal — no division) and
+    /// updates every incremental aggregate.
+    fn approximate(&mut self, idx: usize, interval: Time) {
+        let rcp = self.rcp[idx].expect("one-shot components are never approximated");
+        let dbf_at_im = self.states[idx].examined_demand;
+        let term = ApproxTerm::with_reciprocal(&self.components[idx], interval, dbf_at_im, rcp);
+        self.states[idx].approximated_from = Some(interval);
+        self.states[idx].term_slot = self.terms.len() as u32;
+        self.base_sum += u128::from(dbf_at_im.as_u64());
+        let (rate, off) = term_rates(&term);
+        self.slope += rate;
+        self.offset += off;
+        self.screen_ops += 1;
+        self.terms.push(term);
+        self.owners.push(idx as u32);
+        self.exact_sum -= u128::from(dbf_at_im.as_u64());
+    }
+
+    /// The next exact deadline of component `idx` strictly after
+    /// `interval` — [`DemandComponent::next_deadline_after`] evaluated
+    /// through the cached period reciprocal (no hardware division),
+    /// bit-identical including the overflow (`None`) behaviour.
+    fn next_deadline(&self, idx: usize, interval: Time) -> Option<Time> {
+        let deadline = self.components[idx].first_deadline();
+        if interval < deadline {
+            return Some(deadline);
+        }
+        let rcp = self.rcp[idx]?;
+        let period = self.components[idx]
+            .period()
+            .expect("a cached reciprocal implies a periodic component");
+        let k = rcp.divide((interval - deadline).as_u64()) + 1;
+        period.checked_mul(k)?.checked_add(deadline)
+    }
+
+    /// Schedules the next deadline of `idx` after one of its own exact
+    /// deadlines: on the continue path the next deadline is simply
+    /// `interval + period` (popped intervals are exact deadlines of their
+    /// component), which matches `next_deadline_after` including its
+    /// overflow behaviour — `deadline + (m+1)·T` exceeds `u64` in both
+    /// formulations under exactly the same condition.
+    fn advance(&mut self, idx: usize, interval: Time) {
+        let period = self.components[idx]
+            .period()
+            .expect("advance is only called for periodic components");
+        if let Some(next) = interval.checked_add(period) {
+            if next <= self.horizon {
+                self.frontier.push(idx, next);
+            }
+        }
+    }
+
+    /// Number of jobs of component `idx` with deadlines inside
+    /// `interval` — the reference's `jobs_within` through the cached
+    /// reciprocal.
+    fn jobs_within(&self, idx: usize, interval: Time) -> u64 {
+        let first = self.components[idx].first_deadline();
+        if interval < first {
+            return 0;
+        }
+        match self.rcp[idx] {
+            None => 1,
+            Some(rcp) => rcp.divide((interval - first).as_u64()) + 1,
+        }
+    }
+
+    /// Withdraws the approximation of component `j` at `interval`:
+    /// removes its term, re-evaluates its exact demand (one
+    /// `component_demand` slot gather) and schedules its next deadline on
+    /// the frontier.
+    fn withdraw(&mut self, j: usize, interval: Time, track_jobs: bool) {
+        self.remove_term(j);
+        self.states[j].approximated_from = None;
+        let demand = self.workload.component_demand(j, interval);
+        self.states[j].examined_demand = demand;
+        if track_jobs {
+            self.states[j].examined_jobs = self.jobs_within(j, interval);
+        }
+        self.exact_sum += u128::from(demand.as_u64());
+        if let Some(next) = self.next_deadline(j, interval) {
+            if next <= self.horizon {
+                self.frontier.push(j, next);
+            }
+        }
+    }
+
+    /// The dynamic-error test's batched withdrawal pass: collects every
+    /// live term whose component would not be approximated at the new
+    /// `level`, then applies the withdrawals in ascending component order
+    /// (one `component_demand` gather each) — the same set, in the same
+    /// order, as the reference's scan over all states.  Returns whether
+    /// anything was withdrawn.
+    fn withdraw_below_level(&mut self, level: u64, interval: Time) -> bool {
+        self.withdrawn.clear();
+        for &owner in self.owners.iter() {
+            let j = owner as usize;
+            let im = self.states[j]
+                .approximated_from
+                .expect("live terms belong to approximated components");
+            if self.components[j].max_test_interval(level) > im {
+                self.withdrawn.push(owner);
+            }
+        }
+        if self.withdrawn.is_empty() {
+            return false;
+        }
+        self.withdrawn.sort_unstable();
+        for i in 0..self.withdrawn.len() {
+            let j = self.withdrawn[i] as usize;
+            self.withdraw(j, interval, false);
+        }
+        true
+    }
+
+    /// The all-approximated test's revision pick, scanning the compact
+    /// live-term list instead of every component state.  Every comparator
+    /// is a unique total order over the candidates (the approximation
+    /// sequence number breaks all ties), so the pick is independent of
+    /// the scan order and identical to the reference's ascending-index
+    /// scan.  `LargestError` evaluates each term's over-estimation
+    /// through its cached reciprocal instead of a `u128` division.
+    fn pick_revision(&self, test: &AllApproximatedTest, interval: Time) -> Option<usize> {
+        let approximated = self.owners.iter().enumerate().filter_map(|(slot, &owner)| {
+            let j = owner as usize;
+            let s = &self.states[j];
+            if let Some(limit) = test.max_level {
+                if s.examined_jobs >= limit {
+                    return None;
+                }
+            }
+            debug_assert!(s.approximated_from.is_some());
+            Some((j, slot, s.approx_seq))
+        });
+        match test.revision_order {
+            RevisionOrder::Fifo => approximated
+                .min_by_key(|&(_, _, seq)| seq)
+                .map(|(j, _, _)| j),
+            RevisionOrder::LargestError => approximated
+                .max_by_key(|&(j, slot, seq)| {
+                    let term = &self.terms[slot];
+                    let error = term
+                        .dbf_at_im
+                        .saturating_add(term.ceil_linear(interval))
+                        .saturating_sub(self.workload.component_demand(j, interval));
+                    (error, u64::MAX - seq)
+                })
+                .map(|(j, _, _)| j),
+            RevisionOrder::LargestUtilization => approximated
+                .max_by(|&(a, _, sa), &(b, _, sb)| {
+                    self.components[a]
+                        .utilization()
+                        .partial_cmp(&self.components[b].utilization())
+                        .unwrap_or(core::cmp::Ordering::Equal)
+                        .then(sb.cmp(&sa))
+                })
+                .map(|(j, _, _)| j),
+        }
+    }
+}
+
+/// The dynamic-error analysis loop (§4.1, Figure 5) on the shared
+/// engine — called by
+/// [`DynamicErrorTest::analyze_demand`](crate::analysis::FeasibilityTest::analyze_demand);
+/// bit-identical to [`reference::dynamic_error`].
+pub(crate) fn dynamic_error(
+    test: &DynamicErrorTest,
+    workload: &PreparedWorkload,
+    scratch: &mut AnalysisScratch,
+) -> Analysis {
+    if workload.is_empty() {
+        return Analysis::trivial(Verdict::Feasible);
+    }
+    if workload.utilization_exceeds_one() {
+        return Analysis::trivial(Verdict::Infeasible);
+    }
+    let Some(horizon) = workload.analysis_horizon() else {
+        return Analysis::trivial(Verdict::Unknown);
+    };
+    let mut counter = IterationCounter::new();
+    let mut level = test.initial_level;
+    let mut engine = Engine::new(workload, horizon, scratch);
+
+    while let Some((interval, idx)) = engine.frontier.pop() {
+        // The popped interval is an exact deadline of component `idx`
+        // (which is never approximated while it has a frontier entry).
+        debug_assert!(engine.states[idx].approximated_from.is_none());
+        engine.examine(idx);
+
+        // Compare the approximated demand against the capacity; refine
+        // (raise the level, withdraw approximations) until it fits or no
+        // approximation is left.
+        loop {
+            counter.record(interval);
+            if engine.demand_within(interval) {
+                break;
+            }
+            if engine.terms.is_empty() {
+                // Fully exact comparison failed: genuine overload.
+                let demand = engine.exact_part();
+                return counter.finish(
+                    Verdict::Infeasible,
+                    Some(DemandOverload { interval, demand }),
+                );
+            }
+            // Raise the level until at least one approximation can be
+            // withdrawn for this interval.
+            let mut revised_any = false;
+            while !revised_any {
+                let next_level = test.growth.next(level);
+                if let Some(limit) = test.max_level {
+                    if next_level > limit && level >= limit {
+                        return counter.finish(Verdict::Unknown, None);
+                    }
+                    level = next_level.min(limit);
+                } else {
+                    level = next_level;
+                }
+                revised_any = engine.withdraw_below_level(level, interval);
+                if level == u64::MAX {
+                    // Cannot grow further; every border has saturated.
+                    break;
+                }
+            }
+            if !revised_any {
+                // No approximation could be withdrawn even at the maximum
+                // representable level; treat the (over-)approximated
+                // failure as inconclusive.
+                return counter.finish(Verdict::Unknown, None);
+            }
+        }
+
+        // Decide how component `idx` continues: exactly (next deadline)
+        // while below its test border, approximated from here on
+        // otherwise.  One-shot components have no future demand — they
+        // simply stay in the exact part.
+        if engine.components[idx].period().is_none() {
+            continue;
+        }
+        let border = engine.components[idx].max_test_interval(level);
+        if interval < border {
+            engine.advance(idx, interval);
+        } else {
+            engine.approximate(idx, interval);
+        }
+    }
+
+    counter.finish(Verdict::Feasible, None)
+}
+
+/// The all-approximated analysis loop (§4.2, Figure 7) on the shared
+/// engine — called by
+/// [`AllApproximatedTest::analyze_demand`](crate::analysis::FeasibilityTest::analyze_demand);
+/// bit-identical to [`reference::all_approximated`].
+pub(crate) fn all_approximated(
+    test: &AllApproximatedTest,
+    workload: &PreparedWorkload,
+    scratch: &mut AnalysisScratch,
+) -> Analysis {
+    if workload.is_empty() {
+        return Analysis::trivial(Verdict::Feasible);
+    }
+    if workload.utilization_exceeds_one() {
+        return Analysis::trivial(Verdict::Infeasible);
+    }
+    let Some(horizon) = workload.analysis_horizon() else {
+        return Analysis::trivial(Verdict::Unknown);
+    };
+    let mut counter = IterationCounter::new();
+    let mut approx_seq: u64 = 0;
+    let mut engine = Engine::new(workload, horizon, scratch);
+
+    while let Some((interval, idx)) = engine.frontier.pop() {
+        // Popped components are never approximated: approximation happens
+        // right after a component's own interval is examined (without
+        // scheduling a next one), and only a withdrawal — which also
+        // clears the approximation — re-enters it into the frontier.
+        debug_assert!(engine.states[idx].approximated_from.is_none());
+        engine.examine(idx);
+        engine.states[idx].examined_jobs += 1;
+
+        loop {
+            counter.record(interval);
+            if engine.demand_within(interval) {
+                break;
+            }
+            if engine.terms.is_empty() {
+                return counter.finish(
+                    Verdict::Infeasible,
+                    Some(DemandOverload {
+                        interval,
+                        demand: engine.exact_part(),
+                    }),
+                );
+            }
+            // Withdraw one approximation according to the configured
+            // revision order; components refined up to the level limit
+            // are no longer candidates.
+            let Some(revise) = engine.pick_revision(test, interval) else {
+                // Every remaining approximation is beyond the limit — its
+                // over-estimation is within the target error, so the
+                // failure is inconclusive (see `with_max_level`).
+                return counter.finish(Verdict::Unknown, None);
+            };
+            engine.withdraw(revise, interval, true);
+        }
+
+        // The examined component is (re-)approximated from this interval
+        // on.  One-shot components have no future demand, so they stay in
+        // the exact part instead.
+        if engine.components[idx].period().is_some() {
+            engine.states[idx].approx_seq = approx_seq;
+            approx_seq += 1;
+            engine.approximate(idx, interval);
+        }
+    }
+
+    counter.finish(Verdict::Feasible, None)
+}
+
+pub mod reference {
+    //! The retained pre-engine implementations of the two refining
+    //! tests — the `BinaryHeap` pending queue, the per-comparison
+    //! [`approx_demand_within`] base re-summation and the per-state
+    //! withdrawal scans, moved here verbatim.  The `refine_equivalence`
+    //! proptests pin the engine's verdicts, overload witnesses and
+    //! iteration counts against these functions bit for bit.
+
+    use std::cmp::Reverse;
+
+    use edf_model::Time;
+
+    use crate::analysis::{Analysis, DemandOverload, IterationCounter, Verdict};
+    use crate::kernel::{AnalysisScratch, RefinementState};
+    use crate::superposition::{approx_demand_within, approximation_error_component, ApproxTerm};
+    use crate::tests::{AllApproximatedTest, DynamicErrorTest, RevisionOrder};
+    use crate::workload::{DemandComponent, PreparedWorkload};
+
+    /// Number of jobs of `component` with deadlines inside an interval of
+    /// length `interval` — how many jobs a withdrawal up to `interval`
+    /// has examined exactly.
+    fn jobs_within(component: &DemandComponent, interval: Time) -> u64 {
+        if interval < component.first_deadline() {
+            return 0;
+        }
+        match component.period() {
+            None => 1,
+            Some(period) => (interval - component.first_deadline()).div_floor(period) + 1,
+        }
+    }
+
+    /// Swap-removes the approximation term of component `withdrawn`,
+    /// patching the `term_slot` of the component whose term was moved
+    /// into the gap.
+    fn remove_term(
+        terms: &mut Vec<ApproxTerm>,
+        owners: &mut Vec<u32>,
+        states: &mut [RefinementState],
+        withdrawn: usize,
+    ) {
+        let slot = states[withdrawn].term_slot as usize;
+        terms.swap_remove(slot);
+        owners.swap_remove(slot);
+        if slot < terms.len() {
+            states[owners[slot] as usize].term_slot = slot as u32;
+        }
+    }
+
+    /// Picks the approximated component whose approximation is withdrawn
+    /// next, or `None` when every approximated component has already
+    /// been refined up to the configured level limit.
+    fn pick_revision(
+        test: &AllApproximatedTest,
+        components: &[DemandComponent],
+        states: &[RefinementState],
+        interval: Time,
+    ) -> Option<usize> {
+        let approximated = states.iter().enumerate().filter_map(|(j, s)| {
+            if let Some(limit) = test.max_level {
+                if s.examined_jobs >= limit {
+                    return None;
+                }
+            }
+            s.approximated_from.map(|im| (j, im, s.approx_seq))
+        });
+        match test.revision_order {
+            RevisionOrder::Fifo => approximated
+                .min_by_key(|&(_, _, seq)| seq)
+                .map(|(j, _, _)| j),
+            RevisionOrder::LargestError => approximated
+                .max_by_key(|&(j, im, seq)| {
+                    (
+                        approximation_error_component(&components[j], im, interval),
+                        u64::MAX - seq,
+                    )
+                })
+                .map(|(j, _, _)| j),
+            RevisionOrder::LargestUtilization => approximated
+                .max_by(|&(a, _, sa), &(b, _, sb)| {
+                    components[a]
+                        .utilization()
+                        .partial_cmp(&components[b].utilization())
+                        .unwrap_or(core::cmp::Ordering::Equal)
+                        .then(sb.cmp(&sa))
+                })
+                .map(|(j, _, _)| j),
+        }
+    }
+
+    /// The pre-engine dynamic-error analysis loop (§4.1, Figure 5).
+    pub fn dynamic_error(
+        test: &DynamicErrorTest,
+        workload: &PreparedWorkload,
+        scratch: &mut AnalysisScratch,
+    ) -> Analysis {
+        if workload.is_empty() {
+            return Analysis::trivial(Verdict::Feasible);
+        }
+        if workload.utilization_exceeds_one() {
+            return Analysis::trivial(Verdict::Infeasible);
+        }
+        let Some(horizon) = workload.analysis_horizon() else {
+            return Analysis::trivial(Verdict::Unknown);
+        };
+        let components = workload.components();
+
+        let mut level = test.initial_level;
+        let mut counter = IterationCounter::new();
+        // All transient buffers — the state vector, the pending-interval
+        // heap and the approximation terms — come from the scratch, so a
+        // batch worker runs this test allocation-free after warm-up.  As
+        // in the all-approximated test, the exact part and the term list
+        // are maintained incrementally instead of being rebuilt per
+        // comparison.
+        let states = &mut scratch.refine;
+        states.clear();
+        states.resize(components.len(), RefinementState::default());
+        let pending = &mut scratch.pending;
+        pending.clear();
+        for (idx, component) in components.iter().enumerate() {
+            if component.first_deadline() <= horizon {
+                pending.push(Reverse((component.first_deadline(), idx)));
+            }
+        }
+        let approx_terms = &mut scratch.approx_terms;
+        approx_terms.clear();
+        let term_owner = &mut scratch.term_owner;
+        term_owner.clear();
+        let withdrawn = &mut scratch.withdrawn;
+        withdrawn.clear();
+        // Running Σ examined_demand over the unapproximated components
+        // (exact in u128, clamped to `Time` range at each comparison —
+        // bit-identical to the former saturating fold).
+        let mut exact_sum: u128 = 0;
+
+        while let Some(Reverse((interval, idx))) = pending.pop() {
+            // The popped interval is an exact deadline of component `idx`
+            // (which is never approximated while it has a pending entry).
+            debug_assert!(states[idx].approximated_from.is_none());
+            let examined = states[idx]
+                .examined_demand
+                .saturating_add(components[idx].wcet());
+            exact_sum += u128::from((examined - states[idx].examined_demand).as_u64());
+            states[idx].examined_demand = examined;
+
+            // Compare the approximated demand against the capacity;
+            // refine (raise the level, withdraw approximations) until it
+            // fits or no approximation is left.
+            loop {
+                counter.record(interval);
+                let exact_part = Time::new(exact_sum.min(u128::from(u64::MAX)) as u64);
+                if approx_demand_within(exact_part, approx_terms, interval) {
+                    break;
+                }
+                if approx_terms.is_empty() {
+                    // Fully exact comparison failed: genuine overload.
+                    let demand = exact_part;
+                    return counter.finish(
+                        Verdict::Infeasible,
+                        Some(DemandOverload { interval, demand }),
+                    );
+                }
+                // Raise the level until at least one approximation can be
+                // withdrawn for this interval.
+                let mut revised_any = false;
+                while !revised_any {
+                    let next_level = test.growth.next(level);
+                    if let Some(limit) = test.max_level {
+                        if next_level > limit && level >= limit {
+                            return counter.finish(Verdict::Unknown, None);
+                        }
+                        level = next_level.min(limit);
+                    } else {
+                        level = next_level;
+                    }
+                    // Withdraw the approximation of components that would
+                    // not be approximated at `im` under the new level.
+                    // Collect the whole pass first, then evaluate every
+                    // withdrawn component's exact demand as one batch of
+                    // kernel column gathers; applying in ascending `j`
+                    // preserves the former interleaved loop's heap
+                    // insertion and term-removal order exactly.
+                    withdrawn.clear();
+                    withdrawn.extend((0..states.len()).filter_map(|j| {
+                        let im = states[j].approximated_from?;
+                        (components[j].max_test_interval(level) > im).then_some(j as u32)
+                    }));
+                    for &j in withdrawn.iter() {
+                        let j = j as usize;
+                        remove_term(approx_terms, term_owner, states, j);
+                        states[j].approximated_from = None;
+                        states[j].examined_demand = workload.component_demand(j, interval);
+                        exact_sum += u128::from(states[j].examined_demand.as_u64());
+                        if let Some(next) = components[j].next_deadline_after(interval) {
+                            if next <= horizon {
+                                pending.push(Reverse((next, j)));
+                            }
+                        }
+                        revised_any = true;
+                    }
+                    if level == u64::MAX {
+                        // Cannot grow further; every border has saturated.
+                        break;
+                    }
+                }
+                if !revised_any {
+                    // No approximation could be withdrawn even at the
+                    // maximum representable level; treat the (over-)
+                    // approximated failure as inconclusive.
+                    return counter.finish(Verdict::Unknown, None);
+                }
+            }
+
+            // Decide how component `idx` continues: exactly (next
+            // deadline) while below its test border, approximated from
+            // here on otherwise.  One-shot components have no future
+            // demand — they simply stay in the exact part.
+            if components[idx].period().is_none() {
+                continue;
+            }
+            let border = components[idx].max_test_interval(level);
+            if interval < border {
+                if let Some(next) = components[idx].next_deadline_after(interval) {
+                    if next <= horizon {
+                        pending.push(Reverse((next, idx)));
+                    }
+                }
+            } else {
+                states[idx].approximated_from = Some(interval);
+                states[idx].term_slot = approx_terms.len() as u32;
+                approx_terms.push(ApproxTerm::for_component(
+                    &components[idx],
+                    interval,
+                    states[idx].examined_demand,
+                ));
+                term_owner.push(idx as u32);
+                exact_sum -= u128::from(states[idx].examined_demand.as_u64());
+            }
+        }
+
+        counter.finish(Verdict::Feasible, None)
+    }
+
+    /// The pre-engine all-approximated analysis loop (§4.2, Figure 7).
+    pub fn all_approximated(
+        test: &AllApproximatedTest,
+        workload: &PreparedWorkload,
+        scratch: &mut AnalysisScratch,
+    ) -> Analysis {
+        if workload.is_empty() {
+            return Analysis::trivial(Verdict::Feasible);
+        }
+        if workload.utilization_exceeds_one() {
+            return Analysis::trivial(Verdict::Infeasible);
+        }
+        let Some(horizon) = workload.analysis_horizon() else {
+            return Analysis::trivial(Verdict::Unknown);
+        };
+        let components = workload.components();
+
+        let mut counter = IterationCounter::new();
+        // All transient buffers come from the scratch (see
+        // [`AnalysisScratch`]); a batch worker runs this test
+        // allocation-free after warm-up.  The exact part and the
+        // approximation-term list are maintained *incrementally* across
+        // comparisons — a comparison costs one pass over the live terms,
+        // not a rebuild of the whole state vector.
+        let states = &mut scratch.refine;
+        states.clear();
+        states.resize(components.len(), RefinementState::default());
+        let mut approx_seq: u64 = 0;
+        let pending = &mut scratch.pending;
+        pending.clear();
+        for (idx, component) in components.iter().enumerate() {
+            if component.first_deadline() <= horizon {
+                pending.push(Reverse((component.first_deadline(), idx)));
+            }
+        }
+        let approx_terms = &mut scratch.approx_terms;
+        approx_terms.clear();
+        let term_owner = &mut scratch.term_owner;
+        term_owner.clear();
+        // Running Σ examined_demand over the *unapproximated* components,
+        // tracked exactly in u128 (clamping to `Time` range only at the
+        // comparison, which reproduces the former saturating fold bit for
+        // bit).
+        let mut exact_sum: u128 = 0;
+
+        while let Some(Reverse((interval, idx))) = pending.pop() {
+            // Popped components are never approximated: approximation
+            // happens right after a component's own interval is examined
+            // (without scheduling a next one), and only a withdrawal —
+            // which also clears the approximation — re-enters it into
+            // `pending`.
+            debug_assert!(states[idx].approximated_from.is_none());
+            let examined = states[idx]
+                .examined_demand
+                .saturating_add(components[idx].wcet());
+            exact_sum += u128::from((examined - states[idx].examined_demand).as_u64());
+            states[idx].examined_demand = examined;
+            states[idx].examined_jobs += 1;
+
+            loop {
+                counter.record(interval);
+                let exact_part = Time::new(exact_sum.min(u128::from(u64::MAX)) as u64);
+                if approx_demand_within(exact_part, approx_terms, interval) {
+                    break;
+                }
+                if approx_terms.is_empty() {
+                    return counter.finish(
+                        Verdict::Infeasible,
+                        Some(DemandOverload {
+                            interval,
+                            demand: exact_part,
+                        }),
+                    );
+                }
+                // Withdraw one approximation according to the configured
+                // revision order; components refined up to the level
+                // limit are no longer candidates.
+                let Some(revise) = pick_revision(test, components, states, interval) else {
+                    // Every remaining approximation is beyond the limit —
+                    // its over-estimation is within the target error, so
+                    // the failure is inconclusive (see `with_max_level`).
+                    return counter.finish(Verdict::Unknown, None);
+                };
+                remove_term(approx_terms, term_owner, states, revise);
+                states[revise].approximated_from = None;
+                // Re-evaluating the withdrawn component's exact demand is
+                // a kernel column gather (reciprocal multiply, no
+                // hardware division) on the kernel path.
+                states[revise].examined_demand = workload.component_demand(revise, interval);
+                states[revise].examined_jobs = jobs_within(&components[revise], interval);
+                exact_sum += u128::from(states[revise].examined_demand.as_u64());
+                if let Some(next) = components[revise].next_deadline_after(interval) {
+                    if next <= horizon {
+                        pending.push(Reverse((next, revise)));
+                    }
+                }
+            }
+
+            // The examined component is (re-)approximated from this
+            // interval on.  One-shot components have no future demand, so
+            // they stay in the exact part instead.
+            if components[idx].period().is_some() {
+                states[idx].approximated_from = Some(interval);
+                states[idx].approx_seq = approx_seq;
+                approx_seq += 1;
+                states[idx].term_slot = approx_terms.len() as u32;
+                approx_terms.push(ApproxTerm::for_component(
+                    &components[idx],
+                    interval,
+                    states[idx].examined_demand,
+                ));
+                term_owner.push(idx as u32);
+                exact_sum -= u128::from(states[idx].examined_demand.as_u64());
+            }
+        }
+
+        counter.finish(Verdict::Feasible, None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::LevelGrowth;
+    use edf_model::{Task, TaskSet};
+
+    fn t(c: u64, d: u64, p: u64) -> Task {
+        Task::from_ticks(c, d, p).expect("valid task")
+    }
+
+    fn sample_sets() -> Vec<TaskSet> {
+        vec![
+            TaskSet::from_tasks(vec![t(1, 2, 10), t(2, 3, 10), t(5, 9, 10)]),
+            TaskSet::from_tasks(vec![t(3, 4, 10), t(4, 6, 10), t(2, 5, 12)]),
+            TaskSet::from_tasks(vec![t(2, 2, 6), t(2, 4, 8), t(1, 7, 12)]),
+            TaskSet::from_tasks(vec![t(5, 6, 20), t(7, 11, 25), t(4, 9, 35)]),
+            TaskSet::from_tasks(vec![t(1, 2, 2), t(2, 4, 4)]),
+            TaskSet::from_tasks(vec![t(5, 3, 10)]),
+            TaskSet::from_tasks(vec![t(1, 1, 4), t(1, 2, 4), t(1, 3, 4), t(1, 4, 4)]),
+            TaskSet::from_tasks(vec![t(1, 5, 5), t(2, 10, 10), t(30, 200, 200)]),
+            TaskSet::new(),
+        ]
+    }
+
+    #[test]
+    fn dynamic_error_engine_matches_reference_on_hand_picked_sets() {
+        let tests = [
+            DynamicErrorTest::new(),
+            DynamicErrorTest::new().with_growth(LevelGrowth::Increment),
+            DynamicErrorTest::new().with_initial_level(3),
+            DynamicErrorTest::new().with_max_level(2),
+            DynamicErrorTest::from_target_error(0.25),
+        ];
+        for ts in sample_sets() {
+            let prepared = PreparedWorkload::new(&ts);
+            for test in &tests {
+                let mut scratch = AnalysisScratch::new();
+                let engine = dynamic_error(test, &prepared, &mut scratch);
+                let reference = reference::dynamic_error(test, &prepared, &mut scratch);
+                assert_eq!(engine, reference, "{test:?} on {ts}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_approximated_engine_matches_reference_on_hand_picked_sets() {
+        let tests = [
+            AllApproximatedTest::new(),
+            AllApproximatedTest::with_revision_order(RevisionOrder::LargestError),
+            AllApproximatedTest::with_revision_order(RevisionOrder::LargestUtilization),
+            AllApproximatedTest::new().with_max_level(2),
+            AllApproximatedTest::from_target_error(0.5),
+        ];
+        for ts in sample_sets() {
+            let prepared = PreparedWorkload::new(&ts);
+            for test in &tests {
+                let mut scratch = AnalysisScratch::new();
+                let engine = all_approximated(test, &prepared, &mut scratch);
+                let reference = reference::all_approximated(test, &prepared, &mut scratch);
+                assert_eq!(engine, reference, "{test:?} on {ts}");
+            }
+        }
+    }
+
+    #[test]
+    fn engine_jobs_within_matches_reference_div_floor() {
+        let ts = TaskSet::from_tasks(vec![t(2, 7, 9), t(1, 3, 5), t(4, 11, 11)]);
+        let prepared = PreparedWorkload::new(&ts);
+        let horizon = prepared.analysis_horizon().expect("bounded horizon");
+        let mut scratch = AnalysisScratch::new();
+        let engine = Engine::new(&prepared, horizon, &mut scratch);
+        for idx in 0..engine.components.len() {
+            for i in 0..200u64 {
+                let i = Time::new(i);
+                let expected = {
+                    let c = &engine.components[idx];
+                    if i < c.first_deadline() {
+                        0
+                    } else {
+                        (i - c.first_deadline()).div_floor(c.period().unwrap()) + 1
+                    }
+                };
+                assert_eq!(
+                    engine.jobs_within(idx, i),
+                    expected,
+                    "component {idx} at {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn engine_next_deadline_matches_component_walk() {
+        let ts = TaskSet::from_tasks(vec![t(2, 7, 9), t(1, 3, 5), t(4, 11, 11)]);
+        let prepared = PreparedWorkload::new(&ts);
+        let horizon = prepared.analysis_horizon().expect("bounded horizon");
+        let mut scratch = AnalysisScratch::new();
+        let engine = Engine::new(&prepared, horizon, &mut scratch);
+        for idx in 0..engine.components.len() {
+            for i in 0..200u64 {
+                let i = Time::new(i);
+                assert_eq!(
+                    engine.next_deadline(idx, i),
+                    engine.components[idx].next_deadline_after(i),
+                    "component {idx} at {i}"
+                );
+            }
+        }
+    }
+}

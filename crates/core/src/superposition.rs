@@ -23,6 +23,20 @@ use crate::arith::{ceil_div_u128, fracs_parts_le_integer_iter, Reciprocal};
 use crate::demand::dbf_task;
 use crate::workload::DemandComponent;
 
+/// `⌈num / period⌉` with a hardware-division fast path for numerators that
+/// fit `u64` (virtually all of them: `C·δ` overflows `u64` only for
+/// astronomically large cost × interval products).  The generic
+/// [`ceil_div_u128`] lowers to a software `__udivti3` call, which the
+/// `LargestError` revision scan used to pay once per live term.
+#[inline]
+fn ceil_linear_div(num: u128, period: u64) -> u128 {
+    if let Ok(n64) = u64::try_from(num) {
+        u128::from(n64.div_ceil(period))
+    } else {
+        ceil_div_u128(num, u128::from(period))
+    }
+}
+
 /// The maximum test interval `Im(τ)` of a task at approximation level
 /// `level ≥ 1`: the absolute deadline of its `level`-th job,
 /// `(level − 1)·T + D`.
@@ -71,9 +85,9 @@ pub fn approx_contribution(task: &Task, im: Time, dbf_at_im: Time, interval: Tim
     if delta.is_zero() {
         return dbf_at_im;
     }
-    let linear = ceil_div_u128(
+    let linear = ceil_linear_div(
         task.wcet().as_u128() * delta.as_u128(),
-        task.period().as_u128(),
+        task.period().as_u64(),
     );
     dbf_at_im.saturating_add(Time::new(linear.min(u128::from(u64::MAX)) as u64))
 }
@@ -205,12 +219,62 @@ impl ApproxTerm {
         }
     }
 
+    /// [`ApproxTerm::for_component`] with an already-computed period
+    /// reciprocal.  The refining tests gather every periodic component's
+    /// reciprocal once per analysis (from the kernel columns), so
+    /// re-approximating a popped interval costs no `u128` division.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the component is one-shot; debug assertions also check
+    /// that `rcp` really is the reciprocal of the component's period.
+    #[must_use]
+    pub(crate) fn with_reciprocal(
+        component: &DemandComponent,
+        im: Time,
+        dbf_at_im: Time,
+        rcp: Reciprocal,
+    ) -> Self {
+        let period = component
+            .period()
+            .expect("one-shot components are never approximated");
+        debug_assert_eq!(
+            rcp,
+            Reciprocal::new(period.as_u64()),
+            "cached reciprocal must match the component period"
+        );
+        ApproxTerm {
+            wcet: component.wcet(),
+            period,
+            im,
+            dbf_at_im,
+            rcp,
+        }
+    }
+
+    /// The ceiling-division linear part `⌈C·(interval − Im)/T⌉` of this
+    /// term, clamped to the `Time` range — the quantity
+    /// [`approx_contribution`] adds to `dbf(Im)`, computed through the
+    /// term's cached reciprocal (the `LargestError` revision scan calls
+    /// this once per live term per revision pick).
+    #[inline]
+    #[must_use]
+    pub(crate) fn ceil_linear(&self, interval: Time) -> Time {
+        let delta = interval.saturating_sub(self.im);
+        if delta.is_zero() {
+            return Time::ZERO;
+        }
+        let num = self.wcet.as_u128() * delta.as_u128();
+        let value = self.rcp.ceil_divide(num, self.period.as_u64());
+        Time::new(value.min(u128::from(u64::MAX)) as u64)
+    }
+
     /// The pre-divided linear part `(⌊C·δ/T⌋, C·δ mod T, T)` of this term
     /// at `interval` (`δ = interval − Im`), or `None` when the linear part
     /// is still zero — computed through the precomputed reciprocal
     /// whenever the numerator fits `u64` (virtually always).
     #[inline]
-    fn linear_parts(&self, interval: Time) -> Option<(u128, u128, u128)> {
+    pub(crate) fn linear_parts(&self, interval: Time) -> Option<(u128, u128, u128)> {
         let delta = interval.saturating_sub(self.im);
         if delta.is_zero() {
             return None;
@@ -289,9 +353,9 @@ pub fn approximation_error_component(
     let linear = if delta.is_zero() {
         Time::ZERO
     } else {
-        let value = ceil_div_u128(
+        let value = ceil_linear_div(
             component.wcet().as_u128() * delta.as_u128(),
-            period.as_u128(),
+            period.as_u64(),
         );
         Time::new(value.min(u128::from(u64::MAX)) as u64)
     };
@@ -316,9 +380,9 @@ pub fn dbf_approx_component(component: &DemandComponent, level: u64, interval: T
         return component.dbf(interval);
     };
     let delta = interval - im;
-    let linear = ceil_div_u128(
+    let linear = ceil_linear_div(
         component.wcet().as_u128() * delta.as_u128(),
-        period.as_u128(),
+        period.as_u64(),
     );
     component
         .dbf(im)
@@ -522,6 +586,72 @@ mod tests {
         // No approximated tasks at all: plain integer comparison.
         assert!(approx_demand_within(Time::new(12), &[], Time::new(12)));
         assert!(!approx_demand_within(Time::new(13), &[], Time::new(12)));
+    }
+
+    #[test]
+    fn ceil_linear_div_matches_wide_ceiling_at_the_u64_boundary() {
+        // The hardware fast path and the u128 software path must agree on
+        // either side of the numerator-fits-u64 boundary.
+        let boundary = u128::from(u64::MAX);
+        for period in [1u64, 2, 3, 7, 10, 1 << 20, u64::MAX] {
+            let mut numerators = vec![
+                0,
+                1,
+                u128::from(period),
+                u128::from(period) + 1,
+                boundary - 1,
+                boundary,
+                boundary + 1,
+                boundary + u128::from(period),
+                boundary * u128::from(period.max(2)),
+                u128::MAX,
+            ];
+            numerators.push(boundary / u128::from(period) * u128::from(period));
+            for num in numerators {
+                assert_eq!(
+                    ceil_linear_div(num, period),
+                    ceil_div_u128(num, u128::from(period)),
+                    "num {num}, period {period}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn term_ceil_linear_matches_approx_contribution() {
+        let tau = t(3, 5, 12);
+        let im = max_test_interval(&tau, 2);
+        let base = dbf_task(&tau, im);
+        let term = ApproxTerm::for_task(&tau, im, base);
+        for i in im.as_u64()..im.as_u64() + 150 {
+            let i = Time::new(i);
+            assert_eq!(
+                base.saturating_add(term.ceil_linear(i)),
+                approx_contribution(&tau, im, base, i),
+                "I = {i}"
+            );
+        }
+        // Saturating tail: a huge cost·delta product must clamp like the
+        // contribution helper does.
+        let wide = t(u64::MAX, 1, u64::MAX);
+        let wide_term = ApproxTerm::for_task(&wide, Time::new(1), Time::new(u64::MAX));
+        assert_eq!(
+            Time::new(u64::MAX).saturating_add(wide_term.ceil_linear(Time::MAX)),
+            approx_contribution(&wide, Time::new(1), Time::new(u64::MAX), Time::MAX),
+        );
+    }
+
+    #[test]
+    fn with_reciprocal_matches_for_component() {
+        let component = DemandComponent::periodic(Time::new(3), Time::new(5), Time::new(12));
+        let rcp = Reciprocal::new(12);
+        let a = ApproxTerm::for_component(&component, Time::new(5), Time::new(3));
+        let b = ApproxTerm::with_reciprocal(&component, Time::new(5), Time::new(3), rcp);
+        for i in 5..120u64 {
+            let i = Time::new(i);
+            assert_eq!(a.linear_parts(i), b.linear_parts(i), "I = {i}");
+            assert_eq!(a.ceil_linear(i), b.ceil_linear(i), "I = {i}");
+        }
     }
 
     #[test]

@@ -21,14 +21,9 @@
 //! bound, which is needed for guaranteed termination at `U = 1` and never
 //! changes a verdict).
 
-use std::cmp::Reverse;
-
-use edf_model::Time;
-
-use crate::analysis::{Analysis, DemandOverload, FeasibilityTest, IterationCounter, Verdict};
-use crate::kernel::{AnalysisScratch, RefinementState};
-use crate::superposition::{approx_demand_within, approximation_error_component, ApproxTerm};
-use crate::workload::{DemandComponent, PreparedWorkload};
+use crate::analysis::{Analysis, FeasibilityTest};
+use crate::kernel::AnalysisScratch;
+use crate::workload::PreparedWorkload;
 
 /// Order in which approximations are withdrawn when a comparison fails.
 ///
@@ -68,8 +63,8 @@ pub enum RevisionOrder {
 /// ```
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct AllApproximatedTest {
-    revision_order: RevisionOrder,
-    max_level: Option<u64>,
+    pub(crate) revision_order: RevisionOrder,
+    pub(crate) max_level: Option<u64>,
 }
 
 impl AllApproximatedTest {
@@ -103,7 +98,7 @@ impl AllApproximatedTest {
     /// [`DynamicErrorTest::with_max_level`](crate::tests::DynamicErrorTest::with_max_level)
     /// for this test).  A failing comparison whose remaining approximations
     /// are all beyond the limit then answers
-    /// [`Verdict::Unknown`] instead of refining further, which bounds the
+    /// [`Verdict::Unknown`](crate::Verdict::Unknown) instead of refining further, which bounds the
     /// worst-case number of examined intervals by `max_level` per
     /// component while keeping every *decisive* verdict correct.
     #[must_use]
@@ -136,19 +131,6 @@ impl AllApproximatedTest {
     }
 }
 
-/// Number of jobs of `component` with deadlines inside an interval of
-/// length `interval` — how many jobs a withdrawal up to `interval` has
-/// examined exactly.
-fn jobs_within(component: &DemandComponent, interval: Time) -> u64 {
-    if interval < component.first_deadline() {
-        return 0;
-    }
-    match component.period() {
-        None => 1,
-        Some(period) => (interval - component.first_deadline()).div_floor(period) + 1,
-    }
-}
-
 impl FeasibilityTest for AllApproximatedTest {
     fn name(&self) -> &str {
         "all-approximated"
@@ -163,183 +145,20 @@ impl FeasibilityTest for AllApproximatedTest {
         workload: &PreparedWorkload,
         scratch: &mut AnalysisScratch,
     ) -> Analysis {
-        if workload.is_empty() {
-            return Analysis::trivial(Verdict::Feasible);
-        }
-        if workload.utilization_exceeds_one() {
-            return Analysis::trivial(Verdict::Infeasible);
-        }
-        let Some(horizon) = workload.analysis_horizon() else {
-            return Analysis::trivial(Verdict::Unknown);
-        };
-        let components = workload.components();
-
-        let mut counter = IterationCounter::new();
-        // All transient buffers come from the scratch (see
-        // [`AnalysisScratch`]); a batch worker runs this test
-        // allocation-free after warm-up.  The exact part and the
-        // approximation-term list are maintained *incrementally* across
-        // comparisons — a comparison costs one pass over the live terms,
-        // not a rebuild of the whole state vector.
-        let states = &mut scratch.refine;
-        states.clear();
-        states.resize(components.len(), RefinementState::default());
-        let mut approx_seq: u64 = 0;
-        let pending = &mut scratch.pending;
-        pending.clear();
-        for (idx, component) in components.iter().enumerate() {
-            if component.first_deadline() <= horizon {
-                pending.push(Reverse((component.first_deadline(), idx)));
-            }
-        }
-        let approx_terms = &mut scratch.approx_terms;
-        approx_terms.clear();
-        let term_owner = &mut scratch.term_owner;
-        term_owner.clear();
-        // Running Σ examined_demand over the *unapproximated* components,
-        // tracked exactly in u128 (clamping to `Time` range only at the
-        // comparison, which reproduces the former saturating fold bit for
-        // bit).
-        let mut exact_sum: u128 = 0;
-
-        while let Some(Reverse((interval, idx))) = pending.pop() {
-            // Popped components are never approximated: approximation
-            // happens right after a component's own interval is examined
-            // (without scheduling a next one), and only a withdrawal — which
-            // also clears the approximation — re-enters it into `pending`.
-            debug_assert!(states[idx].approximated_from.is_none());
-            let examined = states[idx]
-                .examined_demand
-                .saturating_add(components[idx].wcet());
-            exact_sum += u128::from((examined - states[idx].examined_demand).as_u64());
-            states[idx].examined_demand = examined;
-            states[idx].examined_jobs += 1;
-
-            loop {
-                counter.record(interval);
-                let exact_part = Time::new(exact_sum.min(u128::from(u64::MAX)) as u64);
-                if approx_demand_within(exact_part, approx_terms, interval) {
-                    break;
-                }
-                if approx_terms.is_empty() {
-                    return counter.finish(
-                        Verdict::Infeasible,
-                        Some(DemandOverload {
-                            interval,
-                            demand: exact_part,
-                        }),
-                    );
-                }
-                // Withdraw one approximation according to the configured
-                // revision order; components refined up to the level limit
-                // are no longer candidates.
-                let Some(revise) = self.pick_revision(components, states, interval) else {
-                    // Every remaining approximation is beyond the limit —
-                    // its over-estimation is within the target error, so
-                    // the failure is inconclusive (see `with_max_level`).
-                    return counter.finish(Verdict::Unknown, None);
-                };
-                remove_term(approx_terms, term_owner, states, revise);
-                states[revise].approximated_from = None;
-                // Re-evaluating the withdrawn component's exact demand is a
-                // kernel column gather (reciprocal multiply, no hardware
-                // division) on the kernel path.
-                states[revise].examined_demand = workload.component_demand(revise, interval);
-                states[revise].examined_jobs = jobs_within(&components[revise], interval);
-                exact_sum += u128::from(states[revise].examined_demand.as_u64());
-                if let Some(next) = components[revise].next_deadline_after(interval) {
-                    if next <= horizon {
-                        pending.push(Reverse((next, revise)));
-                    }
-                }
-            }
-
-            // The examined component is (re-)approximated from this interval
-            // on.  One-shot components have no future demand, so they stay
-            // in the exact part instead.
-            if components[idx].period().is_some() {
-                states[idx].approximated_from = Some(interval);
-                states[idx].approx_seq = approx_seq;
-                approx_seq += 1;
-                states[idx].term_slot = approx_terms.len() as u32;
-                approx_terms.push(ApproxTerm::for_component(
-                    &components[idx],
-                    interval,
-                    states[idx].examined_demand,
-                ));
-                term_owner.push(idx as u32);
-                exact_sum -= u128::from(states[idx].examined_demand.as_u64());
-            }
-        }
-
-        counter.finish(Verdict::Feasible, None)
-    }
-}
-
-/// Swap-removes the approximation term of component `withdrawn`, patching
-/// the `term_slot` of the component whose term was moved into the gap.
-pub(crate) fn remove_term(
-    terms: &mut Vec<ApproxTerm>,
-    owners: &mut Vec<u32>,
-    states: &mut [RefinementState],
-    withdrawn: usize,
-) {
-    let slot = states[withdrawn].term_slot as usize;
-    terms.swap_remove(slot);
-    owners.swap_remove(slot);
-    if slot < terms.len() {
-        states[owners[slot] as usize].term_slot = slot as u32;
-    }
-}
-
-impl AllApproximatedTest {
-    /// Picks the approximated component whose approximation is withdrawn
-    /// next, or `None` when every approximated component has already been
-    /// refined up to the configured level limit.
-    fn pick_revision(
-        &self,
-        components: &[DemandComponent],
-        states: &[RefinementState],
-        interval: Time,
-    ) -> Option<usize> {
-        let approximated = states.iter().enumerate().filter_map(|(j, s)| {
-            if let Some(limit) = self.max_level {
-                if s.examined_jobs >= limit {
-                    return None;
-                }
-            }
-            s.approximated_from.map(|im| (j, im, s.approx_seq))
-        });
-        match self.revision_order {
-            RevisionOrder::Fifo => approximated
-                .min_by_key(|&(_, _, seq)| seq)
-                .map(|(j, _, _)| j),
-            RevisionOrder::LargestError => approximated
-                .max_by_key(|&(j, im, seq)| {
-                    (
-                        approximation_error_component(&components[j], im, interval),
-                        u64::MAX - seq,
-                    )
-                })
-                .map(|(j, _, _)| j),
-            RevisionOrder::LargestUtilization => approximated
-                .max_by(|&(a, _, sa), &(b, _, sb)| {
-                    components[a]
-                        .utilization()
-                        .partial_cmp(&components[b].utilization())
-                        .unwrap_or(core::cmp::Ordering::Equal)
-                        .then(sb.cmp(&sa))
-                })
-                .map(|(j, _, _)| j),
-        }
+        // The analysis loop lives in the shared refinement engine (flat
+        // frontier queue, incremental comparison aggregates, live-term
+        // revision scan); see [`crate::refine`] for the structure and the
+        // bit-identity argument against the retained reference loop.
+        crate::refine::all_approximated(self, workload, scratch)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::analysis::Verdict;
     use crate::tests::{DeviTest, DynamicErrorTest, ProcessorDemandTest};
-    use edf_model::{Task, TaskSet};
+    use edf_model::{Task, TaskSet, Time};
 
     fn t(c: u64, d: u64, p: u64) -> Task {
         Task::from_ticks(c, d, p).expect("valid task")

@@ -18,14 +18,8 @@
 //! bounding the level (`with_max_level`) yields a sufficient test with a
 //! strictly limited worst-case run time, as discussed at the end of §4.1.
 
-use std::cmp::Reverse;
-
-use edf_model::Time;
-
-use crate::analysis::{Analysis, DemandOverload, FeasibilityTest, IterationCounter, Verdict};
-use crate::kernel::{AnalysisScratch, RefinementState};
-use crate::superposition::{approx_demand_within, ApproxTerm};
-use crate::tests::all_approximated::remove_term;
+use crate::analysis::{Analysis, FeasibilityTest};
+use crate::kernel::AnalysisScratch;
 use crate::workload::PreparedWorkload;
 
 /// How the approximation level grows when the current level is too coarse.
@@ -40,7 +34,7 @@ pub enum LevelGrowth {
 }
 
 impl LevelGrowth {
-    fn next(self, level: u64) -> u64 {
+    pub(crate) fn next(self, level: u64) -> u64 {
         match self {
             LevelGrowth::Double => level.saturating_mul(2),
             LevelGrowth::Increment => level.saturating_add(1),
@@ -71,9 +65,9 @@ impl LevelGrowth {
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DynamicErrorTest {
-    initial_level: u64,
-    growth: LevelGrowth,
-    max_level: Option<u64>,
+    pub(crate) initial_level: u64,
+    pub(crate) growth: LevelGrowth,
+    pub(crate) max_level: Option<u64>,
 }
 
 impl Default for DynamicErrorTest {
@@ -115,7 +109,7 @@ impl DynamicErrorTest {
 
     /// Limits the maximum approximation level.  With a limit the test is no
     /// longer exact: when the limit is insufficient it answers
-    /// [`Verdict::Unknown`], but its worst-case run time is strictly
+    /// [`Verdict::Unknown`](crate::Verdict::Unknown), but its worst-case run time is strictly
     /// bounded (§4.1).
     #[must_use]
     pub fn with_max_level(mut self, max_level: u64) -> Self {
@@ -160,157 +154,18 @@ impl FeasibilityTest for DynamicErrorTest {
         workload: &PreparedWorkload,
         scratch: &mut AnalysisScratch,
     ) -> Analysis {
-        if workload.is_empty() {
-            return Analysis::trivial(Verdict::Feasible);
-        }
-        if workload.utilization_exceeds_one() {
-            return Analysis::trivial(Verdict::Infeasible);
-        }
-        let Some(horizon) = workload.analysis_horizon() else {
-            return Analysis::trivial(Verdict::Unknown);
-        };
-        let components = workload.components();
-
-        let mut level = self.initial_level;
-        let mut counter = IterationCounter::new();
-        // All transient buffers — the state vector, the pending-interval
-        // heap and the approximation terms — come from the scratch, so a
-        // batch worker runs this test allocation-free after warm-up.  As in
-        // the all-approximated test, the exact part and the term list are
-        // maintained incrementally instead of being rebuilt per comparison.
-        let states = &mut scratch.refine;
-        states.clear();
-        states.resize(components.len(), RefinementState::default());
-        let pending = &mut scratch.pending;
-        pending.clear();
-        for (idx, component) in components.iter().enumerate() {
-            if component.first_deadline() <= horizon {
-                pending.push(Reverse((component.first_deadline(), idx)));
-            }
-        }
-        let approx_terms = &mut scratch.approx_terms;
-        approx_terms.clear();
-        let term_owner = &mut scratch.term_owner;
-        term_owner.clear();
-        let withdrawn = &mut scratch.withdrawn;
-        withdrawn.clear();
-        // Running Σ examined_demand over the unapproximated components
-        // (exact in u128, clamped to `Time` range at each comparison —
-        // bit-identical to the former saturating fold).
-        let mut exact_sum: u128 = 0;
-
-        while let Some(Reverse((interval, idx))) = pending.pop() {
-            // The popped interval is an exact deadline of component `idx`
-            // (which is never approximated while it has a pending entry).
-            debug_assert!(states[idx].approximated_from.is_none());
-            let examined = states[idx]
-                .examined_demand
-                .saturating_add(components[idx].wcet());
-            exact_sum += u128::from((examined - states[idx].examined_demand).as_u64());
-            states[idx].examined_demand = examined;
-
-            // Compare the approximated demand against the capacity; refine
-            // (raise the level, withdraw approximations) until it fits or
-            // no approximation is left.
-            loop {
-                counter.record(interval);
-                let exact_part = Time::new(exact_sum.min(u128::from(u64::MAX)) as u64);
-                if approx_demand_within(exact_part, approx_terms, interval) {
-                    break;
-                }
-                if approx_terms.is_empty() {
-                    // Fully exact comparison failed: genuine overload.
-                    let demand = exact_part;
-                    return counter.finish(
-                        Verdict::Infeasible,
-                        Some(DemandOverload { interval, demand }),
-                    );
-                }
-                // Raise the level until at least one approximation can be
-                // withdrawn for this interval.
-                let mut revised_any = false;
-                while !revised_any {
-                    let next_level = self.growth.next(level);
-                    if let Some(limit) = self.max_level {
-                        if next_level > limit && level >= limit {
-                            return counter.finish(Verdict::Unknown, None);
-                        }
-                        level = next_level.min(limit);
-                    } else {
-                        level = next_level;
-                    }
-                    // Withdraw the approximation of components that would
-                    // not be approximated at `im` under the new level.
-                    // Collect the whole pass first, then evaluate every
-                    // withdrawn component's exact demand as one batch of
-                    // kernel column gathers; applying in ascending `j`
-                    // preserves the former interleaved loop's heap
-                    // insertion and term-removal order exactly.
-                    withdrawn.clear();
-                    withdrawn.extend((0..states.len()).filter_map(|j| {
-                        let im = states[j].approximated_from?;
-                        (components[j].max_test_interval(level) > im).then_some(j as u32)
-                    }));
-                    for &j in withdrawn.iter() {
-                        let j = j as usize;
-                        remove_term(approx_terms, term_owner, states, j);
-                        states[j].approximated_from = None;
-                        states[j].examined_demand = workload.component_demand(j, interval);
-                        exact_sum += u128::from(states[j].examined_demand.as_u64());
-                        if let Some(next) = components[j].next_deadline_after(interval) {
-                            if next <= horizon {
-                                pending.push(Reverse((next, j)));
-                            }
-                        }
-                        revised_any = true;
-                    }
-                    if level == u64::MAX {
-                        // Cannot grow further; every border has saturated.
-                        break;
-                    }
-                }
-                if !revised_any {
-                    // No approximation could be withdrawn even at the
-                    // maximum representable level; treat the (over-)
-                    // approximated failure as inconclusive.
-                    return counter.finish(Verdict::Unknown, None);
-                }
-            }
-
-            // Decide how component `idx` continues: exactly (next deadline)
-            // while below its test border, approximated from here on
-            // otherwise.  One-shot components have no future demand — they
-            // simply stay in the exact part.
-            if components[idx].period().is_none() {
-                continue;
-            }
-            let border = components[idx].max_test_interval(level);
-            if interval < border {
-                if let Some(next) = components[idx].next_deadline_after(interval) {
-                    if next <= horizon {
-                        pending.push(Reverse((next, idx)));
-                    }
-                }
-            } else {
-                states[idx].approximated_from = Some(interval);
-                states[idx].term_slot = approx_terms.len() as u32;
-                approx_terms.push(ApproxTerm::for_component(
-                    &components[idx],
-                    interval,
-                    states[idx].examined_demand,
-                ));
-                term_owner.push(idx as u32);
-                exact_sum -= u128::from(states[idx].examined_demand.as_u64());
-            }
-        }
-
-        counter.finish(Verdict::Feasible, None)
+        // The analysis loop lives in the shared refinement engine (flat
+        // frontier queue, incremental comparison aggregates, batched
+        // withdrawals); see [`crate::refine`] for the structure and the
+        // bit-identity argument against the retained reference loop.
+        crate::refine::dynamic_error(self, workload, scratch)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::analysis::Verdict;
     use crate::tests::{DeviTest, ProcessorDemandTest};
     use edf_model::{Task, TaskSet};
 

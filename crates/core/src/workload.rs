@@ -58,7 +58,7 @@ use edf_model::{
     Transaction, TransactionSystem,
 };
 
-use crate::arith::fracs_le_integer_iter;
+use crate::arith::{fracs_le_integer_iter, Reciprocal};
 use crate::bounds::FeasibilityBounds;
 use crate::kernel::{merge_pop, AnalysisScratch, DemandKernel, DemandSteps, MergeState};
 
@@ -1153,6 +1153,20 @@ impl PreparedWorkload {
             return self.components[component].dbf(interval);
         }
         self.kernel().component_demand(component, interval)
+    }
+
+    /// The precomputed reciprocal of a component's period (`None` for
+    /// one-shots) — gathered once per refining analysis so the frontier
+    /// steps deadlines and re-approximates terms without dividing.  Served
+    /// from the kernel columns on the kernel path; the scalar oracle
+    /// computes it directly rather than forcing a kernel build.
+    #[must_use]
+    pub(crate) fn component_reciprocal(&self, component: usize) -> Option<Reciprocal> {
+        if self.scalar_demand {
+            let period = self.components[component].period()?;
+            return Some(Reciprocal::new(period.as_u64()));
+        }
+        self.kernel().period_reciprocal(component)
     }
 
     /// The columnar demand kernel of this preparation, built on first use

@@ -1,0 +1,226 @@
+//! Property tests of the refinement engine's contract: the shared
+//! `refine` engine behind [`DynamicErrorTest`] and [`AllApproximatedTest`]
+//! (flat frontier queue, incremental comparison aggregates, screened
+//! comparisons, batched withdrawals) is **bit-identical** to the retained
+//! [`refine::reference`] implementations — verdicts, iteration counts,
+//! examined intervals and overload witnesses — across sporadic task sets,
+//! event streams, mixed systems and arrival curves, under every test knob
+//! (`LevelGrowth`, `RevisionOrder`, `with_initial_level`, `with_max_level`
+//! / `from_target_error`), on the kernel demand path and the scalar
+//! oracle alike.
+
+use edf_analysis::kernel::AnalysisScratch;
+use edf_analysis::refine::reference;
+use edf_analysis::tests::{AllApproximatedTest, DynamicErrorTest, LevelGrowth, RevisionOrder};
+use edf_analysis::workload::{MixedSystem, PreparedWorkload, Workload};
+use edf_analysis::FeasibilityTest;
+use edf_model::{
+    AffineSegment, ArrivalCurve, ArrivalCurveTask, EventStream, EventStreamTask, Task, TaskSet,
+    Time,
+};
+use proptest::prelude::*;
+
+fn arb_task() -> impl Strategy<Value = Task> {
+    (1u64..=20, 1u64..=120, 2u64..=100).prop_filter_map("valid task", |(c, d, t)| {
+        Task::from_ticks(c.min(t), d, t).ok()
+    })
+}
+
+fn arb_set() -> impl Strategy<Value = TaskSet> {
+    prop::collection::vec(arb_task(), 1..=6).prop_map(TaskSet::from_tasks)
+}
+
+fn arb_stream_task() -> impl Strategy<Value = EventStreamTask> {
+    (1u64..=3, 1u64..=6, 20u64..=80, 1u64..=4, 2u64..=25).prop_map(|(burst, inner, outer, c, d)| {
+        EventStreamTask::new(
+            EventStream::bursty(burst, Time::new(inner), Time::new(outer)),
+            Time::new(c),
+            Time::new(d),
+        )
+        .expect("positive parameters")
+    })
+}
+
+fn arb_mixed() -> impl Strategy<Value = MixedSystem> {
+    (arb_set(), prop::collection::vec(arb_stream_task(), 0..=2))
+        .prop_map(|(ts, streams)| MixedSystem::new(ts, streams))
+}
+
+fn arb_curve_task() -> impl Strategy<Value = ArrivalCurveTask> {
+    (1u64..=4, 5u64..=60, 1u64..=4, 2u64..=25, 0u64..=1).prop_filter_map(
+        "valid curve task",
+        |(burst, distance, c, d, conservative)| {
+            let conservative = conservative == 1;
+            let curve = ArrivalCurve::from_affine_segments(&[AffineSegment::new(
+                burst,
+                Time::new(distance),
+            )])
+            .ok()?;
+            let task = ArrivalCurveTask::new(curve, Time::new(c), Time::new(d)).ok()?;
+            Some(if conservative {
+                task.conservative()
+            } else {
+                task
+            })
+        },
+    )
+}
+
+/// Every dynamic-error knob combination the engine must reproduce:
+/// both growth strategies, shifted initial levels, hard level limits and
+/// target-error-derived limits.
+fn dynamic_error_knobs() -> Vec<DynamicErrorTest> {
+    let mut knobs = Vec::new();
+    for growth in [LevelGrowth::Double, LevelGrowth::Increment] {
+        knobs.push(DynamicErrorTest::new().with_growth(growth));
+        knobs.push(
+            DynamicErrorTest::new()
+                .with_growth(growth)
+                .with_initial_level(3),
+        );
+        for limit in [1, 2, 7] {
+            knobs.push(
+                DynamicErrorTest::new()
+                    .with_growth(growth)
+                    .with_max_level(limit),
+            );
+        }
+    }
+    for epsilon in [1.0, 0.3, 0.05] {
+        knobs.push(DynamicErrorTest::from_target_error(epsilon));
+    }
+    knobs
+}
+
+/// Every all-approximated knob combination: the three revision orders,
+/// crossed with unbounded, hard-limited and target-error-derived
+/// refinement limits.
+fn all_approximated_knobs() -> Vec<AllApproximatedTest> {
+    let mut knobs = Vec::new();
+    for order in [
+        RevisionOrder::Fifo,
+        RevisionOrder::LargestError,
+        RevisionOrder::LargestUtilization,
+    ] {
+        knobs.push(AllApproximatedTest::with_revision_order(order));
+        for limit in [1, 2, 7] {
+            knobs.push(AllApproximatedTest::with_revision_order(order).with_max_level(limit));
+        }
+    }
+    for epsilon in [1.0, 0.3, 0.05] {
+        knobs.push(AllApproximatedTest::from_target_error(epsilon));
+    }
+    knobs
+}
+
+/// Runs every knob combination of both refining tests on one prepared
+/// workload, comparing the engine's raw analysis (`analyze_demand`)
+/// against the retained reference loop — whole [`Analysis`] values, so
+/// verdict, iteration count, max examined interval and overload witness
+/// must all match bit for bit.
+///
+/// [`Analysis`]: edf_analysis::Analysis
+fn assert_engine_equals_reference(prepared: &PreparedWorkload) {
+    let mut scratch = AnalysisScratch::new();
+    for test in dynamic_error_knobs() {
+        let engine = test.analyze_demand(prepared, &mut scratch);
+        let reference = reference::dynamic_error(&test, prepared, &mut scratch);
+        assert_eq!(engine, reference, "dynamic-error {test:?} diverges");
+    }
+    for test in all_approximated_knobs() {
+        let engine = test.analyze_demand(prepared, &mut scratch);
+        let reference = reference::all_approximated(&test, prepared, &mut scratch);
+        assert_eq!(engine, reference, "all-approximated {test:?} diverges");
+    }
+}
+
+/// [`assert_engine_equals_reference`] on the kernel-backed preparation
+/// and on the scalar-reference oracle (the engine's reciprocal gathering
+/// takes a different path on each).
+fn assert_engine_equals_reference_both_paths<W: Workload + ?Sized>(workload: &W) {
+    let kernel = PreparedWorkload::new(workload);
+    assert_engine_equals_reference(&kernel);
+    assert_engine_equals_reference(&kernel.scalar_reference());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Engine-vs-reference equivalence on sporadic task sets.
+    #[test]
+    fn refining_tests_match_reference_on_task_sets(ts in arb_set()) {
+        assert_engine_equals_reference_both_paths(&ts);
+    }
+
+    /// ... on event-stream tasks.
+    #[test]
+    fn refining_tests_match_reference_on_event_streams(task in arb_stream_task()) {
+        assert_engine_equals_reference_both_paths(&task);
+    }
+
+    /// ... on mixed systems (periodic + offset + one-shot components in
+    /// one frontier).
+    #[test]
+    fn refining_tests_match_reference_on_mixed_systems(system in arb_mixed()) {
+        assert_engine_equals_reference_both_paths(&system);
+    }
+
+    /// ... on arrival-curve tasks (exact and conservative decompositions;
+    /// the conservative mode exercises one-shot components, which the
+    /// frontier steps without reciprocals).
+    #[test]
+    fn refining_tests_match_reference_on_arrival_curves(task in arb_curve_task()) {
+        assert_engine_equals_reference_both_paths(&task);
+    }
+
+    /// Scratch reuse across engine and reference runs never changes a
+    /// result: interleaving both implementations through one scratch
+    /// arena equals fresh-scratch analyses.
+    #[test]
+    fn engine_scratch_reuse_is_observationally_pure(
+        systems in prop::collection::vec(arb_mixed(), 1..=3),
+    ) {
+        let mut scratch = AnalysisScratch::new();
+        for system in &systems {
+            let prepared = PreparedWorkload::new(system);
+            let dynamic = DynamicErrorTest::new();
+            let all = AllApproximatedTest::new();
+            prop_assert_eq!(
+                dynamic.analyze_demand(&prepared, &mut scratch),
+                dynamic.analyze_demand(&prepared, &mut AnalysisScratch::new()),
+            );
+            prop_assert_eq!(
+                all.analyze_demand(&prepared, &mut scratch),
+                all.analyze_demand(&prepared, &mut AnalysisScratch::new()),
+            );
+        }
+    }
+}
+
+/// Deterministic spot check: an infeasible set's overload witness (the
+/// exact interval and demand of the failing comparison) survives the
+/// engine restructuring exactly, for both refining tests.
+#[test]
+fn overload_witnesses_are_preserved() {
+    let ts = TaskSet::from_tasks(vec![
+        Task::from_ticks(3, 4, 10).unwrap(),
+        Task::from_ticks(4, 6, 10).unwrap(),
+        Task::from_ticks(2, 5, 12).unwrap(),
+    ]);
+    let prepared = PreparedWorkload::new(&ts);
+    let mut scratch = AnalysisScratch::new();
+
+    let dynamic = DynamicErrorTest::new();
+    let engine = dynamic.analyze_demand(&prepared, &mut scratch);
+    let reference = reference::dynamic_error(&dynamic, &prepared, &mut scratch);
+    assert_eq!(engine, reference);
+    let witness = engine.overload.expect("infeasible set has a witness");
+    assert!(witness.demand > witness.interval);
+
+    let all = AllApproximatedTest::new();
+    let engine = all.analyze_demand(&prepared, &mut scratch);
+    let reference = reference::all_approximated(&all, &prepared, &mut scratch);
+    assert_eq!(engine, reference);
+    let witness = engine.overload.expect("infeasible set has a witness");
+    assert!(witness.demand > witness.interval);
+}
