@@ -150,9 +150,14 @@ fn bench_batched_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-/// The budgeted anytime lane against the exact lane on the same tenant:
+/// The budgeted anytime lanes against the exact lane on the same tenant:
 /// a generous budget escalates capped levels until the (identical)
 /// decisive verdict, a zero budget answers immediately with `Unknown`.
+/// The `units_*` lanes express the allowance directly in deterministic
+/// work units ([`SlaMode::BudgetedUnits`]): `units_exhaust` measures the
+/// exhaustion-answer latency (how fast a shed request unwinds through
+/// the budget checkpoints to its honest `Unknown`), `units_generous`
+/// the fully-metered decisive path.
 fn bench_budgeted(c: &mut Criterion) {
     let mut group = c.benchmark_group("service_budget");
     group
@@ -180,6 +185,11 @@ fn bench_budgeted(c: &mut Criterion) {
             SlaMode::Budgeted {
                 deadline: Duration::ZERO,
             },
+        ),
+        ("units_exhaust", SlaMode::BudgetedUnits { units: 64 }),
+        (
+            "units_generous",
+            SlaMode::BudgetedUnits { units: 1_000_000 },
         ),
     ] {
         service.set_mode(mode).expect("no journal attached");

@@ -10,6 +10,7 @@ use core::fmt;
 
 use edf_model::{TaskSet, Time};
 
+use crate::budget::{Progress, ProgressPhase, WorkBudget};
 use crate::kernel::AnalysisScratch;
 use crate::workload::{PreparedWorkload, Workload};
 
@@ -60,6 +61,12 @@ impl Verdict {
     pub fn is_decisive(self) -> bool {
         !matches!(self, Verdict::Unknown)
     }
+
+    /// `true` if the verdict is [`Verdict::Unknown`].
+    #[must_use]
+    pub fn is_unknown(self) -> bool {
+        matches!(self, Verdict::Unknown)
+    }
 }
 
 impl fmt::Display for Verdict {
@@ -107,6 +114,12 @@ pub struct Analysis {
     /// [`Verdict::Infeasible`] and the test identifies a concrete interval
     /// (sufficient tests may leave it empty even for `Unknown`).
     pub overload: Option<DemandOverload>,
+    /// Present **if and only if** a [`WorkBudget`](crate::budget::WorkBudget)
+    /// ran out before the test could finish: the verdict is then an honest
+    /// [`Verdict::Unknown`] and this records how far the analysis got
+    /// (units spent, phase reached, largest certified interval).  Always
+    /// `None` under the default unlimited budget.
+    pub progress: Option<Progress>,
 }
 
 impl Analysis {
@@ -119,6 +132,7 @@ impl Analysis {
             iterations: 0,
             max_examined_interval: None,
             overload: None,
+            progress: None,
         }
     }
 
@@ -127,6 +141,14 @@ impl Analysis {
     pub fn is_feasible(&self) -> bool {
         self.verdict.is_feasible()
     }
+
+    /// `true` when this analysis stopped because its
+    /// [`WorkBudget`](crate::budget::WorkBudget) ran out (equivalent to
+    /// `self.progress.is_some()`).
+    #[must_use]
+    pub fn budget_exhausted(&self) -> bool {
+        self.progress.is_some()
+    }
 }
 
 impl fmt::Display for Analysis {
@@ -134,6 +156,9 @@ impl fmt::Display for Analysis {
         write!(f, "{} after {} iteration(s)", self.verdict, self.iterations)?;
         if let Some(overload) = &self.overload {
             write!(f, " ({overload})")?;
+        }
+        if let Some(progress) = &self.progress {
+            write!(f, " [{progress}]")?;
         }
         Ok(())
     }
@@ -184,7 +209,11 @@ pub trait FeasibilityTest {
     ///
     /// `scratch` provides the reusable transient buffers (merge state,
     /// pending-interval heaps, approximation terms); a test may ignore it.
-    /// The analysis result never depends on the scratch contents.
+    /// The analysis result never depends on the scratch's buffer contents
+    /// — the one deliberate exception is the scratch's
+    /// [`WorkBudget`](crate::budget::WorkBudget), an explicit input that
+    /// can cap the work a budget-aware test performs (see
+    /// [`AnalysisScratch::set_budget`]).
     fn analyze_demand(
         &self,
         workload: &PreparedWorkload,
@@ -295,12 +324,45 @@ impl IterationCounter {
         self.count
     }
 
+    /// The largest interval examined so far (the demand walk's certified
+    /// prefix when every examined comparison was satisfied).
+    pub(crate) fn max_interval(&self) -> Option<Time> {
+        self.max_interval
+    }
+
     pub(crate) fn finish(self, verdict: Verdict, overload: Option<DemandOverload>) -> Analysis {
         Analysis {
             verdict,
             iterations: self.count,
             max_examined_interval: self.max_interval,
             overload,
+            progress: None,
+        }
+    }
+
+    /// Finishes a budget-exhausted run: an honest [`Verdict::Unknown`]
+    /// carrying the [`Progress`] record.  `certified_interval` is the
+    /// largest interval the loop *completed* a satisfied comparison for
+    /// (not merely examined — a comparison interrupted mid-refinement
+    /// certifies nothing).
+    pub(crate) fn finish_exhausted(
+        self,
+        budget: &WorkBudget,
+        phase: ProgressPhase,
+        certified_interval: Option<Time>,
+        bounded_level: Option<u64>,
+    ) -> Analysis {
+        Analysis {
+            verdict: Verdict::Unknown,
+            iterations: self.count,
+            max_examined_interval: self.max_interval,
+            overload: None,
+            progress: Some(Progress {
+                units_spent: budget.spent(),
+                phase,
+                certified_interval,
+                bounded_level,
+            }),
         }
     }
 }
@@ -337,6 +399,7 @@ mod tests {
                 interval: Time::new(17),
                 demand: Time::new(20),
             }),
+            progress: None,
         };
         let text = b.to_string();
         assert!(text.contains("infeasible"));

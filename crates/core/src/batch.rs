@@ -43,6 +43,7 @@ use std::num::NonZeroUsize;
 use std::thread;
 
 use crate::analysis::{Analysis, FeasibilityTest};
+use crate::budget::WorkBudget;
 use crate::kernel::AnalysisScratch;
 use crate::workload::{PreparedWorkload, Workload};
 
@@ -132,14 +133,35 @@ impl WorkerState {
         workload: &W,
         tests: &[BoxedTest],
     ) -> Vec<Analysis> {
+        self.analyze_budgeted(workload, tests, None)
+    }
+
+    /// [`WorkerState::analyze`] with an optional **per-workload** work
+    /// budget: each workload starts from a fresh allowance of `units`
+    /// work units, shared by every test of the suite in order.  Seeding
+    /// per workload (not per batch) is what makes batched exhaustion
+    /// identical to sequential exhaustion — no worker races another for
+    /// a shared pool.
+    fn analyze_budgeted<W: Workload + ?Sized>(
+        &mut self,
+        workload: &W,
+        tests: &[BoxedTest],
+        units: Option<u64>,
+    ) -> Vec<Analysis> {
         let prepared = match self.prepared.take() {
             Some(slot) => slot.recycled(workload),
             None => PreparedWorkload::new(workload),
         };
+        if let Some(units) = units {
+            self.scratch.set_budget(WorkBudget::limited(units));
+        }
         let results = tests
             .iter()
             .map(|test| test.analyze_prepared_with(&prepared, &mut self.scratch))
             .collect();
+        if units.is_some() {
+            let _ = self.scratch.take_budget();
+        }
         self.prepared = Some(prepared);
         results
     }
@@ -183,6 +205,40 @@ pub fn analyze_many_serial<W: Workload>(
         .collect()
 }
 
+/// [`analyze_many`] under **per-workload** [`WorkBudget`]s: every workload
+/// starts from its own fresh allowance of `units` deterministic work
+/// units, shared by the tests of the suite in order; a workload whose
+/// allowance runs out answers an honest [`Verdict::Unknown`](crate::Verdict::Unknown) carrying a
+/// [`Progress`](crate::budget::Progress) record.  Because the allowance
+/// is seeded per workload, the results — exhaustion points included — are
+/// **identical** to [`analyze_many_serial_budgeted`] on the same inputs,
+/// regardless of how the batch is split over workers (pinned by the
+/// `budget_exhaustion` property suite).
+#[must_use]
+pub fn analyze_many_budgeted<W: Workload + Sync>(
+    workloads: &[W],
+    tests: &[BoxedTest],
+    units: u64,
+) -> Vec<Vec<Analysis>> {
+    parallel_map_with(workloads, WorkerState::default, |state, workload| {
+        state.analyze_budgeted(workload, tests, Some(units))
+    })
+}
+
+/// Single-threaded [`analyze_many_budgeted`]; bit-identical results.
+#[must_use]
+pub fn analyze_many_serial_budgeted<W: Workload>(
+    workloads: &[W],
+    tests: &[BoxedTest],
+    units: u64,
+) -> Vec<Vec<Analysis>> {
+    let mut state = WorkerState::default();
+    workloads
+        .iter()
+        .map(|workload| state.analyze_budgeted(workload, tests, Some(units)))
+        .collect()
+}
+
 /// Runs every prepared workload through every test, in parallel — the
 /// variant for callers that already hold prepared workloads (e.g. to run
 /// several suites over one preparation).  One scratch arena per worker.
@@ -204,6 +260,52 @@ where
             .map(|test| test.analyze_prepared_with(prepared, scratch))
             .collect()
     })
+}
+
+/// [`analyze_many_prepared`] with one **caller-owned** [`WorkBudget`] per
+/// workload: item `i` runs its whole suite against `budgets[i]`, and the
+/// budget — charges included — is written back, so a caller can meter
+/// *several successive calls* (an escalation ladder, say) against one
+/// per-item allowance.  Per-item budgets make exhaustion independent of
+/// the worker split: the results equal a sequential loop over the items.
+///
+/// # Panics
+///
+/// Panics when `budgets.len() != workloads.len()`.
+pub fn analyze_many_prepared_budgeted<P>(
+    workloads: &[P],
+    tests: &[BoxedTest],
+    budgets: &mut [WorkBudget],
+) -> Vec<Vec<Analysis>>
+where
+    P: std::borrow::Borrow<PreparedWorkload> + Sync,
+{
+    assert_eq!(
+        workloads.len(),
+        budgets.len(),
+        "one budget per prepared workload"
+    );
+    let pairs: Vec<(&P, WorkBudget)> = workloads.iter().zip(budgets.iter().copied()).collect();
+    let results = parallel_map_with(
+        &pairs,
+        AnalysisScratch::new,
+        |scratch, &(prepared, budget)| {
+            scratch.set_budget(budget);
+            let analyses: Vec<Analysis> = tests
+                .iter()
+                .map(|test| test.analyze_prepared_with(prepared.borrow(), scratch))
+                .collect();
+            (analyses, scratch.take_budget())
+        },
+    );
+    results
+        .into_iter()
+        .zip(budgets.iter_mut())
+        .map(|((analyses, spent), slot)| {
+            *slot = spent;
+            analyses
+        })
+        .collect()
 }
 
 #[cfg(test)]

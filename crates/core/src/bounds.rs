@@ -59,10 +59,15 @@
 use edf_model::{TaskSet, Time};
 
 use crate::arith::{fracs_parts_le_integer_iter, Reciprocal};
+use crate::budget::WorkBudget;
 use crate::workload::{components_exceed_one, DemandComponent, Workload};
 
-/// Maximum number of fix-point iterations attempted by [`busy_period`].
-const BUSY_PERIOD_MAX_ITERATIONS: usize = 100_000;
+/// Convergence allowance of the busy-period fix-point, expressed as a
+/// [`WorkBudget`] limit so bounds work is metered in the same units as
+/// every other analysis loop: an overloaded set whose iteration diverges
+/// is cut off after this many work units and reports "no bound"
+/// (`None`), exactly as before the budget unification.
+const BUSY_PERIOD_CONVERGENCE_UNITS: u64 = 100_000;
 
 /// The collection of all implemented feasibility bounds for one workload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -294,6 +299,20 @@ impl BoundRefresher {
         components: &[DemandComponent],
         exceeds_one: bool,
     ) -> FeasibilityBounds {
+        self.refresh_retimed_budgeted(components, exceeds_one, &mut WorkBudget::unlimited())
+    }
+
+    /// [`BoundRefresher::refresh_retimed`] metered against a caller's
+    /// [`WorkBudget`] — see
+    /// [`refresh_with_utilization_budgeted`](Self::refresh_with_utilization_budgeted)
+    /// for the charging contract (the refreshed bounds never depend on the
+    /// budget; only the charges recorded do).
+    pub(crate) fn refresh_retimed_budgeted(
+        &mut self,
+        components: &[DemandComponent],
+        exceeds_one: bool,
+        budget: &mut WorkBudget,
+    ) -> FeasibilityBounds {
         debug_assert_eq!(self.component_count, components.len());
         let timing = TimingAggregates::of(components);
         self.baruah_max_diff = timing.baruah_max_diff;
@@ -302,7 +321,7 @@ impl BoundRefresher {
         self.max_first_deadline = timing.max_first_deadline;
         self.busy_applicable = timing.busy_applicable;
         self.hyperperiod = hyperperiod_from(self.period_lcm, timing.max_first_deadline);
-        self.refresh_with_utilization(components, exceeds_one)
+        self.refresh_with_utilization_budgeted(components, exceeds_one, budget)
     }
 
     /// Recomputes every bound after a **structural edit** — components
@@ -361,18 +380,39 @@ impl BoundRefresher {
         components: &[DemandComponent],
         exceeds_one: bool,
     ) -> FeasibilityBounds {
+        self.refresh_with_utilization_budgeted(
+            components,
+            exceeds_one,
+            &mut WorkBudget::unlimited(),
+        )
+    }
+
+    /// [`refresh_with_utilization`](Self::refresh_with_utilization) with
+    /// the searches metered against a caller's [`WorkBudget`]: every
+    /// search-predicate evaluation and every busy-period fix-point
+    /// iteration charges one work unit.  A search in flight always runs to
+    /// completion (a bound must be exact or absent, never truncated), so
+    /// the returned bounds are bit-identical regardless of the budget;
+    /// callers abort to an honest `Unknown` *after* the refresh when
+    /// [`WorkBudget::is_exhausted`] reports the overdraft.
+    pub(crate) fn refresh_with_utilization_budgeted(
+        &mut self,
+        components: &[DemandComponent],
+        exceeds_one: bool,
+        budget: &mut WorkBudget,
+    ) -> FeasibilityBounds {
         debug_assert!(
             self.invariants_match(components),
             "refreshed component list must differ from the prepared one only in WCETs"
         );
         let utilization_bounds_apply = !components.is_empty() && !exceeds_one;
         let baruah = if utilization_bounds_apply {
-            self.refresh_baruah(components)
+            self.refresh_baruah(components, budget)
         } else {
             None
         };
         let george = if utilization_bounds_apply {
-            self.refresh_george(components)
+            self.refresh_george(components, budget)
         } else {
             None
         };
@@ -380,14 +420,23 @@ impl BoundRefresher {
             (Some(g), Some(dmax)) => Some(g.max(dmax)),
             _ => None,
         };
+        // The fix-point runs to completion under its own convergence
+        // cut-off and only *charges* its iterations to the caller's
+        // budget afterwards: views cache refreshed bounds across requests,
+        // so a budget-dependent bound here would leak one request's
+        // exhaustion into another's verdict.
+        let busy_period = if self.busy_applicable {
+            let mut meter = WorkBudget::unlimited();
+            let bound = busy_period_fixpoint_with(components, &mut meter);
+            let _ = budget.charge(meter.spent());
+            bound
+        } else {
+            None
+        };
         FeasibilityBounds {
             baruah,
             george,
-            busy_period: if self.busy_applicable {
-                busy_period_fixpoint(components)
-            } else {
-                None
-            },
+            busy_period,
             hyperperiod: self.hyperperiod,
             superposition,
         }
@@ -409,7 +458,11 @@ impl BoundRefresher {
             && fresh.hyperperiod == self.hyperperiod
     }
 
-    fn refresh_baruah(&mut self, components: &[DemandComponent]) -> Option<Time> {
+    fn refresh_baruah(
+        &mut self,
+        components: &[DemandComponent],
+        budget: &mut WorkBudget,
+    ) -> Option<Time> {
         let max_diff = self.baruah_max_diff?;
         // Floating-point prediction of `U/(1−U)·max_diff` as the search
         // seed: the galloping bracket makes the result exact no matter how
@@ -420,7 +473,10 @@ impl BoundRefresher {
         let hint = hint_from_estimate(estimate).or(self.baruah_hint);
         let reciprocals = &self.reciprocals;
         let result = smallest_satisfying_hinted(
-            |l| baruah_predicate_rcp(components, reciprocals, max_diff, l),
+            |l| {
+                let _ = budget.charge(1);
+                baruah_predicate_rcp(components, reciprocals, max_diff, l)
+            },
             hint,
         );
         if result.is_some() {
@@ -429,7 +485,11 @@ impl BoundRefresher {
         result
     }
 
-    fn refresh_george(&mut self, components: &[DemandComponent]) -> Option<Time> {
+    fn refresh_george(
+        &mut self,
+        components: &[DemandComponent],
+        budget: &mut WorkBudget,
+    ) -> Option<Time> {
         if self.george_degenerate {
             // The numerator is zero: any positive horizon works; report the
             // smallest deadline so the caller has a non-trivial bound.
@@ -454,8 +514,13 @@ impl BoundRefresher {
         }
         let hint = hint_from_estimate(numerator / (1.0 - utilization)).or(self.george_hint);
         let reciprocals = &self.reciprocals;
-        let result =
-            smallest_satisfying_hinted(|l| george_predicate_rcp(components, reciprocals, l), hint);
+        let result = smallest_satisfying_hinted(
+            |l| {
+                let _ = budget.charge(1);
+                george_predicate_rcp(components, reciprocals, l)
+            },
+            hint,
+        );
         if result.is_some() {
             self.george_hint = result;
         }
@@ -569,13 +634,26 @@ fn george_predicate_rcp(
     )
 }
 
-/// The busy-period fix-point iteration, shared by the cold and refreshed
-/// paths (applicability is checked by the callers).
-fn busy_period_fixpoint(components: &[DemandComponent]) -> Option<Time> {
+/// The busy-period fix-point iteration metered against a caller's [`WorkBudget`]:
+/// every fix-point iteration charges one work unit.  The historical
+/// non-convergence cut-off is itself a second, internal budget of
+/// [`BUSY_PERIOD_CONVERGENCE_UNITS`], so overloaded sets are cut off
+/// identically whether or not the caller's budget is limited.  Returns
+/// `None` on overload, divergence, or caller-budget exhaustion — callers
+/// that need to tell exhaustion apart inspect
+/// [`WorkBudget::is_exhausted`] afterwards.
+fn busy_period_fixpoint_with(
+    components: &[DemandComponent],
+    budget: &mut WorkBudget,
+) -> Option<Time> {
+    let mut convergence = WorkBudget::limited(BUSY_PERIOD_CONVERGENCE_UNITS);
     let mut length = components
         .iter()
         .fold(Time::ZERO, |acc, c| acc.saturating_add(c.wcet()));
-    for _ in 0..BUSY_PERIOD_MAX_ITERATIONS {
+    loop {
+        if !convergence.charge(1) || !budget.charge(1) {
+            return None;
+        }
         let next = components
             .iter()
             .fold(Time::ZERO, |acc, c| acc.saturating_add(c.rbf(length)));
@@ -587,7 +665,6 @@ fn busy_period_fixpoint(components: &[DemandComponent]) -> Option<Time> {
         }
         length = next;
     }
-    None
 }
 
 /// Upper limit of the bound binary searches (far beyond any realistic
@@ -765,6 +842,17 @@ pub fn busy_period(task_set: &TaskSet) -> Option<Time> {
 /// whenever a component is one-shot or released after the window start.
 #[must_use]
 pub fn busy_period_components(components: &[DemandComponent]) -> Option<Time> {
+    busy_period_components_with(components, &mut WorkBudget::unlimited())
+}
+
+/// [`busy_period_components`] metered against a caller's [`WorkBudget`]
+/// (one unit per fix-point iteration).  Returns `None` when the bound is
+/// inapplicable, diverges, or the budget runs out mid-iteration; the
+/// caller distinguishes the last case via [`WorkBudget::is_exhausted`].
+pub fn busy_period_components_with(
+    components: &[DemandComponent],
+    budget: &mut WorkBudget,
+) -> Option<Time> {
     if components.is_empty()
         || components
             .iter()
@@ -772,7 +860,7 @@ pub fn busy_period_components(components: &[DemandComponent]) -> Option<Time> {
     {
         return None;
     }
-    busy_period_fixpoint(components)
+    busy_period_fixpoint_with(components, budget)
 }
 
 /// `lcm(Tᵢ) + max Dᵢ`: a bound that is always valid (violations of the

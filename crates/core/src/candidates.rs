@@ -105,6 +105,7 @@ use crate::analysis::{Analysis, FeasibilityTest, Verdict};
 use crate::arith::{fracs_parts_le_integer_iter, Reciprocal};
 use crate::batch::parallel_map_with;
 use crate::bounds::BoundRefresher;
+use crate::budget::{Progress, ProgressPhase, WorkBudget};
 use crate::incremental::WorkloadView;
 use crate::kernel::AnalysisScratch;
 use crate::transactions::{candidate_components, combination_components};
@@ -773,6 +774,8 @@ struct ChunkOutcome {
     /// `(global rank, analysis, original candidate choice)` of the first
     /// infeasible combination found in this range.
     infeasible: Option<(u128, Analysis, Vec<usize>)>,
+    /// The sweep's [`WorkBudget`] ran out before the range was covered.
+    exhausted: bool,
 }
 
 /// The shared read-only context of one sweep.
@@ -802,6 +805,7 @@ impl<T: FeasibilityTest + ?Sized> Sweep<'_, T> {
             examined: 0,
             screened: 0,
             infeasible: None,
+            exhausted: false,
         };
         let mut gray = MixedRadixGray::at_rank(self.radices, start);
         for (transaction, &digit) in gray.digits().iter().enumerate() {
@@ -809,6 +813,18 @@ impl<T: FeasibilityTest + ?Sized> Sweep<'_, T> {
         }
         let mut rank = start;
         while rank < end && !self.stop.load(Ordering::Relaxed) {
+            // One work unit per candidate combination, charged against
+            // the scratch's budget; the inner analysis meters its own
+            // demand-walk/refinement units against the same budget
+            // through the shared scratch.
+            let mut budget = scratch.budget();
+            let admitted = budget.charge(1);
+            scratch.set_budget(budget);
+            if !admitted {
+                out.exhausted = true;
+                out.all_decisive = false;
+                break;
+            }
             out.examined += 1;
             if self.screen && density_screen_feasible(view.components()) {
                 out.screened += 1;
@@ -823,7 +839,13 @@ impl<T: FeasibilityTest + ?Sized> Sweep<'_, T> {
                         self.stop.store(true, Ordering::Relaxed);
                         break;
                     }
-                    Verdict::Unknown => out.all_decisive = false,
+                    Verdict::Unknown => {
+                        out.all_decisive = false;
+                        if analysis.budget_exhausted() {
+                            out.exhausted = true;
+                            break;
+                        }
+                    }
                     Verdict::Feasible => {}
                 }
             }
@@ -861,6 +883,28 @@ pub fn analyze_with(
     system: &TransactionSystem,
     config: &EngineConfig,
 ) -> CandidateAnalysis {
+    analyze_budgeted(test, system, config, &mut WorkBudget::unlimited())
+}
+
+/// [`analyze_with`] under a [`WorkBudget`]: every candidate combination
+/// charges one work unit, and the per-combination analyses meter their
+/// own loop units against the same budget.  Exhaustion unwinds to an
+/// honest [`Verdict::Unknown`] carrying a [`Progress`] record
+/// ([`ProgressPhase::CandidateSweep`]); an infeasibility witness found
+/// before the budget ran out is still reported (it is exact regardless
+/// of what was left unexamined).
+///
+/// A **limited** budget forces the serial sweep (`config.parallel` is
+/// ignored): exhaustion must cut the sweep at a deterministic
+/// combination, and the racy early-exit of the parallel sweep cannot
+/// guarantee that.  Unlimited budgets keep the configured parallelism.
+#[must_use]
+pub fn analyze_budgeted(
+    test: &(impl FeasibilityTest + Sync + ?Sized),
+    system: &TransactionSystem,
+    config: &EngineConfig,
+    budget: &mut WorkBudget,
+) -> CandidateAnalysis {
     let exact = test.is_exact();
     let kept: Vec<Vec<usize>> = system
         .transactions()
@@ -896,13 +940,18 @@ pub fn analyze_with(
     // test at the very first combination — never worth the parallel
     // spin-up).
     let mut first_view = CandidateView::new(system);
-    let outcomes: Vec<ChunkOutcome> = if !config.parallel
+    let limited = budget.limit() != u64::MAX;
+    let outcomes: Vec<ChunkOutcome> = if limited
+        || !config.parallel
         || workers <= 1
         || pruned_product < PARALLEL_MIN_PRODUCT
         || first_view.utilization_exceeds_one()
     {
         let mut scratch = AnalysisScratch::new();
-        vec![sweep.run(&mut first_view, &mut scratch, 0, pruned_product)]
+        scratch.set_budget(*budget);
+        let outcome = sweep.run(&mut first_view, &mut scratch, 0, pruned_product);
+        *budget = scratch.take_budget();
+        vec![outcome]
     } else {
         drop(first_view);
         let chunk_count = (workers * CHUNKS_PER_WORKER).min(pruned_product);
@@ -929,11 +978,13 @@ pub fn analyze_with(
     let mut iterations: u64 = 0;
     let mut max_examined: Option<Time> = None;
     let mut all_decisive = true;
+    let mut exhausted = false;
     let mut witness: Option<(u128, Analysis, Vec<usize>)> = None;
     for outcome in outcomes {
         iterations = iterations.saturating_add(outcome.iterations);
         max_examined = max_examined.max(outcome.max_examined);
         all_decisive &= outcome.all_decisive;
+        exhausted |= outcome.exhausted;
         stats.combinations_examined += outcome.examined;
         stats.combinations_screened += outcome.screened;
         if let Some(found) = outcome.infeasible {
@@ -949,6 +1000,7 @@ pub fn analyze_with(
                 iterations,
                 max_examined_interval: max_examined,
                 overload: found.overload,
+                progress: None,
             },
             witness_choice: Some(choice),
             stats,
@@ -963,6 +1015,12 @@ pub fn analyze_with(
                 iterations,
                 max_examined_interval: max_examined,
                 overload: None,
+                progress: exhausted.then(|| Progress {
+                    units_spent: budget.spent(),
+                    phase: ProgressPhase::CandidateSweep,
+                    certified_interval: None,
+                    bounded_level: None,
+                }),
             },
             witness_choice: None,
             stats,
@@ -1013,6 +1071,7 @@ pub fn reference(
                         iterations,
                         max_examined_interval: max_examined,
                         overload: analysis.overload,
+                        progress: None,
                     },
                     witness_choice: Some(choice),
                     stats,
@@ -1035,6 +1094,7 @@ pub fn reference(
             iterations,
             max_examined_interval: max_examined,
             overload: None,
+            progress: None,
         },
         witness_choice: None,
         stats,

@@ -127,6 +127,7 @@ use std::collections::BinaryHeap;
 use edf_model::Time;
 
 use crate::arith::{Reciprocal, Reciprocal32};
+use crate::budget::WorkBudget;
 use crate::superposition::ApproxTerm;
 use crate::workload::DemandComponent;
 
@@ -1185,14 +1186,47 @@ pub struct AnalysisScratch {
     pub(crate) devi_terms: Vec<(u128, u128)>,
     /// The superposition test's `(deadline, component, job)` interval heap.
     pub(crate) level_heap: BinaryHeap<Reverse<(Time, usize, u64)>>,
+    /// The deterministic work budget the next analysis runs under
+    /// (unlimited by default; see [`crate::budget`]).
+    pub(crate) budget: WorkBudget,
 }
 
 impl AnalysisScratch {
     /// Creates an empty scratch (allocation-free; buffers grow on first
-    /// use and are then reused).
+    /// use and are then reused) with an unlimited work budget.
     #[must_use]
     pub fn new() -> Self {
         AnalysisScratch::default()
+    }
+
+    /// Installs the [`WorkBudget`] the next budget-aware analysis runs
+    /// under.
+    ///
+    /// The budget is the one piece of scratch state that **is** an input:
+    /// a limited budget can turn a decisive verdict into an honest
+    /// [`Unknown`](crate::Verdict::Unknown) carrying a
+    /// [`Progress`](crate::budget::Progress) record.  It persists across
+    /// analyses (spent units accumulate) until replaced by `set_budget` or
+    /// drained by [`take_budget`](AnalysisScratch::take_budget), which is
+    /// how a level-escalation ladder meters several runs against one
+    /// allowance.  Every other scratch field remains a pure buffer with no
+    /// influence on results.
+    pub fn set_budget(&mut self, budget: WorkBudget) {
+        self.budget = budget;
+    }
+
+    /// The current budget state (limit and spent units).
+    #[must_use]
+    pub fn budget(&self) -> WorkBudget {
+        self.budget
+    }
+
+    /// Removes the installed budget, replacing it with
+    /// [`WorkBudget::unlimited`], and returns its final state — call after
+    /// a budgeted analysis to read the spend and make the scratch safe to
+    /// reuse without a stale cap.
+    pub fn take_budget(&mut self) -> WorkBudget {
+        std::mem::take(&mut self.budget)
     }
 }
 

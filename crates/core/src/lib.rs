@@ -117,6 +117,7 @@ mod analysis;
 pub mod arith;
 pub mod batch;
 pub mod bounds;
+pub mod budget;
 pub mod candidates;
 pub mod demand;
 pub mod event_stream_analysis;
@@ -132,6 +133,7 @@ pub mod workload;
 
 pub use analysis::{Analysis, DemandOverload, FeasibilityTest, Verdict};
 pub use batch::BoxedTest;
+pub use budget::{Progress, ProgressPhase, WorkBudget};
 pub use incremental::{EditView, ScaledView, WorkloadView};
 pub use kernel::AnalysisScratch;
 pub use workload::{MixedSystem, PreparedWorkload, Workload};

@@ -94,6 +94,7 @@ use edf_model::Time;
 
 use crate::analysis::{Analysis, DemandOverload, IterationCounter, Verdict};
 use crate::arith::{fracs_parts_le_integer_iter, Reciprocal};
+use crate::budget::ProgressPhase;
 use crate::kernel::{AnalysisScratch, FrontierQueue, RefinementState};
 use crate::superposition::ApproxTerm;
 use crate::tests::{AllApproximatedTest, DynamicErrorTest, RevisionOrder};
@@ -456,75 +457,93 @@ pub(crate) fn dynamic_error(
     let Some(horizon) = workload.analysis_horizon() else {
         return Analysis::trivial(Verdict::Unknown);
     };
+    let mut budget = scratch.budget();
     let mut counter = IterationCounter::new();
     let mut level = test.initial_level;
+    // The largest interval whose comparison *completed* satisfied — a
+    // comparison interrupted mid-refinement certifies nothing.
+    let mut certified: Option<Time> = None;
     let mut engine = Engine::new(workload, horizon, scratch);
 
-    while let Some((interval, idx)) = engine.frontier.pop() {
-        // The popped interval is an exact deadline of component `idx`
-        // (which is never approximated while it has a frontier entry).
-        debug_assert!(engine.states[idx].approximated_from.is_none());
-        engine.examine(idx);
+    let analysis = 'drive: {
+        while let Some((interval, idx)) = engine.frontier.pop() {
+            // The popped interval is an exact deadline of component `idx`
+            // (which is never approximated while it has a frontier entry).
+            debug_assert!(engine.states[idx].approximated_from.is_none());
+            engine.examine(idx);
 
-        // Compare the approximated demand against the capacity; refine
-        // (raise the level, withdraw approximations) until it fits or no
-        // approximation is left.
-        loop {
-            counter.record(interval);
-            if engine.demand_within(interval) {
-                break;
-            }
-            if engine.terms.is_empty() {
-                // Fully exact comparison failed: genuine overload.
-                let demand = engine.exact_part();
-                return counter.finish(
-                    Verdict::Infeasible,
-                    Some(DemandOverload { interval, demand }),
-                );
-            }
-            // Raise the level until at least one approximation can be
-            // withdrawn for this interval.
-            let mut revised_any = false;
-            while !revised_any {
-                let next_level = test.growth.next(level);
-                if let Some(limit) = test.max_level {
-                    if next_level > limit && level >= limit {
-                        return counter.finish(Verdict::Unknown, None);
-                    }
-                    level = next_level.min(limit);
-                } else {
-                    level = next_level;
+            // Compare the approximated demand against the capacity; refine
+            // (raise the level, withdraw approximations) until it fits or no
+            // approximation is left.
+            loop {
+                // One work unit per demand/capacity comparison.
+                if !budget.charge(1) {
+                    break 'drive counter.finish_exhausted(
+                        &budget,
+                        ProgressPhase::Refinement,
+                        certified,
+                        Some(level),
+                    );
                 }
-                revised_any = engine.withdraw_below_level(level, interval);
-                if level == u64::MAX {
-                    // Cannot grow further; every border has saturated.
+                counter.record(interval);
+                if engine.demand_within(interval) {
                     break;
                 }
+                if engine.terms.is_empty() {
+                    // Fully exact comparison failed: genuine overload.
+                    let demand = engine.exact_part();
+                    break 'drive counter.finish(
+                        Verdict::Infeasible,
+                        Some(DemandOverload { interval, demand }),
+                    );
+                }
+                // Raise the level until at least one approximation can be
+                // withdrawn for this interval.
+                let mut revised_any = false;
+                while !revised_any {
+                    let next_level = test.growth.next(level);
+                    if let Some(limit) = test.max_level {
+                        if next_level > limit && level >= limit {
+                            break 'drive counter.finish(Verdict::Unknown, None);
+                        }
+                        level = next_level.min(limit);
+                    } else {
+                        level = next_level;
+                    }
+                    revised_any = engine.withdraw_below_level(level, interval);
+                    if level == u64::MAX {
+                        // Cannot grow further; every border has saturated.
+                        break;
+                    }
+                }
+                if !revised_any {
+                    // No approximation could be withdrawn even at the maximum
+                    // representable level; treat the (over-)approximated
+                    // failure as inconclusive.
+                    break 'drive counter.finish(Verdict::Unknown, None);
+                }
             }
-            if !revised_any {
-                // No approximation could be withdrawn even at the maximum
-                // representable level; treat the (over-)approximated
-                // failure as inconclusive.
-                return counter.finish(Verdict::Unknown, None);
+            certified = Some(interval);
+
+            // Decide how component `idx` continues: exactly (next deadline)
+            // while below its test border, approximated from here on
+            // otherwise.  One-shot components have no future demand — they
+            // simply stay in the exact part.
+            if engine.components[idx].period().is_none() {
+                continue;
+            }
+            let border = engine.components[idx].max_test_interval(level);
+            if interval < border {
+                engine.advance(idx, interval);
+            } else {
+                engine.approximate(idx, interval);
             }
         }
 
-        // Decide how component `idx` continues: exactly (next deadline)
-        // while below its test border, approximated from here on
-        // otherwise.  One-shot components have no future demand — they
-        // simply stay in the exact part.
-        if engine.components[idx].period().is_none() {
-            continue;
-        }
-        let border = engine.components[idx].max_test_interval(level);
-        if interval < border {
-            engine.advance(idx, interval);
-        } else {
-            engine.approximate(idx, interval);
-        }
-    }
-
-    counter.finish(Verdict::Feasible, None)
+        counter.finish(Verdict::Feasible, None)
+    };
+    scratch.set_budget(budget);
+    analysis
 }
 
 /// The all-approximated analysis loop (§4.2, Figure 7) on the shared
@@ -545,56 +564,74 @@ pub(crate) fn all_approximated(
     let Some(horizon) = workload.analysis_horizon() else {
         return Analysis::trivial(Verdict::Unknown);
     };
+    let mut budget = scratch.budget();
     let mut counter = IterationCounter::new();
     let mut approx_seq: u64 = 0;
+    // As in `dynamic_error`: only a *completed* satisfied comparison
+    // certifies its interval.
+    let mut certified: Option<Time> = None;
     let mut engine = Engine::new(workload, horizon, scratch);
 
-    while let Some((interval, idx)) = engine.frontier.pop() {
-        // Popped components are never approximated: approximation happens
-        // right after a component's own interval is examined (without
-        // scheduling a next one), and only a withdrawal — which also
-        // clears the approximation — re-enters it into the frontier.
-        debug_assert!(engine.states[idx].approximated_from.is_none());
-        engine.examine(idx);
-        engine.states[idx].examined_jobs += 1;
+    let analysis = 'drive: {
+        while let Some((interval, idx)) = engine.frontier.pop() {
+            // Popped components are never approximated: approximation happens
+            // right after a component's own interval is examined (without
+            // scheduling a next one), and only a withdrawal — which also
+            // clears the approximation — re-enters it into the frontier.
+            debug_assert!(engine.states[idx].approximated_from.is_none());
+            engine.examine(idx);
+            engine.states[idx].examined_jobs += 1;
 
-        loop {
-            counter.record(interval);
-            if engine.demand_within(interval) {
-                break;
+            loop {
+                // One work unit per demand/capacity comparison.
+                if !budget.charge(1) {
+                    break 'drive counter.finish_exhausted(
+                        &budget,
+                        ProgressPhase::Refinement,
+                        certified,
+                        test.max_level,
+                    );
+                }
+                counter.record(interval);
+                if engine.demand_within(interval) {
+                    break;
+                }
+                if engine.terms.is_empty() {
+                    break 'drive counter.finish(
+                        Verdict::Infeasible,
+                        Some(DemandOverload {
+                            interval,
+                            demand: engine.exact_part(),
+                        }),
+                    );
+                }
+                // Withdraw one approximation according to the configured
+                // revision order; components refined up to the level limit
+                // are no longer candidates.
+                let Some(revise) = engine.pick_revision(test, interval) else {
+                    // Every remaining approximation is beyond the limit — its
+                    // over-estimation is within the target error, so the
+                    // failure is inconclusive (see `with_max_level`).
+                    break 'drive counter.finish(Verdict::Unknown, None);
+                };
+                engine.withdraw(revise, interval, true);
             }
-            if engine.terms.is_empty() {
-                return counter.finish(
-                    Verdict::Infeasible,
-                    Some(DemandOverload {
-                        interval,
-                        demand: engine.exact_part(),
-                    }),
-                );
+            certified = Some(interval);
+
+            // The examined component is (re-)approximated from this interval
+            // on.  One-shot components have no future demand, so they stay in
+            // the exact part instead.
+            if engine.components[idx].period().is_some() {
+                engine.states[idx].approx_seq = approx_seq;
+                approx_seq += 1;
+                engine.approximate(idx, interval);
             }
-            // Withdraw one approximation according to the configured
-            // revision order; components refined up to the level limit
-            // are no longer candidates.
-            let Some(revise) = engine.pick_revision(test, interval) else {
-                // Every remaining approximation is beyond the limit — its
-                // over-estimation is within the target error, so the
-                // failure is inconclusive (see `with_max_level`).
-                return counter.finish(Verdict::Unknown, None);
-            };
-            engine.withdraw(revise, interval, true);
         }
 
-        // The examined component is (re-)approximated from this interval
-        // on.  One-shot components have no future demand, so they stay in
-        // the exact part instead.
-        if engine.components[idx].period().is_some() {
-            engine.states[idx].approx_seq = approx_seq;
-            approx_seq += 1;
-            engine.approximate(idx, interval);
-        }
-    }
-
-    counter.finish(Verdict::Feasible, None)
+        counter.finish(Verdict::Feasible, None)
+    };
+    scratch.set_budget(budget);
+    analysis
 }
 
 pub mod reference {

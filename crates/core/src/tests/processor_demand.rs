@@ -12,6 +12,7 @@ use edf_model::Time;
 
 use crate::analysis::{Analysis, DemandOverload, FeasibilityTest, IterationCounter, Verdict};
 use crate::bounds;
+use crate::budget::{ProgressPhase, WorkBudget};
 use crate::kernel::AnalysisScratch;
 use crate::workload::PreparedWorkload;
 
@@ -86,16 +87,18 @@ impl ProcessorDemandTest {
         self.bound
     }
 
-    fn horizon(&self, workload: &PreparedWorkload) -> Option<Time> {
+    fn horizon(&self, workload: &PreparedWorkload, budget: &mut WorkBudget) -> Option<Time> {
         // A specific selection computes only that bound; the cached
         // all-bounds struct is reserved for `Tightest` (where every bound
-        // is needed anyway and sharing across tests pays off).
+        // is needed anyway and sharing across tests pays off).  The busy
+        // period is the one live fix-point here, so it is the one bound
+        // metered against the work budget.
         let components = workload.components();
         match self.bound {
             BoundSelection::Tightest => workload.analysis_horizon(),
             BoundSelection::Baruah => bounds::baruah_components(components),
             BoundSelection::George => bounds::george_components(components),
-            BoundSelection::BusyPeriod => bounds::busy_period_components(components),
+            BoundSelection::BusyPeriod => bounds::busy_period_components_with(components, budget),
             BoundSelection::Hyperperiod => bounds::hyperperiod_components(components),
             BoundSelection::Fixed(limit) => Some(limit),
         }
@@ -122,32 +125,61 @@ impl FeasibilityTest for ProcessorDemandTest {
         if workload.utilization_exceeds_one() {
             return Analysis::trivial(Verdict::Infeasible);
         }
-        let Some(horizon) = self.horizon(workload) else {
+        // The budget travels as a local copy: `demand_steps` borrows the
+        // scratch for the whole walk, so the spend is written back after
+        // the loop ends (the labeled block funnels every exit there).
+        let mut budget = scratch.budget();
+        let horizon = self.horizon(workload, &mut budget);
+        if budget.is_exhausted() {
+            scratch.set_budget(budget);
+            return IterationCounter::new().finish_exhausted(
+                &budget,
+                ProgressPhase::Bounds,
+                None,
+                None,
+            );
+        }
+        let Some(horizon) = horizon else {
             // U == 1 with an overflowing hyperperiod: no usable bound.
             return Analysis::trivial(Verdict::Unknown);
         };
         let mut counter = IterationCounter::new();
-        let mut demand = Time::ZERO;
-        // The loser-tree merge hands equal-deadline runs over as one
-        // coalesced step, so the walk is exactly one comparison per
-        // distinct interval — no peek-and-fold loop.
-        for (interval, step) in workload.demand_steps(horizon, scratch) {
-            demand = demand.saturating_add(step);
-            counter.record(interval);
-            if demand > interval {
-                return counter.finish(
-                    Verdict::Infeasible,
-                    Some(DemandOverload { interval, demand }),
-                );
+        let analysis = 'walk: {
+            let mut demand = Time::ZERO;
+            // The loser-tree merge hands equal-deadline runs over as one
+            // coalesced step, so the walk is exactly one comparison per
+            // distinct interval — no peek-and-fold loop.
+            for (interval, step) in workload.demand_steps(horizon, scratch) {
+                if !budget.charge(1) {
+                    // Every interval recorded so far satisfied the
+                    // comparison, so the largest examined one is certified.
+                    break 'walk counter.finish_exhausted(
+                        &budget,
+                        ProgressPhase::DemandWalk,
+                        counter.max_interval(),
+                        None,
+                    );
+                }
+                demand = demand.saturating_add(step);
+                counter.record(interval);
+                if demand > interval {
+                    break 'walk counter.finish(
+                        Verdict::Infeasible,
+                        Some(DemandOverload { interval, demand }),
+                    );
+                }
             }
-        }
-        let verdict = if matches!(self.bound, BoundSelection::Fixed(_)) {
-            // A caller-supplied horizon may be shorter than a valid bound.
-            Verdict::Unknown
-        } else {
-            Verdict::Feasible
+            let verdict = if matches!(self.bound, BoundSelection::Fixed(_)) {
+                // A caller-supplied horizon may be shorter than a valid
+                // bound.
+                Verdict::Unknown
+            } else {
+                Verdict::Feasible
+            };
+            counter.finish(verdict, None)
         };
-        counter.finish(verdict, None)
+        scratch.set_budget(budget);
+        analysis
     }
 }
 

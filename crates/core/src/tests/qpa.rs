@@ -16,6 +16,7 @@
 use edf_model::Time;
 
 use crate::analysis::{Analysis, DemandOverload, FeasibilityTest, IterationCounter, Verdict};
+use crate::budget::ProgressPhase;
 use crate::kernel::AnalysisScratch;
 use crate::workload::PreparedWorkload;
 
@@ -60,7 +61,7 @@ impl FeasibilityTest for QpaTest {
     fn analyze_demand(
         &self,
         workload: &PreparedWorkload,
-        _scratch: &mut AnalysisScratch,
+        scratch: &mut AnalysisScratch,
     ) -> Analysis {
         if workload.is_empty() {
             return Analysis::trivial(Verdict::Feasible);
@@ -74,6 +75,7 @@ impl FeasibilityTest for QpaTest {
         let min_deadline = workload
             .min_first_deadline()
             .expect("non-empty workload has a minimum deadline");
+        let mut budget = scratch.budget();
         let mut counter = IterationCounter::new();
         // Start just above the horizon so deadlines equal to it are included.
         let start = horizon.saturating_add(Time::ONE);
@@ -95,7 +97,13 @@ impl FeasibilityTest for QpaTest {
         // quantities per column pass), and speculatively evaluating
         // candidate intervals would change the recorded iteration count.
         let mut on_plateau = false;
-        loop {
+        let analysis = loop {
+            // One work unit per descent step; the descent certifies
+            // intervals *above* the current `t` only, so an exhausted run
+            // reports no violation-free prefix.
+            if !budget.charge(1) {
+                break counter.finish_exhausted(&budget, ProgressPhase::QpaDescent, None, None);
+            }
             counter.record(t);
             let (demand, predecessor) = if on_plateau {
                 workload.demand_and_predecessor(t)
@@ -103,7 +111,7 @@ impl FeasibilityTest for QpaTest {
                 (workload.dbf(t), None)
             };
             if demand > t {
-                return counter.finish(
+                break counter.finish(
                     Verdict::Infeasible,
                     Some(DemandOverload {
                         interval: t,
@@ -112,7 +120,7 @@ impl FeasibilityTest for QpaTest {
                 );
             }
             if demand <= min_deadline {
-                return counter.finish(Verdict::Feasible, None);
+                break counter.finish(Verdict::Feasible, None);
             }
             t = if demand < t {
                 on_plateau = false;
@@ -123,10 +131,12 @@ impl FeasibilityTest for QpaTest {
                 on_plateau = true;
                 match prev {
                     Some(prev) => prev,
-                    None => return counter.finish(Verdict::Feasible, None),
+                    None => break counter.finish(Verdict::Feasible, None),
                 }
             };
-        }
+        };
+        scratch.set_budget(budget);
+        analysis
     }
 }
 

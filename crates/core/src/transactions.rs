@@ -289,6 +289,7 @@ pub fn exhaustive_transaction_check(system: &TransactionSystem) -> Analysis {
                     iterations,
                     max_examined_interval: max_examined,
                     overload: analysis.overload,
+                    progress: None,
                 };
             }
             Verdict::Unknown => all_decisive = false,
@@ -304,6 +305,7 @@ pub fn exhaustive_transaction_check(system: &TransactionSystem) -> Analysis {
         iterations,
         max_examined_interval: max_examined,
         overload: None,
+        progress: None,
     }
 }
 

@@ -111,6 +111,7 @@ pub use edf_serve as serve;
 pub use edf_sim as sim;
 
 pub use edf_analysis::batch;
+pub use edf_analysis::budget::{Progress, ProgressPhase, WorkBudget};
 pub use edf_analysis::candidates::{
     self, CandidateAnalysis, CandidateView, EngineConfig, EngineStats, MixedRadixGray,
 };

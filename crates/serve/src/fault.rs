@@ -1,13 +1,17 @@
 //! Deterministic fault injection: a seeded [`FaultPlan`] the service
 //! consults at its fault points, plus the report of what was injected.
 //!
-//! The plan drives three kinds of faults:
+//! The plan drives four kinds of faults:
 //!
 //! * **analysis panics** — the per-request analysis closure panics
 //!   (inside the service's `catch_unwind` isolation), modelling a bug in
 //!   the analysis reached by one pathological request;
 //! * **guard fires** — the request watchdog is treated as already
 //!   expired, modelling a request whose analysis would have stalled;
+//! * **budget exhaustions** — the request's deterministic work budget is
+//!   shrunk to zero units, so the analysis unwinds through the
+//!   *production* budget checkpoints to an honest `Unknown` (modelling a
+//!   request whose allowance runs out mid-loop);
 //! * **journal write faults** — one append is torn
 //!   ([`WriteFault::ShortWrite`]) or bit-flipped
 //!   ([`WriteFault::BitFlip`]), modelling a crash mid-write or media
@@ -37,6 +41,9 @@ pub struct RequestFaults {
     pub analysis_panic: bool,
     /// Treat the watchdog guard as already fired (honest `Unknown`).
     pub guard_fire: bool,
+    /// Shrink the request's work budget to zero units, exhausting it at
+    /// the first production checkpoint (honest `Unknown` with progress).
+    pub budget_exhaust: bool,
 }
 
 /// One injected fault, with the index of the request (or journal append)
@@ -51,6 +58,11 @@ pub enum InjectedFault {
     },
     /// The `request`-th analyzed request's guard fired.
     GuardFire {
+        /// Zero-based analyzed-request index.
+        request: u64,
+    },
+    /// The `request`-th analyzed request's work budget was exhausted.
+    BudgetExhaust {
         /// Zero-based analyzed-request index.
         request: u64,
     },
@@ -95,6 +107,7 @@ pub struct FaultPlan {
     rng: StdRng,
     panic_per_mille: u32,
     guard_fire_per_mille: u32,
+    budget_exhaust_per_mille: u32,
     write_fault_per_mille: u32,
     report: FaultReport,
 }
@@ -119,9 +132,20 @@ impl FaultPlan {
             rng: StdRng::seed_from_u64(seed),
             panic_per_mille,
             guard_fire_per_mille,
+            budget_exhaust_per_mille: 0,
             write_fault_per_mille,
             report: FaultReport::default(),
         }
+    }
+
+    /// Adds seeded budget exhaustions at the given per-mille rate.  The
+    /// extra draw happens only when the rate is non-zero, so plans built
+    /// without it keep their seeded schedules bit-identical to the
+    /// pre-budget format.
+    #[must_use]
+    pub fn with_budget_exhaust_per_mille(mut self, per_mille: u32) -> Self {
+        self.budget_exhaust_per_mille = per_mille;
+        self
     }
 
     /// Draws the faults for the next analyzed request.
@@ -131,6 +155,8 @@ impl FaultPlan {
         let faults = RequestFaults {
             analysis_panic: self.rng.gen_range(0u32..1000) < self.panic_per_mille,
             guard_fire: self.rng.gen_range(0u32..1000) < self.guard_fire_per_mille,
+            budget_exhaust: self.budget_exhaust_per_mille > 0
+                && self.rng.gen_range(0u32..1000) < self.budget_exhaust_per_mille,
         };
         if faults.analysis_panic {
             self.report
@@ -141,6 +167,11 @@ impl FaultPlan {
             self.report
                 .injected
                 .push(InjectedFault::GuardFire { request });
+        }
+        if faults.budget_exhaust {
+            self.report
+                .injected
+                .push(InjectedFault::BudgetExhaust { request });
         }
         faults
     }
@@ -208,6 +239,29 @@ mod tests {
         }
         assert!(plan.report().injected.is_empty());
         assert_eq!(plan.report().first_faulty_append(), None);
+    }
+
+    #[test]
+    fn budget_exhaustions_draw_only_when_enabled() {
+        // A zero budget rate adds no RNG draw: the schedule is
+        // bit-identical to a plan built before the fault kind existed.
+        let mut plain = FaultPlan::from_seed(42, 300, 200, 400);
+        let mut disabled = FaultPlan::from_seed(42, 300, 200, 400).with_budget_exhaust_per_mille(0);
+        for _ in 0..200 {
+            assert_eq!(plain.next_request(), disabled.next_request());
+            assert_eq!(plain.next_append(), disabled.next_append());
+        }
+        // Rate 1000/1000: every request exhausts, and the report records
+        // each injection with its request index.
+        let mut always = FaultPlan::quiet(9).with_budget_exhaust_per_mille(1000);
+        for request in 0..20u64 {
+            assert!(always.next_request().budget_exhaust, "request {request}");
+        }
+        assert_eq!(always.report().injected.len(), 20);
+        assert!(matches!(
+            always.report().injected[3],
+            InjectedFault::BudgetExhaust { request: 3 }
+        ));
     }
 
     #[test]

@@ -421,6 +421,10 @@ fn encode_record(record: &JournalRecord) -> Vec<u8> {
                     let nanos = u64::try_from(deadline.as_nanos()).unwrap_or(u64::MAX);
                     out.extend_from_slice(&nanos.to_le_bytes());
                 }
+                SlaMode::BudgetedUnits { units } => {
+                    out.push(2);
+                    out.extend_from_slice(&units.to_le_bytes());
+                }
             }
         }
         JournalRecord::NextId(id) => {
@@ -449,12 +453,15 @@ fn decode_record(payload: &[u8]) -> Option<JournalRecord> {
         TAG_MODE => {
             let (&kind, tail) = rest.split_first()?;
             rest = tail;
-            let nanos = take_u64(&mut rest)?;
+            // One u64 payload whatever the kind: deadline nanos for the
+            // wall-clock budget, the unit count for the work budget.
+            let payload = take_u64(&mut rest)?;
             JournalRecord::Mode(match kind {
                 0 => SlaMode::Exact,
                 1 => SlaMode::Budgeted {
-                    deadline: Duration::from_nanos(nanos),
+                    deadline: Duration::from_nanos(payload),
                 },
+                2 => SlaMode::BudgetedUnits { units: payload },
                 _ => return None,
             })
         }
@@ -526,6 +533,25 @@ mod tests {
         path.push(format!("edf-journal-test-{}-{tag}.log", std::process::id()));
         let _ = std::fs::remove_file(&path);
         path
+    }
+
+    #[test]
+    fn work_unit_mode_records_round_trip() {
+        let path = temp_journal("unit-mode");
+        let record = JournalRecord::Mode(SlaMode::BudgetedUnits { units: 123_456 });
+        {
+            let (mut journal, existing) = Journal::open(&path).expect("open");
+            assert!(existing.is_empty());
+            journal.append(&record).expect("append");
+        }
+        let (_, replayed) = Journal::open(&path).expect("reopen");
+        assert_eq!(replayed, vec![record]);
+        let mut state = JournalState::default();
+        for replayed in &replayed {
+            state.apply(replayed);
+        }
+        assert_eq!(state.mode, Some(SlaMode::BudgetedUnits { units: 123_456 }));
+        let _ = std::fs::remove_file(&path);
     }
 
     fn sample_records() -> Vec<JournalRecord> {

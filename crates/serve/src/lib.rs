@@ -18,11 +18,24 @@
 //!   decisive (unless a [watchdog guard](WatchdogConfig) fires first).
 //! * **Budgeted** — an anytime escalation over the capped-level test
 //!   constructor ([`AllApproximatedTest::with_max_level`]): levels are
-//!   doubled until a decisive verdict lands or the per-request deadline
-//!   expires, at which point the service answers an **honest
+//!   doubled until a decisive verdict lands or the per-request allowance
+//!   runs out, at which point the service answers an **honest
 //!   [`Verdict::Unknown`]** (and declines the admission) rather than a
 //!   wrong verdict.  Decisive capped verdicts are exact, so budgeting
 //!   never trades correctness — only decisiveness.
+//!
+//! Degradation is **budget-first**: every wall-clock allowance (the
+//! budgeted deadline, the watchdog guard, the degraded deadline) is
+//! converted once into deterministic [`WorkBudget`] units at the
+//! service's calibrated [`work rate`](AdmissionService::work_rate), and
+//! the escalation ladder meters each request against its own unit
+//! budget.  Which requests exhaust — and at which level — is therefore a
+//! pure function of the workload and the configured allowances, making
+//! load shedding, Exact→Budgeted hysteresis and wave-batched shedding
+//! bit-reproducible across runs and machines (the wall clock survives
+//! only as a backstop against mis-calibration).
+//! [`SlaMode::BudgetedUnits`] expresses the allowance directly in units,
+//! with no wall-clock conversion at all.
 //!
 //! Concurrent request batches go through [`AdmissionService::admit_many`]
 //! / [`AdmissionService::what_if_many`], which fan independent tenants out
@@ -42,12 +55,15 @@
 //!   every tenant bit-identically; a torn tail from a crash is truncated,
 //!   never misread.
 //! * **Watchdog + load shedding** — with a [`WatchdogConfig`] set, every
-//!   request (Exact mode included) runs under a wall-clock guard.  A
-//!   request that cannot decide within the guard answers an honest
+//!   request (Exact mode included) runs under a guard allowance,
+//!   budget-first: the guard converts to deterministic work units and a
+//!   request that cannot decide within them answers an honest
 //!   [`Verdict::Unknown`]; sustained trips degrade the service to
 //!   [`SlaMode::Budgeted`] with hysteresis
 //!   ([`AdmissionService::is_degraded`]) so one pathological tenant
-//!   cannot stall the queue.
+//!   cannot stall the queue.  Guard-unit exhaustions (and the wall-clock
+//!   backstop, should calibration be badly off) count as trips; SLA
+//!   budget exhaustions do not.
 //! * **Panic isolation** — per-request analysis runs under
 //!   [`catch_unwind`]; a panic marks the tenant's view poisoned
 //!   ([`WorkloadView::is_poisoned`]) and rebuilds it cold from the
@@ -62,10 +78,11 @@
 //!   traffic cannot exhaust the service.
 //! * **Deterministic fault injection** — a seeded [`fault::FaultPlan`]
 //!   can be attached ([`AdmissionService::set_fault_plan`]) to inject
-//!   analysis panics, watchdog fires and journal write faults through the
-//!   *production* isolation paths; the `fault_injection` test harness
-//!   drives it and asserts the invariants (one reply per request, no
-//!   wrong verdicts, state always recoverable).
+//!   analysis panics, watchdog fires, budget exhaustions and journal
+//!   write faults through the *production* isolation and checkpoint
+//!   paths; the `fault_injection` test harness drives it and asserts the
+//!   invariants (one reply per request, no wrong verdicts, state always
+//!   recoverable).
 //!
 //! The `edf-serve` binary (see `src/main.rs`) exposes the service over a
 //! line protocol on stdin/stdout.
@@ -89,8 +106,10 @@ use edf_analysis::batch::{self, BoxedTest};
 use edf_analysis::tests::AllApproximatedTest;
 use edf_analysis::workload::DemandComponent;
 use edf_analysis::{
-    Analysis, AnalysisScratch, EditView, FeasibilityTest, PreparedWorkload, Verdict, WorkloadView,
+    Analysis, AnalysisScratch, EditView, FeasibilityTest, PreparedWorkload, Progress,
+    ProgressPhase, Verdict, WorkBudget, WorkloadView,
 };
+use edf_model::Time;
 
 use fault::{FaultPlan, RequestFaults};
 use journal::{Journal, JournalRecord, JournalState};
@@ -103,21 +122,41 @@ pub enum SlaMode {
     /// guard caps it).
     Exact,
     /// Anytime mode: escalate capped-level tests (levels 2, 4, 8, …)
-    /// until a decisive verdict or the deadline, then answer an honest
-    /// [`Verdict::Unknown`].  A decisive answer under a cap is exact, so
-    /// this mode can return a *missing* verdict but never a *wrong* one.
+    /// until a decisive verdict or the allowance runs out, then answer an
+    /// honest [`Verdict::Unknown`].  A decisive answer under a cap is
+    /// exact, so this mode can return a *missing* verdict but never a
+    /// *wrong* one.  The deadline is converted **once** into
+    /// deterministic work units at the service's calibrated
+    /// [`work rate`](AdmissionService::work_rate); the ladder then meters
+    /// units, not the clock, so the degradation point is reproducible.
     Budgeted {
         /// Per-request analysis deadline.  [`Duration::ZERO`] permits only
         /// the free checks (the exact `U > 1` comparison).
         deadline: Duration,
     },
+    /// Anytime mode with the per-request allowance expressed directly in
+    /// deterministic [`WorkBudget`] units — no wall-clock conversion at
+    /// all, so the same request stream degrades identically on any
+    /// machine.  A unit is one checkpointed analysis-loop step (see
+    /// [`edf_analysis::budget`]).
+    BudgetedUnits {
+        /// Per-request work-unit allowance.  Zero permits only the free
+        /// checks (the exact `U > 1` comparison).
+        units: u64,
+    },
 }
 
-/// The request watchdog: a wall-clock guard over every request plus the
+/// The request watchdog: a guard allowance over every request plus the
 /// hysteresis thresholds for load shedding.
 ///
-/// When the guard expires before a decisive verdict the request answers
-/// an honest [`Verdict::Unknown`] and counts one *trip*.
+/// The guard is configured as wall-clock time but enforced
+/// **budget-first**: it converts once into deterministic work units at
+/// the service's calibrated [`work rate`](AdmissionService::work_rate),
+/// and a request that exhausts the guard units before a decisive verdict
+/// answers an honest [`Verdict::Unknown`] and counts one *trip* — the
+/// same request stream trips at the same requests on every run.  (The
+/// wall clock itself is retained as a backstop: if calibration is badly
+/// off, the elapsed guard still trips.)
 /// [`trip_threshold`](Self::trip_threshold) consecutive trips degrade the
 /// service to [`SlaMode::Budgeted`] with
 /// [`degraded_deadline`](Self::degraded_deadline);
@@ -472,6 +511,22 @@ pub struct AdmissionService {
     healthy_streak: u32,
     guard_trips: u64,
     panics_isolated: u64,
+    budget_exhaustions: u64,
+    work_rate: u64,
+}
+
+/// Default wall-clock→work-unit conversion: work units per microsecond.
+/// One checkpointed loop step lands in the tens of nanoseconds on a
+/// mid-range core, so 25 units/µs is a conservative stand-in until
+/// [`AdmissionService::calibrate_work_rate`] measures the real rate.
+const DEFAULT_WORK_RATE: u64 = 25;
+
+/// Converts a wall-clock allowance into deterministic work units at the
+/// given rate (units per microsecond), saturating at `u64::MAX`.
+fn units_for(allowance: Duration, work_rate: u64) -> u64 {
+    u64::try_from(allowance.as_micros())
+        .unwrap_or(u64::MAX)
+        .saturating_mul(work_rate)
 }
 
 impl Default for AdmissionService {
@@ -504,6 +559,8 @@ impl AdmissionService {
             healthy_streak: 0,
             guard_trips: 0,
             panics_isolated: 0,
+            budget_exhaustions: 0,
+            work_rate: DEFAULT_WORK_RATE,
         }
     }
 
@@ -600,6 +657,70 @@ impl AdmissionService {
     #[must_use]
     pub fn panics_isolated(&self) -> u64 {
         self.panics_isolated
+    }
+
+    /// Total requests whose work budget exhausted before a decisive
+    /// verdict (each answered an honest [`Verdict::Unknown`] carrying a
+    /// progress record).
+    #[must_use]
+    pub fn budget_exhaustions(&self) -> u64 {
+        self.budget_exhaustions
+    }
+
+    /// The wall-clock→work-unit conversion rate, in units per
+    /// microsecond.  Wall-clock allowances ([`SlaMode::Budgeted`], the
+    /// watchdog guard, the degraded deadline) are multiplied by this rate
+    /// once per request to obtain the deterministic unit budget the
+    /// analysis is metered against.
+    #[must_use]
+    pub fn work_rate(&self) -> u64 {
+        self.work_rate
+    }
+
+    /// Pins the wall-clock→work-unit rate explicitly (units per
+    /// microsecond, clamped to at least 1).  Tests and deterministic
+    /// replays set the rate instead of calibrating, so unit budgets are
+    /// machine-independent.
+    pub fn set_work_rate(&mut self, units_per_micro: u64) {
+        self.work_rate = units_per_micro.max(1);
+    }
+
+    /// Calibrates the wall-clock→work-unit rate **once** from the wall
+    /// clock: runs the exact test over a fixed reference workload under
+    /// an unlimited (metering) budget for a couple of milliseconds and
+    /// divides units spent by elapsed microseconds.  After this single
+    /// measurement every degradation decision is a pure function of
+    /// workloads and configured allowances — the clock is consulted again
+    /// only as a backstop.  Returns the measured rate.
+    pub fn calibrate_work_rate(&mut self) -> u64 {
+        // A mid-size sporadic set with spread deadlines and periods: the
+        // exact test walks thousands of checkpointed steps per pass, so
+        // the units-per-microsecond quotient is well conditioned.
+        let components: Vec<DemandComponent> = (0..24)
+            .map(|index| {
+                DemandComponent::periodic(
+                    Time::new(1 + index % 5),
+                    Time::new(11 + 7 * index),
+                    Time::new(40 + 9 * index),
+                )
+            })
+            .collect();
+        let prepared = PreparedWorkload::from_components(components);
+        let test = AllApproximatedTest::new();
+        let mut spent = 0u64;
+        let mut rounds = 0u32;
+        let start = Instant::now();
+        while rounds < 4 || start.elapsed() < Duration::from_millis(2) {
+            self.scratch.set_budget(WorkBudget::unlimited());
+            let _ = test.analyze_prepared_with(&prepared, &mut self.scratch);
+            spent = spent.saturating_add(self.scratch.take_budget().spent());
+            rounds += 1;
+        }
+        let micros = u64::try_from(start.elapsed().as_micros())
+            .unwrap_or(u64::MAX)
+            .max(1);
+        self.work_rate = (spent / micros).max(1);
+        self.work_rate
     }
 
     /// Number of known tenants (admitting to a new name creates it).
@@ -946,6 +1067,7 @@ impl AdmissionService {
         self.prepare_admit_target(tenant, component)?;
         let mode = self.effective_mode();
         let guard = self.watchdog.map(|config| config.guard);
+        let work_rate = self.work_rate;
         let entry = self.tenants.get_mut(tenant).expect("prepared above");
         entry.view.insert_component(component);
         let outcome = {
@@ -955,7 +1077,15 @@ impl AdmissionService {
                 if faults.analysis_panic {
                     panic!("injected analysis panic");
                 }
-                analyze_one(mode, guard, faults.guard_fire, view.prepared(), scratch)
+                analyze_one(
+                    mode,
+                    guard,
+                    faults.guard_fire,
+                    faults.budget_exhaust,
+                    work_rate,
+                    view.prepared(),
+                    scratch,
+                )
             }))
         };
         let (analysis, tripped) = match outcome {
@@ -963,6 +1093,7 @@ impl AdmissionService {
             Err(_) => return Err(self.isolate_panic(tenant)),
         };
         self.observe_guard(tripped);
+        self.budget_exhaustions += u64::from(analysis.budget_exhausted());
         let entry = self.tenants.get_mut(tenant).expect("prepared above");
         let decision = if analysis.verdict.is_feasible() {
             let id = self.next_id;
@@ -1004,6 +1135,7 @@ impl AdmissionService {
         self.check_tenant_name(tenant)?;
         let mode = self.effective_mode();
         let guard = self.watchdog.map(|config| config.guard);
+        let work_rate = self.work_rate;
         let outcome = match self.tenants.get_mut(tenant) {
             Some(entry) => {
                 entry.view.insert_component(component);
@@ -1013,7 +1145,15 @@ impl AdmissionService {
                     if faults.analysis_panic {
                         panic!("injected analysis panic");
                     }
-                    analyze_one(mode, guard, faults.guard_fire, view.prepared(), scratch)
+                    analyze_one(
+                        mode,
+                        guard,
+                        faults.guard_fire,
+                        faults.budget_exhaust,
+                        work_rate,
+                        view.prepared(),
+                        scratch,
+                    )
                 }));
                 match outcome {
                     Ok(result) => {
@@ -1036,6 +1176,8 @@ impl AdmissionService {
                         mode,
                         guard,
                         faults.guard_fire,
+                        faults.budget_exhaust,
+                        work_rate,
                         probe.view.prepared(),
                         scratch,
                     )
@@ -1048,6 +1190,7 @@ impl AdmissionService {
             Err(()) => return Err(self.isolate_panic(tenant)),
         };
         self.observe_guard(tripped);
+        self.budget_exhaustions += u64::from(analysis.budget_exhausted());
         Ok(AdmissionResponse {
             decision: hypothetical(&analysis),
             analysis,
@@ -1130,9 +1273,14 @@ impl AdmissionService {
             // isolation below.
             let mode = self.effective_mode();
             let guard = self.watchdog.map(|config| config.guard);
+            let work_rate = self.work_rate;
             let fired: Vec<bool> = wave
                 .iter()
                 .map(|&request| faults[request].guard_fire)
+                .collect();
+            let exhausted: Vec<bool> = wave
+                .iter()
+                .map(|&request| faults[request].budget_exhaust)
                 .collect();
             let injected_panic = wave.iter().any(|&request| faults[request].analysis_panic);
             let outcome = {
@@ -1144,7 +1292,7 @@ impl AdmissionService {
                     if injected_panic {
                         panic!("injected analysis panic");
                     }
-                    analyze_wave(mode, guard, &prepared, &fired)
+                    analyze_wave(mode, guard, work_rate, &prepared, &fired, &exhausted)
                 }))
             };
             let (analyses, tripped) = match outcome {
@@ -1183,6 +1331,7 @@ impl AdmissionService {
             // everything else.
             for (&request, analysis) in wave.iter().zip(analyses) {
                 let (tenant, component) = requests[request];
+                self.budget_exhaustions += u64::from(analysis.budget_exhausted());
                 let response = if commit_admissions && analysis.verdict.is_feasible() {
                     let id = self.next_id;
                     match self.journal_append(&JournalRecord::Admit {
@@ -1277,15 +1426,71 @@ fn hypothetical(analysis: &Analysis) -> AdmissionDecision {
     }
 }
 
+/// The work-unit allowances one request runs under: the SLA budget and
+/// the watchdog guard, both already converted to deterministic units.
+#[derive(Debug, Clone, Copy)]
+struct UnitCaps {
+    /// SLA allowance in units (`None` for [`SlaMode::Exact`]).
+    sla: Option<u64>,
+    /// Guard allowance in units (`None` without a watchdog).
+    guard: Option<u64>,
+}
+
+impl UnitCaps {
+    /// Converts the mode's and guard's wall-clock allowances once at the
+    /// service's work rate.  [`SlaMode::BudgetedUnits`] passes through
+    /// untouched.
+    fn from_allowances(mode: SlaMode, guard: Option<Duration>, work_rate: u64) -> Self {
+        let sla = match mode {
+            SlaMode::Exact => None,
+            SlaMode::Budgeted { deadline } => Some(units_for(deadline, work_rate)),
+            SlaMode::BudgetedUnits { units } => Some(units),
+        };
+        UnitCaps {
+            sla,
+            guard: guard.map(|guard| units_for(guard, work_rate)),
+        }
+    }
+
+    /// The binding per-request allowance, `None` when fully uncapped.
+    fn cap(&self) -> Option<u64> {
+        match (self.sla, self.guard) {
+            (Some(sla), Some(guard)) => Some(sla.min(guard)),
+            (Some(sla), None) => Some(sla),
+            (None, Some(guard)) => Some(guard),
+            (None, None) => None,
+        }
+    }
+
+    /// Whether an exhausted budget counts as a *guard* trip: only when
+    /// the spend overran the guard's own allowance (a tight SLA budget
+    /// alone must not trigger load shedding).
+    fn guard_tripped(&self, budget: &WorkBudget) -> bool {
+        budget.is_exhausted() && self.guard.is_some_and(|units| budget.spent() > units)
+    }
+}
+
 /// Analyzes one prepared system under the given mode and optional
-/// watchdog guard.  Returns the analysis plus whether the *guard* (not
-/// the SLA budget) expired — the watchdog's trip signal.  `forced_fire`
-/// treats the guard as already expired (the fault plan's simulated
-/// deadline fire): an immediate honest `Unknown`.
+/// watchdog guard, **budget-first**: the wall-clock allowances are
+/// converted once to deterministic work units ([`UnitCaps`]) and the
+/// escalation ladder (levels 2, 4, 8, …) meters every level against one
+/// per-request [`WorkBudget`], so the request exhausts at the same step
+/// on every run.  The wall clock is consulted only as a backstop between
+/// levels, against mis-calibration; on the deterministic path the unit
+/// budget always exhausts first.
+///
+/// Returns the analysis plus whether the *guard* (not the SLA budget)
+/// was the binding exhausted allowance — the watchdog's trip signal.
+/// `forced_fire` treats the guard as already expired (the fault plan's
+/// simulated deadline fire): an immediate honest `Unknown`.
+/// `forced_exhaust` shrinks the request's budget to zero units, driving
+/// the exhaustion unwind through the production checkpoints.
 fn analyze_one(
     mode: SlaMode,
     guard: Option<Duration>,
     forced_fire: bool,
+    forced_exhaust: bool,
+    work_rate: u64,
     prepared: &PreparedWorkload,
     scratch: &mut AnalysisScratch,
 ) -> (Analysis, bool) {
@@ -1295,54 +1500,87 @@ fn analyze_one(
     if forced_fire {
         return (Analysis::trivial(Verdict::Unknown), true);
     }
-    let budget = match mode {
-        SlaMode::Exact => None,
-        SlaMode::Budgeted { deadline } => Some(deadline),
-    };
-    let cap = match (budget, guard) {
-        (Some(budget), Some(guard)) => Some(budget.min(guard)),
-        (Some(budget), None) => Some(budget),
-        (None, Some(guard)) => Some(guard),
+    let caps = UnitCaps::from_allowances(mode, guard, work_rate);
+    let cap = if forced_exhaust { Some(0) } else { caps.cap() };
+    let Some(cap_units) = cap else {
         // Exact mode without a watchdog: the uncapped exact test, always
         // decisive — the pre-watchdog behavior, preserved bit-for-bit.
-        (None, None) => {
-            return (
-                AllApproximatedTest::new().analyze_prepared_with(prepared, scratch),
-                false,
-            )
-        }
+        return (
+            AllApproximatedTest::new().analyze_prepared_with(prepared, scratch),
+            false,
+        );
     };
-    let deadline = cap.expect("capped branches only");
     let start = Instant::now();
-    let mut last = Analysis::trivial(Verdict::Unknown);
+    let mut budget = WorkBudget::limited(cap_units);
+    let mut bounded_level = None;
     let mut level = 2u64;
-    while start.elapsed() < deadline {
+    loop {
+        // Entering a level costs one unit.  Small systems can answer
+        // without their loops ever charging, so this is what keeps the
+        // zero-allowance contract (`MODE budget 0` / `MODE units 0`
+        // sheds every non-free request) and guarantees that a forced
+        // exhaustion fault always unwinds to `Unknown`.
+        if !budget.charge(1) {
+            return (
+                shed_analysis(&budget, bounded_level),
+                caps.guard_tripped(&budget),
+            );
+        }
+        let spent_before = budget.spent();
+        scratch.set_budget(budget);
         let test = AllApproximatedTest::new().with_max_level(level);
-        let analysis = test.analyze_prepared_with(prepared, scratch);
+        let mut analysis = test.analyze_prepared_with(prepared, scratch);
+        budget = scratch.take_budget();
         if analysis.verdict.is_decisive() {
             return (analysis, false);
         }
-        last = analysis;
+        if budget.is_exhausted() {
+            // Enrich the core's progress record with the deepest level
+            // the ladder fully answered before the budget ran out.
+            if let Some(progress) = analysis.progress.as_mut() {
+                progress.bounded_level = bounded_level;
+            }
+            return (analysis, caps.guard_tripped(&budget));
+        }
+        bounded_level = Some(level);
+        if let Some(guard) = guard {
+            // Wall-clock backstop only: a mis-calibrated work rate still
+            // cannot stall the service past the guard.
+            if start.elapsed() >= guard {
+                return (analysis, true);
+            }
+        }
+        if level == u64::MAX || budget.spent() == spent_before {
+            // Cannot escalate further, or the level charged nothing (no
+            // meterable work left): answer the honest Unknown.
+            return (analysis, false);
+        }
         level = level.saturating_mul(2);
     }
-    // Undecided at the cap: a trip only if the guard itself expired (a
-    // tight SLA budget alone must not trigger load shedding).
-    let tripped = guard.is_some_and(|guard| start.elapsed() >= guard);
-    (last, tripped)
 }
 
 /// Analyzes a wave of prepared systems under the given mode and optional
-/// guard, fanning out across the CPU cores.  The whole wave shares one
-/// cap: each escalation level runs only the still-undecided systems, and
-/// systems left undecided at the cap answer [`Verdict::Unknown`].
+/// guard, fanning out across the CPU cores, **budget-first**: every
+/// system gets its *own* per-request [`WorkBudget`] with the same unit
+/// allowance a sequential request would get, carried across escalation
+/// levels through [`batch::analyze_many_prepared_budgeted`].  Each level
+/// runs only the still-undecided systems; a system whose budget exhausts
+/// closes with an honest [`Verdict::Unknown`] while the rest keep
+/// escalating.  Per-item budgets (not one shared wave pool) are what
+/// make batched exhaustion bit-identical to sequential exhaustion.
+///
 /// `fired[i]` forces system `i` to an immediate honest `Unknown` (the
-/// fault plan's simulated deadline fire).  The returned flag reports
-/// whether the guard tripped for this wave (forced fires included).
+/// fault plan's simulated deadline fire); `exhausted[i]` shrinks its
+/// budget to zero units, unwinding through the production checkpoints.
+/// The returned flag reports whether the guard tripped for this wave
+/// (forced fires and guard-unit exhaustions included).
 fn analyze_wave(
     mode: SlaMode,
     guard: Option<Duration>,
+    work_rate: u64,
     prepared: &[&PreparedWorkload],
     fired: &[bool],
+    exhausted: &[bool],
 ) -> (Vec<Analysis>, bool) {
     let mut results: Vec<Analysis> = vec![Analysis::trivial(Verdict::Unknown); prepared.len()];
     let mut open: Vec<usize> = Vec::new();
@@ -1364,17 +1602,24 @@ fn analyze_wave(
     if open.is_empty() {
         return (results, tripped);
     }
-    let budget = match mode {
-        SlaMode::Exact => None,
-        SlaMode::Budgeted { deadline } => Some(deadline),
-    };
-    let cap = match (budget, guard) {
-        (Some(budget), Some(guard)) => Some(budget.min(guard)),
-        (Some(budget), None) => Some(budget),
-        (None, Some(guard)) => Some(guard),
-        (None, None) => None,
-    };
-    match cap {
+    let caps = UnitCaps::from_allowances(mode, guard, work_rate);
+    // Forced exhaustions run under a zero-unit budget whatever the mode:
+    // the ladder's level-entry charge refuses immediately, exactly as a
+    // sequential `analyze_one` with a zero cap would.
+    let (forced, live): (Vec<usize>, Vec<usize>) =
+        open.into_iter().partition(|&index| exhausted[index]);
+    for &index in &forced {
+        let mut budget = WorkBudget::limited(0);
+        let held = budget.charge(1);
+        debug_assert!(!held, "a zero budget refuses the entry charge");
+        results[index] = shed_analysis(&budget, None);
+        tripped |= caps.guard_tripped(&budget);
+    }
+    let mut open = live;
+    if open.is_empty() {
+        return (results, tripped);
+    }
+    match caps.cap() {
         None => {
             let subset: Vec<&PreparedWorkload> =
                 open.iter().map(|&index| prepared[index]).collect();
@@ -1386,29 +1631,93 @@ fn analyze_wave(
                 results[index] = analyses.pop().expect("one test registered");
             }
         }
-        Some(deadline) => {
+        Some(cap_units) => {
             let start = Instant::now();
+            let mut budgets: Vec<WorkBudget> = vec![WorkBudget::limited(cap_units); prepared.len()];
+            let mut bounded: Vec<Option<u64>> = vec![None; prepared.len()];
             let mut level = 2u64;
-            while !open.is_empty() && start.elapsed() < deadline {
+            loop {
+                // Level-entry charge, mirroring `analyze_one`: a budget
+                // that cannot cover entering the level sheds its system
+                // here, before any batched work.
+                let mut entered = Vec::with_capacity(open.len());
+                for &index in &open {
+                    if budgets[index].charge(1) {
+                        entered.push(index);
+                    } else {
+                        results[index] = shed_analysis(&budgets[index], bounded[index]);
+                        tripped |= caps.guard_tripped(&budgets[index]);
+                    }
+                }
+                open = entered;
+                if open.is_empty() {
+                    break;
+                }
                 let subset: Vec<&PreparedWorkload> =
                     open.iter().map(|&index| prepared[index]).collect();
+                let mut sub_budgets: Vec<WorkBudget> =
+                    open.iter().map(|&index| budgets[index]).collect();
                 let tests: Vec<BoxedTest> =
                     vec![Box::new(AllApproximatedTest::new().with_max_level(level))];
-                for (&index, mut analyses) in open
-                    .iter()
-                    .zip(batch::analyze_many_prepared(&subset, &tests))
-                {
-                    results[index] = analyses.pop().expect("one test registered");
+                let analyses =
+                    batch::analyze_many_prepared_budgeted(&subset, &tests, &mut sub_budgets);
+                let mut next_open = Vec::with_capacity(open.len());
+                for ((&index, mut analyses), budget) in open.iter().zip(analyses).zip(sub_budgets) {
+                    let mut analysis = analyses.pop().expect("one test registered");
+                    let spent_before = budgets[index].spent();
+                    budgets[index] = budget;
+                    if analysis.verdict.is_decisive() {
+                        results[index] = analysis;
+                    } else if budget.is_exhausted() {
+                        if let Some(progress) = analysis.progress.as_mut() {
+                            progress.bounded_level = bounded[index];
+                        }
+                        tripped |= caps.guard_tripped(&budget);
+                        results[index] = analysis;
+                    } else {
+                        bounded[index] = Some(level);
+                        results[index] = analysis;
+                        // Per-item stall exit, mirroring `analyze_one`: a
+                        // level that charged nothing has no meterable work
+                        // left, so the system closes with its honest
+                        // Unknown instead of escalating forever.
+                        if budget.spent() > spent_before {
+                            next_open.push(index);
+                        }
+                    }
                 }
-                open.retain(|&index| !results[index].verdict.is_decisive());
+                open = next_open;
+                if open.is_empty() || level == u64::MAX {
+                    break;
+                }
+                if let Some(guard) = guard {
+                    // Shared wall-clock backstop for the wave, as in
+                    // `analyze_one`: never binding on the deterministic
+                    // path.
+                    if start.elapsed() >= guard {
+                        tripped = true;
+                        break;
+                    }
+                }
                 level = level.saturating_mul(2);
-            }
-            if !open.is_empty() && guard.is_some_and(|guard| start.elapsed() >= guard) {
-                tripped = true;
             }
         }
     }
     (results, tripped)
+}
+
+/// The honest `Unknown` a request answers when its budget refuses the
+/// ladder's level-entry charge, carrying the exhausted budget's spend and
+/// the deepest level fully answered before it.
+fn shed_analysis(budget: &WorkBudget, bounded_level: Option<u64>) -> Analysis {
+    let mut analysis = Analysis::trivial(Verdict::Unknown);
+    analysis.progress = Some(Progress {
+        units_spent: budget.spent(),
+        phase: ProgressPhase::Bounds,
+        certified_interval: None,
+        bounded_level,
+    });
+    analysis
 }
 
 /// The checks that cost nothing even under a zero budget: the prepared
@@ -1547,6 +1856,134 @@ mod tests {
         }
         assert_eq!(exact.stat("a").unwrap().components, 2);
         assert_eq!(budgeted.stat("a").unwrap().components, 2);
+    }
+
+    #[test]
+    fn unit_budgets_shed_deterministically_and_monotonically() {
+        // A work-unit allowance is machine-independent: two services with
+        // the same units answer bit-identically, and growing the
+        // allowance never flips a decisive verdict.
+        let components = [light(4, 9, 10), light(3, 14, 20), light(9, 9, 10)];
+        let run = |units: u64| {
+            let mut service = AdmissionService::with_mode(SlaMode::BudgetedUnits { units });
+            components
+                .iter()
+                .map(|&component| service.admit("a", component).unwrap().analysis)
+                .collect::<Vec<_>>()
+        };
+        let mut decisive: Vec<Option<Analysis>> = vec![None; components.len()];
+        for units in [0, 1, 10, 100, 10_000, 1_000_000] {
+            let twin = run(units);
+            assert_eq!(run(units), twin, "units={units} must be reproducible");
+            for (index, analysis) in twin.into_iter().enumerate() {
+                if let Some(first) = &decisive[index] {
+                    assert_eq!(
+                        &analysis, first,
+                        "request {index}: a decisive verdict at a smaller budget \
+                         changed at units={units}"
+                    );
+                } else if analysis.verdict.is_decisive() {
+                    decisive[index] = Some(analysis);
+                }
+            }
+        }
+        let exact = {
+            let mut service = AdmissionService::new();
+            components
+                .iter()
+                .map(|&component| service.admit("a", component).unwrap().analysis)
+                .collect::<Vec<_>>()
+        };
+        for (index, analysis) in exact.into_iter().enumerate() {
+            assert_eq!(
+                Some(analysis),
+                decisive[index],
+                "request {index}: the generous budget must reach the exact answer"
+            );
+        }
+    }
+
+    #[test]
+    fn budget_exhaustions_are_counted_and_reported() {
+        let mut service = AdmissionService::with_mode(SlaMode::BudgetedUnits { units: 0 });
+        assert_eq!(service.budget_exhaustions(), 0);
+        let response = service.admit("a", light(4, 9, 10)).unwrap();
+        assert_eq!(response.decision, AdmissionDecision::Undetermined);
+        assert!(response.analysis.budget_exhausted());
+        let progress = response
+            .analysis
+            .progress
+            .expect("exhaustion carries progress");
+        assert!(progress.units_spent >= 1);
+        assert_eq!(service.budget_exhaustions(), 1);
+        service.what_if("a", light(4, 9, 10)).unwrap();
+        assert_eq!(service.budget_exhaustions(), 2);
+        // A tight SLA budget never drives the watchdog hysteresis.
+        assert_eq!(service.guard_trips(), 0);
+        assert!(!service.is_degraded());
+        service.set_mode(SlaMode::Exact).unwrap();
+        service.admit("a", light(4, 9, 10)).unwrap();
+        assert_eq!(
+            service.budget_exhaustions(),
+            2,
+            "decisive answers do not count"
+        );
+    }
+
+    #[test]
+    fn injected_budget_exhaustion_sheds_through_the_checkpoints() {
+        let mut service = AdmissionService::new();
+        service
+            .set_fault_plan(FaultPlan::from_seed(11, 0, 0, 0).with_budget_exhaust_per_mille(1000));
+        for request in 0..4 {
+            let response = service.admit("a", light(4, 9, 10)).unwrap();
+            assert_eq!(
+                response.decision,
+                AdmissionDecision::Undetermined,
+                "request {request}"
+            );
+            assert!(response.analysis.budget_exhausted(), "request {request}");
+        }
+        assert_eq!(service.budget_exhaustions(), 4);
+        assert_eq!(service.stat("a").unwrap().components, 0);
+        assert_eq!(
+            service.guard_trips(),
+            0,
+            "a forced exhaustion is not a watchdog fire"
+        );
+    }
+
+    #[test]
+    fn batched_exhaustion_matches_sequential_exhaustion() {
+        let requests: Vec<(&str, DemandComponent)> = vec![
+            ("a", light(4, 9, 10)),
+            ("b", light(2, 6, 8)),
+            ("a", light(9, 9, 10)),
+            ("c", light(1, 3, 4)),
+            ("a", light(3, 18, 20)),
+        ];
+        for units in [0, 1, 25, 400, 100_000] {
+            let mode = SlaMode::BudgetedUnits { units };
+            let mut batched = AdmissionService::with_mode(mode);
+            let batched_responses = batched.admit_many(&requests);
+            let mut sequential = AdmissionService::with_mode(mode);
+            for (index, &(tenant, component)) in requests.iter().enumerate() {
+                let response = sequential.admit(tenant, component).unwrap();
+                assert_eq!(
+                    &response.analysis,
+                    &batched_responses[index].as_ref().unwrap().analysis,
+                    "units={units} request {index}: wave and sequential \
+                     exhaustion must be bit-identical"
+                );
+            }
+            assert_eq!(
+                batched.budget_exhaustions(),
+                sequential.budget_exhaustions()
+            );
+            for tenant in ["a", "b", "c"] {
+                assert_eq!(batched.stat(tenant), sequential.stat(tenant));
+            }
+        }
     }
 
     #[test]

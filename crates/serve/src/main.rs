@@ -4,7 +4,7 @@
 //! # Usage
 //!
 //! ```text
-//! edf-serve [--journal <path>] [--watchdog <micros>]
+//! edf-serve [--journal <path>] [--watchdog <micros>] [--work-rate <units-per-us>]
 //! ```
 //!
 //! * `--journal <path>` — attach the durable journal at `path`: the
@@ -12,8 +12,17 @@
 //!   rebuilding every tenant's committed state bit-identically), then
 //!   appends every mutation before applying it.
 //! * `--watchdog <micros>` — guard every request with a `micros`
-//!   wall-clock deadline (default hysteresis: degrade to budgeted mode
-//!   after 3 consecutive trips, recover after 8 clean requests).
+//!   allowance (default hysteresis: degrade to budgeted mode after 3
+//!   consecutive trips, recover after 8 clean requests).  The allowance
+//!   is enforced **budget-first**: it is converted once to deterministic
+//!   work units at the service's work rate and metered at the analysis
+//!   loops' budget checkpoints, with the wall clock kept only as a
+//!   backstop against mis-calibration — so shedding decisions are
+//!   bit-reproducible across machines.
+//! * `--work-rate <units-per-us>` — pin the wall-clock → work-unit
+//!   conversion rate instead of calibrating it at startup.  Without this
+//!   flag the service runs a short (~2 ms) reference analysis once at
+//!   launch and derives the rate from it.
 //!
 //! # Requests
 //!
@@ -22,7 +31,7 @@
 //! WHATIF <tenant> <cost> <deadline> [period]   hypothetical admit
 //! EVICT  <tenant> <id>                         remove a committed component
 //! STAT   <tenant>                              committed-system summary
-//! MODE   exact | budget <micros>               switch the SLA mode
+//! MODE   exact | budget <micros> | units <n>   switch the SLA mode
 //! SYNC                                         fsync the journal
 //! SNAPSHOT                                     compact the journal
 //! HEALTH                                       service health summary
@@ -39,12 +48,23 @@
 //! WHATIF <admit|reject|unknown> verdict=<v> iters=<n> us=<elapsed>
 //! EVICTED id=<id>
 //! STAT tenant=<t> components=<n> utilization=<u>
-//! MODE exact | MODE budget us=<micros>
+//! MODE exact | MODE budget us=<micros> | MODE units=<n>
 //! SYNCED | SNAPSHOTTED records=<n>
 //! HEALTH tenants=<n> degraded=<bool> guard_trips=<n> panics_isolated=<n>
+//!        budget_exhaustions=<n> work_rate=<units-per-us>
 //! BYE
 //! ERR code=<code> <detail>
 //! ```
+//!
+//! `MODE budget <micros>` expresses the per-request allowance in wall
+//! time (converted once to units at the work rate); `MODE units <n>`
+//! expresses it directly in deterministic work units, which is
+//! machine-independent and therefore exactly reproducible.  A request
+//! whose allowance runs out answers `UNDETERMINED verdict=unknown` —
+//! honest, never fabricated — and increments `budget_exhaustions` in
+//! `HEALTH`.  `guard_trips` counts only exhaustions that bind on the
+//! *watchdog* allowance (or the wall-clock backstop), so a tight SLA
+//! budget alone never drives the shed/degrade hysteresis.
 //!
 //! # Error taxonomy
 //!
@@ -88,6 +108,7 @@ use edf_serve::{protocol, AdmissionService, WatchdogConfig};
 fn main() -> ExitCode {
     let mut journal_path: Option<String> = None;
     let mut watchdog_micros: Option<u64> = None;
+    let mut work_rate: Option<u64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -98,6 +119,10 @@ fn main() -> ExitCode {
             "--watchdog" => match args.next().map(|word| word.parse::<u64>()) {
                 Some(Ok(micros)) => watchdog_micros = Some(micros),
                 _ => return usage("--watchdog needs a micros value"),
+            },
+            "--work-rate" => match args.next().map(|word| word.parse::<u64>()) {
+                Some(Ok(rate)) if rate > 0 => work_rate = Some(rate),
+                _ => return usage("--work-rate needs a positive units-per-us value"),
             },
             other => return usage(&format!("unknown flag {other}")),
         }
@@ -118,6 +143,12 @@ fn main() -> ExitCode {
             micros,
         ))));
     }
+    match work_rate {
+        Some(rate) => service.set_work_rate(rate),
+        None => {
+            service.calibrate_work_rate();
+        }
+    }
 
     let stdin = io::stdin();
     let stdout = io::stdout();
@@ -132,6 +163,8 @@ fn main() -> ExitCode {
 
 fn usage(problem: &str) -> ExitCode {
     eprintln!("edf-serve: {problem}");
-    eprintln!("usage: edf-serve [--journal <path>] [--watchdog <micros>]");
+    eprintln!(
+        "usage: edf-serve [--journal <path>] [--watchdog <micros>] [--work-rate <units-per-us>]"
+    );
     ExitCode::FAILURE
 }

@@ -261,9 +261,9 @@ fn stat(service: &mut AdmissionService, args: &[&str]) -> Result<String, Request
     }
 }
 
-/// `MODE exact` or `MODE budget <micros>`.
+/// `MODE exact`, `MODE budget <micros>` or `MODE units <units>`.
 fn mode(service: &mut AdmissionService, args: &[&str]) -> Result<String, RequestError> {
-    let usage = "MODE exact | MODE budget <micros>";
+    let usage = "MODE exact | MODE budget <micros> | MODE units <units>";
     match args {
         ["exact"] => {
             service.set_mode(SlaMode::Exact)?;
@@ -275,6 +275,13 @@ fn mode(service: &mut AdmissionService, args: &[&str]) -> Result<String, Request
                     deadline: Duration::from_micros(micros),
                 })?;
                 Ok(format!("MODE budget us={micros}"))
+            }
+            Err(_) => Err(RequestError::Usage { usage }),
+        },
+        ["units", units] => match units.parse::<u64>() {
+            Ok(units) => {
+                service.set_mode(SlaMode::BudgetedUnits { units })?;
+                Ok(format!("MODE units={units}"))
             }
             Err(_) => Err(RequestError::Usage { usage }),
         },
@@ -298,11 +305,13 @@ fn snapshot(service: &mut AdmissionService) -> Result<String, RequestError> {
 /// `HEALTH`: one-line service health summary.
 fn health(service: &AdmissionService) -> String {
     format!(
-        "HEALTH tenants={} degraded={} guard_trips={} panics_isolated={}",
+        "HEALTH tenants={} degraded={} guard_trips={} panics_isolated={} budget_exhaustions={} work_rate={}",
         service.tenant_count(),
         service.is_degraded(),
         service.guard_trips(),
-        service.panics_isolated()
+        service.panics_isolated(),
+        service.budget_exhaustions(),
+        service.work_rate()
     )
 }
 
@@ -375,6 +384,38 @@ mod tests {
         assert_eq!(replies[7], "MODE exact");
         assert_eq!(replies[8], "BYE");
         assert_eq!(replies.len(), 9);
+    }
+
+    #[test]
+    fn unit_mode_round_trip_and_health_counters() {
+        let replies = drive(
+            "MODE units 0\nADMIT a 4 9 10\nHEALTH\nMODE units 1000000\nADMIT a 4 9 10\nMODE exact\nQUIT\n",
+        );
+        assert_eq!(replies[0], "MODE units=0");
+        assert!(
+            replies[1].starts_with("UNDETERMINED verdict=unknown"),
+            "zero units exhaust at the first checkpoint: {}",
+            replies[1]
+        );
+        assert!(
+            replies[2].starts_with("HEALTH tenants=1 degraded=false"),
+            "{}",
+            replies[2]
+        );
+        assert!(
+            replies[2].contains(" budget_exhaustions=1 "),
+            "the exhausted admission is counted: {}",
+            replies[2]
+        );
+        assert!(replies[2].contains(" work_rate="), "{}", replies[2]);
+        assert_eq!(replies[3], "MODE units=1000000");
+        assert!(
+            replies[4].starts_with("ADMITTED id=0 verdict=feasible"),
+            "a generous unit budget answers exactly: {}",
+            replies[4]
+        );
+        assert_eq!(replies[5], "MODE exact");
+        assert_eq!(replies[6], "BYE");
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! Deterministic fault-injection harness: drive the full admission
 //! protocol while a seeded [`FaultPlan`] injects analysis panics,
-//! watchdog fires and journal write faults (torn short-writes and bit
-//! flips) through the service's *production* fault paths, and assert the
-//! core robustness invariants:
+//! watchdog fires, work-budget exhaustions and journal write faults
+//! (torn short-writes and bit flips) through the service's *production*
+//! fault paths, and assert the core robustness invariants:
 //!
 //! 1. **Exactly one reply per request** — never dropped, never
 //!    duplicated, faults included.
@@ -306,13 +306,16 @@ fn assert_recoverable(path: &PathBuf, shadow: &Shadow, report: &FaultReport) {
 }
 
 /// One full faulted scenario for a given seed and fault rates.
-fn faulted_scenario(seed: u64, panics: u32, fires: u32, writes: u32) {
+fn faulted_scenario(seed: u64, panics: u32, fires: u32, exhausts: u32, writes: u32) {
     silence_injected_panics();
     let path = journal_path("session", seed);
     let _ = std::fs::remove_file(&path);
     let mut service = AdmissionService::recover(&path).expect("fresh journal");
     service.set_watchdog(Some(WatchdogConfig::with_guard(Duration::from_secs(5))));
-    service.set_fault_plan(FaultPlan::from_seed(seed ^ !0, panics, fires, writes));
+    service.set_fault_plan(
+        FaultPlan::from_seed(seed ^ !0, panics, fires, writes)
+            .with_budget_exhaust_per_mille(exhausts),
+    );
     let requests = request_stream(seed, 60);
     let (shadow, report) = run_faulted_session(&mut service, &requests);
     drop(service);
@@ -326,20 +329,28 @@ proptest! {
     /// state.
     #[test]
     fn panics_and_fires_never_fabricate_verdicts(seed in 0u64..u64::MAX) {
-        faulted_scenario(seed, 150, 150, 0);
+        faulted_scenario(seed, 150, 150, 0, 0);
+    }
+
+    /// Seeded work-budget exhaustions unwound through the production
+    /// checkpoints: every shed request is an honest `Unknown`, nothing
+    /// exhausted ever commits, and the journal recovers in full.
+    #[test]
+    fn budget_exhaustions_stay_honest_and_uncommitted(seed in 0u64..u64::MAX) {
+        faulted_scenario(seed, 0, 0, 400, 0);
     }
 
     /// Torn and bit-flipped journal appends: the valid prefix replays
     /// exactly, decisions stay verified-correct throughout.
     #[test]
     fn torn_journal_writes_recover_the_clean_prefix(seed in 0u64..u64::MAX) {
-        faulted_scenario(seed, 0, 0, 60);
+        faulted_scenario(seed, 0, 0, 0, 60);
     }
 
     /// Everything at once — the full storm.
     #[test]
     fn combined_fault_storm_holds_all_invariants(seed in 0u64..u64::MAX) {
-        faulted_scenario(seed, 100, 100, 40);
+        faulted_scenario(seed, 100, 100, 100, 40);
     }
 }
 
@@ -350,7 +361,8 @@ proptest! {
 fn wave_faults_preserve_invariants() {
     silence_injected_panics();
     let mut service = AdmissionService::new();
-    service.set_fault_plan(FaultPlan::from_seed(11, 300, 100, 0));
+    service
+        .set_fault_plan(FaultPlan::from_seed(11, 300, 100, 0).with_budget_exhaust_per_mille(300));
     let components: Vec<DemandComponent> = (0..12)
         .map(|index| {
             DemandComponent::periodic(
